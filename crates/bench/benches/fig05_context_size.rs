@@ -1,0 +1,14 @@
+//! Fig 5: context-size model.
+
+use awg_bench::{bench_main_with_report, bench_scale};
+use awg_harness::fig05;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig05_context_model", |b| {
+        b.iter(|| std::hint::black_box(fig05::run(&scale)))
+    });
+}
+
+bench_main_with_report!(fig05::run(&bench_scale()), bench);

@@ -1,0 +1,31 @@
+//! Fig 7: exponential backoff sweep — measures one representative
+//! Sleep-16k simulation per iteration.
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig07, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig07_spm_g_sleep16k", |b| {
+        b.iter(|| {
+            run_one(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::SleepMax(16_000),
+                ExperimentConfig::NonOversubscribed,
+            )
+        })
+    });
+    c.bench_function("fig07_fam_g_sleep1k", |b| {
+        b.iter(|| {
+            run_one(
+                BenchmarkKind::FaMutexGlobal,
+                PolicyKind::SleepMax(1_000),
+                ExperimentConfig::NonOversubscribed,
+            )
+        })
+    });
+}
+
+bench_main_with_report!(fig07::run(&bench_scale()), bench);

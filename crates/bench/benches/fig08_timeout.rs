@@ -1,0 +1,23 @@
+//! Fig 8: timeout-interval sweep — measures representative Timeout runs.
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig08, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    for interval in [10_000u64, 100_000] {
+        c.bench_function(&format!("fig08_spm_g_timeout{}k", interval / 1000), |b| {
+            b.iter(|| {
+                run_one(
+                    BenchmarkKind::SpinMutexGlobal,
+                    PolicyKind::TimeoutInterval(interval),
+                    ExperimentConfig::NonOversubscribed,
+                )
+            })
+        });
+    }
+}
+
+bench_main_with_report!(fig08::run(&bench_scale()), bench);

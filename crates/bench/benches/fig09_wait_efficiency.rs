@@ -1,0 +1,29 @@
+//! Fig 9: wait efficiency — measures the sporadic-vs-checked monitors and
+//! the oracle on the hot centralized lock.
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig09, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    for (name, policy) in [
+        ("monrs_all", PolicyKind::MonRsAll),
+        ("monr_all", PolicyKind::MonRAll),
+        ("monnr_all", PolicyKind::MonNrAll),
+        ("minresume", PolicyKind::MinResume),
+    ] {
+        c.bench_function(&format!("fig09_fam_g_{name}"), |b| {
+            b.iter(|| {
+                run_one(
+                    BenchmarkKind::FaMutexGlobal,
+                    policy,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            })
+        });
+    }
+}
+
+bench_main_with_report!(fig09::run(&bench_scale()), bench);

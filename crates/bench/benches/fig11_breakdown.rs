@@ -1,0 +1,28 @@
+//! Fig 11: execution break-down — measures the three compared policies on
+//! a mutex and a barrier.
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig11, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    for (name, policy) in [
+        ("timeout", PolicyKind::Timeout),
+        ("monnr_all", PolicyKind::MonNrAll),
+        ("monnr_one", PolicyKind::MonNrOne),
+    ] {
+        c.bench_function(&format!("fig11_tb_lg_{name}"), |b| {
+            b.iter(|| {
+                run_one(
+                    BenchmarkKind::TreeBarrier,
+                    policy,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            })
+        });
+    }
+}
+
+bench_main_with_report!(fig11::run(&bench_scale()), bench);

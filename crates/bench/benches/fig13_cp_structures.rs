@@ -1,0 +1,14 @@
+//! Fig 13: CP data-structure sizing (analytic model cost).
+
+use awg_bench::{bench_main_with_report, bench_scale};
+use awg_harness::fig13;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig13_analytic_model", |b| {
+        b.iter(|| std::hint::black_box(fig13::run(&scale)))
+    });
+}
+
+bench_main_with_report!(fig13::run(&bench_scale()), bench);

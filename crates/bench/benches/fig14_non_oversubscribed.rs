@@ -1,0 +1,28 @@
+//! Fig 14: the headline comparison — measures Baseline vs AWG on the
+//! centralized ticket lock (the 12x case).
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig14, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    for (name, policy) in [
+        ("baseline", PolicyKind::Baseline),
+        ("monnr_one", PolicyKind::MonNrOne),
+        ("awg", PolicyKind::Awg),
+    ] {
+        c.bench_function(&format!("fig14_fam_g_{name}"), |b| {
+            b.iter(|| {
+                run_one(
+                    BenchmarkKind::FaMutexGlobal,
+                    policy,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            })
+        });
+    }
+}
+
+bench_main_with_report!(fig14::run(&bench_scale()), bench);

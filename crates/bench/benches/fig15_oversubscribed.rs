@@ -1,0 +1,35 @@
+//! Fig 15: the oversubscribed scenario — measures AWG and Timeout across
+//! the CU-loss event, plus the Baseline's deadlock detection.
+
+use awg_bench::{bench_main_with_report, bench_scale, run_one};
+use awg_core::policies::PolicyKind;
+use awg_harness::{fig15, ExperimentConfig};
+use awg_workloads::BenchmarkKind;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    for (name, policy) in [("timeout", PolicyKind::Timeout), ("awg", PolicyKind::Awg)] {
+        c.bench_function(&format!("fig15_fam_g_{name}"), |b| {
+            b.iter(|| {
+                run_one(
+                    BenchmarkKind::FaMutexGlobal,
+                    policy,
+                    ExperimentConfig::Oversubscribed,
+                )
+            })
+        });
+    }
+    c.bench_function("fig15_fam_g_baseline_deadlock_detect", |b| {
+        b.iter(|| {
+            let r = run_one(
+                BenchmarkKind::FaMutexGlobal,
+                PolicyKind::Baseline,
+                ExperimentConfig::Oversubscribed,
+            );
+            assert!(r.deadlocked());
+            r
+        })
+    });
+}
+
+bench_main_with_report!(fig15::run(&bench_scale()), bench);

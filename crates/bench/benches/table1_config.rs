@@ -1,0 +1,14 @@
+//! Table 1: machine-configuration report (construction cost).
+
+use awg_bench::{bench_main_with_report, bench_scale};
+use awg_harness::table1;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table1_render", |b| {
+        b.iter(|| std::hint::black_box(table1::run(&scale)))
+    });
+}
+
+bench_main_with_report!(table1::run(&bench_scale()), bench);

@@ -1,0 +1,14 @@
+//! Table 2: benchmark characteristics (symbolic evaluation cost).
+
+use awg_bench::{bench_main_with_report, bench_scale};
+use awg_harness::table2;
+use criterion::Criterion;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table2_render", |b| {
+        b.iter(|| std::hint::black_box(table2::run(&scale)))
+    });
+}
+
+bench_main_with_report!(table2::run(&bench_scale()), bench);

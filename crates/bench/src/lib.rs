@@ -1,0 +1,52 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! tables and figures.
+//!
+//! Each bench target corresponds to one table/figure. On start-up it prints
+//! the full quick-scale report (so `cargo bench` output contains the
+//! regenerated rows), then measures representative simulator runs so the
+//! figure's cost is tracked over time.
+
+#![forbid(unsafe_code)]
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{run_experiment, ExpResult, ExperimentConfig, Report, Scale};
+use awg_workloads::BenchmarkKind;
+
+/// The scale all benches run at.
+pub fn bench_scale() -> Scale {
+    Scale::quick()
+}
+
+/// Prints a regenerated report ahead of the measurements.
+pub fn print_report(report: &Report) {
+    println!("{}", report.to_markdown());
+}
+
+/// One simulator run at bench scale (panics on deadlock so regressions in
+/// forward progress fail the bench loudly).
+pub fn run_one(kind: BenchmarkKind, policy: PolicyKind, config: ExperimentConfig) -> ExpResult {
+    let r = run_experiment(kind, policy, &bench_scale(), config);
+    assert!(
+        r.outcome.is_completed() || matches!(policy, PolicyKind::Baseline | PolicyKind::Sleep),
+        "{kind} under {} did not complete: {:?}",
+        policy.label(),
+        r.outcome
+    );
+    r
+}
+
+/// A criterion main that prints `report` once, then runs the registered
+/// groups.
+#[macro_export]
+macro_rules! bench_main_with_report {
+    ($report:expr, $($group:ident),+ $(,)?) => {
+        fn main() {
+            $crate::print_report(&$report);
+            let mut criterion = criterion::Criterion::default()
+                .sample_size(10)
+                .configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}

@@ -1,0 +1,112 @@
+//! Universal hashing (Carter–Wegman), as the paper specifies for the
+//! SyncMon condition cache and Bloom filters (§V.C, citing \[63\]).
+
+/// A member of a universal family of hash functions over `u64`.
+///
+/// `h(x) = ((a·x + b) mod p) mod m` with `p` a Mersenne prime (2⁶¹ − 1) and
+/// odd `a`; different `(a, b)` pairs give independent functions, which the
+/// Bloom filters need six of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+}
+
+const P: u128 = (1u128 << 61) - 1;
+
+impl UniversalHash {
+    /// Creates the `i`-th member of the family (deterministic per index).
+    pub fn nth(i: u64) -> Self {
+        // Fixed, well-mixed parameters derived via SplitMix64 from the index.
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        UniversalHash {
+            a: next() | 1,
+            b: next(),
+        }
+    }
+
+    /// Hashes `x` into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn hash(&self, x: u64, m: u64) -> u64 {
+        assert!(m > 0, "range must be positive");
+        let v = (self.a as u128 * x as u128 + self.b as u128) % P;
+        (v % m as u128) as u64
+    }
+}
+
+/// The paper's condition-cache key: "the address is shifted left with log of
+/// number of cache entries, after subtracting log of cacheline size, and
+/// bitwise ORed with the waiting value. The result is further hashed with a
+/// universal hash function" (§V.C).
+pub fn condition_key(addr: u64, value: i64, cache_entries: u64, line_bytes: u64) -> u64 {
+    let shift = cache_entries.trailing_zeros();
+    let line_shift = line_bytes.trailing_zeros();
+    ((addr >> line_shift) << shift) | (value as u64 & (cache_entries - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_index() {
+        let h1 = UniversalHash::nth(3);
+        let h2 = UniversalHash::nth(3);
+        assert_eq!(h1.hash(12345, 256), h2.hash(12345, 256));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let h1 = UniversalHash::nth(0);
+        let h2 = UniversalHash::nth(1);
+        let collisions = (0..512u64)
+            .filter(|&x| h1.hash(x, 1024) == h2.hash(x, 1024))
+            .count();
+        assert!(collisions < 20, "families too correlated: {collisions}");
+    }
+
+    #[test]
+    fn output_in_range() {
+        let h = UniversalHash::nth(5);
+        for x in 0..1000u64 {
+            assert!(h.hash(x.wrapping_mul(64), 256) < 256);
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = UniversalHash::nth(7);
+        let mut buckets = [0u32; 16];
+        for x in 0..16000u64 {
+            buckets[h.hash(x * 64 + 7, 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..=1300).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn condition_key_mixes_addr_and_value() {
+        let k1 = condition_key(0x1000, 1, 1024, 64);
+        let k2 = condition_key(0x1000, 2, 1024, 64);
+        let k3 = condition_key(0x1040, 1, 1024, 64);
+        assert_ne!(k1, k2, "value must affect the key");
+        assert_ne!(k1, k3, "line address must affect the key");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_panics() {
+        UniversalHash::nth(0).hash(1, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Autonomous Work-Groups (AWG) — the primary contribution of
+//! *Independent Forward Progress of Work-groups* (ISCA 2020).
+//!
+//! This crate implements the paper's hardware and firmware:
+//!
+//! * [`SyncMon`] — the synchronization monitor added to the L2 (§V.A):
+//!   a 4-way × 256-set condition cache (1024 waiting conditions), a
+//!   512-entry waiting-WG list, and per-address counting Bloom filters
+//!   (512 × 24 bits × 6 hashes) that predict how many waiters to resume,
+//! * [`MonitorLog`] — the circular in-memory buffer that virtualizes the
+//!   SyncMon beyond its hardware capacity, with Mesa-semantics overflow,
+//! * [`Cp`] — the Command Processor firmware model that drains the Monitor
+//!   Log, tracks context-switched WGs, and periodically checks spilled
+//!   conditions (Fig 12's red "slow path"),
+//! * the full **policy family** of §IV (Fig 6), each implementing
+//!   [`awg_gpu::SchedPolicy`]:
+//!   [`policies::SleepBackoffPolicy`] (exponential backoff with `s_sleep`),
+//!   [`policies::TimeoutPolicy`] (fixed-interval stall/context-switch),
+//!   [`policies::MonRsAllPolicy`] (sporadic notifications, resume-all),
+//!   [`policies::MonRAllPolicy`] (condition-checking monitor, resume-all —
+//!   still racy, Fig 10),
+//!   [`policies::MonNrAllPolicy`] and [`policies::MonNrOnePolicy`]
+//!   (waiting atomics, no race),
+//!   [`policies::AwgPolicy`] (the final design: prediction-based resume
+//!   count and stall-then-switch), and
+//!   [`policies::MinResumePolicy`] (the Fig 9 oracle).
+//!
+//! # Example
+//!
+//! ```
+//! use awg_core::policies::{PolicyKind, build_policy};
+//!
+//! let awg = build_policy(PolicyKind::Awg);
+//! assert_eq!(awg.name(), "AWG");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod cp;
+pub mod hash;
+pub mod monitorlog;
+pub mod policies;
+pub mod syncmon;
+
+pub use bloom::CountingBloom;
+pub use cp::{CheckOrder, Cp, CpFootprint};
+pub use monitorlog::{LogEntry, MonitorLog};
+pub use syncmon::{RegisterOutcome, SyncMon, SyncMonConfig};

@@ -1,0 +1,236 @@
+//! Failure injection: a policy wrapper that drops resume notifications.
+//!
+//! AWG's liveness argument (§V.A) is that *every* waiting WG carries a
+//! fallback timeout, so lost or misdirected SyncMon notifications degrade
+//! performance, never forward progress. This wrapper makes that claim
+//! testable: it deterministically swallows every `n`-th wake the inner
+//! policy issues, emulating dropped resume messages between the SyncMon,
+//! the dispatcher, and the CUs.
+
+use awg_gpu::{
+    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
+    WaitDirective, Wake, WgId,
+};
+use awg_sim::{Cycle, Stats};
+
+/// Wraps a policy and drops every `n`-th wake it issues.
+#[derive(Debug)]
+pub struct DropWakes<P> {
+    inner: P,
+    every_nth: u64,
+    seen: u64,
+    dropped: u64,
+}
+
+impl<P: SchedPolicy> DropWakes<P> {
+    /// Drops every `every_nth` wake (1 = drop all, 2 = drop half, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_nth == 0`.
+    pub fn new(inner: P, every_nth: u64) -> Self {
+        assert!(every_nth > 0, "drop period must be positive");
+        DropWakes {
+            inner,
+            every_nth,
+            seen: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of wakes swallowed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn filter(&mut self, wakes: Vec<Wake>) -> Vec<Wake> {
+        wakes
+            .into_iter()
+            .filter(|_| {
+                self.seen += 1;
+                if self.seen.is_multiple_of(self.every_nth) {
+                    self.dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect()
+    }
+}
+
+impl<P: SchedPolicy> SchedPolicy for DropWakes<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn style(&self) -> SyncStyle {
+        self.inner.style()
+    }
+
+    fn supports_wg_rescheduling(&self) -> bool {
+        self.inner.supports_wg_rescheduling()
+    }
+
+    fn on_sync_fail(&mut self, ctx: &mut PolicyCtx<'_>, fail: &SyncFail) -> WaitDirective {
+        let directive = self.inner.on_sync_fail(ctx, fail);
+        // Safety net stays intact: never forward an unbounded wait.
+        match directive {
+            WaitDirective::Wait {
+                release,
+                timeout: None,
+            } => WaitDirective::Wait {
+                release,
+                timeout: Some(200_000),
+            },
+            other => other,
+        }
+    }
+
+    fn on_monitored_update(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        update: &MonitoredUpdate,
+    ) -> Vec<Wake> {
+        let wakes = self.inner.on_monitored_update(ctx, update);
+        self.filter(wakes)
+    }
+
+    fn on_wait_timeout(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        wg: WgId,
+        cond: &SyncCond,
+    ) -> TimeoutAction {
+        // Timeouts are the liveness backstop: never dropped.
+        self.inner.on_wait_timeout(ctx, wg, cond)
+    }
+
+    fn on_wake_delivered(&mut self, ctx: &mut PolicyCtx<'_>, wg: WgId, cond: &SyncCond) {
+        self.inner.on_wake_delivered(ctx, wg, cond);
+    }
+
+    fn on_wg_finished(&mut self, ctx: &mut PolicyCtx<'_>, wg: WgId) {
+        self.inner.on_wg_finished(ctx, wg);
+    }
+
+    fn cp_tick_period(&self) -> Option<Cycle> {
+        self.inner.cp_tick_period()
+    }
+
+    fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
+        let wakes = self.inner.on_cp_tick(ctx);
+        self.filter(wakes)
+    }
+
+    fn report(&self, stats: &mut Stats) {
+        self.inner.report(stats);
+        let c = stats.counter("chaos_wakes_dropped");
+        stats.add(c, self.dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::MonNrAllPolicy;
+    use awg_mem::{L2Config, L2};
+
+    fn fail(wg: WgId) -> SyncFail {
+        SyncFail {
+            wg,
+            cond: SyncCond {
+                addr: 64,
+                expected: 1,
+            },
+            observed: 0,
+            via_wait_inst: false,
+        }
+    }
+
+    #[test]
+    fn drops_every_nth_wake() {
+        let mut p = DropWakes::new(MonNrAllPolicy::new(), 2);
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = PolicyCtx {
+            now: 0,
+            l2: &mut l2,
+            stats: &mut stats,
+            pending_wgs: 0,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 0,
+            total_wgs: 8,
+        };
+        for wg in 0..4 {
+            p.on_sync_fail(&mut ctx, &fail(wg));
+        }
+        let wakes = p.on_monitored_update(
+            &mut ctx,
+            &MonitoredUpdate {
+                addr: 64,
+                old: 0,
+                new: 1,
+                wrote: true,
+                monitored: true,
+                by_wg: 9,
+            },
+        );
+        assert_eq!(wakes.len(), 2, "half of four wakes dropped");
+        assert_eq!(p.dropped(), 2);
+        let mut stats = Stats::new();
+        p.report(&mut stats);
+        assert_eq!(stats.get_by_name("chaos_wakes_dropped"), Some(2));
+    }
+
+    #[test]
+    fn unbounded_waits_get_a_safety_timeout() {
+        // A hypothetical inner policy issuing Wait{timeout: None} must not
+        // reach the machine without a backstop once wakes can be dropped.
+        #[derive(Debug)]
+        struct NoTimeout;
+        impl SchedPolicy for NoTimeout {
+            fn name(&self) -> &str {
+                "NoTimeout"
+            }
+            fn style(&self) -> SyncStyle {
+                SyncStyle::WaitingAtomic
+            }
+            fn on_sync_fail(&mut self, _: &mut PolicyCtx<'_>, _: &SyncFail) -> WaitDirective {
+                WaitDirective::Wait {
+                    release: false,
+                    timeout: None,
+                }
+            }
+            fn on_monitored_update(
+                &mut self,
+                _: &mut PolicyCtx<'_>,
+                _: &MonitoredUpdate,
+            ) -> Vec<Wake> {
+                Vec::new()
+            }
+        }
+        let mut p = DropWakes::new(NoTimeout, 1);
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = PolicyCtx {
+            now: 0,
+            l2: &mut l2,
+            stats: &mut stats,
+            pending_wgs: 0,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 0,
+            total_wgs: 8,
+        };
+        match p.on_sync_fail(&mut ctx, &fail(0)) {
+            WaitDirective::Wait { timeout, .. } => assert!(timeout.is_some()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        DropWakes::new(MonNrAllPolicy::new(), 0);
+    }
+}

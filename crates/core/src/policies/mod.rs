@@ -1,0 +1,139 @@
+//! The paper's cooperative WG-scheduling policy family (§IV, Fig 6).
+//!
+//! | Policy | Instructions | Notification | Resume | Race-free? |
+//! |---|---|---|---|---|
+//! | Baseline (`awg_gpu::BusyWaitPolicy`) | plain atomics | — | — | n/a (deadlocks oversubscribed) |
+//! | [`SleepBackoffPolicy`] | waiting atomics → `s_sleep` | — | timer | n/a (deadlocks oversubscribed) |
+//! | [`TimeoutPolicy`] | waiting atomics | — | fixed timer | yes (timer) |
+//! | [`MonRsAllPolicy`] | `wait` instruction | sporadic (any access) | all | **no** (Fig 10) |
+//! | [`MonRAllPolicy`] | `wait` instruction | condition check on write | all | **no** (Fig 10) |
+//! | [`MonNrAllPolicy`] | waiting atomics | condition check on write | all | yes |
+//! | [`MonNrOnePolicy`] | waiting atomics | condition check on write | one | yes |
+//! | [`AwgPolicy`] | waiting atomics | condition check on write | predicted | yes |
+//! | [`MinResumePolicy`] | waiting atomics | oracle (peeks memory) | minimal | oracle |
+
+mod awg;
+pub mod chaos;
+mod minresume;
+mod monitor;
+mod monnr;
+mod monr;
+mod monrs;
+mod sleep;
+mod timeout;
+
+pub use awg::AwgPolicy;
+pub use minresume::MinResumePolicy;
+pub use monitor::MonitorCore;
+pub use monnr::{MonNrAllPolicy, MonNrOnePolicy};
+pub use monr::MonRAllPolicy;
+pub use monrs::MonRsAllPolicy;
+pub use sleep::SleepBackoffPolicy;
+pub use timeout::TimeoutPolicy;
+
+use awg_gpu::SchedPolicy;
+
+/// Fallback timeout used by the monitor policies when a notification may
+/// never arrive (racy `wait` instructions; MonNR-One leftover waiters).
+pub const DEFAULT_FALLBACK_TIMEOUT: u64 = 50_000;
+
+/// Default CP firmware tick period (Monitor Log draining, spilled-condition
+/// checks).
+pub const DEFAULT_CP_TICK: u64 = 10_000;
+
+/// The members of the policy family, for harness sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Software busy-waiting (deadlocks when oversubscribed).
+    Baseline,
+    /// Exponential backoff with `s_sleep` (§IV.C.i), default 16k max.
+    Sleep,
+    /// Exponential backoff with a specific maximum interval (Fig 7 sweep).
+    SleepMax(u64),
+    /// Fixed-interval stall / context switch (§IV.C.ii), default 20k.
+    Timeout,
+    /// Fixed-interval with a specific interval (Fig 8 sweep).
+    TimeoutInterval(u64),
+    /// Sporadic monitor, resume all (§IV.C.iii).
+    MonRsAll,
+    /// Condition-checking monitor armed by `wait`, resume all (§IV.C.iv).
+    MonRAll,
+    /// Waiting atomics, resume all (§IV.D).
+    MonNrAll,
+    /// Waiting atomics, resume one (§IV.E).
+    MonNrOne,
+    /// The final design with prediction (§V).
+    Awg,
+    /// The Fig 9 oracle.
+    MinResume,
+}
+
+impl PolicyKind {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Baseline => "Baseline".into(),
+            PolicyKind::Sleep => "Sleep".into(),
+            PolicyKind::SleepMax(m) => format!("Sleep-{}k", m / 1000),
+            PolicyKind::Timeout => "Timeout".into(),
+            PolicyKind::TimeoutInterval(i) => format!("Timeout-{}k", i / 1000),
+            PolicyKind::MonRsAll => "MonRS-All".into(),
+            PolicyKind::MonRAll => "MonR-All".into(),
+            PolicyKind::MonNrAll => "MonNR-All".into(),
+            PolicyKind::MonNrOne => "MonNR-One".into(),
+            PolicyKind::Awg => "AWG".into(),
+            PolicyKind::MinResume => "MinResume".into(),
+        }
+    }
+}
+
+/// Builds a fresh policy instance.
+pub fn build_policy(kind: PolicyKind) -> Box<dyn SchedPolicy> {
+    match kind {
+        PolicyKind::Baseline => Box::new(awg_gpu::BusyWaitPolicy::new()),
+        PolicyKind::Sleep => Box::new(SleepBackoffPolicy::new(16_000)),
+        PolicyKind::SleepMax(m) => Box::new(SleepBackoffPolicy::new(m)),
+        PolicyKind::Timeout => Box::new(TimeoutPolicy::new(20_000)),
+        PolicyKind::TimeoutInterval(i) => Box::new(TimeoutPolicy::new(i)),
+        PolicyKind::MonRsAll => Box::new(MonRsAllPolicy::new()),
+        PolicyKind::MonRAll => Box::new(MonRAllPolicy::new()),
+        PolicyKind::MonNrAll => Box::new(MonNrAllPolicy::new()),
+        PolicyKind::MonNrOne => Box::new(MonNrOnePolicy::new()),
+        PolicyKind::Awg => Box::new(AwgPolicy::new()),
+        PolicyKind::MinResume => Box::new(MinResumePolicy::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_gpu::SyncStyle;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PolicyKind::SleepMax(16_000).label(), "Sleep-16k");
+        assert_eq!(PolicyKind::TimeoutInterval(50_000).label(), "Timeout-50k");
+        assert_eq!(PolicyKind::Awg.label(), "AWG");
+        assert_eq!(PolicyKind::MonRsAll.label(), "MonRS-All");
+    }
+
+    #[test]
+    fn build_produces_expected_names_and_styles() {
+        let cases = [
+            (PolicyKind::Baseline, "Baseline", SyncStyle::Busy),
+            (PolicyKind::Sleep, "Sleep", SyncStyle::WaitingAtomic),
+            (PolicyKind::Timeout, "Timeout", SyncStyle::WaitingAtomic),
+            (PolicyKind::MonRsAll, "MonRS-All", SyncStyle::WaitInst),
+            (PolicyKind::MonRAll, "MonR-All", SyncStyle::WaitInst),
+            (PolicyKind::MonNrAll, "MonNR-All", SyncStyle::WaitingAtomic),
+            (PolicyKind::MonNrOne, "MonNR-One", SyncStyle::WaitingAtomic),
+            (PolicyKind::Awg, "AWG", SyncStyle::WaitingAtomic),
+            (PolicyKind::MinResume, "MinResume", SyncStyle::WaitingAtomic),
+        ];
+        for (kind, name, style) in cases {
+            let p = build_policy(kind);
+            assert_eq!(p.name(), name);
+            assert_eq!(p.style(), style, "{name}");
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Shared plumbing for the monitor-based policies: SyncMon registration
+//! with Monitor Log spill, CP draining, and monitored-bit lifetime.
+
+use std::collections::HashMap;
+
+use awg_gpu::{PolicyCtx, SyncCond, Wake, WgId};
+use awg_sim::Stats;
+
+use crate::cp::Cp;
+use crate::monitorlog::{LogEntry, MonitorLog};
+use crate::syncmon::{RegisterOutcome, SyncMon, SyncMonConfig};
+
+/// Default Monitor Log capacity in entries.
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
+
+/// Entries the CP drains from the log per firmware tick.
+pub const CP_DRAIN_PER_TICK: usize = 64;
+
+/// How a registration ended up being tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackOutcome {
+    /// Cached in the SyncMon (fast path).
+    Cached,
+    /// Spilled to the Monitor Log (CP slow path).
+    Spilled,
+    /// The Monitor Log was full: the WG must retry its atomic (Mesa).
+    MesaRetry,
+}
+
+/// SyncMon + Monitor Log + CP, assembled the way every monitor policy uses
+/// them (Fig 12).
+#[derive(Debug)]
+pub struct MonitorCore {
+    /// The on-chip monitor.
+    pub syncmon: SyncMon,
+    /// The in-memory overflow log.
+    pub log: MonitorLog,
+    /// The CP firmware tables.
+    pub cp: Cp,
+    /// Where each waiting WG is tracked (for timeout/finish cleanup).
+    tracked: HashMap<WgId, (SyncCond, TrackOutcome)>,
+    mesa_retries: u64,
+    wakes_issued: u64,
+}
+
+impl MonitorCore {
+    /// Creates the paper-sized monitor stack.
+    pub fn new() -> Self {
+        Self::with_config(SyncMonConfig::isca2020(), DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Sets the CP's condition-check order (the §V.A fairness study).
+    pub fn set_check_order(&mut self, order: crate::cp::CheckOrder) {
+        self.cp.set_order(order);
+    }
+
+    /// Creates a custom-sized monitor stack (capacity ablations).
+    pub fn with_config(config: SyncMonConfig, log_capacity: usize) -> Self {
+        MonitorCore {
+            syncmon: SyncMon::new(config),
+            log: MonitorLog::new(log_capacity),
+            cp: Cp::new(),
+            tracked: HashMap::new(),
+            mesa_retries: 0,
+            wakes_issued: 0,
+        }
+    }
+
+    /// Registers `wg` waiting on `cond`, spilling as needed.
+    pub fn track(&mut self, ctx: &mut PolicyCtx<'_>, cond: SyncCond, wg: WgId) -> TrackOutcome {
+        match self.syncmon.register(cond, wg, ctx.now) {
+            RegisterOutcome::Registered => {
+                if ctx.l2.set_monitored(cond.addr) {
+                    self.tracked.insert(wg, (cond, TrackOutcome::Cached));
+                    TrackOutcome::Cached
+                } else {
+                    // The L2 set is fully pinned: the SyncMon cannot observe
+                    // this address, so fall back to the CP path.
+                    self.syncmon.remove_waiter(&cond, wg);
+                    self.spill(ctx, cond, wg)
+                }
+            }
+            RegisterOutcome::CacheFull | RegisterOutcome::WaitersFull => self.spill(ctx, cond, wg),
+        }
+    }
+
+    fn spill(&mut self, ctx: &mut PolicyCtx<'_>, cond: SyncCond, wg: WgId) -> TrackOutcome {
+        if self.log.push(ctx.l2, ctx.now, LogEntry { cond, wg }) {
+            self.tracked.insert(wg, (cond, TrackOutcome::Spilled));
+            TrackOutcome::Spilled
+        } else {
+            self.mesa_retries += 1;
+            TrackOutcome::MesaRetry
+        }
+    }
+
+    /// Pops up to `limit` cached waiters of `cond` as wakes, maintaining the
+    /// monitored bit.
+    pub fn wake_cached(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        cond: &SyncCond,
+        limit: usize,
+    ) -> Vec<Wake> {
+        let wgs = self.syncmon.take_waiters(cond, limit);
+        for &wg in &wgs {
+            self.tracked.remove(&wg);
+        }
+        self.wakes_issued += wgs.len() as u64;
+        if !self.syncmon.addr_has_conditions(cond.addr) {
+            ctx.l2.clear_monitored(cond.addr);
+        }
+        wgs.into_iter().map(Wake::now).collect()
+    }
+
+    /// Removes `wg`'s registration wherever it lives (timeout wake, finish).
+    pub fn untrack(&mut self, ctx: &mut PolicyCtx<'_>, wg: WgId) {
+        if let Some((cond, outcome)) = self.tracked.remove(&wg) {
+            match outcome {
+                TrackOutcome::Cached => {
+                    self.syncmon.remove_waiter(&cond, wg);
+                    if !self.syncmon.addr_has_conditions(cond.addr) {
+                        ctx.l2.clear_monitored(cond.addr);
+                    }
+                }
+                TrackOutcome::Spilled => {
+                    // May still sit in the log; the CP drops stale entries
+                    // when it drains them (the WG is no longer tracked).
+                    self.cp.remove_wg(wg);
+                }
+                TrackOutcome::MesaRetry => {}
+            }
+        }
+    }
+
+    /// Where `wg` is currently tracked.
+    pub fn tracking_of(&self, wg: WgId) -> Option<(SyncCond, TrackOutcome)> {
+        self.tracked.get(&wg).copied()
+    }
+
+    /// The CP firmware tick: drain the log, check spilled conditions with
+    /// timed reads, and wake the WGs whose conditions hold.
+    pub fn cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
+        let entries = self.log.drain(ctx.l2, ctx.now, CP_DRAIN_PER_TICK);
+        // Drop entries whose WG is no longer waiting (timeout already woke it).
+        let live: Vec<LogEntry> = entries
+            .into_iter()
+            .filter(|e| {
+                self.tracked
+                    .get(&e.wg)
+                    .is_some_and(|(c, o)| *c == e.cond && *o == TrackOutcome::Spilled)
+            })
+            .collect();
+        self.cp.absorb(live);
+        let met = self.cp.check_conditions(ctx.l2, ctx.now);
+        let mut wakes = Vec::with_capacity(met.len());
+        for (cond, wg) in met {
+            if self.tracked.remove(&wg).is_some() {
+                self.wakes_issued += 1;
+                let _ = cond;
+                wakes.push(Wake::now(wg));
+            }
+        }
+        wakes
+    }
+
+    /// Dumps monitor counters into the run statistics.
+    pub fn report(&self, prefix: &str, stats: &mut Stats) {
+        let (conds_hw, waiters_hw, addrs_hw) = self.syncmon.high_water();
+        let (appends, rejects, log_hw) = self.log.stats();
+        let (drained, checks) = self.cp.stats();
+        let fp = self.cp.footprint();
+        for (name, value) in [
+            ("syncmon_max_conditions", conds_hw as u64),
+            ("syncmon_max_waiters", waiters_hw as u64),
+            ("syncmon_max_monitored_addrs", addrs_hw as u64),
+            ("syncmon_spills", self.syncmon.spill_count()),
+            ("monitor_log_appends", appends),
+            ("monitor_log_rejects", rejects),
+            ("monitor_log_high_water", log_hw as u64),
+            ("cp_entries_drained", drained),
+            ("cp_condition_checks", checks),
+            ("cp_footprint_bytes", fp.total()),
+            ("mesa_retries", self.mesa_retries),
+            ("wakes_issued", self.wakes_issued),
+        ] {
+            let c = stats.counter(&format!("{prefix}_{name}"));
+            stats.add(c, value);
+        }
+    }
+}
+
+impl Default for MonitorCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_mem::{L2Config, L2};
+
+    fn ctx<'a>(l2: &'a mut L2, stats: &'a mut Stats) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: 100,
+            l2,
+            stats,
+            pending_wgs: 0,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 0,
+            total_wgs: 8,
+        }
+    }
+
+    fn cond(addr: u64, expected: i64) -> SyncCond {
+        SyncCond { addr, expected }
+    }
+
+    #[test]
+    fn track_sets_monitored_bit() {
+        let mut core = MonitorCore::new();
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        assert_eq!(core.track(&mut ctx, cond(64, 1), 0), TrackOutcome::Cached);
+        assert!(ctx.l2.is_monitored(64));
+        assert_eq!(
+            core.tracking_of(0),
+            Some((cond(64, 1), TrackOutcome::Cached))
+        );
+    }
+
+    #[test]
+    fn wake_cached_clears_bit_when_last() {
+        let mut core = MonitorCore::new();
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        core.track(&mut ctx, cond(64, 1), 0);
+        core.track(&mut ctx, cond(64, 1), 1);
+        let wakes = core.wake_cached(&mut ctx, &cond(64, 1), 1);
+        assert_eq!(wakes, vec![Wake::now(0)]);
+        assert!(ctx.l2.is_monitored(64), "still one waiter");
+        let wakes = core.wake_cached(&mut ctx, &cond(64, 1), 8);
+        assert_eq!(wakes, vec![Wake::now(1)]);
+        assert!(!ctx.l2.is_monitored(64), "last waiter clears the bit");
+    }
+
+    #[test]
+    fn untrack_cached_waiter() {
+        let mut core = MonitorCore::new();
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        core.track(&mut ctx, cond(64, 1), 0);
+        core.untrack(&mut ctx, 0);
+        assert!(core.tracking_of(0).is_none());
+        assert!(!ctx.l2.is_monitored(64));
+    }
+
+    #[test]
+    fn spill_path_flows_through_cp() {
+        // Tiny SyncMon: one condition slot, so the second condition spills.
+        let mut core = MonitorCore::with_config(
+            SyncMonConfig {
+                sets: 1,
+                ways: 1,
+                waiter_slots: 4,
+                bloom_filters: 4,
+            },
+            16,
+        );
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        assert_eq!(core.track(&mut ctx, cond(64, 1), 0), TrackOutcome::Cached);
+        assert_eq!(core.track(&mut ctx, cond(128, 2), 1), TrackOutcome::Spilled);
+        // CP tick with the condition unmet: no wakes.
+        assert!(core.cp_tick(&mut ctx).is_empty());
+        // Make it hold and tick again.
+        ctx.l2.backing_mut().store(128, 2);
+        let wakes = core.cp_tick(&mut ctx);
+        assert_eq!(wakes, vec![Wake::now(1)]);
+        assert!(core.tracking_of(1).is_none());
+    }
+
+    #[test]
+    fn full_log_forces_mesa_retry() {
+        let mut core = MonitorCore::with_config(
+            SyncMonConfig {
+                sets: 1,
+                ways: 1,
+                waiter_slots: 1,
+                bloom_filters: 4,
+            },
+            1,
+        );
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        assert_eq!(core.track(&mut ctx, cond(64, 1), 0), TrackOutcome::Cached);
+        assert_eq!(core.track(&mut ctx, cond(128, 1), 1), TrackOutcome::Spilled);
+        assert_eq!(
+            core.track(&mut ctx, cond(192, 1), 2),
+            TrackOutcome::MesaRetry
+        );
+    }
+
+    #[test]
+    fn stale_log_entries_dropped_after_untrack() {
+        let mut core = MonitorCore::with_config(
+            SyncMonConfig {
+                sets: 1,
+                ways: 1,
+                waiter_slots: 1,
+                bloom_filters: 4,
+            },
+            16,
+        );
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = ctx(&mut l2, &mut stats);
+        core.track(&mut ctx, cond(64, 1), 0);
+        core.track(&mut ctx, cond(128, 2), 1); // spilled
+        core.untrack(&mut ctx, 1); // timeout woke it first
+        ctx.l2.backing_mut().store(128, 2);
+        assert!(
+            core.cp_tick(&mut ctx).is_empty(),
+            "stale entry must not wake"
+        );
+    }
+
+    #[test]
+    fn report_writes_counters() {
+        let core = MonitorCore::new();
+        let mut stats = Stats::new();
+        core.report("monr", &mut stats);
+        assert_eq!(stats.get_by_name("monr_mesa_retries"), Some(0));
+        assert!(stats.get_by_name("monr_cp_footprint_bytes").is_some());
+    }
+}

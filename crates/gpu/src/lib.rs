@@ -1,0 +1,64 @@
+//! GPU machine model and timing simulator for the AWG reproduction.
+//!
+//! This crate is the simulator the paper built in gem5 (§III): a
+//! tightly-coupled APU with the Table 1 configuration. It executes kernel
+//! programs (crate `awg-isa`) over the memory hierarchy (crate `awg-mem`)
+//! with full event-driven timing, and delegates every *waiting* decision to
+//! a pluggable [`SchedPolicy`] — the policy family itself (Baseline, Sleep,
+//! Timeout, MonRS/MonR/MonNR, AWG) lives in crate `awg-core`.
+//!
+//! The machine models what the paper depends on:
+//!
+//! * work-group dispatch limited by per-CU wavefront/LDS/VGPR budgets,
+//! * atomics performed at the banked shared L2 (contention serializes),
+//! * waiting atomics and the separate `wait` instruction (with its
+//!   window-of-vulnerability race, Fig 10),
+//! * WG context save/restore as real DRAM traffic proportional to the
+//!   context size (Fig 5),
+//! * mid-kernel resource loss (the §VI oversubscribed experiment),
+//! * deadlock/livelock detection so the Fig 15 "DEADLOCK" outcomes are
+//!   reported rather than hanging the host.
+//!
+//! # Example
+//!
+//! ```
+//! use awg_gpu::{BusyWaitPolicy, Gpu, GpuConfig, Kernel, RunOutcome, WgResources};
+//! use awg_isa::{ProgramBuilder, Reg};
+//!
+//! // Every WG atomically increments a counter once, then halts.
+//! let mut b = ProgramBuilder::new("count");
+//! b.atom_add(Reg::R0, 4096u64, 1i64);
+//! b.halt();
+//! let kernel = Kernel::new(b.build().unwrap(), 16, WgResources::default());
+//!
+//! let mut gpu = Gpu::new(GpuConfig::isca2020_baseline(), kernel, Box::new(BusyWaitPolicy::new()));
+//! match gpu.run() {
+//!     RunOutcome::Completed(summary) => {
+//!         assert_eq!(gpu.backing().load(4096), 16);
+//!         assert!(summary.cycles > 0);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cu;
+pub mod machine;
+pub mod policy;
+pub mod result;
+pub mod trace;
+pub mod wg;
+
+pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
+pub use cu::Cu;
+pub use machine::Gpu;
+pub use policy::{
+    BusyWaitPolicy, MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle,
+    TimeoutAction, WaitDirective, Wake,
+};
+pub use result::{RunOutcome, RunSummary};
+pub use trace::{TraceEvent, TraceRecord};
+pub use wg::{WgId, WgState};

@@ -1,0 +1,1043 @@
+//! The event-driven GPU timing simulator.
+//!
+//! One [`Gpu`] simulates one kernel launch under one scheduling policy. The
+//! main loop pops timed events (instruction batch continuations, memory
+//! responses, wait timeouts, context-switch completions, CP firmware ticks,
+//! the resource-loss event of the §VI oversubscribed experiment) and drives
+//! the per-WG interpreters. All waiting decisions are delegated to the
+//! installed [`SchedPolicy`].
+
+use std::collections::VecDeque;
+
+use awg_isa::{Inst, Mem, Operand, Special};
+use awg_mem::{AtomicRequest, Backing, L2};
+use awg_sim::{Cycle, EventQueue, Stats};
+
+use crate::config::{GpuConfig, Kernel, CONTEXT_BASE};
+use crate::cu::Cu;
+use crate::policy::{
+    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, TimeoutAction, WaitDirective, Wake,
+};
+use crate::result::{RunOutcome, RunSummary};
+use crate::trace::{Trace, TraceEvent, TraceRecord};
+use crate::wg::{ParkedResponse, Wg, WgId, WgState};
+
+/// Maximum instructions interpreted inline before yielding to the event
+/// queue (guards against ALU-only infinite loops freezing simulated time).
+const MAX_INLINE_STEPS: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Resume batch execution (compute/sleep/barrier done, inline-step cap).
+    Continue(WgId, u64),
+    /// A memory/sync response reached the CU; deliver it (applying any
+    /// pending wait directive), then continue.
+    Response(WgId, u64),
+    /// A policy wake reaches the WG.
+    WakeDeliver(WgId, u64),
+    /// A waiting WG's fallback timeout fired.
+    WaitTimeout(WgId, u64),
+    /// Context save traffic finished.
+    SwapOutDone(WgId, u64),
+    /// Context restore traffic finished.
+    SwapInDone(WgId, u64),
+    /// Dispatch latency elapsed.
+    DispatchDone(WgId, u64),
+    /// CP firmware tick.
+    CpTick,
+    /// Disable a CU and preempt its residents (oversubscribed experiment).
+    ResourceLoss(usize),
+    /// Re-enable a previously disabled CU (the preempting high-priority
+    /// kernel finished; resources return).
+    ResourceRestore(usize),
+    /// Periodic deadlock/livelock check.
+    ProgressCheck,
+}
+
+/// The GPU simulator.
+pub struct Gpu {
+    config: GpuConfig,
+    kernel: Kernel,
+    l2: L2,
+    cus: Vec<Cu>,
+    wgs: Vec<Wg>,
+    events: EventQueue<Event>,
+    now: Cycle,
+    policy: Box<dyn SchedPolicy>,
+    stats: Stats,
+    pending: VecDeque<WgId>,
+    ready: VecDeque<WgId>,
+    finished: usize,
+    last_progress: Cycle,
+    resumes: u64,
+    unnecessary_resumes: u64,
+    switches_out: u64,
+    switches_in: u64,
+    resource_loss: Vec<(usize, Cycle)>,
+    resource_restore: Vec<(usize, Cycle)>,
+    trace: Trace,
+    deadlocked: Option<Cycle>,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("now", &self.now)
+            .field("policy", &self.policy.name())
+            .field("num_wgs", &self.kernel.num_wgs)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Creates a simulator for `kernel` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's WGs cannot fit on even one CU.
+    pub fn new(config: GpuConfig, kernel: Kernel, policy: Box<dyn SchedPolicy>) -> Self {
+        let cus: Vec<Cu> = (0..config.num_cus).map(|i| Cu::new(i, &config)).collect();
+        assert!(
+            cus[0].max_occupancy(&kernel.resources) >= 1,
+            "a single WG must fit on a CU"
+        );
+        let wgs = (0..kernel.num_wgs).map(|i| Wg::new(i as WgId)).collect();
+        let mut l2 = L2::with_dram(config.l2, config.dram);
+        for &(addr, value) in &kernel.init_memory {
+            l2.backing_mut().store(addr, value);
+        }
+        let pending = (0..kernel.num_wgs as WgId).collect();
+        Gpu {
+            config,
+            kernel,
+            l2,
+            cus,
+            wgs,
+            events: EventQueue::new(),
+            now: 0,
+            policy,
+            stats: Stats::new(),
+            pending,
+            ready: VecDeque::new(),
+            finished: 0,
+            last_progress: 0,
+            resumes: 0,
+            unnecessary_resumes: 0,
+            switches_out: 0,
+            switches_in: 0,
+            resource_loss: Vec::new(),
+            resource_restore: Vec::new(),
+            trace: Trace::new(),
+            deadlocked: None,
+        }
+    }
+
+    /// Schedules the §VI resource-loss event: at `at` cycles, CU `cu` is
+    /// disabled and its resident WGs are context switched out.
+    pub fn schedule_resource_loss(&mut self, cu: usize, at: Cycle) -> &mut Self {
+        assert!(cu < self.config.num_cus, "no such CU");
+        self.resource_loss.push((cu, at));
+        self
+    }
+
+    /// Schedules the return of CU `cu` at cycle `at` (e.g. the preempting
+    /// high-priority kernel completed and its resources free up). Waiting
+    /// and ready WGs can be dispatched onto it again.
+    pub fn schedule_resource_restore(&mut self, cu: usize, at: Cycle) -> &mut Self {
+        assert!(cu < self.config.num_cus, "no such CU");
+        self.resource_restore.push((cu, at));
+        self
+    }
+
+    /// Schedules a high-priority kernel burst: at `at`, `cus` CUs are
+    /// preempted (their resident WGs context switch out) and they return
+    /// after `duration` cycles. This is the §V.D scenario — "allows the GPU
+    /// to be more responsive to high priority kernels while, at the same
+    /// time, ensuring the IFP of lower priority kernels" — modeled at the
+    /// same level as the paper's own oversubscribed experiment (CU-time
+    /// occupancy, not the foreign kernel's instructions).
+    pub fn schedule_priority_burst(&mut self, cus: usize, at: Cycle, duration: Cycle) -> &mut Self {
+        assert!(cus <= self.config.num_cus, "burst wider than the machine");
+        // Take the highest-numbered CUs (deterministic and disjoint from
+        // dispatch's least-loaded preference for low indices).
+        for cu in (self.config.num_cus - cus)..self.config.num_cus {
+            self.schedule_resource_loss(cu, at);
+            self.schedule_resource_restore(cu, at + duration);
+        }
+        self
+    }
+
+    /// Enables event tracing (Fig 6 timelines).
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace.enable();
+        self
+    }
+
+    /// The recorded trace.
+    pub fn trace_records(&self) -> &[TraceRecord] {
+        self.trace.records()
+    }
+
+    /// The functional memory (workload validation after a run).
+    pub fn backing(&self) -> &Backing {
+        self.l2.backing()
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    // ---------------------------------------------------------------------
+    // Policy plumbing
+    // ---------------------------------------------------------------------
+
+    fn swapped_waiting_count(&self) -> usize {
+        self.wgs
+            .iter()
+            .filter(|w| w.state == WgState::SwappedWaiting)
+            .count()
+    }
+
+    /// Runs `f` with a freshly assembled [`PolicyCtx`].
+    fn with_policy<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn SchedPolicy, &mut PolicyCtx<'_>) -> R,
+    ) -> R {
+        let swapped = self.swapped_waiting_count();
+        let mut ctx = PolicyCtx {
+            now: self.now,
+            l2: &mut self.l2,
+            stats: &mut self.stats,
+            pending_wgs: self.pending.len(),
+            ready_wgs: self.ready.len(),
+            swapped_waiting_wgs: swapped,
+            total_wgs: self.kernel.num_wgs,
+        };
+        f(self.policy.as_mut(), &mut ctx)
+    }
+
+    fn apply_wakes(&mut self, wakes: Vec<Wake>) {
+        for wake in wakes {
+            let wg = wake.wg as usize;
+            match self.wgs[wg].state {
+                WgState::Stalled | WgState::SwappedWaiting => {
+                    let token = self.wgs[wg].token;
+                    self.events.schedule(
+                        self.now + self.config.resume_latency + wake.delay,
+                        Event::WakeDeliver(wake.wg, token),
+                    );
+                }
+                WgState::SwappingOut => {
+                    self.wgs[wg].woke = true;
+                }
+                WgState::Running
+                    if matches!(
+                        self.wgs[wg].pending_directive,
+                        Some(WaitDirective::Wait { .. })
+                    ) =>
+                {
+                    // The wake raced the WG's own wait entry: its failed
+                    // sync response is still in flight. Cancel the wait so
+                    // the response retries immediately (Mesa semantics)
+                    // instead of stranding the WG until its fallback
+                    // timeout.
+                    self.wgs[wg].woke = true;
+                }
+                // Already woken (timeout raced the notification) — drop.
+                _ => {}
+            }
+        }
+    }
+
+    fn notify_monitored(&mut self, update: MonitoredUpdate) {
+        let wakes = self.with_policy(|p, ctx| p.on_monitored_update(ctx, &update));
+        self.apply_wakes(wakes);
+    }
+
+    // ---------------------------------------------------------------------
+    // Dispatch and context switching
+    // ---------------------------------------------------------------------
+
+    fn pick_cu(&self) -> Option<usize> {
+        // Least-loaded enabled CU that fits the kernel's WG shape.
+        let req = &self.kernel.resources;
+        self.cus
+            .iter()
+            .filter(|cu| cu.fits(req))
+            .min_by_key(|cu| cu.resident().len())
+            .map(|cu| cu.id())
+    }
+
+    fn try_dispatch(&mut self) {
+        loop {
+            // Architectures without WG-granularity rescheduling (Baseline,
+            // Sleep) cannot swap preempted WGs back in: their ready queue
+            // is stranded and only fresh dispatches proceed.
+            let from_ready = !self.ready.is_empty() && self.policy.supports_wg_rescheduling();
+            let candidate = if from_ready {
+                self.ready.front().copied()
+            } else {
+                self.pending.front().copied()
+            };
+            let Some(wg) = candidate else { return };
+            let Some(cu) = self.pick_cu() else { return };
+            if from_ready {
+                self.ready.pop_front();
+            } else {
+                self.pending.pop_front();
+            }
+            let req = self.kernel.resources;
+            self.cus[cu].admit(wg, &req);
+            let w = &mut self.wgs[wg as usize];
+            w.cu = Some(cu);
+            let token = w.bump_token();
+            if from_ready {
+                w.set_state(WgState::SwappingIn, self.now);
+                self.switches_in += 1;
+                let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
+                let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
+                    + self.config.ctx_switch_overhead;
+                self.trace.record(self.now, wg, TraceEvent::SwapInStart);
+                self.events.schedule(done, Event::SwapInDone(wg, token));
+            } else {
+                w.set_state(WgState::Dispatching, self.now);
+                self.trace.record(self.now, wg, TraceEvent::Dispatch { cu });
+                self.events.schedule(
+                    self.now + self.config.dispatch_cycles,
+                    Event::DispatchDone(wg, token),
+                );
+            }
+        }
+    }
+
+    fn ctx_addr(wg: WgId) -> u64 {
+        // 64 KB per context slot, far above workload allocations.
+        CONTEXT_BASE + (wg as u64) * (64 * 1024)
+    }
+
+    fn begin_swap_out(&mut self, wg: WgId) {
+        let w = &mut self.wgs[wg as usize];
+        debug_assert!(w.state.is_resident(), "swap-out of non-resident WG");
+        let token = w.bump_token();
+        w.set_state(WgState::SwappingOut, self.now);
+        self.switches_out += 1;
+        let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
+        let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
+            + self.config.ctx_switch_overhead;
+        self.trace.record(self.now, wg, TraceEvent::SwapOutStart);
+        self.events.schedule(done, Event::SwapOutDone(wg, token));
+    }
+
+    fn release_cu(&mut self, wg: WgId) {
+        if let Some(cu) = self.wgs[wg as usize].cu.take() {
+            self.cus[cu].release(wg, &self.kernel.resources);
+        }
+    }
+
+    /// Re-arms a waiting WG's fallback timeout after a token-bumping
+    /// transition (forced swap-out of a stalled WG, stall→switch escalation).
+    fn rearm_timeout(&mut self, wg: WgId) {
+        let w = &self.wgs[wg as usize];
+        if let Some(deadline) = w.timeout_at {
+            let at = deadline.max(self.now);
+            self.events.schedule(at, Event::WaitTimeout(wg, w.token));
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Instruction interpretation
+    // ---------------------------------------------------------------------
+
+    fn operand(&self, wg: usize, op: Operand) -> i64 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => self.wgs[wg].regs.get(r),
+        }
+    }
+
+    fn resolve(&self, wg: usize, mem: Mem) -> u64 {
+        match mem.index {
+            None => mem.base,
+            Some(r) => mem
+                .base
+                .wrapping_add((self.wgs[wg].regs.get(r) as u64).wrapping_mul(mem.scale)),
+        }
+    }
+
+    fn special_value(&self, wg: usize, s: Special) -> i64 {
+        let k = &self.kernel;
+        match s {
+            Special::WgId => wg as i64,
+            Special::NumWgs => k.num_wgs as i64,
+            Special::WgsPerCluster => k.wgs_per_cluster as i64,
+            Special::ClusterId => (wg as u64 / k.wgs_per_cluster) as i64,
+            Special::NumClusters => k.num_wgs.div_ceil(k.wgs_per_cluster) as i64,
+        }
+    }
+
+    /// Interprets instructions of `wg` starting at `self.now`, inline until
+    /// the next timed operation.
+    fn advance(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        debug_assert_eq!(self.wgs[wgu].state, WgState::Running);
+        let mut t: Cycle = 0;
+        let program = self.kernel.program.clone();
+        for step in 0.. {
+            if step >= MAX_INLINE_STEPS {
+                let token = self.wgs[wgu].bump_token();
+                self.events
+                    .schedule(self.now + t, Event::Continue(wg, token));
+                return;
+            }
+            let pc = self.wgs[wgu].pc;
+            let inst = *program.inst(pc);
+            self.wgs[wgu].insts += 1;
+            t += self.config.issue_cycles;
+            match inst {
+                Inst::Li(d, v) => {
+                    self.wgs[wgu].regs.set(d, v);
+                    self.wgs[wgu].pc = pc + 1;
+                }
+                Inst::Mov(d, s) => {
+                    let v = self.wgs[wgu].regs.get(s);
+                    self.wgs[wgu].regs.set(d, v);
+                    self.wgs[wgu].pc = pc + 1;
+                }
+                Inst::Alu(op, d, s, o) => {
+                    let a = self.wgs[wgu].regs.get(s);
+                    let b = self.operand(wgu, o);
+                    self.wgs[wgu].regs.set(d, op.apply(a, b));
+                    self.wgs[wgu].pc = pc + 1;
+                }
+                Inst::Special(d, s) => {
+                    let v = self.special_value(wgu, s);
+                    self.wgs[wgu].regs.set(d, v);
+                    self.wgs[wgu].pc = pc + 1;
+                }
+                Inst::Jmp(l) => {
+                    self.wgs[wgu].pc = program.target(l);
+                }
+                Inst::Br(c, r, o, l) => {
+                    let a = self.wgs[wgu].regs.get(r);
+                    let b = self.operand(wgu, o);
+                    self.wgs[wgu].pc = if c.holds(a, b) {
+                        program.target(l)
+                    } else {
+                        pc + 1
+                    };
+                }
+                Inst::Compute(c) => {
+                    self.wgs[wgu].pc = pc + 1;
+                    let token = self.wgs[wgu].bump_token();
+                    self.events
+                        .schedule(self.now + t + c as Cycle, Event::Continue(wg, token));
+                    return;
+                }
+                Inst::Barrier => {
+                    self.wgs[wgu].pc = pc + 1;
+                    let cost = self.config.barrier_base_cycles
+                        + self.config.barrier_per_wf_cycles
+                            * self.kernel.resources.wavefronts as Cycle;
+                    let token = self.wgs[wgu].bump_token();
+                    self.events
+                        .schedule(self.now + t + cost, Event::Continue(wg, token));
+                    return;
+                }
+                Inst::Sleep(op) => {
+                    let n = self.operand(wgu, op).max(0) as Cycle;
+                    self.wgs[wgu].pc = pc + 1;
+                    let token = self.wgs[wgu].bump_token();
+                    self.wgs[wgu].set_state(WgState::Sleeping, self.now + t);
+                    self.trace
+                        .record(self.now + t, wg, TraceEvent::Sleep { cycles: n });
+                    self.events
+                        .schedule(self.now + t + n, Event::Continue(wg, token));
+                    return;
+                }
+                Inst::Ld(d, m) => {
+                    let addr = self.resolve(wgu, m);
+                    self.wgs[wgu].pc = pc + 1;
+                    let cu = self.wgs[wgu].cu.expect("running WG has a CU");
+                    let issue = self.now + t;
+                    let l1 = self.cus[cu].l1_mut();
+                    let (value, done) = if l1.access(addr).is_hit() {
+                        (self.l2.peek(addr), issue + self.cus[cu].l1_latency())
+                    } else {
+                        let (v, comp) = self.l2.read(issue + self.cus[cu].l1_latency(), addr);
+                        (v, comp.done)
+                    };
+                    self.wgs[wgu].parked = Some(ParkedResponse {
+                        dst: Some(d),
+                        value,
+                    });
+                    let token = self.wgs[wgu].bump_token();
+                    self.events.schedule(done, Event::Response(wg, token));
+                    return;
+                }
+                Inst::St(m, o) => {
+                    let addr = self.resolve(wgu, m);
+                    let value = self.operand(wgu, o);
+                    self.wgs[wgu].pc = pc + 1;
+                    let cu = self.wgs[wgu].cu.expect("running WG has a CU");
+                    // Write-through: update L1 timing state and send to L2;
+                    // the wavefront does not wait for the write to land.
+                    self.cus[cu].l1_mut().access(addr);
+                    let old = self.l2.peek(addr);
+                    let (_, monitored) = self.l2.write(self.now + t, addr, value);
+                    if old != value {
+                        self.last_progress = self.now + t;
+                    }
+                    self.notify_monitored(MonitoredUpdate {
+                        addr,
+                        old,
+                        new: value,
+                        wrote: true,
+                        monitored,
+                        by_wg: wg,
+                    });
+                }
+                Inst::Atom {
+                    op,
+                    dst,
+                    mem,
+                    operand,
+                    expected,
+                } => {
+                    self.issue_atomic(wg, t, op, dst, mem, operand, expected);
+                    return;
+                }
+                Inst::Wait { mem, expected } => {
+                    self.issue_wait(wg, t, mem, expected);
+                    return;
+                }
+                Inst::Halt => {
+                    self.finish_wg(wg, self.now + t);
+                    return;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_atomic(
+        &mut self,
+        wg: WgId,
+        t: Cycle,
+        op: awg_mem::AtomicOp,
+        dst: awg_isa::Reg,
+        mem: Mem,
+        operand: Operand,
+        expected: Option<Operand>,
+    ) {
+        let wgu = wg as usize;
+        let addr = self.resolve(wgu, mem);
+        let operand = self.operand(wgu, operand);
+        let expected = expected.map(|e| self.operand(wgu, e));
+        self.wgs[wgu].pc += 1;
+        self.wgs[wgu].atomics += 1;
+        self.trace
+            .record(self.now + t, wg, TraceEvent::AtomicIssue { addr });
+        let comp = self.l2.atomic(
+            self.now + t,
+            AtomicRequest {
+                op,
+                addr,
+                operand,
+                expected,
+            },
+        );
+        if comp.result.wrote && comp.result.new != comp.result.old {
+            self.last_progress = comp.committed;
+        }
+        self.notify_monitored(MonitoredUpdate {
+            addr,
+            old: comp.result.old,
+            new: comp.result.new,
+            wrote: comp.result.wrote,
+            monitored: comp.was_monitored,
+            by_wg: wg,
+        });
+        self.wgs[wgu].parked = Some(ParkedResponse {
+            dst: Some(dst),
+            value: comp.result.old,
+        });
+        if comp.result.satisfied {
+            if self.wgs[wgu].wake_pending_check {
+                self.wgs[wgu].wake_pending_check = false;
+            }
+            self.wgs[wgu].pending_directive = None;
+            if expected.is_some() {
+                // A waiting condition was met: that is forward progress.
+                // (Plain atomic loads in a spin loop are not — the deadlock
+                // detector must still see a stuck machine through them.)
+                self.last_progress = comp.committed;
+            }
+        } else {
+            let cond = SyncCond {
+                addr,
+                expected: expected.expect("unsatisfied atomic has an expectation"),
+            };
+            if self.wgs[wgu].wake_pending_check {
+                self.wgs[wgu].wake_pending_check = false;
+                self.unnecessary_resumes += 1;
+            }
+            self.trace.record(
+                comp.committed,
+                wg,
+                TraceEvent::SyncFail {
+                    addr,
+                    expected: cond.expected,
+                },
+            );
+            let fail = SyncFail {
+                wg,
+                cond,
+                observed: comp.result.old,
+                via_wait_inst: false,
+            };
+            let directive = self.with_policy(|p, ctx| p.on_sync_fail(ctx, &fail));
+            self.wgs[wgu].cond = Some(cond);
+            self.wgs[wgu].pending_directive = Some(directive);
+        }
+        let token = self.wgs[wgu].bump_token();
+        self.events.schedule(comp.done, Event::Response(wg, token));
+    }
+
+    fn issue_wait(&mut self, wg: WgId, t: Cycle, mem: Mem, expected: Operand) {
+        let wgu = wg as usize;
+        let addr = self.resolve(wgu, mem);
+        let expected = self.operand(wgu, expected);
+        self.wgs[wgu].pc += 1;
+        // The arm request travels to the L2 like a light access.
+        let (observed, comp) = self.l2.read(self.now + t, addr);
+        let cond = SyncCond { addr, expected };
+        self.trace
+            .record(comp.done, wg, TraceEvent::SyncFail { addr, expected });
+        let fail = SyncFail {
+            wg,
+            cond,
+            observed,
+            via_wait_inst: true,
+        };
+        let directive = self.with_policy(|p, ctx| p.on_sync_fail(ctx, &fail));
+        self.wgs[wgu].cond = Some(cond);
+        self.wgs[wgu].pending_directive = Some(directive);
+        self.wgs[wgu].parked = Some(ParkedResponse {
+            dst: None,
+            value: observed,
+        });
+        let token = self.wgs[wgu].bump_token();
+        self.events.schedule(comp.done, Event::Response(wg, token));
+    }
+
+    fn finish_wg(&mut self, wg: WgId, at: Cycle) {
+        let wgu = wg as usize;
+        self.wgs[wgu].bump_token();
+        self.wgs[wgu].set_state(WgState::Finished, at);
+        self.wgs[wgu].finished_at = Some(at);
+        self.release_cu(wg);
+        self.finished += 1;
+        self.last_progress = at;
+        self.trace.record(at, wg, TraceEvent::Finish);
+        self.with_policy(|p, ctx| p.on_wg_finished(ctx, wg));
+        self.try_dispatch();
+    }
+
+    // ---------------------------------------------------------------------
+    // Event handlers
+    // ---------------------------------------------------------------------
+
+    fn token_ok(&self, wg: WgId, token: u64) -> bool {
+        self.wgs[wg as usize].token == token
+    }
+
+    /// Delivers the parked response into the register file and resumes
+    /// interpretation.
+    fn deliver_and_advance(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        if let Some(parked) = self.wgs[wgu].parked.take() {
+            if let Some(dst) = parked.dst {
+                self.wgs[wgu].regs.set(dst, parked.value);
+            }
+        }
+        self.wgs[wgu].cond = None;
+        self.wgs[wgu].timeout_at = None;
+        if self.wgs[wgu].state != WgState::Running {
+            self.wgs[wgu].set_state(WgState::Running, self.now);
+        }
+        if self.wgs[wgu].force_out && !self.cus[self.wgs[wgu].cu.expect("resident")].is_enabled() {
+            // Preempted mid-flight by the resource-loss event: save context
+            // and requeue as ready instead of continuing.
+            self.wgs[wgu].force_out = false;
+            self.wgs[wgu].woke = true;
+            self.begin_swap_out(wg);
+            return;
+        }
+        self.advance(wg);
+    }
+
+    fn enter_wait(&mut self, wg: WgId, release: bool, timeout: Option<Cycle>) {
+        let wgu = wg as usize;
+        self.wgs[wgu].timeout_at = timeout.map(|t| self.now + t);
+        let force = self.wgs[wgu].force_out;
+        if release || force {
+            self.wgs[wgu].force_out = false;
+            self.begin_swap_out(wg);
+        } else {
+            let _ = self.wgs[wgu].bump_token();
+            self.wgs[wgu].set_state(WgState::Stalled, self.now);
+            self.trace.record(self.now, wg, TraceEvent::Stall);
+        }
+        self.rearm_timeout(wg);
+    }
+
+    fn handle_response(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        match self.wgs[wgu].pending_directive.take() {
+            None => self.deliver_and_advance(wg),
+            Some(WaitDirective::Retry) => self.deliver_and_advance(wg),
+            Some(WaitDirective::SleepFor(n)) => {
+                let token = self.wgs[wgu].bump_token();
+                self.wgs[wgu].set_state(WgState::Sleeping, self.now);
+                self.trace
+                    .record(self.now, wg, TraceEvent::Sleep { cycles: n });
+                self.events
+                    .schedule(self.now + n, Event::Continue(wg, token));
+            }
+            Some(WaitDirective::Wait { release, timeout }) => {
+                if self.wgs[wgu].woke {
+                    // A wake already arrived for this condition: retry now.
+                    self.wgs[wgu].woke = false;
+                    self.resumes += 1;
+                    self.deliver_and_advance(wg);
+                } else {
+                    self.enter_wait(wg, release, timeout);
+                }
+            }
+        }
+    }
+
+    fn handle_wake(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        if let Some(since) = self.wgs[wgu].wait_since {
+            let h = self.stats.hist("wait_episode_cycles");
+            self.stats.observe(h, self.now.saturating_sub(since));
+        }
+        let cond = self.wgs[wgu].cond;
+        match self.wgs[wgu].state {
+            WgState::Stalled => {
+                self.resumes += 1;
+                if let Some(c) = cond {
+                    if self.l2.peek(c.addr) != c.expected {
+                        // Condition does not hold at delivery: the retry
+                        // will fail (MonRS-style sporadic resume).
+                        self.wgs[wgu].wake_pending_check = true;
+                    }
+                    self.with_policy(|p, ctx| p.on_wake_delivered(ctx, wg, &c));
+                }
+                self.trace.record(self.now, wg, TraceEvent::Resume);
+                self.deliver_and_advance(wg);
+            }
+            WgState::SwappedWaiting => {
+                self.resumes += 1;
+                if let Some(c) = cond {
+                    if self.l2.peek(c.addr) != c.expected {
+                        self.wgs[wgu].wake_pending_check = true;
+                    }
+                    self.with_policy(|p, ctx| p.on_wake_delivered(ctx, wg, &c));
+                }
+                let _ = self.wgs[wgu].bump_token();
+                self.wgs[wgu].set_state(WgState::ReadySwapped, self.now);
+                self.ready.push_back(wg);
+                self.trace.record(self.now, wg, TraceEvent::Resume);
+                self.try_dispatch();
+            }
+            _ => {} // stale
+        }
+    }
+
+    fn handle_wait_timeout(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        if !matches!(
+            self.wgs[wgu].state,
+            WgState::Stalled | WgState::SwappedWaiting
+        ) {
+            return;
+        }
+        let Some(cond) = self.wgs[wgu].cond else {
+            return;
+        };
+        self.trace.record(self.now, wg, TraceEvent::Timeout);
+        let action = self.with_policy(|p, ctx| p.on_wait_timeout(ctx, wg, &cond));
+        match action {
+            TimeoutAction::Wake => {
+                self.wgs[wgu].timeout_at = None;
+                self.handle_wake(wg);
+            }
+            TimeoutAction::Escalate { release, timeout } => {
+                self.wgs[wgu].timeout_at = timeout.map(|t| self.now + t);
+                if release && self.wgs[wgu].state == WgState::Stalled {
+                    self.begin_swap_out(wg);
+                } else {
+                    let _ = self.wgs[wgu].bump_token();
+                }
+                self.rearm_timeout(wg);
+            }
+        }
+    }
+
+    fn handle_swap_out_done(&mut self, wg: WgId) {
+        let wgu = wg as usize;
+        debug_assert_eq!(self.wgs[wgu].state, WgState::SwappingOut);
+        self.release_cu(wg);
+        self.trace.record(self.now, wg, TraceEvent::SwapOutDone);
+        let token_bump = self.wgs[wgu].bump_token();
+        let _ = token_bump;
+        if self.wgs[wgu].woke || self.wgs[wgu].cond.is_none() {
+            self.wgs[wgu].woke = false;
+            self.wgs[wgu].set_state(WgState::ReadySwapped, self.now);
+            self.ready.push_back(wg);
+        } else {
+            self.wgs[wgu].set_state(WgState::SwappedWaiting, self.now);
+            self.rearm_timeout(wg);
+        }
+        self.try_dispatch();
+    }
+
+    fn handle_resource_loss(&mut self, cu: usize) {
+        self.cus[cu].disable();
+        let residents: Vec<WgId> = self.cus[cu].resident().to_vec();
+        for wg in residents {
+            let wgu = wg as usize;
+            match self.wgs[wgu].state {
+                WgState::Running | WgState::Sleeping => {
+                    // Preempt at the next event boundary.
+                    self.wgs[wgu].force_out = true;
+                }
+                WgState::Stalled => {
+                    // Still waiting: save now; it stays a waiting WG.
+                    self.begin_swap_out(wg);
+                }
+                WgState::Dispatching => {
+                    // Cancel the dispatch and requeue at the front.
+                    self.wgs[wgu].bump_token();
+                    self.release_cu(wg);
+                    self.wgs[wgu].set_state(WgState::Pending, self.now);
+                    self.pending.push_front(wg);
+                }
+                WgState::SwappingIn => {
+                    self.wgs[wgu].force_out = true;
+                }
+                _ => {}
+            }
+        }
+        self.try_dispatch();
+    }
+
+    fn handle_cp_tick(&mut self) {
+        let wakes = self.with_policy(|p, ctx| p.on_cp_tick(ctx));
+        self.apply_wakes(wakes);
+        if let Some(period) = self.policy.cp_tick_period() {
+            if (self.finished as u64) < self.kernel.num_wgs {
+                self.events.schedule(self.now + period, Event::CpTick);
+            }
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Continue(wg, token) => {
+                if !self.token_ok(wg, token) {
+                    return;
+                }
+                let wgu = wg as usize;
+                if self.wgs[wgu].state == WgState::Sleeping {
+                    self.wgs[wgu].set_state(WgState::Running, self.now);
+                }
+                if self.wgs[wgu].parked.is_some() {
+                    // Sleep-then-deliver (backoff response).
+                    self.deliver_and_advance(wg);
+                } else if self.wgs[wgu].force_out
+                    && !self.cus[self.wgs[wgu].cu.expect("resident")].is_enabled()
+                {
+                    self.wgs[wgu].force_out = false;
+                    self.wgs[wgu].woke = true;
+                    self.begin_swap_out(wg);
+                } else {
+                    self.advance(wg);
+                }
+            }
+            Event::Response(wg, token) => {
+                if self.token_ok(wg, token) {
+                    self.handle_response(wg);
+                }
+            }
+            Event::WakeDeliver(wg, token) => {
+                if self.token_ok(wg, token) {
+                    self.handle_wake(wg);
+                }
+            }
+            Event::WaitTimeout(wg, token) => {
+                if self.token_ok(wg, token) {
+                    self.handle_wait_timeout(wg);
+                }
+            }
+            Event::SwapOutDone(wg, token) => {
+                if self.token_ok(wg, token) {
+                    self.handle_swap_out_done(wg);
+                }
+            }
+            Event::SwapInDone(wg, token) => {
+                if self.token_ok(wg, token) {
+                    let wgu = wg as usize;
+                    debug_assert_eq!(self.wgs[wgu].state, WgState::SwappingIn);
+                    self.deliver_and_advance(wg);
+                }
+            }
+            Event::DispatchDone(wg, token) => {
+                if self.token_ok(wg, token) {
+                    let wgu = wg as usize;
+                    debug_assert_eq!(self.wgs[wgu].state, WgState::Dispatching);
+                    if self.wgs[wgu].dispatched_at.is_none() {
+                        self.wgs[wgu].dispatched_at = Some(self.now);
+                    }
+                    self.last_progress = self.now;
+                    self.wgs[wgu].set_state(WgState::Running, self.now);
+                    self.advance(wg);
+                }
+            }
+            Event::CpTick => self.handle_cp_tick(),
+            Event::ResourceLoss(cu) => self.handle_resource_loss(cu),
+            Event::ResourceRestore(cu) => {
+                self.cus[cu].enable();
+                self.last_progress = self.now;
+                self.try_dispatch();
+            }
+            Event::ProgressCheck => {
+                if (self.finished as u64) < self.kernel.num_wgs {
+                    if self.now.saturating_sub(self.last_progress) > self.config.quiescence_cycles {
+                        self.deadlocked = Some(self.now);
+                    } else {
+                        self.events.schedule(
+                            self.now + self.config.quiescence_cycles / 2,
+                            Event::ProgressCheck,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Run loop
+    // ---------------------------------------------------------------------
+
+    fn summarize(&mut self) -> RunSummary {
+        let now = self.now;
+        let mut insts = 0;
+        let mut atomics = 0;
+        let mut running = 0;
+        let mut waiting = 0;
+        for wg in &self.wgs {
+            insts += wg.insts;
+            atomics += wg.atomics;
+            running += wg.running_cycles(now);
+            waiting += wg.waiting_cycles + wg.wait_since.map_or(0, |s| now.saturating_sub(s));
+        }
+        // Fold memory-system counters into the registry.
+        let (l2_atomics, l2_reads, l2_writes) = self.l2.op_counts();
+        let (hits, misses, bypasses) = self.l2.cache_stats();
+        let (dram_accesses, dram_queued) = self.l2.dram_stats();
+        for (name, value) in [
+            ("l2_atomics", l2_atomics),
+            ("l2_reads", l2_reads),
+            ("l2_writes", l2_writes),
+            ("l2_hits", hits),
+            ("l2_misses", misses),
+            ("l2_bypasses", bypasses),
+            ("dram_accesses", dram_accesses),
+            ("dram_queued_cycles", dram_queued),
+        ] {
+            let c = self.stats.counter(name);
+            let prev = self.stats.get(c);
+            self.stats.add(c, value.saturating_sub(prev));
+        }
+        self.policy.report(&mut self.stats);
+        RunSummary {
+            cycles: now,
+            insts,
+            atomics,
+            running_cycles: running,
+            waiting_cycles: waiting,
+            switches_out: self.switches_out,
+            switches_in: self.switches_in,
+            resumes: self.resumes,
+            unnecessary_resumes: self.unnecessary_resumes,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Runs the kernel to completion, deadlock, or the cycle cap.
+    pub fn run(&mut self) -> RunOutcome {
+        // Schedule experiment events.
+        for &(cu, at) in &self.resource_loss.clone() {
+            self.events.schedule(at, Event::ResourceLoss(cu));
+        }
+        for &(cu, at) in &self.resource_restore.clone() {
+            self.events.schedule(at, Event::ResourceRestore(cu));
+        }
+        if let Some(period) = self.policy.cp_tick_period() {
+            self.events.schedule(period, Event::CpTick);
+        }
+        self.events
+            .schedule(self.config.quiescence_cycles / 2, Event::ProgressCheck);
+        self.try_dispatch();
+
+        loop {
+            if self.finished as u64 == self.kernel.num_wgs {
+                return RunOutcome::Completed(self.summarize());
+            }
+            if let Some(at) = self.deadlocked {
+                let unfinished = self.kernel.num_wgs as usize - self.finished;
+                return RunOutcome::Deadlocked {
+                    at,
+                    unfinished,
+                    summary: self.summarize(),
+                };
+            }
+            let Some((cycle, event)) = self.events.pop() else {
+                // No pending events with unfinished WGs: every WG waits on a
+                // notification that can never arrive.
+                let at = self.now;
+                let unfinished = self.kernel.num_wgs as usize - self.finished;
+                return RunOutcome::Deadlocked {
+                    at,
+                    unfinished,
+                    summary: self.summarize(),
+                };
+            };
+            if cycle > self.config.max_cycles {
+                return RunOutcome::CycleLimit {
+                    summary: self.summarize(),
+                };
+            }
+            self.now = cycle;
+            self.handle(event);
+        }
+    }
+
+    /// Per-WG `(running, waiting)` cycle breakdown at the current time
+    /// (Fig 11).
+    pub fn wg_breakdown(&self) -> Vec<(u64, u64)> {
+        self.wgs
+            .iter()
+            .map(|w| {
+                let waiting =
+                    w.waiting_cycles + w.wait_since.map_or(0, |s| self.now.saturating_sub(s));
+                (w.running_cycles(self.now), waiting)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,347 @@
+//! The scheduling-policy interface between the GPU core and the paper's
+//! architecture family.
+//!
+//! Whenever a WG's synchronization check fails (a waiting atomic's
+//! comparison misses, or a `wait` instruction arms the monitor), the machine
+//! asks the installed [`SchedPolicy`] what to do. Whenever an atomic commits
+//! on a *monitored* L2 line, the policy is notified and may wake waiters.
+//! All hardware state a policy needs — SyncMon condition caches, Bloom
+//! filters, the Monitor Log — lives inside the policy implementation (crate
+//! `awg-core`); the machine only executes its directives.
+
+use awg_mem::{Addr, L2};
+use awg_sim::{Cycle, Stats};
+
+use crate::wg::WgId;
+
+/// A synchronization waiting condition: "resume when `addr` holds
+/// `expected`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncCond {
+    /// The synchronization variable's address.
+    pub addr: Addr,
+    /// The value the waiter needs to observe.
+    pub expected: i64,
+}
+
+/// Which program variant a policy requires (§IV: different architectures
+/// use different instructions at the synchronization points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncStyle {
+    /// Plain atomics in a busy-wait loop (the paper's Baseline).
+    Busy,
+    /// Busy-wait with software exponential backoff via `s_sleep` (§IV.C.i).
+    Backoff,
+    /// Poll with a plain atomic, then arm the monitor with a separate
+    /// `wait` instruction (MonRS-All / MonR-All; has the Fig 10 race).
+    WaitInst,
+    /// Waiting atomics carrying the expected value (Timeout, MonNR-*, AWG).
+    WaitingAtomic,
+}
+
+/// Details of a failed synchronization check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncFail {
+    /// The WG whose check failed.
+    pub wg: WgId,
+    /// The condition it now waits on.
+    pub cond: SyncCond,
+    /// The value the atomic actually observed (for `wait` instructions this
+    /// is the value at arm time, which real hardware does not examine —
+    /// monitor policies must ignore it).
+    pub observed: i64,
+    /// `true` when the condition arrived via a standalone `wait`
+    /// instruction rather than a waiting atomic.
+    pub via_wait_inst: bool,
+}
+
+/// An atomic or store that committed at the L2. The SyncMon physically
+/// observes every bank access; `monitored` says whether the target line's
+/// monitored bit was set (the condition-checking policies act only then,
+/// but AWG's Bloom filters record update values regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitoredUpdate {
+    /// Word address accessed.
+    pub addr: Addr,
+    /// Value before the operation.
+    pub old: i64,
+    /// Value after the operation.
+    pub new: i64,
+    /// Whether memory was modified.
+    pub wrote: bool,
+    /// Whether the line's monitored bit was set at commit.
+    pub monitored: bool,
+    /// The WG that performed the access.
+    pub by_wg: WgId,
+}
+
+/// What a waiting WG should do, decided at the failed check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitDirective {
+    /// Deliver the failed value immediately; the program's loop retries
+    /// (busy-waiting).
+    Retry,
+    /// Stall resident for exactly this many cycles, then deliver the failed
+    /// value (software backoff, Timeout's non-oversubscribed stall).
+    SleepFor(Cycle),
+    /// Enter the hardware waiting state.
+    Wait {
+        /// `true`: context switch out, releasing CU resources.
+        /// `false`: stall resident.
+        release: bool,
+        /// Fallback timeout; `None` waits indefinitely for a monitor
+        /// notification (dangerous for racy `wait`-instruction policies).
+        timeout: Option<Cycle>,
+    },
+}
+
+/// What to do when a waiting WG's fallback timeout fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Wake the WG; its program rechecks the condition (Mesa semantics).
+    Wake,
+    /// Keep waiting, but escalate: optionally context switch out now, with
+    /// a new fallback timeout (AWG's predicted-stall-then-switch, §IV.B).
+    Escalate {
+        /// Context switch the WG out if it is still resident.
+        release: bool,
+        /// New fallback timeout.
+        timeout: Option<Cycle>,
+    },
+}
+
+/// A wake directive issued by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wake {
+    /// The WG to resume.
+    pub wg: WgId,
+    /// Extra delay before the resume signal reaches the WG (the MinResume
+    /// oracle staggers wakes with this).
+    pub delay: Cycle,
+}
+
+impl Wake {
+    /// An immediate wake.
+    pub fn now(wg: WgId) -> Self {
+        Wake { wg, delay: 0 }
+    }
+
+    /// A wake delayed by `delay` cycles.
+    pub fn after(wg: WgId, delay: Cycle) -> Self {
+        Wake { wg, delay }
+    }
+}
+
+/// Machine state a policy may inspect and (for its own hardware structures)
+/// mutate while making decisions.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// Current cycle.
+    pub now: Cycle,
+    /// The shared L2 (monitored bits, timed condition-check reads, Monitor
+    /// Log traffic).
+    pub l2: &'a mut L2,
+    /// The run's statistics registry.
+    pub stats: &'a mut Stats,
+    /// WGs that have never been dispatched.
+    pub pending_wgs: usize,
+    /// Swapped-out WGs that are ready to be swapped back in.
+    pub ready_wgs: usize,
+    /// Swapped-out WGs still waiting on conditions.
+    pub swapped_waiting_wgs: usize,
+    /// Total WGs in the kernel.
+    pub total_wgs: u64,
+}
+
+impl PolicyCtx<'_> {
+    /// Whether yielding resources would let other WGs make progress — the
+    /// paper's rule: "we context switch out a WG only if there are other
+    /// WGs ready to be resumed or started" (§IV.B).
+    pub fn oversubscribed(&self) -> bool {
+        self.pending_wgs + self.ready_wgs > 0
+    }
+}
+
+/// A work-group scheduling policy (one member of the paper's architecture
+/// family).
+pub trait SchedPolicy {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Which program variant this policy requires at sync points.
+    fn style(&self) -> SyncStyle;
+
+    /// Whether the architecture can redispatch WGs that were context
+    /// switched out (the WG-granularity rescheduling capability AWG adds).
+    /// The paper's Baseline and Sleep lack it: when the kernel-level
+    /// scheduler preempts a CU's WGs (§VI), those WGs never return, so the
+    /// oversubscribed scenario deadlocks (Fig 15).
+    fn supports_wg_rescheduling(&self) -> bool {
+        true
+    }
+
+    /// A WG's synchronization check failed; decide how it waits.
+    fn on_sync_fail(&mut self, ctx: &mut PolicyCtx<'_>, fail: &SyncFail) -> WaitDirective;
+
+    /// An access committed on a monitored line; return the WGs to wake.
+    fn on_monitored_update(
+        &mut self,
+        ctx: &mut PolicyCtx<'_>,
+        update: &MonitoredUpdate,
+    ) -> Vec<Wake>;
+
+    /// A waiting WG's fallback timeout fired.
+    fn on_wait_timeout(
+        &mut self,
+        _ctx: &mut PolicyCtx<'_>,
+        _wg: WgId,
+        _cond: &SyncCond,
+    ) -> TimeoutAction {
+        TimeoutAction::Wake
+    }
+
+    /// A previously-issued wake has been delivered to `wg` (its parked
+    /// response released). Policies use this to drop bookkeeping.
+    fn on_wake_delivered(&mut self, _ctx: &mut PolicyCtx<'_>, _wg: WgId, _cond: &SyncCond) {}
+
+    /// A WG finished; drop any registrations it still holds.
+    fn on_wg_finished(&mut self, _ctx: &mut PolicyCtx<'_>, _wg: WgId) {}
+
+    /// Period of the CP's firmware tick, if this policy uses one.
+    fn cp_tick_period(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// The CP's periodic firmware work (Monitor Log draining, spilled
+    /// condition checks). Returns WGs to wake.
+    fn on_cp_tick(&mut self, _ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
+        Vec::new()
+    }
+
+    /// Dump policy-internal measurements into the run statistics.
+    fn report(&self, _stats: &mut Stats) {}
+}
+
+/// The paper's **Baseline**: software busy-waiting, no hardware support.
+/// Every failed check retries immediately; in oversubscribed scenarios this
+/// deadlocks (Fig 15), which the machine's detector reports.
+#[derive(Debug, Clone, Default)]
+pub struct BusyWaitPolicy {
+    fails: u64,
+}
+
+impl BusyWaitPolicy {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedPolicy for BusyWaitPolicy {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn style(&self) -> SyncStyle {
+        SyncStyle::Busy
+    }
+
+    fn supports_wg_rescheduling(&self) -> bool {
+        false
+    }
+
+    fn on_sync_fail(&mut self, _ctx: &mut PolicyCtx<'_>, _fail: &SyncFail) -> WaitDirective {
+        self.fails += 1;
+        WaitDirective::Retry
+    }
+
+    fn on_monitored_update(
+        &mut self,
+        _ctx: &mut PolicyCtx<'_>,
+        _update: &MonitoredUpdate,
+    ) -> Vec<Wake> {
+        Vec::new()
+    }
+
+    fn report(&self, stats: &mut Stats) {
+        let c = stats.counter("policy_sync_fails");
+        stats.add(c, self.fails);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_mem::L2Config;
+
+    #[test]
+    fn oversubscription_rule() {
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let ctx = PolicyCtx {
+            now: 0,
+            l2: &mut l2,
+            stats: &mut stats,
+            pending_wgs: 0,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 3,
+            total_wgs: 8,
+        };
+        // Swapped-waiting WGs don't need resources yet.
+        assert!(!ctx.oversubscribed());
+
+        let ctx = PolicyCtx {
+            pending_wgs: 1,
+            ..ctx
+        };
+        assert!(ctx.oversubscribed());
+    }
+
+    #[test]
+    fn busy_wait_always_retries() {
+        let mut p = BusyWaitPolicy::new();
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = PolicyCtx {
+            now: 0,
+            l2: &mut l2,
+            stats: &mut stats,
+            pending_wgs: 5,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 0,
+            total_wgs: 8,
+        };
+        let fail = SyncFail {
+            wg: 0,
+            cond: SyncCond {
+                addr: 64,
+                expected: 1,
+            },
+            observed: 0,
+            via_wait_inst: false,
+        };
+        assert_eq!(p.on_sync_fail(&mut ctx, &fail), WaitDirective::Retry);
+        assert!(p
+            .on_monitored_update(
+                &mut ctx,
+                &MonitoredUpdate {
+                    addr: 64,
+                    old: 0,
+                    new: 1,
+                    wrote: true,
+                    monitored: true,
+                    by_wg: 1
+                }
+            )
+            .is_empty());
+        let mut stats = Stats::new();
+        p.report(&mut stats);
+        assert_eq!(stats.get_by_name("policy_sync_fails"), Some(1));
+    }
+
+    #[test]
+    fn wake_constructors() {
+        assert_eq!(Wake::now(3), Wake { wg: 3, delay: 0 });
+        assert_eq!(Wake::after(3, 10), Wake { wg: 3, delay: 10 });
+    }
+}

@@ -1,0 +1,141 @@
+//! Run outcomes and summaries.
+
+use awg_sim::{Cycle, Stats};
+
+/// Aggregate measurements of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Kernel completion cycle (or the cycle the run was aborted at).
+    pub cycles: Cycle,
+    /// Dynamic instruction count across all WGs.
+    pub insts: u64,
+    /// Dynamic atomic instruction count (the Fig 9 wait-efficiency metric).
+    pub atomics: u64,
+    /// Sum over WGs of cycles spent running (Fig 11).
+    pub running_cycles: u64,
+    /// Sum over WGs of cycles spent waiting on synchronization (Fig 11).
+    pub waiting_cycles: u64,
+    /// Context switches out performed.
+    pub switches_out: u64,
+    /// Context switches (back) in performed.
+    pub switches_in: u64,
+    /// Wakes delivered to waiting WGs.
+    pub resumes: u64,
+    /// Wakes after which the WG's very next check failed again
+    /// (the unnecessary resumes MonRS-All drowns in, §IV.C.iii).
+    pub unnecessary_resumes: u64,
+    /// Full statistics registry (cache/DRAM/policy counters).
+    pub stats: Stats,
+}
+
+impl RunSummary {
+    /// Fraction of resumes that were unnecessary.
+    pub fn unnecessary_resume_ratio(&self) -> f64 {
+        if self.resumes == 0 {
+            0.0
+        } else {
+            self.unnecessary_resumes as f64 / self.resumes as f64
+        }
+    }
+}
+
+/// How a simulation ended.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// Every WG halted.
+    Completed(RunSummary),
+    /// No global progress for the configured quiescence window while WGs
+    /// remained unfinished — the hardware deadlock the paper's Baseline
+    /// hits when oversubscribed (Fig 15).
+    Deadlocked {
+        /// Cycle at which deadlock was declared.
+        at: Cycle,
+        /// Number of unfinished WGs.
+        unfinished: usize,
+        /// Measurements up to the abort.
+        summary: RunSummary,
+    },
+    /// The hard cycle cap was reached.
+    CycleLimit {
+        /// Measurements up to the abort.
+        summary: RunSummary,
+    },
+}
+
+impl RunOutcome {
+    /// The summary regardless of how the run ended.
+    pub fn summary(&self) -> &RunSummary {
+        match self {
+            RunOutcome::Completed(s) => s,
+            RunOutcome::Deadlocked { summary, .. } => summary,
+            RunOutcome::CycleLimit { summary } => summary,
+        }
+    }
+
+    /// Whether the kernel ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed(_))
+    }
+
+    /// Whether the run deadlocked.
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, RunOutcome::Deadlocked { .. })
+    }
+
+    /// Completion cycles, if the run completed.
+    pub fn completed_cycles(&self) -> Option<Cycle> {
+        match self {
+            RunOutcome::Completed(s) => Some(s.cycles),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            cycles: 1000,
+            insts: 10,
+            atomics: 4,
+            running_cycles: 700,
+            waiting_cycles: 300,
+            switches_out: 1,
+            switches_in: 1,
+            resumes: 4,
+            unnecessary_resumes: 1,
+            stats: Stats::new(),
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let c = RunOutcome::Completed(summary());
+        assert!(c.is_completed());
+        assert!(!c.is_deadlocked());
+        assert_eq!(c.completed_cycles(), Some(1000));
+
+        let d = RunOutcome::Deadlocked {
+            at: 5000,
+            unfinished: 3,
+            summary: summary(),
+        };
+        assert!(d.is_deadlocked());
+        assert_eq!(d.completed_cycles(), None);
+        assert_eq!(d.summary().cycles, 1000);
+    }
+
+    #[test]
+    fn unnecessary_ratio() {
+        let s = summary();
+        assert!((s.unnecessary_resume_ratio() - 0.25).abs() < 1e-9);
+        let zero = RunSummary {
+            resumes: 0,
+            unnecessary_resumes: 0,
+            ..summary()
+        };
+        assert_eq!(zero.unnecessary_resume_ratio(), 0.0);
+    }
+}

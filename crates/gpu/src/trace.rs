@@ -1,0 +1,117 @@
+//! Optional event tracing (used to regenerate the Fig 6 policy timelines).
+
+use awg_sim::Cycle;
+
+use crate::wg::WgId;
+
+/// A traced scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// WG dispatched onto a CU.
+    Dispatch {
+        /// Target CU.
+        cu: usize,
+    },
+    /// Atomic issued (dynamic atomic instruction).
+    AtomicIssue {
+        /// Target address.
+        addr: u64,
+    },
+    /// Synchronization check failed.
+    SyncFail {
+        /// The sync variable.
+        addr: u64,
+        /// The value waited for.
+        expected: i64,
+    },
+    /// WG began stalling while resident.
+    Stall,
+    /// WG began sleeping (`s_sleep` / fixed stall interval).
+    Sleep {
+        /// Sleep duration.
+        cycles: Cycle,
+    },
+    /// Context switch out started.
+    SwapOutStart,
+    /// Context switch out finished; resources released.
+    SwapOutDone,
+    /// Context switch in started.
+    SwapInStart,
+    /// WG resumed execution.
+    Resume,
+    /// WG's fallback timeout fired.
+    Timeout,
+    /// WG halted.
+    Finish,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle of the event.
+    pub cycle: Cycle,
+    /// WG involved.
+    pub wg: WgId,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An append-only trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled (zero-overhead) trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event when enabled.
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, wg: WgId, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { cycle, wg, event });
+        }
+    }
+
+    /// All records in chronological order of recording.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(5, 0, TraceEvent::Stall);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_appends() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(5, 0, TraceEvent::Stall);
+        t.record(9, 1, TraceEvent::Resume);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[1].cycle, 9);
+        assert_eq!(t.records()[1].event, TraceEvent::Resume);
+    }
+}

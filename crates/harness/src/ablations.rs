@@ -1,0 +1,141 @@
+//! Ablations of AWG's design choices (beyond the paper's figures).
+//!
+//! The paper motivates each component of AWG qualitatively (§V.D); this
+//! module quantifies them by disabling one at a time in the oversubscribed
+//! scenario, where every mechanism is exercised:
+//!
+//! * **no resume prediction** — always resume all waiters (degrades toward
+//!   MonNR-All's mutex behaviour),
+//! * **no stall prediction** — context switch immediately on every wait
+//!   (pays save/restore traffic even for short waits),
+//! * **tiny SyncMon** — 8 conditions / 16 waiter slots, so most
+//!   registrations spill through the Monitor Log to the CP's periodic
+//!   checks (the virtualization path, §V.A),
+//! * **tiny Monitor Log** — 4 entries on top of the tiny SyncMon, so
+//!   overflow degenerates to Mesa retries.
+
+use awg_core::policies::{AwgPolicy, PolicyKind};
+use awg_core::SyncMonConfig;
+use awg_gpu::SchedPolicy;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_with_policy, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The ablated variants, in report order.
+pub const VARIANTS: [&str; 5] = [
+    "AWG",
+    "no resume pred.",
+    "no stall pred.",
+    "tiny SyncMon",
+    "tiny SyncMon+Log",
+];
+
+fn tiny_syncmon() -> SyncMonConfig {
+    SyncMonConfig {
+        sets: 4,
+        ways: 2,
+        waiter_slots: 16,
+        bloom_filters: 16,
+    }
+}
+
+fn build_variant(index: usize) -> Box<dyn SchedPolicy> {
+    match index {
+        0 => Box::new(AwgPolicy::new()),
+        1 => Box::new(AwgPolicy::new().without_resume_prediction()),
+        2 => Box::new(AwgPolicy::new().without_stall_prediction()),
+        3 => Box::new(AwgPolicy::new().with_monitor_config(tiny_syncmon(), 4096)),
+        4 => Box::new(AwgPolicy::new().with_monitor_config(tiny_syncmon(), 4)),
+        _ => unreachable!("variant index"),
+    }
+}
+
+/// The benchmarks the ablation sweeps (one per behaviour class).
+pub fn benchmarks() -> [BenchmarkKind; 4] {
+    [
+        BenchmarkKind::SpinMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::SleepMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+    ]
+}
+
+/// Runs the ablation study (oversubscribed scenario; runtime normalized to
+/// full AWG).
+pub fn run(scale: &Scale) -> Report {
+    let mut r = Report::new(
+        "Ablations: AWG components disabled one at a time (runtime / full AWG, oversubscribed)",
+        VARIANTS.to_vec(),
+    );
+    for kind in benchmarks() {
+        let full = run_with_policy(
+            kind,
+            PolicyKind::Awg,
+            build_variant(0),
+            scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        let Some(base) = full.cycles() else {
+            r.push(Row::new(
+                kind.abbreviation(),
+                vec![Cell::Deadlock; VARIANTS.len()],
+            ));
+            continue;
+        };
+        let mut cells = vec![Cell::Num(1.0)];
+        for v in 1..VARIANTS.len() {
+            let res = run_with_policy(
+                kind,
+                PolicyKind::Awg,
+                build_variant(v),
+                scale,
+                ExperimentConfig::Oversubscribed,
+            );
+            cells.push(match (res.cycles(), res.validated) {
+                (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
+                (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                (None, _) => Cell::Deadlock,
+            });
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note("1.0 = full AWG; higher = slower. Every variant must still complete (IFP is preserved by the fallback timeouts even with a 4-entry Monitor Log).");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_preserve_forward_progress_and_correctness() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            for (col, cell) in r.columns.iter().zip(&row.cells) {
+                assert!(
+                    cell.as_num().is_some(),
+                    "{} under '{}' did not complete cleanly: {cell:?}",
+                    row.label,
+                    col
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn virtualization_path_costs_time_but_works() {
+        // The tiny SyncMon must spill; spilled waiters resume via the CP's
+        // periodic checks, which is slower than the fast path.
+        let r = run(&Scale::quick());
+        let slm_tiny = r
+            .cell("SLM_G", "tiny SyncMon")
+            .and_then(Cell::as_num)
+            .expect("completed");
+        assert!(
+            slm_tiny >= 1.0,
+            "the Monitor Log slow path should not be faster: {slm_tiny}"
+        );
+    }
+}

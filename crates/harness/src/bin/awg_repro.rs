@@ -1,0 +1,207 @@
+//! `awg-repro` — regenerate the tables and figures of *Independent Forward
+//! Progress of Work-groups* (ISCA 2020).
+//!
+//! ```text
+//! awg-repro [--quick] [--out DIR] <command>
+//!
+//! commands:
+//!   table1 table2 fig5 fig7 fig8 fig9 fig11 fig13 fig14 fig15
+//!   ablations fairness  extension studies beyond the paper's figures
+//!   trace [policy]    Fig 6-style timeline (policy: baseline|timeout|
+//!                     monrs|monr|monnr-all|monnr-one|awg|minresume)
+//!   asm <file.s> [--policy P] [--wgs N]
+//!                     assemble and run a custom kernel
+//!   all               every table and figure, in order
+//!
+//! options:
+//!   --quick           scaled-down machine (2 CUs, 20 WGs) for smoke runs
+//!   --out DIR         also write each report as CSV into DIR
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{
+    ablations, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority, sweep,
+    table1, table2, tracefig, Report, Scale,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: awg-repro [--quick] [--out DIR] \
+         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|trace [policy]|asm <file.s>|all>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(name: &str) -> PolicyKind {
+    match name {
+        "baseline" => PolicyKind::Baseline,
+        "sleep" => PolicyKind::Sleep,
+        "timeout" => PolicyKind::Timeout,
+        "monrs" => PolicyKind::MonRsAll,
+        "monr" => PolicyKind::MonRAll,
+        "monnr-all" => PolicyKind::MonNrAll,
+        "monnr-one" => PolicyKind::MonNrOne,
+        "awg" => PolicyKind::Awg,
+        "minresume" => PolicyKind::MinResume,
+        other => {
+            eprintln!("unknown policy '{other}'");
+            usage()
+        }
+    }
+}
+
+/// Assembles and runs a user kernel on the simulator under `policy`.
+fn run_asm(path: &str, policy: PolicyKind, wgs: u64, scale: &Scale) {
+    use awg_core::policies::build_policy;
+    use awg_gpu::{Gpu, Kernel, RunOutcome, WgResources};
+
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read '{path}': {e}");
+        std::process::exit(1);
+    });
+    let program = awg_isa::assemble(&source, path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", program.disassemble());
+    let kernel = Kernel::new(program, wgs, WgResources::default());
+    let mut gpu = Gpu::new(scale.gpu.clone(), kernel, build_policy(policy));
+    match gpu.run() {
+        RunOutcome::Completed(s) => {
+            println!(
+                "completed: {} cycles, {} insts, {} atomics, {} resumes, {} swaps out",
+                s.cycles, s.insts, s.atomics, s.resumes, s.switches_out
+            );
+            let mut words: Vec<(u64, i64)> = gpu.backing().nonzero_words().collect();
+            words.sort_unstable();
+            println!("\nfinal non-zero memory ({} words):", words.len());
+            for (addr, value) in words.iter().take(32) {
+                println!("  {addr:#8x}: {value}");
+            }
+            if words.len() > 32 {
+                println!("  ... {} more", words.len() - 32);
+            }
+        }
+        RunOutcome::Deadlocked { at, unfinished, .. } => {
+            eprintln!("DEADLOCK at cycle {at} with {unfinished} WGs unfinished");
+            std::process::exit(3);
+        }
+        RunOutcome::CycleLimit { .. } => {
+            eprintln!("cycle cap reached");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) {
+    println!("{}", report.to_markdown());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(format!("{slug}.csv"));
+        let mut f = std::fs::File::create(&path).expect("create CSV");
+        f.write_all(report.to_csv().as_bytes()).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                args.remove(i);
+            }
+            "--out" => {
+                args.remove(i);
+                if i >= args.len() {
+                    usage();
+                }
+                out = Some(PathBuf::from(args.remove(i)));
+            }
+            _ => i += 1,
+        }
+    }
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let Some(command) = args.first().map(String::as_str) else {
+        usage()
+    };
+
+    type Runner = fn(&Scale) -> Report;
+    let all: [(&str, Runner); 14] = [
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("fig5", fig05::run),
+        ("fig7", fig07::run),
+        ("fig8", fig08::run),
+        ("fig9", fig09::run),
+        ("fig11", fig11::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("ablations", ablations::run),
+        ("fairness", fairness::run),
+        ("sweep", sweep::run),
+        ("priority", priority::run),
+    ];
+
+    match command {
+        "all" => {
+            for (slug, runner) in all {
+                let t0 = std::time::Instant::now();
+                let report = runner(&scale);
+                emit(&report, &out, slug);
+                eprintln!("[{slug}] {:.2?}", t0.elapsed());
+            }
+        }
+        "trace" => {
+            let policy = args
+                .get(1)
+                .map(|s| parse_policy(s))
+                .unwrap_or(PolicyKind::Awg);
+            println!("{}", tracefig::gantt_for(&scale, policy));
+            emit(&tracefig::run_policy(&scale, policy), &out, "trace");
+        }
+        "asm" => {
+            // awg-repro asm <file.s> [--policy P] [--wgs N]
+            let Some(path) = args.get(1).cloned() else {
+                usage()
+            };
+            let mut policy = PolicyKind::Awg;
+            let mut wgs: u64 = 16;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--policy" => {
+                        i += 1;
+                        policy = parse_policy(args.get(i).map(String::as_str).unwrap_or(""));
+                    }
+                    "--wgs" => {
+                        i += 1;
+                        wgs = args
+                            .get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| usage());
+                    }
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            run_asm(&path, policy, wgs, &scale);
+        }
+        name => match all.iter().find(|(slug, _)| *slug == name) {
+            Some((slug, runner)) => emit(&runner(&scale), &out, slug),
+            None => usage(),
+        },
+    }
+}

@@ -1,0 +1,122 @@
+//! The fairness study the paper leaves for future work (§V.A).
+//!
+//! "The Monitor Log may contain younger waiting conditions than the SyncMon
+//! Cache. This can lead to fairness issues that can be addressed with
+//! different replacement policies." With a deliberately tiny SyncMon most
+//! registrations spill to the CP, and the CP's condition-check order
+//! becomes the fairness lever: address-sorted checks systematically favour
+//! low addresses, while oldest-first checks release spilled waiters in
+//! arrival order.
+//!
+//! The metric is the spread of per-WG waiting time (max/mean): a fair
+//! scheduler keeps it low even when every waiter takes the slow path.
+
+use awg_core::policies::{AwgPolicy, PolicyKind};
+use awg_core::{CheckOrder, SyncMonConfig};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_with_policy, ExpResult, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+fn tiny_syncmon() -> SyncMonConfig {
+    SyncMonConfig {
+        sets: 4,
+        ways: 2,
+        waiter_slots: 16,
+        bloom_filters: 16,
+    }
+}
+
+/// `(max, mean)` waiting cycles across WGs.
+fn waiting_spread(result: &ExpResult) -> (u64, f64) {
+    let waits: Vec<u64> = result.wg_breakdown.iter().map(|&(_, w)| w).collect();
+    let max = waits.iter().copied().max().unwrap_or(0);
+    let mean = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<u64>() as f64 / waits.len() as f64
+    };
+    (max, mean)
+}
+
+fn run_order(kind: BenchmarkKind, order: CheckOrder, scale: &Scale) -> ExpResult {
+    run_with_policy(
+        kind,
+        PolicyKind::Awg,
+        Box::new(
+            AwgPolicy::new()
+                .with_monitor_config(tiny_syncmon(), 4096)
+                .with_check_order(order),
+        ),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+    )
+}
+
+/// Runs the fairness comparison.
+pub fn run(scale: &Scale) -> Report {
+    let mut r = Report::new(
+        "Fairness: CP check order with a spill-heavy (tiny) SyncMon",
+        vec![
+            "sorted: cycles",
+            "sorted: max/mean wait",
+            "oldest-first: cycles",
+            "oldest-first: max/mean wait",
+        ],
+    );
+    for kind in [
+        BenchmarkKind::SleepMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::LfTreeBarrier,
+        BenchmarkKind::SpinMutexGlobal,
+    ] {
+        let sorted = run_order(kind, CheckOrder::AddressSorted, scale);
+        let oldest = run_order(kind, CheckOrder::OldestFirst, scale);
+        let mut cells = Vec::new();
+        for res in [&sorted, &oldest] {
+            match res.cycles() {
+                Some(c) if res.validated.is_ok() => {
+                    let (max, mean) = waiting_spread(res);
+                    cells.push(Cell::Num(c as f64));
+                    cells.push(Cell::Num(if mean > 0.0 { max as f64 / mean } else { 0.0 }));
+                }
+                _ => {
+                    cells.push(Cell::Deadlock);
+                    cells.push(Cell::Missing);
+                }
+            }
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note(
+        "max/mean waiting ratio closer to 1.0 = fairer. Both orders must complete and validate.",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_orders_complete_and_validate() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            for cell in &row.cells {
+                assert!(cell.as_num().is_some(), "{}: {cell:?}", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn spread_metric_behaves() {
+        let r = run(&Scale::quick());
+        for row in &r.rows {
+            let sorted_ratio = row.cells[1].as_num().unwrap();
+            let oldest_ratio = row.cells[3].as_num().unwrap();
+            assert!(sorted_ratio >= 0.9, "{}: {sorted_ratio}", row.label);
+            assert!(oldest_ratio >= 0.9, "{}: {oldest_ratio}", row.label);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig 5: work-group context size per benchmark (2–10 KB).
+
+use awg_workloads::{context, BenchmarkKind};
+
+use crate::{Cell, Report, Row, Scale};
+
+/// Renders the Fig 5 series.
+pub fn run(_scale: &Scale) -> Report {
+    let mut r = Report::new(
+        "Fig 5: Work-group context size",
+        vec!["Context (KB)", "VGPR bytes", "LDS bytes", "Scalar bytes"],
+    );
+    for kind in BenchmarkKind::all() {
+        let res = kind.resources();
+        let vgpr = res.wavefronts as u64 * res.vgprs_per_wavefront as u64 * 4 * 64;
+        let scalar = res.wavefronts as u64 * 128;
+        r.push(Row::new(
+            kind.abbreviation(),
+            vec![
+                Cell::Num(context::context_kb(kind)),
+                Cell::Num(vgpr as f64),
+                Cell::Num(res.lds_bytes as f64),
+                Cell::Num(scalar as f64),
+            ],
+        ));
+    }
+    r.note("Paper reports 2-10 KB across the suite (Fig 5).");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_within_paper_range() {
+        let r = run(&Scale::paper());
+        for row in &r.rows {
+            let kb = row.cells[0].as_num().unwrap();
+            assert!((2.0..=10.0).contains(&kb), "{}: {kb}", row.label);
+        }
+    }
+
+    #[test]
+    fn components_sum_to_context() {
+        let r = run(&Scale::paper());
+        for row in &r.rows {
+            let kb = row.cells[0].as_num().unwrap();
+            let parts: f64 = row.cells[1..].iter().map(|c| c.as_num().unwrap()).sum();
+            assert!((kb * 1024.0 - parts).abs() < 1.0, "{}", row.label);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig 7: exponential backoff with `s_sleep`, normalized to the Baseline.
+//!
+//! Sweeps the maximum backoff interval (`Sleep-1k` … `Sleep-256k`) over the
+//! benchmarks the paper modified for software backoff. The paper's shape:
+//! backoff helps up to a point, then over-sleeping hurts, and no single
+//! interval is best for every primitive.
+
+use awg_core::policies::PolicyKind;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_experiment, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The swept maximum backoff intervals, in cycles.
+pub const SLEEP_SWEEP: [u64; 9] = [
+    1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000,
+];
+
+/// Runs the Fig 7 sweep.
+pub fn run(scale: &Scale) -> Report {
+    let mut columns = vec!["Baseline".to_owned()];
+    columns.extend(SLEEP_SWEEP.iter().map(|m| format!("Sleep-{}k", m / 1000)));
+    let mut r = Report::new(
+        "Fig 7: Exponential backoff with s_sleep (runtime normalized to Baseline)",
+        columns.iter().map(String::as_str).collect(),
+    );
+    for kind in BenchmarkKind::backoff_sweep_suite() {
+        let base = run_experiment(
+            kind,
+            PolicyKind::Baseline,
+            scale,
+            ExperimentConfig::NonOversubscribed,
+        );
+        let Some(base_cycles) = base.cycles() else {
+            r.push(Row::new(
+                kind.abbreviation(),
+                vec![Cell::Deadlock; SLEEP_SWEEP.len() + 1],
+            ));
+            continue;
+        };
+        let mut cells = vec![Cell::Num(1.0)];
+        for max in SLEEP_SWEEP {
+            let res = run_experiment(
+                kind,
+                PolicyKind::SleepMax(max),
+                scale,
+                ExperimentConfig::NonOversubscribed,
+            );
+            cells.push(match res.cycles() {
+                Some(c) => Cell::Num(c as f64 / base_cycles as f64),
+                None => Cell::Deadlock,
+            });
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note("Lower is better. Paper shape: helps to a point, then over-sleeping backfires; no single best interval.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_expected_shape() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            assert_eq!(row.cells[0], Cell::Num(1.0), "{}", row.label);
+            for c in &row.cells {
+                assert!(c.as_num().is_some(), "{}: {c:?}", row.label);
+            }
+        }
+    }
+}

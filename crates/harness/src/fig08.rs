@@ -1,0 +1,75 @@
+//! Fig 8: fixed timeout-interval sweep, normalized to the Baseline.
+//!
+//! Paper shape: different primitives prefer different intervals, and some
+//! intervals are much worse than busy-waiting — the motivation for actual
+//! hardware waiting support.
+
+use awg_core::policies::PolicyKind;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_experiment, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The swept timeout intervals, in cycles (Fig 8's Timeout-10k…100k).
+pub const TIMEOUT_SWEEP: [u64; 4] = [10_000, 20_000, 50_000, 100_000];
+
+/// Runs the Fig 8 sweep.
+pub fn run(scale: &Scale) -> Report {
+    let mut columns = vec!["Baseline".to_owned()];
+    columns.extend(
+        TIMEOUT_SWEEP
+            .iter()
+            .map(|i| format!("Timeout-{}k", i / 1000)),
+    );
+    let mut r = Report::new(
+        "Fig 8: Timeout interval (runtime normalized to Baseline)",
+        columns.iter().map(String::as_str).collect(),
+    );
+    for kind in BenchmarkKind::heterosync_suite() {
+        let base = run_experiment(
+            kind,
+            PolicyKind::Baseline,
+            scale,
+            ExperimentConfig::NonOversubscribed,
+        );
+        let Some(base_cycles) = base.cycles() else {
+            r.push(Row::new(
+                kind.abbreviation(),
+                vec![Cell::Deadlock; TIMEOUT_SWEEP.len() + 1],
+            ));
+            continue;
+        };
+        let mut cells = vec![Cell::Num(1.0)];
+        for interval in TIMEOUT_SWEEP {
+            let res = run_experiment(
+                kind,
+                PolicyKind::TimeoutInterval(interval),
+                scale,
+                ExperimentConfig::NonOversubscribed,
+            );
+            cells.push(match res.cycles() {
+                Some(c) => Cell::Num(c as f64 / base_cycles as f64),
+                None => Cell::Deadlock,
+            });
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note("Lower is better. Paper shape: no single best interval; some intervals much worse than Baseline.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_completes_everywhere() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 12);
+        for row in &r.rows {
+            for c in &row.cells {
+                assert!(c.as_num().is_some(), "{}: {c:?}", row.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig 11: WG execution-time break-down (running vs waiting), normalized
+//! to Timeout.
+//!
+//! Paper shape: MonNR-One manages contended mutexes well (little waiting),
+//! MonNR-All wins on the centralized barriers where all waiters must start
+//! at once; each is deficient on the other class.
+
+use awg_core::policies::PolicyKind;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_experiment, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The ten benchmarks Fig 11 plots (the suite minus the backoff variants).
+pub fn benchmarks() -> [BenchmarkKind; 10] {
+    use BenchmarkKind::*;
+    [
+        SpinMutexGlobal,
+        FaMutexGlobal,
+        SleepMutexGlobal,
+        SpinMutexLocal,
+        FaMutexLocal,
+        SleepMutexLocal,
+        TreeBarrier,
+        LfTreeBarrier,
+        TreeBarrierExchange,
+        LfTreeBarrierExchange,
+    ]
+}
+
+/// The compared policies.
+pub const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Timeout,
+    PolicyKind::MonNrAll,
+    PolicyKind::MonNrOne,
+];
+
+/// Runs the Fig 11 break-down.
+pub fn run(scale: &Scale) -> Report {
+    let mut r = Report::new(
+        "Fig 11: WG execution break-down (normalized to Timeout total)",
+        vec![
+            "Timeout run",
+            "Timeout wait",
+            "MonNR-All run",
+            "MonNR-All wait",
+            "MonNR-One run",
+            "MonNR-One wait",
+        ],
+    );
+    for kind in benchmarks() {
+        let mut cells = Vec::with_capacity(6);
+        let mut norm: Option<f64> = None;
+        for policy in POLICIES {
+            let res = run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed);
+            if !res.outcome.is_completed() {
+                cells.push(Cell::Deadlock);
+                cells.push(Cell::Deadlock);
+                continue;
+            }
+            let (running, waiting) = res.breakdown();
+            let total = (running + waiting) as f64;
+            let norm = *norm.get_or_insert(total.max(1.0));
+            cells.push(Cell::Num(running as f64 / norm));
+            cells.push(Cell::Num(waiting as f64 / norm));
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note("Each pair sums to that policy's total WG time relative to Timeout's. Paper shape: MonNR-One best for mutexes, MonNR-All best for barriers.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_breakdown_normalizes_to_timeout() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 10);
+        for row in &r.rows {
+            let t_run = row.cells[0].as_num().unwrap();
+            let t_wait = row.cells[1].as_num().unwrap();
+            assert!(
+                (t_run + t_wait - 1.0).abs() < 1e-9,
+                "{}: Timeout pair must sum to 1",
+                row.label
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig 13: size of the CP's scheduling data structures per benchmark.
+//!
+//! As in the paper, this is the worst case "assuming no SyncMon Cache":
+//! every concurrent waiting condition, monitored address, and waiting WG
+//! spills to the CP. The concurrency bounds derive from each benchmark's
+//! Table 2 characteristics.
+
+use awg_core::cp::{ADDR_ENTRY_BYTES, COND_ENTRY_BYTES, TABLE_ENTRY_BYTES, WG_ENTRY_BYTES};
+use awg_workloads::BenchmarkKind;
+
+use crate::{Cell, Report, Row, Scale};
+
+/// Worst-case concurrent quantities for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpDemand {
+    /// Simultaneous waiting conditions.
+    pub conditions: u64,
+    /// Simultaneous monitored addresses.
+    pub addresses: u64,
+    /// Simultaneous waiting WGs.
+    pub wgs: u64,
+}
+
+/// Computes the worst-case CP demand of a benchmark.
+pub fn demand(kind: BenchmarkKind, scale: &Scale) -> CpDemand {
+    let p = &scale.params;
+    let c = kind.characteristics();
+    let g = p.num_wgs;
+    let vars = c.sync_vars.eval(p);
+    // At most G WGs wait at once; each holds one condition.
+    let wgs = (c.conds_per_var.eval(p) * c.waiters_per_cond.eval(p) * vars).min(g);
+    let conditions = (vars * c.conds_per_var.eval(p)).min(g);
+    let addresses = vars.min(conditions);
+    CpDemand {
+        conditions,
+        addresses,
+        wgs,
+    }
+}
+
+/// Renders the Fig 13 series (sizes in KB).
+pub fn run(scale: &Scale) -> Report {
+    let mut r = Report::new(
+        "Fig 13: CP scheduling data structures (KB, worst case, no SyncMon cache)",
+        vec![
+            "Waiting Conditions",
+            "Monitored Addresses",
+            "Waiting WGs",
+            "Monitor Table",
+            "Total",
+        ],
+    );
+    for kind in BenchmarkKind::all() {
+        let d = demand(kind, scale);
+        let conds_kb = (d.conditions * COND_ENTRY_BYTES) as f64 / 1024.0;
+        let addrs_kb = (d.addresses * ADDR_ENTRY_BYTES) as f64 / 1024.0;
+        let wgs_kb = (d.wgs * WG_ENTRY_BYTES) as f64 / 1024.0;
+        let table_kb = (d.conditions * TABLE_ENTRY_BYTES) as f64 / 1024.0;
+        r.push(Row::new(
+            kind.abbreviation(),
+            vec![
+                Cell::Num(conds_kb),
+                Cell::Num(addrs_kb),
+                Cell::Num(wgs_kb),
+                Cell::Num(table_kb),
+                Cell::Num(conds_kb + addrs_kb + wgs_kb + table_kb),
+            ],
+        ));
+    }
+    r.note("Paper reports up to ~20 KB across the suite; WG context storage (0.74-3.11 MB) is tracked separately.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_kilobytes_not_megabytes() {
+        let r = run(&Scale::paper());
+        for row in &r.rows {
+            let total = row.cells[4].as_num().unwrap();
+            assert!(total > 0.0 && total < 32.0, "{}: {total} KB", row.label);
+        }
+    }
+
+    #[test]
+    fn centralized_mutex_demand_is_waiter_bound() {
+        let d = demand(BenchmarkKind::SpinMutexGlobal, &Scale::paper());
+        assert_eq!(d.conditions, 1);
+        assert_eq!(d.addresses, 1);
+        assert_eq!(d.wgs, 80);
+    }
+
+    #[test]
+    fn decentralized_demand_scales_with_g() {
+        let d = demand(BenchmarkKind::SleepMutexGlobal, &Scale::paper());
+        assert_eq!(d.conditions, 80);
+        assert_eq!(d.wgs, 80);
+    }
+}

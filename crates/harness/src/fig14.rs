@@ -1,0 +1,103 @@
+//! Fig 14: speedup over the Baseline, non-oversubscribed scenario — the
+//! paper's headline result (AWG ≈ 12× geomean over busy-waiting).
+
+use awg_core::policies::PolicyKind;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{geomean, run_experiment, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The compared policies, in the paper's legend order.
+pub const POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Baseline,
+    PolicyKind::Sleep,
+    PolicyKind::Timeout,
+    PolicyKind::MonNrAll,
+    PolicyKind::MonNrOne,
+    PolicyKind::Awg,
+];
+
+/// Runs the Fig 14 comparison.
+pub fn run(scale: &Scale) -> Report {
+    run_speedups(
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        PolicyKind::Baseline,
+        "Fig 14: Speedup normalized to Baseline (non-oversubscribed)",
+    )
+}
+
+/// Shared implementation for Figs 14/15: speedups of every policy relative
+/// to `reference` under `config`.
+pub fn run_speedups(
+    scale: &Scale,
+    config: ExperimentConfig,
+    reference: PolicyKind,
+    title: &str,
+) -> Report {
+    let columns: Vec<String> = POLICIES.iter().map(|p| p.label()).collect();
+    let mut r = Report::new(title, columns.iter().map(String::as_str).collect());
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    for kind in BenchmarkKind::heterosync_suite() {
+        let reference_cycles = run_experiment(kind, reference, scale, config).cycles();
+        let mut cells = Vec::with_capacity(POLICIES.len());
+        for (i, &policy) in POLICIES.iter().enumerate() {
+            let res = if policy == reference {
+                // Re-running the reference would double the cost; its
+                // speedup is 1 by definition when it completes.
+                match reference_cycles {
+                    Some(_) => {
+                        per_policy[i].push(1.0);
+                        cells.push(Cell::Num(1.0));
+                        continue;
+                    }
+                    None => {
+                        cells.push(Cell::Deadlock);
+                        continue;
+                    }
+                }
+            } else {
+                run_experiment(kind, policy, scale, config)
+            };
+            match (reference_cycles, res.cycles()) {
+                (Some(base), Some(c)) if res.validated.is_ok() => {
+                    let speedup = base as f64 / c as f64;
+                    per_policy[i].push(speedup);
+                    cells.push(Cell::Num(speedup));
+                }
+                (_, None) => cells.push(Cell::Deadlock),
+                (None, Some(_)) => cells.push(Cell::Missing),
+                _ => cells.push(Cell::Missing),
+            }
+        }
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    let geo_cells: Vec<Cell> = per_policy
+        .iter()
+        .map(|v| {
+            if v.is_empty() {
+                Cell::Missing
+            } else {
+                Cell::Num(geomean(v))
+            }
+        })
+        .collect();
+    r.push(Row::new("GeoMean", geo_cells));
+    r.note("Higher is better. GeoMean over benchmarks that completed and validated.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig14_awg_beats_baseline() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.rows.len(), 13); // 12 benchmarks + GeoMean
+        let awg = r.cell("GeoMean", "AWG").unwrap().as_num().unwrap();
+        assert!(awg > 1.0, "AWG geomean {awg} must beat Baseline");
+        let baseline = r.cell("GeoMean", "Baseline").unwrap().as_num().unwrap();
+        assert!((baseline - 1.0).abs() < 1e-9);
+    }
+}

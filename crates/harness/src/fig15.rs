@@ -1,0 +1,55 @@
+//! Fig 15: speedup over Timeout in the oversubscribed scenario (one CU is
+//! removed at 50 µs).
+//!
+//! Paper shape: Baseline and Sleep DEADLOCK on every benchmark; AWG beats
+//! Timeout by ~2.5× geomean but can trail it on some latency-sensitive tree
+//! barriers because of stall-time misprediction.
+
+use awg_core::policies::PolicyKind;
+
+use crate::fig14::run_speedups;
+use crate::run::ExperimentConfig;
+use crate::{Report, Scale};
+
+/// Runs the Fig 15 comparison.
+pub fn run(scale: &Scale) -> Report {
+    let mut r = run_speedups(
+        scale,
+        ExperimentConfig::Oversubscribed,
+        PolicyKind::Timeout,
+        "Fig 15: Speedup normalized to Timeout (oversubscribed: one CU lost mid-run)",
+    );
+    r.note("Baseline and Sleep cannot reschedule preempted WGs and deadlock, as in the paper.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cell;
+
+    #[test]
+    fn quick_fig15_baseline_deadlocks_and_awg_survives() {
+        let r = run(&Scale::quick());
+        let mut baseline_deadlocks = 0;
+        for row in &r.rows {
+            if row.label == "GeoMean" {
+                continue;
+            }
+            if row.cells[0] == Cell::Deadlock {
+                baseline_deadlocks += 1;
+            }
+            // AWG must complete everywhere.
+            assert!(
+                row.cells[5].as_num().is_some(),
+                "{}: AWG cell {:?}",
+                row.label,
+                row.cells[5]
+            );
+        }
+        assert!(
+            baseline_deadlocks >= 10,
+            "Baseline must deadlock on (nearly) all benchmarks, got {baseline_deadlocks}"
+        );
+    }
+}

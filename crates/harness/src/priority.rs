@@ -1,0 +1,125 @@
+//! Priority-burst study (§V.D): a high-priority kernel repeatedly steals
+//! CUs from a long-running synchronizing kernel.
+//!
+//! "AWG decouples pre-emptive scheduling of kernels … which improves
+//! performance and allows the GPU to be more responsive to high priority
+//! kernels while, at the same time, ensuring the IFP of lower priority
+//! kernels." Here a burst takes 2 of the 8 CUs periodically; the low-
+//! priority kernel must keep making progress between and across bursts.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::Gpu;
+use awg_sim::Cycle;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::ExpResult;
+use crate::{Cell, Report, Row, Scale};
+
+/// CUs taken per burst.
+pub const BURST_CUS: usize = 2;
+/// Number of bursts scheduled.
+pub const BURSTS: u64 = 8;
+
+/// Burst period, derived from the scale's resource-loss point so the
+/// schedule lands inside quick-scale runs too.
+pub fn burst_period(scale: &Scale) -> Cycle {
+    (scale.resource_loss_at * 2).max(5_000)
+}
+
+/// Burst duration (half the loss point).
+pub fn burst_duration(scale: &Scale) -> Cycle {
+    (scale.resource_loss_at / 2).max(1_000)
+}
+
+/// Runs `kind` under `policy` with the periodic burst schedule.
+pub fn run_bursty(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> ExpResult {
+    let policy_box = build_policy(policy);
+    let mut params = scale.params;
+    params.iterations = params.iterations.saturating_mul(kind.episode_weight() * 4);
+    let built = kind.build(&params, policy_box.style());
+    let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+    let cus = BURST_CUS.min(scale.gpu.num_cus.saturating_sub(1)).max(1);
+    let (period, duration) = (burst_period(scale), burst_duration(scale));
+    for i in 0..BURSTS {
+        gpu.schedule_priority_burst(cus, (i + 1) * period, duration);
+    }
+    let outcome = gpu.run();
+    let validated = if outcome.is_completed() {
+        built.validate(gpu.backing())
+    } else {
+        Ok(())
+    };
+    ExpResult {
+        kind,
+        policy,
+        outcome,
+        validated,
+        wg_breakdown: gpu.wg_breakdown(),
+    }
+}
+
+/// The priority-burst comparison across policies.
+pub fn run(scale: &Scale) -> Report {
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::Timeout,
+        PolicyKind::MonNrOne,
+        PolicyKind::Awg,
+    ];
+    let columns: Vec<String> = policies.iter().map(|p| p.label()).collect();
+    let mut r = Report::new(
+        format!(
+            "Priority bursts: {BURST_CUS} CUs taken for {} cycles every {} (runtime, Mcycles)",
+            burst_duration(scale),
+            burst_period(scale)
+        ),
+        columns.iter().map(String::as_str).collect(),
+    );
+    for kind in [
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+        BenchmarkKind::Pipeline,
+        BenchmarkKind::BankAccount,
+    ] {
+        let cells: Vec<Cell> = policies
+            .iter()
+            .map(|&policy| {
+                let res = run_bursty(kind, policy, scale);
+                match (res.cycles(), &res.validated) {
+                    (Some(c), Ok(())) => Cell::Num(c as f64 / 1e6),
+                    (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                    (None, _) => Cell::Deadlock,
+                }
+            })
+            .collect();
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note(
+        "Lower is better. Baseline deadlocks at the first burst; IFP policies absorb all of them.",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awg_absorbs_repeated_bursts() {
+        let scale = Scale::quick();
+        let r = run_bursty(BenchmarkKind::FaMutexGlobal, PolicyKind::Awg, &scale);
+        assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+        r.validated.as_ref().expect("post-conditions across bursts");
+        assert!(
+            r.outcome.summary().switches_out > 0,
+            "bursts must force context switches"
+        );
+    }
+
+    #[test]
+    fn baseline_deadlocks_at_a_burst() {
+        let scale = Scale::quick();
+        let r = run_bursty(BenchmarkKind::FaMutexGlobal, PolicyKind::Baseline, &scale);
+        assert!(r.deadlocked(), "{:?}", r.outcome);
+    }
+}

@@ -1,0 +1,232 @@
+//! Tabular reports rendered as Markdown or CSV.
+
+use std::fmt::Write as _;
+
+/// One report cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A numeric value.
+    Num(f64),
+    /// Free-form text.
+    Text(String),
+    /// The run deadlocked (Fig 15's "DEADLOCK" bars).
+    Deadlock,
+    /// No value for this combination (e.g. Sleep on unmodified benchmarks).
+    Missing,
+}
+
+impl Cell {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Cell::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Cell::Num(v) => {
+                if v.abs() >= 100.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v:.2}")
+                }
+            }
+            Cell::Text(t) => t.clone(),
+            Cell::Deadlock => "DEADLOCK".into(),
+            Cell::Missing => "—".into(),
+        }
+    }
+
+    fn render_csv(&self) -> String {
+        match self {
+            Cell::Num(v) => format!("{v}"),
+            Cell::Text(t) => t.replace(',', ";"),
+            Cell::Deadlock => "DEADLOCK".into(),
+            Cell::Missing => String::new(),
+        }
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+/// One labelled report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (benchmark abbreviation, config key, …).
+    pub label: String,
+    /// Cells, one per column.
+    pub cells: Vec<Cell>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, cells: Vec<Cell>) -> Self {
+        Row {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Report title (figure/table name).
+    pub title: String,
+    /// Column headers (excluding the row-label column).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes appended below the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Report {
+            title: title.into(),
+            columns: columns.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.cells.len(),
+            self.columns.len(),
+            "row '{}' has {} cells for {} columns",
+            row.label,
+            row.cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn cell(&self, row: &str, column: &str) -> Option<&Cell> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == row)
+            .and_then(|r| r.cells.get(col))
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let _ = writeln!(out, "| | {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|---|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---:")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.cells.iter().map(Cell::render).collect();
+            let _ = writeln!(out, "| **{}** | {} |", row.label, cells.join(" | "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n_{note}_");
+        }
+        out
+    }
+
+    /// Renders CSV (first column is the row label).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "label,{}", self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.cells.iter().map(Cell::render_csv).collect();
+            let _ = writeln!(out, "{},{}", row.label.replace(',', ";"), cells.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Fig X", vec!["A", "B"]);
+        r.push(Row::new("SPM_G", vec![Cell::Num(1.5), Cell::Deadlock]));
+        r.push(Row::new("FAM_G", vec![Cell::Num(123.4), Cell::Missing]));
+        r.note("normalized to Baseline");
+        r
+    }
+
+    #[test]
+    fn markdown_renders_all_parts() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## Fig X"));
+        assert!(md.contains("| **SPM_G** | 1.50 | DEADLOCK |"));
+        assert!(md.contains("| **FAM_G** | 123 | — |"));
+        assert!(md.contains("_normalized to Baseline_"));
+    }
+
+    #[test]
+    fn csv_renders() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("label,A,B\n"));
+        assert!(csv.contains("SPM_G,1.5,DEADLOCK"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let r = sample();
+        assert_eq!(r.cell("SPM_G", "A"), Some(&Cell::Num(1.5)));
+        assert_eq!(r.cell("SPM_G", "B"), Some(&Cell::Deadlock));
+        assert_eq!(r.cell("nope", "A"), None);
+        assert_eq!(r.cell("SPM_G", "C"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn mismatched_row_rejected() {
+        let mut r = Report::new("t", vec!["A"]);
+        r.push(Row::new("x", vec![Cell::Num(1.0), Cell::Num(2.0)]));
+    }
+
+    #[test]
+    fn number_formatting_scales() {
+        assert_eq!(Cell::Num(0.123).render(), "0.12");
+        assert_eq!(Cell::Num(12.34).render(), "12.3");
+        assert_eq!(Cell::Num(1234.5).render(), "1234");
+    }
+}

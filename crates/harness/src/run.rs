@@ -1,0 +1,199 @@
+//! The experiment runner: one benchmark × one policy × one scenario.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{Gpu, RunOutcome};
+use awg_sim::Cycle;
+use awg_workloads::BenchmarkKind;
+
+use crate::scale::Scale;
+
+/// A scenario: constant resources, or the §VI mid-kernel resource loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentConfig {
+    /// Resources constant for the kernel's lifetime (Fig 14).
+    NonOversubscribed,
+    /// One CU is removed mid-run (Fig 15).
+    Oversubscribed,
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug)]
+pub struct ExpResult {
+    /// Which benchmark ran.
+    pub kind: BenchmarkKind,
+    /// Which policy scheduled it.
+    pub policy: PolicyKind,
+    /// The raw simulation outcome.
+    pub outcome: RunOutcome,
+    /// Post-condition validation (only meaningful for completed runs).
+    pub validated: Result<(), String>,
+    /// Per-WG `(running, waiting)` cycles at the end of the run.
+    pub wg_breakdown: Vec<(u64, u64)>,
+}
+
+impl ExpResult {
+    /// Completion cycles, if the kernel completed.
+    pub fn cycles(&self) -> Option<Cycle> {
+        self.outcome.completed_cycles()
+    }
+
+    /// Whether the run deadlocked.
+    pub fn deadlocked(&self) -> bool {
+        self.outcome.is_deadlocked()
+    }
+
+    /// Dynamic atomic instruction count (the Fig 9 metric).
+    pub fn atomics(&self) -> u64 {
+        self.outcome.summary().atomics
+    }
+
+    /// `(running, waiting)` cycles summed over WGs (the Fig 11 metric).
+    pub fn breakdown(&self) -> (u64, u64) {
+        let s = self.outcome.summary();
+        (s.running_cycles, s.waiting_cycles)
+    }
+
+    /// Whether the run completed *and* its post-conditions held.
+    pub fn is_valid_completion(&self) -> bool {
+        self.outcome.is_completed() && self.validated.is_ok()
+    }
+}
+
+/// Runs `kind` under `policy` at the given scale and scenario.
+///
+/// The benchmark is emitted in the policy's required sync style, executed
+/// on the timing simulator, and its post-conditions (mutual exclusion,
+/// barrier ordering, money conservation, …) are validated against the
+/// final memory.
+pub fn run_experiment(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    config: ExperimentConfig,
+) -> ExpResult {
+    run_with_policy(kind, policy, build_policy(policy), scale, config)
+}
+
+/// Like [`run_experiment`], but with an explicitly constructed policy
+/// instance (ablations, custom SyncMon geometries, chaos wrappers). The
+/// `label` is only used in the result.
+pub fn run_with_policy(
+    kind: BenchmarkKind,
+    label: PolicyKind,
+    policy_box: Box<dyn awg_gpu::SchedPolicy>,
+    scale: &Scale,
+    config: ExperimentConfig,
+) -> ExpResult {
+    let mut params = scale.params;
+    params.iterations = params.iterations.saturating_mul(kind.episode_weight());
+    let built = kind.build(&params, policy_box.style());
+    let kernel = built.kernel();
+    let mut gpu = Gpu::new(scale.gpu.clone(), kernel, policy_box);
+    if config == ExperimentConfig::Oversubscribed {
+        gpu.schedule_resource_loss(scale.lost_cu, scale.resource_loss_at);
+    }
+    let outcome = gpu.run();
+    let validated = if outcome.is_completed() {
+        built.validate(gpu.backing())
+    } else {
+        Ok(())
+    };
+    ExpResult {
+        kind,
+        policy: label,
+        outcome,
+        validated,
+        wg_breakdown: gpu.wg_breakdown(),
+    }
+}
+
+/// Geometric mean of strictly positive values (empty input → 1.0).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn baseline_completes_spin_mutex_quick() {
+        let scale = Scale::quick();
+        let r = run_experiment(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Baseline,
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+        );
+        assert!(
+            r.is_valid_completion(),
+            "{:?} / {:?}",
+            r.outcome,
+            r.validated
+        );
+        assert!(r.atomics() > 0);
+    }
+
+    #[test]
+    fn awg_completes_and_validates_quick() {
+        let scale = Scale::quick();
+        for kind in [
+            BenchmarkKind::SpinMutexGlobal,
+            BenchmarkKind::FaMutexGlobal,
+            BenchmarkKind::TreeBarrier,
+        ] {
+            let r = run_experiment(
+                kind,
+                PolicyKind::Awg,
+                &scale,
+                ExperimentConfig::NonOversubscribed,
+            );
+            assert!(
+                r.is_valid_completion(),
+                "{kind}: {:?} / {:?}",
+                r.outcome,
+                r.validated
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_deadlocks_oversubscribed_quick() {
+        let scale = Scale::quick();
+        let r = run_experiment(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Baseline,
+            &scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        assert!(r.deadlocked(), "expected deadlock, got {:?}", r.outcome);
+    }
+
+    #[test]
+    fn awg_survives_oversubscription_quick() {
+        let scale = Scale::quick();
+        let r = run_experiment(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        assert!(
+            r.is_valid_completion(),
+            "{:?} / {:?}",
+            r.outcome,
+            r.validated
+        );
+    }
+}

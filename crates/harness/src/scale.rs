@@ -1,0 +1,82 @@
+//! Experiment scales: the paper-sized configuration and a quick variant
+//! for tests and Criterion benches.
+
+use awg_gpu::GpuConfig;
+use awg_sim::{us_to_cycles, Cycle};
+use awg_workloads::WorkloadParams;
+
+/// A full experiment configuration: workload parameters plus machine.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Workload parameters.
+    pub params: WorkloadParams,
+    /// Machine configuration.
+    pub gpu: GpuConfig,
+    /// Cycle at which the oversubscribed experiment removes a CU.
+    pub resource_loss_at: Cycle,
+    /// Which CU the oversubscribed experiment removes.
+    pub lost_cu: usize,
+}
+
+impl Scale {
+    /// The paper's configuration: Table 1 machine, exactly-filling kernels
+    /// (G = 80, L = 10), CU 7 removed at 50 µs (§VI).
+    pub fn paper() -> Self {
+        let mut gpu = GpuConfig::isca2020_baseline();
+        // Tight enough that Fig 15's Baseline deadlocks resolve quickly,
+        // loose enough that no legitimate wait (max timeout 100k) trips it.
+        gpu.quiescence_cycles = 600_000;
+        Scale {
+            params: WorkloadParams::isca2020(),
+            gpu,
+            resource_loss_at: us_to_cycles(50.0),
+            lost_cu: 7,
+        }
+    }
+
+    /// A scaled-down configuration (2 CUs, 16 WGs) preserving the
+    /// experiments' structure — kernels exactly fill the machine, so the
+    /// resource-loss event still oversubscribes it.
+    pub fn quick() -> Self {
+        let mut gpu = GpuConfig::isca2020_baseline();
+        gpu.num_cus = 2;
+        gpu.quiescence_cycles = 600_000;
+        Scale {
+            params: WorkloadParams {
+                num_wgs: 20,
+                wgs_per_cluster: 10,
+                iterations: 2,
+                cs_compute: 150,
+                cs_data_words: 2,
+                seed: 11,
+            },
+            gpu,
+            resource_loss_at: 3_000,
+            lost_cu: 1,
+        }
+    }
+
+    /// Total WG capacity of the machine for a 4-wavefront kernel.
+    pub fn machine_capacity(&self) -> u64 {
+        (self.gpu.num_cus as u64) * (self.gpu.wf_slots_per_cu() as u64 / 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_exactly_fills_machine() {
+        let s = Scale::paper();
+        assert_eq!(s.machine_capacity(), s.params.num_wgs);
+        assert_eq!(s.resource_loss_at, 100_000);
+    }
+
+    #[test]
+    fn quick_scale_exactly_fills_machine() {
+        let s = Scale::quick();
+        assert_eq!(s.machine_capacity(), s.params.num_wgs);
+        assert!(s.lost_cu < s.gpu.num_cus);
+    }
+}

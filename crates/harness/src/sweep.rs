@@ -1,0 +1,92 @@
+//! SyncMon capacity sweep: how small can the on-chip monitor get before
+//! the virtualization path dominates? (The §V.A design argument made
+//! quantitative — beyond the paper's figures.)
+//!
+//! Sweeps the condition-cache capacity from 4 entries to the paper's 1024,
+//! with proportional waiter-list slots, and reports runtime normalized to
+//! the full-size SyncMon. At every size the kernel must still complete and
+//! validate: capacity only costs performance (Monitor Log spills + CP
+//! periodic checks), never forward progress.
+
+use awg_core::policies::{AwgPolicy, PolicyKind};
+use awg_core::SyncMonConfig;
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_with_policy, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// Swept condition capacities (sets × 4 ways).
+pub const CAPACITIES: [usize; 5] = [4, 16, 64, 256, 1024];
+
+fn config_for(capacity: usize) -> SyncMonConfig {
+    SyncMonConfig {
+        sets: (capacity / 4).max(1),
+        ways: 4.min(capacity),
+        waiter_slots: (capacity / 2).max(4),
+        bloom_filters: capacity.max(4),
+    }
+}
+
+/// Runs the capacity sweep.
+pub fn run(scale: &Scale) -> Report {
+    let columns: Vec<String> = CAPACITIES.iter().map(|c| format!("{c} conds")).collect();
+    let mut r = Report::new(
+        "SyncMon capacity sweep (runtime normalized to the paper's 1024 conditions)",
+        columns.iter().map(String::as_str).collect(),
+    );
+    for kind in [
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::SleepMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+        BenchmarkKind::Pipeline,
+    ] {
+        let results: Vec<_> = CAPACITIES
+            .iter()
+            .map(|&cap| {
+                run_with_policy(
+                    kind,
+                    PolicyKind::Awg,
+                    Box::new(AwgPolicy::new().with_monitor_config(config_for(cap), 4096)),
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            })
+            .collect();
+        let base = results.last().and_then(|r| r.cycles()).unwrap_or(1).max(1);
+        let cells: Vec<Cell> = results
+            .iter()
+            .map(|res| match (res.cycles(), &res.validated) {
+                (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
+                (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                (None, _) => Cell::Deadlock,
+            })
+            .collect();
+        r.push(Row::new(kind.abbreviation(), cells));
+    }
+    r.note("Left of a row = tiny monitor (spill-heavy CP slow path). IFP must hold at every size.");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_capacities_complete_and_validate() {
+        let r = run(&Scale::quick());
+        for row in &r.rows {
+            for (col, cell) in r.columns.iter().zip(&row.cells) {
+                assert!(cell.as_num().is_some(), "{} at {col}: {cell:?}", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn full_size_is_the_normalization_base() {
+        let r = run(&Scale::quick());
+        for row in &r.rows {
+            let last = row.cells.last().unwrap().as_num().unwrap();
+            assert!((last - 1.0).abs() < 1e-9, "{}", row.label);
+        }
+    }
+}

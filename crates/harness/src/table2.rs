@@ -1,0 +1,66 @@
+//! Table 2: benchmark synchronization characteristics.
+
+use awg_workloads::BenchmarkKind;
+
+use crate::{Cell, Report, Row, Scale};
+
+/// Renders Table 2: one row per benchmark with its symbolic and concrete
+/// characteristics.
+pub fn run(scale: &Scale) -> Report {
+    let p = &scale.params;
+    let mut r = Report::new(
+        format!(
+            "Table 2: Inter-WG synchronization benchmarks (G={}, L={}, n={} WIs)",
+            p.num_wgs,
+            p.wgs_per_cluster,
+            64 * 4
+        ),
+        vec![
+            "Description",
+            "Granularity",
+            "# sync vars",
+            "(=)",
+            "# conds per var",
+            "# waiters per cond",
+            "# updates until met",
+        ],
+    );
+    for kind in BenchmarkKind::all() {
+        let c = kind.characteristics();
+        r.push(Row::new(
+            kind.abbreviation(),
+            vec![
+                Cell::Text(kind.description().into()),
+                Cell::Text(c.granularity.into()),
+                Cell::Text(c.sync_vars.to_string()),
+                Cell::Num(c.sync_vars.eval(p) as f64),
+                Cell::Text(c.conds_per_var.to_string()),
+                Cell::Text(c.waiters_per_cond.to_string()),
+                Cell::Text(c.updates_until_met.to_string()),
+            ],
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_benchmarks() {
+        let r = run(&Scale::paper());
+        assert_eq!(r.rows.len(), 16);
+        let md = r.to_markdown();
+        assert!(md.contains("SPM_G"));
+        assert!(md.contains("Test-and-set lock"));
+        assert!(md.contains("G/L"));
+    }
+
+    #[test]
+    fn concrete_values_follow_params() {
+        let r = run(&Scale::paper());
+        assert_eq!(r.cell("SLM_G", "(=)"), Some(&Cell::Num(80.0)));
+        assert_eq!(r.cell("TB_LG", "(=)"), Some(&Cell::Num(8.0)));
+    }
+}

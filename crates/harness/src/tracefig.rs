@@ -1,0 +1,211 @@
+//! Fig 6-style policy timelines: a traced run of a contended lock under a
+//! chosen policy, rendered as an event table.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{Gpu, TraceEvent};
+use awg_workloads::{BenchmarkKind, WorkloadParams};
+
+use crate::{Cell, Report, Row, Scale};
+
+/// Maximum rendered trace rows.
+pub const MAX_ROWS: usize = 60;
+
+/// Traces `policy` on a tiny contended spin mutex and renders the first
+/// scheduling events (the Fig 6 timeline signature of that policy).
+pub fn run_policy(scale: &Scale, policy: PolicyKind) -> Report {
+    let params = WorkloadParams {
+        num_wgs: 4,
+        wgs_per_cluster: 2,
+        iterations: 1,
+        ..scale.params
+    };
+    let policy_box = build_policy(policy);
+    let style = policy_box.style();
+    let built = BenchmarkKind::SpinMutexGlobal.build(&params, style);
+    let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+    gpu.enable_trace();
+    let outcome = gpu.run();
+
+    let mut r = Report::new(
+        format!("Fig 6 timeline: SPM under {}", policy.label()),
+        vec!["WG", "Event"],
+    );
+    for rec in gpu
+        .trace_records()
+        .iter()
+        .filter(|rec| !matches!(rec.event, TraceEvent::AtomicIssue { .. }))
+        .take(MAX_ROWS)
+    {
+        r.push(Row::new(
+            format!("{}", rec.cycle),
+            vec![
+                Cell::Num(rec.wg as f64),
+                Cell::Text(format!("{:?}", rec.event)),
+            ],
+        ));
+    }
+    r.note(format!(
+        "Outcome: {}",
+        if outcome.is_completed() {
+            "completed"
+        } else {
+            "did not complete"
+        }
+    ));
+    r
+}
+
+/// Default trace (AWG).
+pub fn run(scale: &Scale) -> Report {
+    run_policy(scale, PolicyKind::Awg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awg_trace_shows_scheduling_events() {
+        let r = run(&Scale::quick());
+        assert!(!r.rows.is_empty());
+        let md = r.to_markdown();
+        assert!(md.contains("Dispatch"), "{md}");
+        assert!(md.contains("completed"));
+    }
+
+    #[test]
+    fn baseline_trace_has_no_stalls() {
+        let r = run_policy(&Scale::quick(), PolicyKind::Baseline);
+        let md = r.to_markdown();
+        assert!(!md.contains("Stall"), "busy-waiting never stalls: {md}");
+    }
+}
+
+/// One character of Gantt state per WG per time bucket:
+/// `.` pending/finished, `R` running, `s` stalled, `z` sleeping,
+/// `o` saving context, `w` swapped out waiting, `i` restoring context.
+pub fn render_gantt(
+    records: &[awg_gpu::TraceRecord],
+    num_wgs: u32,
+    total_cycles: u64,
+    buckets: usize,
+) -> String {
+    use std::fmt::Write as _;
+    #[derive(Clone, Copy, PartialEq)]
+    enum S {
+        Pending,
+        Running,
+        Stalled,
+        Sleeping,
+        SwapOut,
+        Swapped,
+        SwapIn,
+        Done,
+    }
+    let glyph = |s: S| match s {
+        S::Pending | S::Done => '.',
+        S::Running => 'R',
+        S::Stalled => 's',
+        S::Sleeping => 'z',
+        S::SwapOut => 'o',
+        S::Swapped => 'w',
+        S::SwapIn => 'i',
+    };
+    let buckets = buckets.max(1);
+    let total = total_cycles.max(1);
+    let mut rows = vec![vec![glyph(S::Pending); buckets]; num_wgs as usize];
+    let mut state = vec![S::Pending; num_wgs as usize];
+    let mut since = vec![0u64; num_wgs as usize];
+
+    let fill = |wg: usize, from: u64, to: u64, s: S, rows: &mut Vec<Vec<char>>| {
+        let b0 = (from * buckets as u64 / total) as usize;
+        let b1 = ((to * buckets as u64).div_ceil(total) as usize).min(buckets);
+        for cell in rows[wg][b0..b1].iter_mut() {
+            *cell = glyph(s);
+        }
+    };
+
+    for rec in records {
+        let wg = rec.wg as usize;
+        if wg >= state.len() {
+            continue;
+        }
+        let next = match rec.event {
+            TraceEvent::Dispatch { .. } | TraceEvent::Resume => Some(S::Running),
+            TraceEvent::Stall => Some(S::Stalled),
+            TraceEvent::Sleep { .. } => Some(S::Sleeping),
+            TraceEvent::SwapOutStart => Some(S::SwapOut),
+            TraceEvent::SwapOutDone => Some(S::Swapped),
+            TraceEvent::SwapInStart => Some(S::SwapIn),
+            TraceEvent::Finish => Some(S::Done),
+            _ => None,
+        };
+        if let Some(next) = next {
+            fill(wg, since[wg], rec.cycle, state[wg], &mut rows);
+            state[wg] = next;
+            since[wg] = rec.cycle;
+        }
+    }
+    for wg in 0..state.len() {
+        fill(wg, since[wg], total, state[wg], &mut rows);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycles 0..{total} in {buckets} buckets  (R run, s stall, z sleep, o save, w swapped, i restore, . idle)"
+    );
+    for (wg, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "wg{wg:<3} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Runs a tiny contended lock under `policy` and returns the ASCII Gantt.
+pub fn gantt_for(scale: &Scale, policy: PolicyKind) -> String {
+    let params = WorkloadParams {
+        num_wgs: 4,
+        wgs_per_cluster: 2,
+        iterations: 2,
+        ..scale.params
+    };
+    let policy_box = build_policy(policy);
+    let style = policy_box.style();
+    let built = BenchmarkKind::SpinMutexGlobal.build(&params, style);
+    let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+    gpu.enable_trace();
+    let _ = gpu.run();
+    format!(
+        "SPM x4 under {}\n{}",
+        policy.label(),
+        render_gantt(gpu.trace_records(), 4, gpu.now(), 72)
+    )
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+
+    #[test]
+    fn gantt_shows_running_and_finishing() {
+        let g = gantt_for(&Scale::quick(), PolicyKind::Baseline);
+        assert!(g.contains('R'), "{g}");
+        assert_eq!(g.lines().filter(|l| l.starts_with("wg")).count(), 4);
+    }
+
+    #[test]
+    fn awg_gantt_shows_hardware_waiting() {
+        let g = gantt_for(&Scale::quick(), PolicyKind::Awg);
+        assert!(
+            g.contains('s') || g.contains('w'),
+            "no waiting states:\n{g}"
+        );
+    }
+
+    #[test]
+    fn timeout_policy_gantt_differs_from_baseline() {
+        let a = gantt_for(&Scale::quick(), PolicyKind::Baseline);
+        let b = gantt_for(&Scale::quick(), PolicyKind::Timeout);
+        assert_ne!(a, b);
+    }
+}

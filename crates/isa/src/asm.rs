@@ -1,0 +1,537 @@
+//! A text assembler for the kernel ISA.
+//!
+//! Accepts exactly the syntax [`crate::Program::disassemble`] emits (so
+//! every program round-trips), which makes it convenient to write custom
+//! kernels as plain text in tests and examples:
+//!
+//! ```
+//! let program = awg_isa::asm::assemble(
+//!     r"
+//!     ; spin until [0x1000] == 1, then bump a counter
+//!     retry:
+//!         atom_ld.wait r0, [0x1000], 0, expect=1
+//!         bne r0, 1, retry
+//!         atom_add r1, [0x1040], 1
+//!         halt
+//!     ",
+//!     "spin",
+//! ).expect("assembles");
+//! assert_eq!(program.len(), 4);
+//! ```
+//!
+//! # Syntax
+//!
+//! * one instruction per line; `;` starts a comment; blank lines ignored
+//! * `name:` binds a label; branch operands reference labels by name
+//! * registers are `r0` … `r31`; immediates are decimal or `0x…` hex
+//! * memory operands are `[base]` or `[base+rN*scale]`
+//! * atomics are `atom_<op> dst, mem, operand` with an optional `.wait`
+//!   suffix and `, expect=<operand>` tail for waiting atomics
+//! * lines may carry a leading `<pc>:` number (disassembler output)
+
+use std::collections::HashMap;
+use std::fmt;
+
+use awg_mem::AtomicOp;
+
+use crate::builder::ProgramBuilder;
+use crate::inst::{AluOp, Cond, Mem, Operand, Special};
+use crate::program::{Label, Program};
+use crate::reg::{Reg, NUM_REGS};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+struct Assembler<'a> {
+    builder: ProgramBuilder,
+    labels: HashMap<String, Label>,
+    bound: HashMap<String, usize>,
+    line: usize,
+    source_name: &'a str,
+}
+
+impl<'a> Assembler<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError {
+            line: self.line,
+            message: message.into(),
+        })
+    }
+
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.builder.new_label();
+        self.labels.insert(name.to_owned(), l);
+        l
+    }
+
+    fn parse_reg(&self, token: &str) -> Result<Reg, AsmError> {
+        let rest = token.strip_prefix('r').ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("expected register, found '{token}'"),
+        })?;
+        let index: usize = rest.parse().map_err(|_| AsmError {
+            line: self.line,
+            message: format!("bad register '{token}'"),
+        })?;
+        if index >= NUM_REGS {
+            return self.err(format!("register index {index} out of range"));
+        }
+        Ok(Reg::new(index as u8))
+    }
+
+    fn parse_int(&self, token: &str) -> Result<i64, AsmError> {
+        let (negative, body) = match token.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, token),
+        };
+        let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).map(|v| v as i64)
+        } else {
+            body.parse::<u64>().map(|v| v as i64)
+        };
+        match value {
+            Ok(v) => Ok(if negative { v.wrapping_neg() } else { v }),
+            Err(_) => self.err(format!("bad integer '{token}'")),
+        }
+    }
+
+    fn parse_operand(&self, token: &str) -> Result<Operand, AsmError> {
+        if token.starts_with('r') && token[1..].chars().all(|c| c.is_ascii_digit()) {
+            Ok(Operand::Reg(self.parse_reg(token)?))
+        } else {
+            Ok(Operand::Imm(self.parse_int(token)?))
+        }
+    }
+
+    fn parse_mem(&self, token: &str) -> Result<Mem, AsmError> {
+        let inner = token
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| AsmError {
+                line: self.line,
+                message: format!("expected memory operand like [0x40], found '{token}'"),
+            })?;
+        match inner.split_once('+') {
+            None => Ok(Mem::direct(self.parse_int(inner)? as u64)),
+            Some((base, idx)) => {
+                let base = self.parse_int(base)? as u64;
+                let (reg, scale) = match idx.split_once('*') {
+                    Some((r, s)) => (self.parse_reg(r)?, self.parse_int(s)? as u64),
+                    None => (self.parse_reg(idx)?, 1),
+                };
+                Ok(Mem::indexed(base, reg, scale))
+            }
+        }
+    }
+
+    fn parse_special(&self, token: &str) -> Result<Special, AsmError> {
+        match token {
+            "wg_id" => Ok(Special::WgId),
+            "num_wgs" => Ok(Special::NumWgs),
+            "wgs_per_cluster" => Ok(Special::WgsPerCluster),
+            "cluster_id" => Ok(Special::ClusterId),
+            "num_clusters" => Ok(Special::NumClusters),
+            other => self.err(format!("unknown special register '{other}'")),
+        }
+    }
+
+    fn atomic_op(mnemonic: &str) -> Option<AtomicOp> {
+        Some(match mnemonic {
+            "atom_ld" => AtomicOp::Load,
+            "atom_st" => AtomicOp::Store,
+            "atom_exch" => AtomicOp::Exch,
+            "atom_add" => AtomicOp::Add,
+            "atom_sub" => AtomicOp::Sub,
+            "atom_and" => AtomicOp::And,
+            "atom_or" => AtomicOp::Or,
+            "atom_xor" => AtomicOp::Xor,
+            "atom_max" => AtomicOp::Max,
+            "atom_min" => AtomicOp::Min,
+            "atom_cas" => AtomicOp::Cas,
+            _ => return None,
+        })
+    }
+
+    fn alu_op(mnemonic: &str) -> Option<AluOp> {
+        Some(match mnemonic {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            "rem" => AluOp::Rem,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "slt" => AluOp::Slt,
+            "seq" => AluOp::Seq,
+            "min" => AluOp::Min,
+            "max" => AluOp::Max,
+            _ => return None,
+        })
+    }
+
+    fn branch_cond(mnemonic: &str) -> Option<Cond> {
+        Some(match mnemonic {
+            "beq" => Cond::Eq,
+            "bne" => Cond::Ne,
+            "blt" => Cond::Lt,
+            "ble" => Cond::Le,
+            "bgt" => Cond::Gt,
+            "bge" => Cond::Ge,
+            _ => return None,
+        })
+    }
+
+    fn expect_args(&self, args: &[&str], n: usize, mnemonic: &str) -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            self.err(format!(
+                "{mnemonic} takes {n} operand(s), found {}",
+                args.len()
+            ))
+        }
+    }
+
+    fn instruction(&mut self, mnemonic: &str, args: &[&str]) -> Result<(), AsmError> {
+        if let Some(op) = Self::alu_op(mnemonic) {
+            self.expect_args(args, 3, mnemonic)?;
+            let dst = self.parse_reg(args[0])?;
+            let src = self.parse_reg(args[1])?;
+            let operand = self.parse_operand(args[2])?;
+            self.builder.alu(op, dst, src, operand);
+            return Ok(());
+        }
+        if let Some(cond) = Self::branch_cond(mnemonic) {
+            self.expect_args(args, 3, mnemonic)?;
+            let reg = self.parse_reg(args[0])?;
+            let operand = self.parse_operand(args[1])?;
+            let label = self.label(args[2]);
+            self.builder.br(cond, reg, operand, label);
+            return Ok(());
+        }
+        if let Some(op) = Self::atomic_op(mnemonic.trim_end_matches(".wait")) {
+            let waiting = mnemonic.ends_with(".wait");
+            // dst, mem, operand [, expect=<operand>]
+            let min = 3;
+            if args.len() < min {
+                return self.err(format!("{mnemonic} takes at least {min} operands"));
+            }
+            let dst = self.parse_reg(args[0])?;
+            let mem = self.parse_mem(args[1])?;
+            let operand = self.parse_operand(args[2])?;
+            let expected = match args.get(3) {
+                None => None,
+                Some(tail) => {
+                    let value = tail.strip_prefix("expect=").ok_or_else(|| AsmError {
+                        line: self.line,
+                        message: format!("expected 'expect=<value>', found '{tail}'"),
+                    })?;
+                    Some(self.parse_operand(value)?)
+                }
+            };
+            if waiting && expected.is_none() {
+                return self.err(format!("{mnemonic} requires an expect=<value> operand"));
+            }
+            if !waiting && expected.is_some() {
+                return self.err("plain atomics take no expect= operand (use .wait)");
+            }
+            self.builder.raw(crate::inst::Inst::Atom {
+                op,
+                dst,
+                mem,
+                operand,
+                expected,
+            });
+            return Ok(());
+        }
+        match mnemonic {
+            "compute" => {
+                self.expect_args(args, 1, mnemonic)?;
+                let cycles = self.parse_int(args[0])?;
+                if !(0..=u32::MAX as i64).contains(&cycles) {
+                    return self.err("compute cycles out of range");
+                }
+                self.builder.compute(cycles as u32);
+            }
+            "s_sleep" => {
+                self.expect_args(args, 1, mnemonic)?;
+                let operand = self.parse_operand(args[0])?;
+                self.builder.sleep(operand);
+            }
+            "barrier" => {
+                self.expect_args(args, 0, mnemonic)?;
+                self.builder.barrier();
+            }
+            "halt" => {
+                self.expect_args(args, 0, mnemonic)?;
+                self.builder.halt();
+            }
+            "li" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let dst = self.parse_reg(args[0])?;
+                let imm = self.parse_int(args[1])?;
+                self.builder.li(dst, imm);
+            }
+            "mov" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let dst = self.parse_reg(args[0])?;
+                let src = self.parse_reg(args[1])?;
+                self.builder.mov(dst, src);
+            }
+            "jmp" => {
+                self.expect_args(args, 1, mnemonic)?;
+                let label = self.label(args[0]);
+                self.builder.jmp(label);
+            }
+            "ld" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let dst = self.parse_reg(args[0])?;
+                let mem = self.parse_mem(args[1])?;
+                self.builder.ld(dst, mem);
+            }
+            "st" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let mem = self.parse_mem(args[0])?;
+                let operand = self.parse_operand(args[1])?;
+                self.builder.st(mem, operand);
+            }
+            "wait" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let mem = self.parse_mem(args[0])?;
+                let expected = self.parse_operand(args[1])?;
+                self.builder.wait(mem, expected);
+            }
+            "spec" => {
+                self.expect_args(args, 2, mnemonic)?;
+                let dst = self.parse_reg(args[0])?;
+                let special = self.parse_special(args[1])?;
+                self.builder.special(dst, special);
+            }
+            other => return self.err(format!("unknown mnemonic '{other}'")),
+        }
+        Ok(())
+    }
+
+    fn run(mut self, source: &str) -> Result<Program, AsmError> {
+        for (i, raw_line) in source.lines().enumerate() {
+            self.line = i + 1;
+            let mut line = raw_line;
+            if let Some(idx) = line.find(';') {
+                line = &line[..idx];
+            }
+            let mut line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Strip a leading "<pc>:" produced by the disassembler.
+            if let Some((head, tail)) = line.split_once(':') {
+                if !head.trim().is_empty() && head.trim().chars().all(|c| c.is_ascii_digit()) {
+                    line = tail.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                }
+            }
+            // Label binding?
+            if let Some(name) = line.strip_suffix(':') {
+                let name = name.trim();
+                if name.is_empty() || name.contains(char::is_whitespace) {
+                    return self.err(format!("bad label binding '{line}'"));
+                }
+                if self.bound.contains_key(name) {
+                    return self.err(format!("label '{name}' bound twice"));
+                }
+                self.bound.insert(name.to_owned(), self.builder.len());
+                let label = self.label(name);
+                self.builder.bind(label);
+                continue;
+            }
+            let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+                Some((m, r)) => (m, r.trim()),
+                None => (line, ""),
+            };
+            let args: Vec<&str> = if rest.is_empty() {
+                Vec::new()
+            } else {
+                rest.split(',').map(str::trim).collect()
+            };
+            self.instruction(mnemonic, &args)?;
+        }
+        // Unbound labels become verification errors with names attached.
+        for (name, label) in &self.labels {
+            if !self.bound.contains_key(name) {
+                return Err(AsmError {
+                    line: 0,
+                    message: format!("label '{name}' ({label}) is never bound"),
+                });
+            }
+        }
+        let name = self.source_name;
+        self.builder.build().map_err(|e| AsmError {
+            line: 0,
+            message: format!("program '{name}' failed verification: {e}"),
+        })
+    }
+}
+
+/// Assembles `source` into a verified [`Program`] named `name`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax problems, or
+/// line 0 for whole-program failures (unbound labels, verification).
+pub fn assemble(source: &str, name: &str) -> Result<Program, AsmError> {
+    Assembler {
+        builder: ProgramBuilder::new(name),
+        labels: HashMap::new(),
+        bound: HashMap::new(),
+        line: 0,
+        source_name: name,
+    }
+    .run(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn assembles_every_instruction_form() {
+        let p = assemble(
+            r"
+            start:
+                li r1, 10
+                mov r2, r1
+                add r3, r2, 0x10
+                seq r4, r3, r2
+                spec r5, cluster_id
+                ld r6, [0x1000]
+                ld r7, [0x1000+r1*8]
+                st [0x1040], r6
+                st [0x1040+r1], -5
+                atom_add r0, [0x2000], 1
+                atom_cas.wait r0, [0x2000], 1, expect=0
+                atom_ld.wait r0, [0x2000], 0, expect=1
+                wait [0x2000], 1
+                compute 500
+                s_sleep 1000
+                s_sleep r1
+                barrier
+                beq r4, 1, start
+                jmp end
+            end:
+                halt
+            ",
+            "everything",
+        )
+        .expect("assembles");
+        assert_eq!(p.len(), 20);
+        assert!(matches!(
+            p.inst(10),
+            Inst::Atom {
+                expected: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn roundtrips_with_the_disassembler() {
+        let p = assemble(
+            r"
+            loop:
+                atom_exch r0, [0x40], 1
+                bne r0, 0, loop
+                compute 100
+                atom_exch r0, [0x40], 0
+                halt
+            ",
+            "tas",
+        )
+        .unwrap();
+        let asm = p.disassemble();
+        let p2 = assemble(&asm, "tas").expect("reassembles its own output");
+        assert_eq!(p.insts(), p2.insts());
+        assert_eq!(p2.disassemble(), asm);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = assemble("li r1, 1\nfrobnicate r2\nhalt", "bad").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbound_labels() {
+        let err = assemble("jmp nowhere\nhalt", "bad").unwrap_err();
+        assert!(err.message.contains("nowhere"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_binding() {
+        let err = assemble("x:\nhalt\nx:\nhalt", "bad").unwrap_err();
+        assert!(err.message.contains("bound twice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_waiting_atomic_without_expectation() {
+        let err = assemble("atom_cas.wait r0, [0x40], 1\nhalt", "bad").unwrap_err();
+        assert!(err.message.contains("expect="), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_register_and_integer() {
+        assert!(assemble("li r99, 1\nhalt", "bad").is_err());
+        assert!(assemble("li r1, zork\nhalt", "bad").is_err());
+        assert!(
+            assemble("ld r1, 0x40\nhalt", "bad").is_err(),
+            "missing brackets"
+        );
+    }
+
+    #[test]
+    fn assembled_program_runs_functionally() {
+        use crate::functional::Machine;
+        let p = assemble(
+            r"
+                spec r1, wg_id
+                add r1, r1, 1
+                atom_add r0, [0x100], r1
+                halt
+            ",
+            "sum",
+        )
+        .unwrap();
+        let mut m = Machine::new(p, 4, 2);
+        m.run(10_000).unwrap();
+        assert_eq!(m.mem().load(0x100), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn comments_and_pc_prefixes_are_ignored() {
+        let p = assemble("; program: x\n   0: li r1, 5 ; five\n  1: halt", "x").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

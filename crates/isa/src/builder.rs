@@ -1,0 +1,388 @@
+//! Fluent construction of kernel programs.
+
+use std::fmt;
+
+use awg_mem::{Addr, AtomicOp};
+
+use crate::inst::{AluOp, Cond, Inst, Mem, Operand, Special};
+use crate::program::{Label, Program, VerifyError};
+use crate::reg::Reg;
+
+/// Why [`ProgramBuilder::build`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The finished program failed static verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Verify(e) => write!(f, "program verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<VerifyError> for BuildError {
+    fn from(e: VerifyError) -> Self {
+        BuildError::Verify(e)
+    }
+}
+
+/// Addressing sugar: anything convertible into a [`Mem`] operand.
+impl From<Addr> for Mem {
+    fn from(base: Addr) -> Self {
+        Mem::direct(base)
+    }
+}
+
+/// A label-resolving program builder.
+///
+/// # Example
+///
+/// ```
+/// use awg_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg};
+///
+/// // for (r1 = 0; r1 != 10; r1++) { compute(100); }
+/// let mut b = ProgramBuilder::new("loop10");
+/// let head = b.new_label();
+/// let done = b.new_label();
+/// b.li(Reg::R1, 0);
+/// b.bind(head);
+/// b.br(Cond::Eq, Reg::R1, Operand::Imm(10), done);
+/// b.compute(100);
+/// b.alu(AluOp::Add, Reg::R1, Reg::R1, Operand::Imm(1));
+/// b.jmp(head);
+/// b.bind(done);
+/// b.halt();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    targets: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program named `name`.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            insts: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.targets.push(None);
+        Label::new((self.targets.len() - 1) as u32)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (always a builder-logic bug).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.targets[label.id() as usize];
+        assert!(slot.is_none(), "label {label} bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Emits a raw instruction.
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits `compute cycles`.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.raw(Inst::Compute(cycles))
+    }
+
+    /// Emits `s_sleep`.
+    pub fn sleep(&mut self, cycles: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::Sleep(cycles.into()))
+    }
+
+    /// Emits an intra-WG barrier (`__syncthreads`).
+    pub fn barrier(&mut self) -> &mut Self {
+        self.raw(Inst::Barrier)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Inst::Halt)
+    }
+
+    /// Emits `li dst, imm`.
+    pub fn li(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.raw(Inst::Li(dst, imm))
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.raw(Inst::Mov(dst, src))
+    }
+
+    /// Emits `op dst, src, operand`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src: Reg, operand: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::Alu(op, dst, src, operand.into()))
+    }
+
+    /// Emits `add dst, src, operand` (sugar for the most common ALU op).
+    pub fn add(&mut self, dst: Reg, src: Reg, operand: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Add, dst, src, operand)
+    }
+
+    /// Emits an unconditional jump.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.raw(Inst::Jmp(label))
+    }
+
+    /// Emits `cond reg, operand, label`.
+    pub fn br(
+        &mut self,
+        cond: Cond,
+        reg: Reg,
+        operand: impl Into<Operand>,
+        label: Label,
+    ) -> &mut Self {
+        self.raw(Inst::Br(cond, reg, operand.into(), label))
+    }
+
+    /// Emits `ld dst, mem`.
+    pub fn ld(&mut self, dst: Reg, mem: impl Into<Mem>) -> &mut Self {
+        self.raw(Inst::Ld(dst, mem.into()))
+    }
+
+    /// Emits `st mem, operand`.
+    pub fn st(&mut self, mem: impl Into<Mem>, operand: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::St(mem.into(), operand.into()))
+    }
+
+    /// Emits a plain atomic.
+    pub fn atom(
+        &mut self,
+        op: AtomicOp,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        operand: impl Into<Operand>,
+    ) -> &mut Self {
+        self.raw(Inst::Atom {
+            op,
+            dst,
+            mem: mem.into(),
+            operand: operand.into(),
+            expected: None,
+        })
+    }
+
+    /// Emits a *waiting atomic* (§IV.D): the op executes and, when the
+    /// observed value differs from `expected`, the WG enters the waiting
+    /// state with no race window.
+    pub fn atom_wait(
+        &mut self,
+        op: AtomicOp,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        operand: impl Into<Operand>,
+        expected: impl Into<Operand>,
+    ) -> &mut Self {
+        self.raw(Inst::Atom {
+            op,
+            dst,
+            mem: mem.into(),
+            operand: operand.into(),
+            expected: Some(expected.into()),
+        })
+    }
+
+    /// Emits `atom_exch dst, mem, operand`.
+    pub fn atom_exch(
+        &mut self,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        operand: impl Into<Operand>,
+    ) -> &mut Self {
+        self.atom(AtomicOp::Exch, dst, mem, operand)
+    }
+
+    /// Emits `atom_add dst, mem, operand`.
+    pub fn atom_add(
+        &mut self,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        operand: impl Into<Operand>,
+    ) -> &mut Self {
+        self.atom(AtomicOp::Add, dst, mem, operand)
+    }
+
+    /// Emits an atomic load (`atomicLoad`).
+    pub fn atom_load(&mut self, dst: Reg, mem: impl Into<Mem>) -> &mut Self {
+        self.atom(AtomicOp::Load, dst, mem, 0i64)
+    }
+
+    /// Emits the paper's proposed **compare-and-wait**: an atomic load that
+    /// waits on `expected` when the comparison fails (Fig 10, lower half).
+    pub fn atom_cmp_wait(
+        &mut self,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        expected: impl Into<Operand>,
+    ) -> &mut Self {
+        self.atom_wait(AtomicOp::Load, dst, mem, 0i64, expected)
+    }
+
+    /// Emits `atom_cas dst, mem, swap, expected` (CAS is inherently a
+    /// waiting atomic — "a perfect candidate", §IV.D).
+    pub fn atom_cas(
+        &mut self,
+        dst: Reg,
+        mem: impl Into<Mem>,
+        swap: impl Into<Operand>,
+        expected: impl Into<Operand>,
+    ) -> &mut Self {
+        self.atom_wait(AtomicOp::Cas, dst, mem, swap, expected)
+    }
+
+    /// Emits the standalone `wait` instruction (MonR*/MonRS* policies; has
+    /// the Fig 10 window-of-vulnerability race).
+    pub fn wait(&mut self, mem: impl Into<Mem>, expected: impl Into<Operand>) -> &mut Self {
+        self.raw(Inst::Wait {
+            mem: mem.into(),
+            expected: expected.into(),
+        })
+    }
+
+    /// Emits `spec dst, special`.
+    pub fn special(&mut self, dst: Reg, special: Special) -> &mut Self {
+        self.raw(Inst::Special(dst, special))
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finishes and verifies the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Verify`] when static verification fails (empty
+    /// program, unbound label, fall-through end, …).
+    pub fn build(self) -> Result<Program, BuildError> {
+        let program = Program::from_parts(self.name, self.insts, self.targets);
+        program.verify()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minimal_program() {
+        let mut b = ProgramBuilder::new("min");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.name(), "min");
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        let b = ProgramBuilder::new("empty");
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::Verify(VerifyError::Empty))
+        ));
+    }
+
+    #[test]
+    fn unbound_label_fails_build() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.new_label();
+        b.jmp(l);
+        b.halt();
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::Verify(VerifyError::UnboundLabel(_)))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("dup");
+        let l = b.new_label();
+        b.bind(l);
+        b.halt();
+        b.bind(l);
+    }
+
+    #[test]
+    fn labels_resolve_to_bind_points() {
+        let mut b = ProgramBuilder::new("lbl");
+        let head = b.new_label();
+        b.li(Reg::R0, 0);
+        b.bind(head);
+        b.compute(1);
+        b.jmp(head);
+        let p = b.build().unwrap();
+        assert_eq!(p.target(head), 1);
+    }
+
+    #[test]
+    fn sugar_emits_expected_instructions() {
+        let mut b = ProgramBuilder::new("sugar");
+        b.atom_cmp_wait(Reg::R0, 128u64, 1i64);
+        b.atom_cas(Reg::R1, 64u64, 1i64, 0i64);
+        b.halt();
+        let p = b.build().unwrap();
+        match p.inst(0) {
+            Inst::Atom {
+                op: AtomicOp::Load,
+                expected: Some(Operand::Imm(1)),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.inst(1) {
+            Inst::Atom {
+                op: AtomicOp::Cas,
+                expected: Some(Operand::Imm(0)),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.static_atomics(), 2);
+    }
+
+    #[test]
+    fn fall_through_end_fails() {
+        let mut b = ProgramBuilder::new("fall");
+        b.compute(5);
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::Verify(VerifyError::FallsOffEnd))
+        ));
+    }
+}

@@ -1,0 +1,484 @@
+//! Functional (untimed) execution of kernel programs.
+//!
+//! The timing simulator lives in `awg-gpu`; this machine exists so that
+//! workload generators can unit-test the *correctness* of their
+//! synchronization algorithms in isolation: every WG is stepped one
+//! instruction at a time in round-robin order (a fair scheduler with all WGs
+//! resident), so a correct algorithm must terminate, and its post-conditions
+//! (lock counts, barrier phases, account balances) can be asserted against
+//! the functional memory.
+
+use std::fmt;
+
+use awg_mem::{atomic, AtomicRequest, Backing};
+
+use crate::inst::{Inst, Mem, Operand, Special};
+use crate::program::Program;
+use crate::reg::{Reg, RegFile};
+
+/// Execution state of one WG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WgOutcome {
+    /// Still executing.
+    Running,
+    /// Reached `halt`.
+    Halted,
+}
+
+/// Why functional execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionalError {
+    /// The fuel budget ran out with WGs still running — for a correct
+    /// program under fair scheduling this indicates livelock/deadlock.
+    OutOfFuel {
+        /// Instructions executed before giving up.
+        steps: u64,
+        /// Number of WGs still running.
+        unfinished: usize,
+        /// `(wg, pc, disassembled instruction)` for each stuck WG (capped
+        /// at eight entries) — the livelock diagnosis.
+        stuck_at: Vec<(u64, usize, String)>,
+    },
+}
+
+impl fmt::Display for FunctionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalError::OutOfFuel {
+                steps,
+                unfinished,
+                stuck_at,
+            } => {
+                write!(
+                    f,
+                    "out of fuel after {steps} steps with {unfinished} WGs unfinished"
+                )?;
+                for (wg, pc, inst) in stuck_at {
+                    write!(f, "; wg{wg} at pc {pc}: {inst}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FunctionalError {}
+
+#[derive(Debug, Clone)]
+struct WgCtx {
+    id: u64,
+    pc: usize,
+    regs: RegFile,
+    halted: bool,
+}
+
+/// A fair round-robin functional machine executing one program across many
+/// WGs.
+///
+/// # Example
+///
+/// ```
+/// use awg_isa::{Machine, ProgramBuilder, Reg, Special};
+/// use awg_mem::AtomicOp;
+///
+/// // Every WG atomically adds its id+1 to a counter at address 64.
+/// let mut b = ProgramBuilder::new("sum");
+/// b.special(Reg::R1, Special::WgId);
+/// b.add(Reg::R1, Reg::R1, 1i64);
+/// b.atom(AtomicOp::Add, Reg::R0, 64u64, Reg::R1);
+/// b.halt();
+/// let p = b.build().unwrap();
+///
+/// let mut m = Machine::new(p, 4, 4);
+/// m.run(10_000).unwrap();
+/// assert_eq!(m.mem().load(64), 1 + 2 + 3 + 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Program,
+    mem: Backing,
+    wgs: Vec<WgCtx>,
+    num_wgs: u64,
+    wgs_per_cluster: u64,
+    steps: u64,
+}
+
+impl Machine {
+    /// Creates a machine running `program` on `num_wgs` WGs with the given
+    /// cluster width (the paper's `L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_wgs == 0` or `wgs_per_cluster == 0`, or if the program
+    /// fails verification.
+    pub fn new(program: Program, num_wgs: u64, wgs_per_cluster: u64) -> Self {
+        assert!(num_wgs > 0, "need at least one WG");
+        assert!(wgs_per_cluster > 0, "cluster width must be positive");
+        program.verify().expect("program must verify");
+        let wgs = (0..num_wgs)
+            .map(|id| WgCtx {
+                id,
+                pc: 0,
+                regs: RegFile::new(),
+                halted: false,
+            })
+            .collect();
+        Machine {
+            program,
+            mem: Backing::new(),
+            wgs,
+            num_wgs,
+            wgs_per_cluster,
+            steps: 0,
+        }
+    }
+
+    /// The functional memory (for post-condition assertions).
+    pub fn mem(&self) -> &Backing {
+        &self.mem
+    }
+
+    /// Mutable access to memory, e.g. for initializing workload state before
+    /// running.
+    pub fn mem_mut(&mut self) -> &mut Backing {
+        &mut self.mem
+    }
+
+    /// Reads a register of a WG (debugging / assertions).
+    pub fn wg_reg(&self, wg: u64, reg: Reg) -> i64 {
+        self.wgs[wg as usize].regs.get(reg)
+    }
+
+    /// Execution state of a WG.
+    pub fn wg_outcome(&self, wg: u64) -> WgOutcome {
+        if self.wgs[wg as usize].halted {
+            WgOutcome::Halted
+        } else {
+            WgOutcome::Running
+        }
+    }
+
+    /// Total instructions executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn operand(regs: &RegFile, op: Operand) -> i64 {
+        match op {
+            Operand::Imm(v) => v,
+            Operand::Reg(r) => regs.get(r),
+        }
+    }
+
+    fn resolve(regs: &RegFile, mem: Mem) -> u64 {
+        match mem.index {
+            None => mem.base,
+            Some(r) => mem
+                .base
+                .wrapping_add((regs.get(r) as u64).wrapping_mul(mem.scale)),
+        }
+    }
+
+    fn special_value(&self, wg: &WgCtx, s: Special) -> i64 {
+        match s {
+            Special::WgId => wg.id as i64,
+            Special::NumWgs => self.num_wgs as i64,
+            Special::WgsPerCluster => self.wgs_per_cluster as i64,
+            Special::ClusterId => (wg.id / self.wgs_per_cluster) as i64,
+            Special::NumClusters => self.num_wgs.div_ceil(self.wgs_per_cluster) as i64,
+        }
+    }
+
+    /// Executes one instruction of WG `i`. Returns `true` if it halted.
+    fn step_wg(&mut self, i: usize) -> bool {
+        let pc = self.wgs[i].pc;
+        let inst = *self.program.inst(pc);
+        self.steps += 1;
+        let mut next_pc = pc + 1;
+        match inst {
+            Inst::Compute(_) | Inst::Barrier => {}
+            Inst::Sleep(_) | Inst::Wait { .. } => {
+                // Timing-only instructions: functional no-ops.
+            }
+            Inst::Halt => {
+                self.wgs[i].halted = true;
+                return true;
+            }
+            Inst::Li(d, v) => self.wgs[i].regs.set(d, v),
+            Inst::Mov(d, s) => {
+                let v = self.wgs[i].regs.get(s);
+                self.wgs[i].regs.set(d, v);
+            }
+            Inst::Alu(op, d, s, o) => {
+                let a = self.wgs[i].regs.get(s);
+                let b = Self::operand(&self.wgs[i].regs, o);
+                self.wgs[i].regs.set(d, op.apply(a, b));
+            }
+            Inst::Jmp(l) => next_pc = self.program.target(l),
+            Inst::Br(c, r, o, l) => {
+                let a = self.wgs[i].regs.get(r);
+                let b = Self::operand(&self.wgs[i].regs, o);
+                if c.holds(a, b) {
+                    next_pc = self.program.target(l);
+                }
+            }
+            Inst::Ld(d, m) => {
+                let addr = Self::resolve(&self.wgs[i].regs, m);
+                let v = self.mem.load(addr);
+                self.wgs[i].regs.set(d, v);
+            }
+            Inst::St(m, o) => {
+                let addr = Self::resolve(&self.wgs[i].regs, m);
+                let v = Self::operand(&self.wgs[i].regs, o);
+                self.mem.store(addr, v);
+            }
+            Inst::Atom {
+                op,
+                dst,
+                mem,
+                operand,
+                expected,
+            } => {
+                let addr = Self::resolve(&self.wgs[i].regs, mem);
+                let operand = Self::operand(&self.wgs[i].regs, operand);
+                let expected = expected.map(|e| Self::operand(&self.wgs[i].regs, e));
+                let result = atomic::execute(
+                    &mut self.mem,
+                    AtomicRequest {
+                        op,
+                        addr,
+                        operand,
+                        expected,
+                    },
+                );
+                self.wgs[i].regs.set(dst, result.old);
+            }
+            Inst::Special(d, s) => {
+                let v = self.special_value(&self.wgs[i], s);
+                self.wgs[i].regs.set(d, v);
+            }
+        }
+        self.wgs[i].pc = next_pc;
+        false
+    }
+
+    /// Runs all WGs round-robin until every WG halts or `fuel` instructions
+    /// have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FunctionalError::OutOfFuel`] when the budget is exhausted —
+    /// for a correct synchronization algorithm this means livelock.
+    pub fn run(&mut self, fuel: u64) -> Result<u64, FunctionalError> {
+        let start = self.steps;
+        loop {
+            let mut any_running = false;
+            for i in 0..self.wgs.len() {
+                if self.wgs[i].halted {
+                    continue;
+                }
+                any_running = true;
+                self.step_wg(i);
+                if self.steps - start >= fuel {
+                    let unfinished = self.wgs.iter().filter(|w| !w.halted).count();
+                    if unfinished > 0 {
+                        let stuck_at = self
+                            .wgs
+                            .iter()
+                            .filter(|w| !w.halted)
+                            .take(8)
+                            .map(|w| (w.id, w.pc, self.program.inst(w.pc).to_string()))
+                            .collect();
+                        return Err(FunctionalError::OutOfFuel {
+                            steps: self.steps - start,
+                            unfinished,
+                            stuck_at,
+                        });
+                    }
+                }
+            }
+            if !any_running {
+                return Ok(self.steps - start);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{AluOp, Cond};
+
+    #[test]
+    fn single_wg_arithmetic() {
+        let mut b = ProgramBuilder::new("arith");
+        b.li(Reg::R1, 6);
+        b.alu(AluOp::Mul, Reg::R2, Reg::R1, 7i64);
+        b.st(64u64, Reg::R2);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 1, 1);
+        m.run(100).unwrap();
+        assert_eq!(m.mem().load(64), 42);
+        assert_eq!(m.wg_outcome(0), WgOutcome::Halted);
+    }
+
+    #[test]
+    fn specials_expose_launch_env() {
+        let mut b = ProgramBuilder::new("spec");
+        b.special(Reg::R1, Special::WgId);
+        b.special(Reg::R2, Special::NumWgs);
+        b.special(Reg::R3, Special::ClusterId);
+        b.special(Reg::R4, Special::NumClusters);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 6, 2);
+        m.run(1000).unwrap();
+        assert_eq!(m.wg_reg(5, Reg::R1), 5);
+        assert_eq!(m.wg_reg(5, Reg::R2), 6);
+        assert_eq!(m.wg_reg(5, Reg::R3), 2);
+        assert_eq!(m.wg_reg(0, Reg::R4), 3);
+    }
+
+    #[test]
+    fn spin_lock_serializes_counter_updates() {
+        // Classic test-and-set mutex around a non-atomic read-modify-write.
+        let lock = 64u64;
+        let counter = 128u64;
+        let mut b = ProgramBuilder::new("spm");
+        let retry = b.new_label();
+        b.bind(retry);
+        b.atom_exch(Reg::R0, lock, 1i64);
+        b.br(Cond::Ne, Reg::R0, Operand::Imm(0), retry);
+        // critical section: counter++ via plain ld/st
+        b.ld(Reg::R1, counter);
+        b.add(Reg::R1, Reg::R1, 1i64);
+        b.st(counter, Reg::R1);
+        b.atom_exch(Reg::R0, lock, 0i64); // release
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 16, 4);
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.mem().load(counter), 16);
+        assert_eq!(m.mem().load(lock), 0);
+    }
+
+    #[test]
+    fn ticket_lock_orders_all_wgs() {
+        let tail = 64u64;
+        let now_serving = 128u64;
+        let counter = 192u64;
+        let mut b = ProgramBuilder::new("fam");
+        b.atom_add(Reg::R1, tail, 1i64); // my ticket
+        let spin = b.new_label();
+        b.bind(spin);
+        b.atom_load(Reg::R2, now_serving);
+        b.br(Cond::Ne, Reg::R2, Operand::Reg(Reg::R1), spin);
+        b.ld(Reg::R3, counter);
+        b.add(Reg::R3, Reg::R3, 1i64);
+        b.st(counter, Reg::R3);
+        b.atom_add(Reg::R0, now_serving, 1i64);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 8, 4);
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.mem().load(counter), 8);
+        assert_eq!(m.mem().load(now_serving), 8);
+    }
+
+    #[test]
+    fn sense_reversing_barrier_completes() {
+        // count at 64, sense at 128; every WG arrives once.
+        let count = 64u64;
+        let sense = 128u64;
+        let n = 8i64;
+        let mut b = ProgramBuilder::new("bar");
+        b.atom_add(Reg::R1, count, 1i64);
+        let last = b.new_label();
+        let spin = b.new_label();
+        let done = b.new_label();
+        b.br(Cond::Eq, Reg::R1, Operand::Imm(n - 1), last);
+        b.bind(spin);
+        b.atom_load(Reg::R2, sense);
+        b.br(Cond::Eq, Reg::R2, Operand::Imm(0), spin);
+        b.jmp(done);
+        b.bind(last);
+        b.atom_exch(Reg::R0, sense, 1i64);
+        b.bind(done);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), n as u64, 4);
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.mem().load(count), n);
+        assert_eq!(m.mem().load(sense), 1);
+    }
+
+    #[test]
+    fn livelock_reports_out_of_fuel() {
+        let mut b = ProgramBuilder::new("hang");
+        let spin = b.new_label();
+        b.bind(spin);
+        b.atom_load(Reg::R0, 64u64);
+        b.br(Cond::Eq, Reg::R0, Operand::Imm(0), spin); // never satisfied
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 2, 2);
+        let err = m.run(10_000).unwrap_err();
+        match err {
+            FunctionalError::OutOfFuel {
+                unfinished,
+                ref stuck_at,
+                ..
+            } => {
+                assert_eq!(unfinished, 2);
+                assert_eq!(stuck_at.len(), 2);
+                assert!(
+                    err.to_string().contains("atom_ld") || err.to_string().contains("bne"),
+                    "diagnosis should name the spin: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waiting_atomics_are_functionally_transparent() {
+        // compare-and-wait behaves like atomicLoad functionally; the machine
+        // keeps re-executing the loop (fair scheduling).
+        let flag = 64u64;
+        let mut b = ProgramBuilder::new("cmpwait");
+        b.special(Reg::R1, Special::WgId);
+        let consumer_spin = b.new_label();
+        let producer = b.new_label();
+        let done = b.new_label();
+        b.br(Cond::Eq, Reg::R1, Operand::Imm(0), producer);
+        b.bind(consumer_spin);
+        b.atom_cmp_wait(Reg::R2, flag, 1i64);
+        b.br(Cond::Ne, Reg::R2, Operand::Imm(1), consumer_spin);
+        b.jmp(done);
+        b.bind(producer);
+        b.compute(10);
+        b.atom_exch(Reg::R0, flag, 1i64);
+        b.bind(done);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 4, 4);
+        m.run(100_000).unwrap();
+        for wg in 0..4 {
+            assert_eq!(m.wg_outcome(wg), WgOutcome::Halted);
+        }
+    }
+
+    #[test]
+    fn mem_init_before_run() {
+        let mut b = ProgramBuilder::new("rd");
+        b.ld(Reg::R1, 64u64);
+        b.st(128u64, Reg::R1);
+        b.halt();
+        let mut m = Machine::new(b.build().unwrap(), 1, 1);
+        m.mem_mut().store(64, 77);
+        m.run(100).unwrap();
+        assert_eq!(m.mem().load(128), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one WG")]
+    fn zero_wgs_rejected() {
+        let mut b = ProgramBuilder::new("x");
+        b.halt();
+        Machine::new(b.build().unwrap(), 0, 1);
+    }
+}

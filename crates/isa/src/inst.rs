@@ -1,0 +1,404 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use awg_mem::{Addr, AtomicOp};
+
+use crate::program::Label;
+use crate::reg::Reg;
+
+/// An instruction operand: immediate or register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A 64-bit immediate.
+    Imm(i64),
+    /// A register value.
+    Reg(Reg),
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A memory address expression: `base + index * scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mem {
+    /// Static base address.
+    pub base: Addr,
+    /// Optional index register.
+    pub index: Option<Reg>,
+    /// Byte scale applied to the index (ignored when `index` is `None`).
+    pub scale: u64,
+}
+
+impl Mem {
+    /// A direct address with no indexing.
+    pub fn direct(base: Addr) -> Self {
+        Mem {
+            base,
+            index: None,
+            scale: 1,
+        }
+    }
+
+    /// `base + index * scale`.
+    pub fn indexed(base: Addr, index: Reg, scale: u64) -> Self {
+        Mem {
+            base,
+            index: Some(index),
+            scale,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            None => write!(f, "[{:#x}]", self.base),
+            Some(r) => write!(f, "[{:#x}+{}*{}]", self.base, r, self.scale),
+        }
+    }
+}
+
+/// Two-operand ALU operations (`dst = op(src, operand)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (wrapping).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Multiplication (wrapping).
+    Mul,
+    /// Division (toward zero; division by zero yields 0, like GPU hardware).
+    Div,
+    /// Remainder (remainder by zero yields 0).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount masked to 63).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 63).
+    Shr,
+    /// Set if less-than (1/0).
+    Slt,
+    /// Set if equal (1/0).
+    Seq,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Slt => (a < b) as i64,
+            AluOp::Seq => (a == b) as i64,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Slt => "slt",
+            AluOp::Seq => "seq",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        }
+    }
+}
+
+/// Branch conditions comparing a register against an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Le => "ble",
+            Cond::Gt => "bgt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+/// Launch-environment values readable by a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// Flat work-group id within the grid (0-based).
+    WgId,
+    /// Total number of work-groups in the grid.
+    NumWgs,
+    /// Work-groups per scheduling cluster (the paper's `L`, WGs per CU at
+    /// launch — used by locally-scoped benchmarks to pick their sync var).
+    WgsPerCluster,
+    /// `WgId / WgsPerCluster` (convenience).
+    ClusterId,
+    /// Number of clusters (`NumWgs / WgsPerCluster`, rounded up).
+    NumClusters,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::WgId => "wg_id",
+            Special::NumWgs => "num_wgs",
+            Special::WgsPerCluster => "wgs_per_cluster",
+            Special::ClusterId => "cluster_id",
+            Special::NumClusters => "num_clusters",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A kernel instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Occupy the SIMDs for the given number of cycles (models a stretch of
+    /// data-parallel work, e.g. the critical-section body).
+    Compute(u32),
+    /// `s_sleep`: stall the WG for the cycle count in the operand without
+    /// releasing resources (§IV.C.i).
+    Sleep(Operand),
+    /// `__syncthreads`: join all wavefronts of the WG (intra-WG barrier).
+    Barrier,
+    /// Terminate the WG.
+    Halt,
+    /// Load immediate: `dst = imm`.
+    Li(Reg, i64),
+    /// Register move: `dst = src`.
+    Mov(Reg, Reg),
+    /// ALU: `dst = op(src, operand)`.
+    Alu(AluOp, Reg, Reg, Operand),
+    /// Unconditional jump.
+    Jmp(Label),
+    /// Conditional branch: `if cond(reg, operand) goto label`.
+    Br(Cond, Reg, Operand, Label),
+    /// Global load through L1/L2: `dst = mem[addr]`.
+    Ld(Reg, Mem),
+    /// Global store (write-through): `mem[addr] = operand`.
+    St(Mem, Operand),
+    /// Atomic performed at the L2. With `expected` this is a *waiting
+    /// atomic*: on comparison failure the WG enters the waiting state
+    /// registered atomically with the operation (§IV.D).
+    Atom {
+        /// Operation.
+        op: AtomicOp,
+        /// Destination register for the old value.
+        dst: Reg,
+        /// Target address.
+        mem: Mem,
+        /// Data operand.
+        operand: Operand,
+        /// Expected value, making this a waiting atomic.
+        expected: Option<Operand>,
+    },
+    /// The standalone `wait` instruction: arm the SyncMon on
+    /// `(addr, expected)` and enter the waiting state. Subject to the
+    /// window-of-vulnerability race (Fig 10) — an update between the
+    /// preceding condition check and this instruction can be missed, so
+    /// policies using it need a fallback timeout.
+    Wait {
+        /// Monitored address.
+        mem: Mem,
+        /// Value to wait for.
+        expected: Operand,
+    },
+    /// Read a launch-environment value.
+    Special(Reg, Special),
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Compute(c) => write!(f, "compute {c}"),
+            Inst::Sleep(n) => write!(f, "s_sleep {n}"),
+            Inst::Barrier => write!(f, "barrier"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Li(d, v) => write!(f, "li {d}, {v}"),
+            Inst::Mov(d, s) => write!(f, "mov {d}, {s}"),
+            Inst::Alu(op, d, s, o) => write!(f, "{} {d}, {s}, {o}", op.mnemonic()),
+            Inst::Jmp(l) => write!(f, "jmp {l}"),
+            Inst::Br(c, r, o, l) => write!(f, "{} {r}, {o}, {l}", c.mnemonic()),
+            Inst::Ld(d, m) => write!(f, "ld {d}, {m}"),
+            Inst::St(m, o) => write!(f, "st {m}, {o}"),
+            Inst::Atom {
+                op,
+                dst,
+                mem,
+                operand,
+                expected,
+            } => match expected {
+                None => write!(f, "{op} {dst}, {mem}, {operand}"),
+                Some(e) => write!(f, "{op}.wait {dst}, {mem}, {operand}, expect={e}"),
+            },
+            Inst::Wait { mem, expected } => write!(f, "wait {mem}, {expected}"),
+            Inst::Special(d, s) => write!(f, "spec {d}, {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), -1);
+        assert_eq!(AluOp::Mul.apply(-4, 3), -12);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Rem.apply(7, 4), 3);
+        assert_eq!(AluOp::Rem.apply(7, 0), 0);
+        assert_eq!(AluOp::Slt.apply(1, 2), 1);
+        assert_eq!(AluOp::Slt.apply(2, 2), 0);
+        assert_eq!(AluOp::Seq.apply(5, 5), 1);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(-8, 1), -4);
+        assert_eq!(AluOp::Min.apply(3, -1), -1);
+        assert_eq!(AluOp::Max.apply(3, -1), 3);
+    }
+
+    #[test]
+    fn alu_wrapping_never_panics() {
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Mul.apply(i64::MAX, 2), -2);
+        assert_eq!(AluOp::Shl.apply(1, 200), 1 << (200 & 63));
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.holds(1, 1));
+        assert!(Cond::Ne.holds(1, 2));
+        assert!(Cond::Lt.holds(1, 2));
+        assert!(Cond::Le.holds(2, 2));
+        assert!(Cond::Gt.holds(3, 2));
+        assert!(Cond::Ge.holds(2, 2));
+        assert!(!Cond::Lt.holds(2, 2));
+    }
+
+    #[test]
+    fn display_renders_all_forms() {
+        use awg_mem::AtomicOp;
+        let insts = [
+            Inst::Compute(100),
+            Inst::Sleep(Operand::Imm(1000)),
+            Inst::Barrier,
+            Inst::Halt,
+            Inst::Li(Reg::R1, -3),
+            Inst::Mov(Reg::R1, Reg::R2),
+            Inst::Alu(AluOp::Add, Reg::R0, Reg::R1, Operand::Imm(1)),
+            Inst::Jmp(Label::untracked(4)),
+            Inst::Br(Cond::Ne, Reg::R0, Operand::Imm(0), Label::untracked(0)),
+            Inst::Ld(Reg::R3, Mem::direct(64)),
+            Inst::St(Mem::indexed(64, Reg::R1, 8), Operand::Reg(Reg::R2)),
+            Inst::Atom {
+                op: AtomicOp::Cas,
+                dst: Reg::R0,
+                mem: Mem::direct(64),
+                operand: Operand::Imm(1),
+                expected: Some(Operand::Imm(0)),
+            },
+            Inst::Wait {
+                mem: Mem::direct(64),
+                expected: Operand::Imm(1),
+            },
+            Inst::Special(Reg::R5, Special::WgId),
+        ];
+        for inst in insts {
+            assert!(!inst.to_string().is_empty());
+        }
+        assert_eq!(insts[4].to_string(), "li r1, -3");
+        assert!(insts[11].to_string().contains("expect=0"));
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(5i64), Operand::Imm(5));
+        assert_eq!(Operand::from(Reg::R2), Operand::Reg(Reg::R2));
+    }
+}

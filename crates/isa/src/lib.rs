@@ -1,0 +1,53 @@
+//! The kernel mini-ISA for the AWG GPU simulator.
+//!
+//! HeteroSync's inter-work-group synchronization lives in a small set of
+//! operations: atomics on global sync variables, intra-WG barriers
+//! (`__syncthreads`), sleep instructions (`s_sleep`), plain loads/stores of
+//! shared data, and loops around them. This crate defines a register-machine
+//! ISA with exactly those operations — including the paper's two proposed
+//! instructions:
+//!
+//! * **waiting atomics** (§IV.D): any [`Inst::Atom`] may carry an `expected`
+//!   operand; on mismatch the issuing WG enters a waiting state registered
+//!   atomically at the L2 (no window of vulnerability), and
+//! * the **`wait` instruction** (§IV.C.iii–iv): [`Inst::Wait`] arms the
+//!   SyncMon *after* the condition was checked by a separate atomic, which
+//!   preserves the paper's race window for the MonR*/MonRS* policies.
+//!
+//! Programs are built with [`ProgramBuilder`], statically checked by
+//! [`Program::verify`], and executed either functionally (this crate's
+//! [`functional`] machine, used to unit-test workload correctness) or with
+//! full timing by the `awg-gpu` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use awg_isa::{Cond, Operand, ProgramBuilder, Reg};
+//!
+//! // A tiny spin loop: while (atomicExch(lock, 1) != 0) {}
+//! let mut b = ProgramBuilder::new("spin");
+//! let retry = b.new_label();
+//! b.bind(retry);
+//! b.atom_exch(Reg::R0, 64, Operand::Imm(1));
+//! b.br(Cond::Ne, Reg::R0, Operand::Imm(0), retry);
+//! b.halt();
+//! let program = b.build().expect("valid program");
+//! assert_eq!(program.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod builder;
+pub mod functional;
+pub mod inst;
+pub mod program;
+pub mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{BuildError, ProgramBuilder};
+pub use functional::{FunctionalError, Machine, WgOutcome};
+pub use inst::{AluOp, Cond, Inst, Mem, Operand, Special};
+pub use program::{Label, Program, VerifyError};
+pub use reg::{Reg, RegFile, NUM_REGS};

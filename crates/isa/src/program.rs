@@ -1,0 +1,306 @@
+//! Programs: verified, label-resolved instruction sequences.
+
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// A branch target. Labels are created and bound by
+/// [`crate::ProgramBuilder`]; a built [`Program`] resolves them to
+/// instruction indices via [`Program::target`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    pub(crate) fn new(id: u32) -> Self {
+        Label(id)
+    }
+
+    /// The label's id (an index into the program's target table).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a label with a raw id, bypassing the builder. Only useful for
+    /// constructing instructions outside a builder (tests, display).
+    pub fn untracked(id: usize) -> Self {
+        Label(id as u32)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Why a program failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    Empty,
+    /// A branch references a label that was never bound.
+    UnboundLabel(Label),
+    /// A bound label points outside the program.
+    TargetOutOfRange {
+        /// The offending label.
+        label: Label,
+        /// Its out-of-range target.
+        target: usize,
+    },
+    /// The last instruction can fall off the end of the program.
+    FallsOffEnd,
+    /// An indexed memory operand has a zero scale (almost certainly a bug).
+    ZeroScale {
+        /// Index of the offending instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "program is empty"),
+            VerifyError::UnboundLabel(l) => write!(f, "label {l} is never bound"),
+            VerifyError::TargetOutOfRange { label, target } => {
+                write!(f, "label {label} targets out-of-range pc {target}")
+            }
+            VerifyError::FallsOffEnd => {
+                write!(
+                    f,
+                    "last instruction may fall off the end (must be halt or jmp)"
+                )
+            }
+            VerifyError::ZeroScale { pc } => {
+                write!(f, "indexed memory operand with zero scale at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A verified kernel program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    targets: Vec<Option<usize>>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(name: String, insts: Vec<Inst>, targets: Vec<Option<usize>>) -> Self {
+        Program {
+            name,
+            insts,
+            targets,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn inst(&self, pc: usize) -> &Inst {
+        &self.insts[pc]
+    }
+
+    /// All instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Resolves a label to its instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is unbound (verification rejects such programs).
+    #[inline]
+    pub fn target(&self, label: Label) -> usize {
+        self.targets[label.id() as usize].expect("unbound label in verified program")
+    }
+
+    /// Statically checks the program: non-empty, all labels bound and in
+    /// range, no fall-through off the end, no zero-scale indexed operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        if self.insts.is_empty() {
+            return Err(VerifyError::Empty);
+        }
+        let mut used_labels: Vec<Label> = Vec::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Jmp(l) | Inst::Br(_, _, _, l) => used_labels.push(*l),
+                Inst::Ld(_, m)
+                | Inst::St(m, _)
+                | Inst::Atom { mem: m, .. }
+                | Inst::Wait { mem: m, .. }
+                    if m.index.is_some() && m.scale == 0 =>
+                {
+                    return Err(VerifyError::ZeroScale { pc });
+                }
+                _ => {}
+            }
+        }
+        for label in used_labels {
+            match self.targets.get(label.id() as usize).copied().flatten() {
+                None => return Err(VerifyError::UnboundLabel(label)),
+                Some(t) if t >= self.insts.len() => {
+                    return Err(VerifyError::TargetOutOfRange { label, target: t })
+                }
+                Some(_) => {}
+            }
+        }
+        match self.insts.last() {
+            Some(Inst::Halt) | Some(Inst::Jmp(_)) => Ok(()),
+            _ => Err(VerifyError::FallsOffEnd),
+        }
+    }
+
+    /// Number of static atomic instructions (plain + waiting).
+    pub fn static_atomics(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Atom { .. }))
+            .count()
+    }
+
+    /// Renders the program as annotated assembly.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "; program: {}", self.name);
+        for (pc, inst) in self.insts.iter().enumerate() {
+            // Print label markers for any label bound at this pc.
+            for (id, target) in self.targets.iter().enumerate() {
+                if *target == Some(pc) {
+                    let _ = writeln!(out, "L{id}:");
+                }
+            }
+            let _ = writeln!(out, "  {pc:4}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Operand};
+    use crate::reg::Reg;
+
+    fn prog(insts: Vec<Inst>, targets: Vec<Option<usize>>) -> Program {
+        Program::from_parts("t".into(), insts, targets)
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(prog(vec![], vec![]).verify(), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let p = prog(vec![Inst::Compute(1)], vec![]);
+        assert_eq!(p.verify(), Err(VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let l = Label::untracked(0);
+        let p = prog(vec![Inst::Jmp(l), Inst::Halt], vec![None]);
+        assert_eq!(p.verify(), Err(VerifyError::UnboundLabel(l)));
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let l = Label::untracked(0);
+        let p = prog(vec![Inst::Jmp(l), Inst::Halt], vec![Some(9)]);
+        assert_eq!(
+            p.verify(),
+            Err(VerifyError::TargetOutOfRange {
+                label: l,
+                target: 9
+            })
+        );
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        use crate::inst::Mem;
+        let p = prog(
+            vec![Inst::Ld(Reg::R0, Mem::indexed(0, Reg::R1, 0)), Inst::Halt],
+            vec![],
+        );
+        assert_eq!(p.verify(), Err(VerifyError::ZeroScale { pc: 0 }));
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let l = Label::untracked(0);
+        let p = prog(
+            vec![
+                Inst::Li(Reg::R0, 3),
+                Inst::Br(Cond::Ne, Reg::R0, Operand::Imm(0), l),
+                Inst::Halt,
+            ],
+            vec![Some(2)],
+        );
+        assert_eq!(p.verify(), Ok(()));
+        assert_eq!(p.target(l), 2);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn disassembly_contains_labels_and_insts() {
+        let l = Label::untracked(0);
+        let p = prog(
+            vec![Inst::Li(Reg::R0, 1), Inst::Jmp(l), Inst::Halt],
+            vec![Some(0)],
+        );
+        let asm = p.disassemble();
+        assert!(asm.contains("L0:"), "{asm}");
+        assert!(asm.contains("li r0, 1"), "{asm}");
+        assert!(asm.contains("jmp L0"), "{asm}");
+    }
+
+    #[test]
+    fn error_messages_render() {
+        for e in [
+            VerifyError::Empty,
+            VerifyError::UnboundLabel(Label::untracked(3)),
+            VerifyError::TargetOutOfRange {
+                label: Label::untracked(1),
+                target: 7,
+            },
+            VerifyError::FallsOffEnd,
+            VerifyError::ZeroScale { pc: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

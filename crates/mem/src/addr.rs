@@ -1,0 +1,245 @@
+//! Simulated global address space and layout allocator.
+//!
+//! Workloads allocate their synchronization variables and shared data here.
+//! Sync variables are 8-byte words; the allocator can pad them out to their
+//! own cachelines, which is what HeteroSync's decentralized primitives do
+//! (e.g. the decentralized ticket lock strides its queue entries, Fig 10).
+
+/// A byte address in the simulated global memory.
+pub type Addr = u64;
+
+/// Cacheline size used throughout the paper's hierarchy (Table 1: 64 B).
+pub const LINE_BYTES: u64 = 64;
+
+/// Word size of a synchronization variable (`i64`).
+pub const WORD_BYTES: u64 = 8;
+
+/// Returns the cacheline-aligned base of `addr`.
+#[inline]
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// A bump allocator for laying out simulated data structures.
+///
+/// # Example
+///
+/// ```
+/// use awg_mem::AddressSpace;
+///
+/// let mut space = AddressSpace::new();
+/// let lock = space.alloc_sync_var("lock");
+/// let queue = space.alloc_sync_array("queue", 16, true);
+/// assert_eq!(lock % 64, 0);               // line-aligned
+/// assert_eq!(queue.stride_bytes(), 64);   // padded entries
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next: Addr,
+    regions: Vec<Region>,
+}
+
+/// A named allocated region (for debugging and footprint accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region label.
+    pub name: String,
+    /// First byte of the region.
+    pub base: Addr,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// A line- or word-strided array of sync variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncArray {
+    base: Addr,
+    len: u64,
+    stride: u64,
+}
+
+impl SyncArray {
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn at(&self, i: u64) -> Addr {
+        assert!(
+            i < self.len,
+            "sync array index {i} out of bounds {}",
+            self.len
+        );
+        self.base + i * self.stride
+    }
+
+    /// Base address of the array.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte stride between consecutive elements.
+    pub fn stride_bytes(&self) -> u64 {
+        self.stride
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space. Address 0 is left unmapped so that a
+    /// zero address can serve as a sentinel.
+    pub fn new() -> Self {
+        AddressSpace {
+            next: LINE_BYTES,
+            regions: Vec::new(),
+        }
+    }
+
+    fn align_to(&mut self, align: u64) {
+        debug_assert!(align.is_power_of_two());
+        self.next = (self.next + align - 1) & !(align - 1);
+    }
+
+    /// Allocates `bytes` bytes aligned to `align` and records the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, name: &str, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.align_to(align);
+        let base = self.next;
+        self.next += bytes;
+        self.regions.push(Region {
+            name: name.to_owned(),
+            base,
+            bytes,
+        });
+        base
+    }
+
+    /// Allocates a single line-aligned synchronization variable (8 bytes of
+    /// payload on its own cacheline, avoiding false sharing).
+    pub fn alloc_sync_var(&mut self, name: &str) -> Addr {
+        self.alloc(name, LINE_BYTES, LINE_BYTES)
+    }
+
+    /// Allocates an array of `len` sync variables. When `padded` each element
+    /// sits on its own cacheline; otherwise elements are packed words.
+    pub fn alloc_sync_array(&mut self, name: &str, len: u64, padded: bool) -> SyncArray {
+        let stride = if padded { LINE_BYTES } else { WORD_BYTES };
+        let base = self.alloc(name, len.max(1) * stride, LINE_BYTES);
+        SyncArray { base, len, stride }
+    }
+
+    /// Allocates a raw data buffer of `bytes` bytes, line-aligned.
+    pub fn alloc_buffer(&mut self, name: &str, bytes: u64) -> Addr {
+        self.alloc(name, bytes, LINE_BYTES)
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - LINE_BYTES
+    }
+
+    /// All allocated regions in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Looks up the region containing `addr`, if any.
+    pub fn region_of(&self, addr: Addr) -> Option<&Region> {
+        self.regions
+            .iter()
+            .find(|r| addr >= r.base && addr < r.base + r.bytes)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_masks_offset() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+    }
+
+    #[test]
+    fn sync_vars_are_line_aligned_and_disjoint() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc_sync_var("a");
+        let b = s.alloc_sync_var("b");
+        assert_eq!(a % LINE_BYTES, 0);
+        assert_eq!(b % LINE_BYTES, 0);
+        assert_ne!(line_of(a), line_of(b));
+    }
+
+    #[test]
+    fn padded_array_strides_by_line() {
+        let mut s = AddressSpace::new();
+        let arr = s.alloc_sync_array("q", 4, true);
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr.at(1) - arr.at(0), LINE_BYTES);
+        assert_eq!(line_of(arr.at(2)), arr.at(2));
+    }
+
+    #[test]
+    fn packed_array_strides_by_word() {
+        let mut s = AddressSpace::new();
+        let arr = s.alloc_sync_array("flags", 8, false);
+        assert_eq!(arr.at(1) - arr.at(0), WORD_BYTES);
+        // Packed entries share cachelines.
+        assert_eq!(line_of(arr.at(0)), line_of(arr.at(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let mut s = AddressSpace::new();
+        let arr = s.alloc_sync_array("q", 2, true);
+        arr.at(2);
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut s = AddressSpace::new();
+        let buf = s.alloc_buffer("data", 256);
+        let r = s.region_of(buf + 100).expect("region");
+        assert_eq!(r.name, "data");
+        assert!(s.region_of(buf + 256).is_none_or(|r| r.name != "data"));
+    }
+
+    #[test]
+    fn address_zero_is_never_allocated() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("x", 8, 8);
+        assert!(a >= LINE_BYTES);
+        assert!(s.region_of(0).is_none());
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_total() {
+        let mut s = AddressSpace::new();
+        s.alloc_buffer("a", 64);
+        s.alloc_buffer("b", 128);
+        assert_eq!(s.allocated_bytes(), 192);
+    }
+}

@@ -1,0 +1,185 @@
+//! A deterministic timed event queue.
+//!
+//! Events scheduled for the same cycle pop in the order they were scheduled
+//! (FIFO tie-break via a monotonically increasing sequence number), which
+//! makes the whole simulation reproducible: the same inputs always produce
+//! the same interleaving of micro-architectural events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// A deterministic priority queue of `(cycle, event)` pairs.
+///
+/// Ordering is primarily by cycle, with FIFO tie-break for events scheduled
+/// at the same cycle.
+///
+/// # Example
+///
+/// ```
+/// let mut q = awg_sim::EventQueue::new();
+/// q.schedule(7, "late");
+/// q.schedule(7, "later"); // same cycle: FIFO order preserved
+/// q.schedule(3, "early");
+/// assert_eq!(q.pop(), Some((3, "early")));
+/// assert_eq!(q.pop(), Some((7, "late")));
+/// assert_eq!(q.pop(), Some((7, "later")));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Cycle, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute cycle `at`.
+    ///
+    /// Events at the same cycle fire in scheduling order.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+    }
+
+    /// Returns the cycle of the earliest pending event without removing it.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events (the sequence counter keeps advancing so
+    /// determinism is preserved across clears).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 'c');
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(42, ());
+        assert_eq!(q.peek_cycle(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((42, ())));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+    }
+
+    #[test]
+    fn clear_preserves_sequence_monotonicity() {
+        let mut q = EventQueue::new();
+        q.schedule(1, 0);
+        q.schedule(1, 1);
+        let before = q.scheduled_total();
+        q.clear();
+        assert!(q.is_empty());
+        q.schedule(1, 2);
+        assert_eq!(q.scheduled_total(), before + 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "x");
+        assert_eq!(q.pop(), Some((10, "x")));
+        q.schedule(5, "y");
+        q.schedule(15, "z");
+        assert_eq!(q.pop(), Some((5, "y")));
+        assert_eq!(q.pop(), Some((15, "z")));
+    }
+}

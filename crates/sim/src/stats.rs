@@ -1,0 +1,347 @@
+//! Measurement registry: counters, distributions, and log₂ histograms.
+//!
+//! Every crate in the simulator records into a [`Stats`] registry. Handles
+//! ([`CounterId`], [`DistId`], [`HistId`]) are cheap indices so the hot path
+//! never hashes strings.
+
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Handle to a registered distribution (min/max/sum/count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistId(usize);
+
+/// Handle to a registered log₂ histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistId(usize);
+
+/// Summary of a recorded distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Minimum sample (0 when empty).
+    pub min: u64,
+    /// Maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl DistSummary {
+    /// Arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Dist {
+    name: String,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Number of buckets in a log₂ histogram: values up to 2⁶³ land in a bucket.
+const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug, Clone)]
+struct Hist {
+    name: String,
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+}
+
+/// A registry of named measurements.
+///
+/// # Example
+///
+/// ```
+/// let mut stats = awg_sim::Stats::new();
+/// let atomics = stats.counter("atomics_executed");
+/// stats.inc(atomics);
+/// stats.add(atomics, 9);
+/// assert_eq!(stats.get(atomics), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    dists: Vec<Dist>,
+    hists: Vec<Hist>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) a counter named `name` and returns its handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name.to_owned());
+        self.counters.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a distribution named `name`.
+    pub fn dist(&mut self, name: &str) -> DistId {
+        if let Some(i) = self.dists.iter().position(|d| d.name == name) {
+            return DistId(i);
+        }
+        self.dists.push(Dist {
+            name: name.to_owned(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        DistId(self.dists.len() - 1)
+    }
+
+    /// Registers (or finds) a log₂ histogram named `name`.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|h| h.name == name) {
+            return HistId(i);
+        }
+        self.hists.push(Hist {
+            name: name.to_owned(),
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0] += 1;
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0] += delta;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Looks up a counter's current value by name, if registered.
+    pub fn get_by_name(&self, name: &str) -> Option<u64> {
+        self.counter_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.counters[i])
+    }
+
+    /// Records a sample into a distribution.
+    #[inline]
+    pub fn sample(&mut self, id: DistId, value: u64) {
+        let d = &mut self.dists[id.0];
+        d.count += 1;
+        d.sum += value;
+        d.min = d.min.min(value);
+        d.max = d.max.max(value);
+    }
+
+    /// Summary of a distribution.
+    pub fn dist_summary(&self, id: DistId) -> DistSummary {
+        let d = &self.dists[id.0];
+        DistSummary {
+            count: d.count,
+            sum: d.sum,
+            min: if d.count == 0 { 0 } else { d.min },
+            max: d.max,
+        }
+    }
+
+    /// Records a sample into a log₂ histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: Cycle) {
+        let h = &mut self.hists[id.0];
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        h.buckets[bucket] += 1;
+        h.count += 1;
+    }
+
+    /// Returns `(lower_bound, count)` pairs for every non-empty histogram
+    /// bucket.
+    pub fn hist_buckets(&self, id: HistId) -> Vec<(u64, u64)> {
+        let h = &self.hists[id.0];
+        h.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+            .collect()
+    }
+
+    /// Looks up a histogram's non-empty buckets by name, if registered.
+    pub fn hist_buckets_by_name(&self, name: &str) -> Option<Vec<(u64, u64)>> {
+        self.hists
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| self.hist_buckets(HistId(i)))
+    }
+
+    /// Iterates over all `(name, value)` counters in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+    }
+
+    /// Resets all counters, distributions and histograms to zero, keeping
+    /// the registered names (so handles remain valid).
+    pub fn reset(&mut self) {
+        for c in &mut self.counters {
+            *c = 0;
+        }
+        for d in &mut self.dists {
+            d.count = 0;
+            d.sum = 0;
+            d.min = u64::MAX;
+            d.max = 0;
+        }
+        for h in &mut self.hists {
+            h.buckets = [0; HIST_BUCKETS];
+            h.count = 0;
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.counters() {
+            writeln!(f, "{name}: {value}")?;
+        }
+        for d in &self.dists {
+            let s = DistSummary {
+                count: d.count,
+                sum: d.sum,
+                min: if d.count == 0 { 0 } else { d.min },
+                max: d.max,
+            };
+            writeln!(
+                f,
+                "{}: count={} mean={:.2} min={} max={}",
+                d.name,
+                s.count,
+                s.mean(),
+                s.min,
+                s.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let mut s = Stats::new();
+        let c = s.counter("x");
+        s.inc(c);
+        s.add(c, 4);
+        assert_eq!(s.get(c), 5);
+        assert_eq!(s.get_by_name("x"), Some(5));
+        assert_eq!(s.get_by_name("missing"), None);
+    }
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let mut s = Stats::new();
+        let a = s.counter("same");
+        let b = s.counter("same");
+        assert_eq!(a, b);
+        s.inc(a);
+        assert_eq!(s.get(b), 1);
+    }
+
+    #[test]
+    fn dist_summary_tracks_min_max_mean() {
+        let mut s = Stats::new();
+        let d = s.dist("lat");
+        for v in [10, 20, 30] {
+            s.sample(d, v);
+        }
+        let sum = s.dist_summary(d);
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.min, 10);
+        assert_eq!(sum.max, 30);
+        assert!((sum.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dist_is_zeroed() {
+        let mut s = Stats::new();
+        let d = s.dist("empty");
+        let sum = s.dist_summary(d);
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.min, 0);
+        assert_eq!(sum.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut s = Stats::new();
+        let h = s.hist("h");
+        s.observe(h, 0);
+        s.observe(h, 1);
+        s.observe(h, 2);
+        s.observe(h, 3);
+        s.observe(h, 1024);
+        let buckets = s.hist_buckets(h);
+        // 0 -> bucket 0; 1 -> bucket [1,2); 2,3 -> bucket [2,4); 1024 -> [1024,2048)
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn reset_keeps_handles_valid() {
+        let mut s = Stats::new();
+        let c = s.counter("c");
+        let d = s.dist("d");
+        s.add(c, 7);
+        s.sample(d, 3);
+        s.reset();
+        assert_eq!(s.get(c), 0);
+        assert_eq!(s.dist_summary(d).count, 0);
+        s.inc(c);
+        assert_eq!(s.get(c), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = Stats::new();
+        let c = s.counter("visible");
+        s.inc(c);
+        let text = s.to_string();
+        assert!(text.contains("visible: 1"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Cycle/time conversion helpers.
+//!
+//! The paper's baseline GPU (Table 1) runs at 2 GHz, so its oversubscription
+//! experiment — "after 50 µs the WGs from one CU are context switched out"
+//! (§VI) — corresponds to a cycle count computed by [`us_to_cycles`].
+
+/// A simulated clock cycle count.
+///
+/// All latencies and timestamps in the simulator are expressed in cycles of
+/// the GPU core clock (2 GHz in the paper's baseline).
+pub type Cycle = u64;
+
+/// The paper's baseline core clock in GHz (Table 1).
+pub const BASELINE_CLOCK_GHZ: f64 = 2.0;
+
+/// Converts microseconds to cycles at the baseline 2 GHz clock.
+///
+/// ```
+/// // The paper removes one CU after 50 µs => 100k cycles at 2 GHz.
+/// assert_eq!(awg_sim::us_to_cycles(50.0), 100_000);
+/// ```
+pub fn us_to_cycles(us: f64) -> Cycle {
+    (us * BASELINE_CLOCK_GHZ * 1000.0).round() as Cycle
+}
+
+/// Converts cycles to microseconds at the baseline 2 GHz clock.
+///
+/// ```
+/// assert!((awg_sim::cycles_to_us(100_000) - 50.0).abs() < 1e-9);
+/// ```
+pub fn cycles_to_us(cycles: Cycle) -> f64 {
+    cycles as f64 / (BASELINE_CLOCK_GHZ * 1000.0)
+}
+
+/// Converts cycles to nanoseconds at the baseline 2 GHz clock.
+///
+/// ```
+/// assert!((awg_sim::cycles_to_ns(2) - 1.0).abs() < 1e-9);
+/// ```
+pub fn cycles_to_ns(cycles: Cycle) -> f64 {
+    cycles as f64 / BASELINE_CLOCK_GHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_whole_microseconds() {
+        for us in [0.0, 1.0, 50.0, 1000.0] {
+            let c = us_to_cycles(us);
+            assert!((cycles_to_us(c) - us).abs() < 1e-9, "us={us}");
+        }
+    }
+
+    #[test]
+    fn paper_oversubscription_point_is_100k_cycles() {
+        assert_eq!(us_to_cycles(50.0), 100_000);
+    }
+
+    #[test]
+    fn ns_conversion_matches_clock() {
+        assert!((cycles_to_ns(2_000_000_000) - 1e9).abs() < 1.0);
+    }
+}

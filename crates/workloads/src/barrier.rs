@@ -1,0 +1,559 @@
+//! Barrier benchmarks: the centralized two-level atomic tree barrier
+//! (TB_LG / TBEX_LG) and the decentralized lock-free tree barrier
+//! (LFTB_LG / LFTBEX_LG) of Table 2.
+//!
+//! Counters and sense variables are *monotonic* (the sense for episode `k`
+//! is `k+1`), which removes the reset races of the classic sense-reversing
+//! formulation. Correctness is validated two ways: an in-kernel check that
+//! the global arrival counter has reached `G·(k+1)` after every barrier
+//! (any WG released early trips an error flag), and — in the exchange
+//! variants — a neighbor data exchange across the barrier whose value is
+//! verified after it.
+
+use awg_gpu::SyncStyle;
+use awg_isa::{AluOp, Cond, Label, Mem, Operand, ProgramBuilder, Special};
+
+use crate::bench::ProgramPieces;
+use crate::checks::Check;
+use crate::params::WorkloadParams;
+use crate::sync_emit::wait_until_equals;
+
+mod regs {
+    use awg_isa::Reg;
+    pub const SCRATCH: Reg = Reg::R0;
+    pub const WG_ID: Reg = Reg::R1;
+    pub const CLUSTER: Reg = Reg::R2;
+    pub const ITER: Reg = Reg::R3;
+    pub const ARRIVE: Reg = Reg::R5;
+    pub const GARRIVE: Reg = Reg::R6;
+    pub const WAITVAL: Reg = Reg::R7;
+    pub const PHASEVAL: Reg = Reg::R8;
+    pub const TARGET: Reg = Reg::R11;
+    pub const CMP: Reg = Reg::R12;
+    pub const NEIGHBOR: Reg = Reg::R13;
+    pub const LID: Reg = Reg::R14;
+    pub const LOOPV: Reg = Reg::R15;
+    pub const IDX: Reg = Reg::R16;
+    pub const EXVAL: Reg = Reg::R17;
+    pub const SLOTIDX: Reg = Reg::R20;
+    pub const PARITY: Reg = Reg::R21;
+    pub const EPOCH: Reg = Reg::R22;
+}
+
+struct BarrierLayout {
+    phase: u64,
+    error: u64,
+    slots: Option<awg_mem::addr::SyncArray>,
+}
+
+fn emit_prologue(b: &mut ProgramBuilder) -> Label {
+    b.special(regs::WG_ID, Special::WgId);
+    b.special(regs::CLUSTER, Special::ClusterId);
+    b.li(regs::ITER, 0);
+    let head = b.new_label();
+    b.bind(head);
+    // TARGET = iter + 1 (the monotonic sense value for this episode).
+    b.alu(AluOp::Add, regs::TARGET, regs::ITER, 1i64);
+    head
+}
+
+/// Sets `SLOTIDX = (iter mod 2)·G + index` — the exchange slots are
+/// double-buffered by barrier parity so a fast WG's next-iteration store
+/// cannot clobber a value a slow WG has yet to read (a WG can lag at most
+/// one episode behind, so two buffers suffice).
+fn emit_slot_index(b: &mut ProgramBuilder, params: &WorkloadParams, index: awg_isa::Reg) {
+    b.alu(AluOp::Rem, regs::SLOTIDX, regs::ITER, 2i64);
+    b.alu(
+        AluOp::Mul,
+        regs::SLOTIDX,
+        regs::SLOTIDX,
+        params.num_wgs as i64,
+    );
+    b.alu(
+        AluOp::Add,
+        regs::SLOTIDX,
+        regs::SLOTIDX,
+        Operand::Reg(index),
+    );
+}
+
+/// Pre-barrier bookkeeping: arrival marker, optional exchange store.
+fn emit_pre_barrier(b: &mut ProgramBuilder, params: &WorkloadParams, layout: &BarrierLayout) {
+    b.atom_add(regs::SCRATCH, layout.phase, 1i64);
+    if let Some(slots) = &layout.slots {
+        // slot[parity][m] = (m+1)*1000 + iter
+        b.alu(AluOp::Add, regs::EXVAL, regs::WG_ID, 1i64);
+        b.alu(AluOp::Mul, regs::EXVAL, regs::EXVAL, 1000i64);
+        b.alu(
+            AluOp::Add,
+            regs::EXVAL,
+            regs::EXVAL,
+            Operand::Reg(regs::ITER),
+        );
+        emit_slot_index(b, params, regs::WG_ID);
+        b.st(
+            Mem::indexed(slots.base(), regs::SLOTIDX, slots.stride_bytes()),
+            regs::EXVAL,
+        );
+    }
+}
+
+/// Post-barrier validation: the phase counter must have reached `G·(k+1)`,
+/// and in the exchange variants the neighbor's slot must carry this
+/// episode's value.
+fn emit_post_barrier(b: &mut ProgramBuilder, params: &WorkloadParams, layout: &BarrierLayout) {
+    b.atom_load(regs::PHASEVAL, layout.phase);
+    b.alu(AluOp::Mul, regs::CMP, regs::TARGET, params.num_wgs as i64);
+    let phase_ok = b.new_label();
+    b.br(Cond::Ge, regs::PHASEVAL, Operand::Reg(regs::CMP), phase_ok);
+    b.st(layout.error, 1i64);
+    b.bind(phase_ok);
+    if let Some(slots) = &layout.slots {
+        // neighbor = (m+1) mod G; expect (neighbor+1)*1000 + iter
+        b.alu(AluOp::Add, regs::NEIGHBOR, regs::WG_ID, 1i64);
+        b.alu(
+            AluOp::Rem,
+            regs::NEIGHBOR,
+            regs::NEIGHBOR,
+            params.num_wgs as i64,
+        );
+        b.alu(AluOp::Add, regs::EXVAL, regs::NEIGHBOR, 1i64);
+        b.alu(AluOp::Mul, regs::EXVAL, regs::EXVAL, 1000i64);
+        b.alu(
+            AluOp::Add,
+            regs::EXVAL,
+            regs::EXVAL,
+            Operand::Reg(regs::ITER),
+        );
+        emit_slot_index(b, params, regs::NEIGHBOR);
+        b.ld(
+            regs::WAITVAL,
+            Mem::indexed(slots.base(), regs::SLOTIDX, slots.stride_bytes()),
+        );
+        let ex_ok = b.new_label();
+        b.br(Cond::Eq, regs::WAITVAL, Operand::Reg(regs::EXVAL), ex_ok);
+        b.st(layout.error, 2i64);
+        b.bind(ex_ok);
+    }
+    if params.cs_compute > 0 {
+        b.compute(params.cs_compute);
+    }
+}
+
+fn emit_epilogue(b: &mut ProgramBuilder, head: Label, iterations: u32) {
+    b.add(regs::ITER, regs::ITER, 1i64);
+    b.br(Cond::Lt, regs::ITER, Operand::Imm(iterations as i64), head);
+    b.halt();
+}
+
+fn common_checks(params: &WorkloadParams, layout: &BarrierLayout) -> Vec<Check> {
+    vec![
+        Check::ErrorFlagClear {
+            addr: layout.error,
+            label: "barrier released a WG early",
+        },
+        Check::WordEquals {
+            addr: layout.phase,
+            expect: (params.num_wgs * params.iterations as u64) as i64,
+            label: "total barrier arrivals",
+        },
+    ]
+}
+
+/// TB_LG / TBEX_LG: two-level tree barrier on centralized atomic counters.
+///
+/// HeteroSync's AtomicTreeBarr waiters poll the *arrival counter* itself
+/// (Table 2: "updates per sync var until condition met = L"), which is the
+/// signature AWG's Bloom predictor keys on. Counters advance by `L+1` per
+/// episode (`L` arrivals plus one release bump by the cluster leader after
+/// the global phase), and are **parity double-buffered**: episode `k` uses
+/// counter `k mod 2`, so the waited-for value cannot be advanced past by
+/// fast WGs — reaching the same-parity episode `k+2` requires everyone to
+/// have passed episode `k` first. Equality conditions therefore never slip
+/// by a late rechecker (a monotonic single counter would deadlock waiters
+/// whose timeout recheck lands after faster WGs pushed the count onward).
+pub fn tree_barrier(params: &WorkloadParams, style: SyncStyle, exchange: bool) -> ProgramPieces {
+    params.assert_valid();
+    assert_eq!(
+        params.num_wgs % params.wgs_per_cluster,
+        0,
+        "tree barrier requires uniform clusters"
+    );
+    let l = params.wgs_per_cluster as i64;
+    let c = params.num_clusters() as i64;
+    let mut space = awg_mem::AddressSpace::new();
+    // Parity-major: counter for (parity, cluster) at index parity·C + cluster.
+    let lcount = space.alloc_sync_array("tb_lcount", 2 * c as u64, true);
+    let gcount = space.alloc_sync_array("tb_gcount", 2, true);
+    let phase = space.alloc_sync_var("tb_phase");
+    let error = space.alloc_sync_var("tb_error");
+    let slots = exchange.then(|| space.alloc_sync_array("tb_slots", params.num_wgs * 2, true));
+    let layout = BarrierLayout {
+        phase,
+        error,
+        slots,
+    };
+
+    let mut b = ProgramBuilder::new(if exchange { "TBEX_LG" } else { "TB_LG" });
+    let head = emit_prologue(&mut b);
+    emit_pre_barrier(&mut b, params, &layout);
+
+    // PARITY = k mod 2; EPOCH = k/2 (per-parity episode index).
+    b.alu(AluOp::Rem, regs::PARITY, regs::ITER, 2i64);
+    b.alu(AluOp::Div, regs::EPOCH, regs::ITER, 2i64);
+    // IDX = parity·C + cluster selects this episode's local counter.
+    b.alu(AluOp::Mul, regs::IDX, regs::PARITY, c);
+    b.alu(
+        AluOp::Add,
+        regs::IDX,
+        regs::IDX,
+        Operand::Reg(regs::CLUSTER),
+    );
+    let lcount_mem = Mem::indexed(lcount.base(), regs::IDX, lcount.stride_bytes());
+
+    // Local arrival.
+    b.atom_add(regs::ARRIVE, lcount_mem, 1i64);
+    // Leader test: my add was the L-th of this episode on this counter
+    // (old value == epoch·(L+1) + L - 1).
+    b.alu(AluOp::Mul, regs::CMP, regs::EPOCH, l + 1);
+    b.alu(AluOp::Add, regs::CMP, regs::CMP, l - 1);
+    let not_leader = b.new_label();
+    let after_wait = b.new_label();
+    b.br(Cond::Ne, regs::ARRIVE, Operand::Reg(regs::CMP), not_leader);
+
+    // === Cluster leader: join the global counter barrier ===
+    let gcount_mem = Mem::indexed(gcount.base(), regs::PARITY, gcount.stride_bytes());
+    b.atom_add(regs::GARRIVE, gcount_mem, 1i64);
+    b.alu(AluOp::Mul, regs::CMP, regs::EPOCH, c + 1);
+    b.alu(AluOp::Add, regs::CMP, regs::CMP, c - 1);
+    let not_global_leader = b.new_label();
+    let global_done = b.new_label();
+    b.br(
+        Cond::Ne,
+        regs::GARRIVE,
+        Operand::Reg(regs::CMP),
+        not_global_leader,
+    );
+    // Global leader: release bump on the global counter.
+    b.atom_add(regs::SCRATCH, gcount_mem, 1i64);
+    b.jmp(global_done);
+    b.bind(not_global_leader);
+    // Other leaders wait for gcount == (epoch+1)·(C+1).
+    b.alu(AluOp::Add, regs::CMP, regs::EPOCH, 1i64);
+    b.alu(AluOp::Mul, regs::CMP, regs::CMP, c + 1);
+    wait_until_equals(&mut b, style, gcount_mem, regs::CMP, regs::WAITVAL, None);
+    b.bind(global_done);
+    // Every leader releases its local waiters with the bump.
+    b.atom_add(regs::SCRATCH, lcount_mem, 1i64);
+    b.jmp(after_wait);
+
+    // === Non-leaders wait for lcount == (epoch+1)·(L+1) ===
+    b.bind(not_leader);
+    b.alu(AluOp::Add, regs::CMP, regs::EPOCH, 1i64);
+    b.alu(AluOp::Mul, regs::CMP, regs::CMP, l + 1);
+    wait_until_equals(&mut b, style, lcount_mem, regs::CMP, regs::WAITVAL, None);
+    b.bind(after_wait);
+
+    emit_post_barrier(&mut b, params, &layout);
+    emit_epilogue(&mut b, head, params.iterations);
+
+    let iters = params.iterations as i64;
+    let mut checks = common_checks(params, &layout);
+    checks.extend([
+        Check::SumEquals {
+            base: gcount.base(),
+            count: 2,
+            stride: gcount.stride_bytes(),
+            expect: (c + 1) * iters,
+            label: "global counter episodes",
+        },
+        Check::SumEquals {
+            base: lcount.base(),
+            count: 2 * c as u64,
+            stride: lcount.stride_bytes(),
+            expect: c * (l + 1) * iters,
+            label: "local counter episodes",
+        },
+    ]);
+    ProgramPieces {
+        program: b.build().expect("tree barrier verifies"),
+        init: Vec::new(),
+        checks,
+    }
+}
+
+/// LFTB_LG / LFTBEX_LG: decentralized lock-free tree barrier — every sync
+/// variable has exactly one condition and one waiter (Table 2).
+pub fn lf_tree_barrier(params: &WorkloadParams, style: SyncStyle, exchange: bool) -> ProgramPieces {
+    params.assert_valid();
+    assert_eq!(
+        params.num_wgs % params.wgs_per_cluster,
+        0,
+        "tree barrier requires uniform clusters"
+    );
+    let l = params.wgs_per_cluster;
+    let c = params.num_clusters();
+    let g = params.num_wgs;
+    let mut space = awg_mem::AddressSpace::new();
+    let arrive = space.alloc_sync_array("lftb_arrive", g, true);
+    let cluster_arrive = space.alloc_sync_array("lftb_cluster_arrive", c, true);
+    let release_cluster = space.alloc_sync_array("lftb_release_cluster", c, true);
+    let release_wg = space.alloc_sync_array("lftb_release_wg", g, true);
+    let phase = space.alloc_sync_var("lftb_phase");
+    let error = space.alloc_sync_var("lftb_error");
+    let slots = exchange.then(|| space.alloc_sync_array("lftb_slots", g * 2, true));
+    let layout = BarrierLayout {
+        phase,
+        error,
+        slots,
+    };
+
+    let mut b = ProgramBuilder::new(if exchange { "LFTBEX_LG" } else { "LFTB_LG" });
+    let head = emit_prologue(&mut b);
+    emit_pre_barrier(&mut b, params, &layout);
+
+    b.alu(AluOp::Rem, regs::LID, regs::WG_ID, l as i64);
+    let member = b.new_label();
+    let after = b.new_label();
+    b.br(Cond::Ne, regs::LID, Operand::Imm(0), member);
+
+    // === Local master ===
+    // Wait for each member's arrival flag.
+    b.li(regs::LOOPV, 1);
+    let mwait = b.new_label();
+    let mwait_done = b.new_label();
+    b.bind(mwait);
+    b.br(Cond::Ge, regs::LOOPV, Operand::Imm(l as i64), mwait_done);
+    b.alu(AluOp::Mul, regs::IDX, regs::CLUSTER, l as i64);
+    b.alu(AluOp::Add, regs::IDX, regs::IDX, Operand::Reg(regs::LOOPV));
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(arrive.base(), regs::IDX, arrive.stride_bytes()),
+        regs::TARGET,
+        regs::WAITVAL,
+        None,
+    );
+    b.add(regs::LOOPV, regs::LOOPV, 1i64);
+    b.jmp(mwait);
+    b.bind(mwait_done);
+    b.atom_exch(
+        regs::SCRATCH,
+        Mem::indexed(
+            cluster_arrive.base(),
+            regs::CLUSTER,
+            cluster_arrive.stride_bytes(),
+        ),
+        regs::TARGET,
+    );
+
+    // === Global master (WG 0) gathers clusters and releases them ===
+    let not_gmaster = b.new_label();
+    b.br(Cond::Ne, regs::WG_ID, Operand::Imm(0), not_gmaster);
+    b.li(regs::LOOPV, 1);
+    let gwait = b.new_label();
+    let gwait_done = b.new_label();
+    b.bind(gwait);
+    b.br(Cond::Ge, regs::LOOPV, Operand::Imm(c as i64), gwait_done);
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(
+            cluster_arrive.base(),
+            regs::LOOPV,
+            cluster_arrive.stride_bytes(),
+        ),
+        regs::TARGET,
+        regs::WAITVAL,
+        None,
+    );
+    b.add(regs::LOOPV, regs::LOOPV, 1i64);
+    b.jmp(gwait);
+    b.bind(gwait_done);
+    b.li(regs::LOOPV, 0);
+    let grel = b.new_label();
+    let grel_done = b.new_label();
+    b.bind(grel);
+    b.br(Cond::Ge, regs::LOOPV, Operand::Imm(c as i64), grel_done);
+    b.atom_exch(
+        regs::SCRATCH,
+        Mem::indexed(
+            release_cluster.base(),
+            regs::LOOPV,
+            release_cluster.stride_bytes(),
+        ),
+        regs::TARGET,
+    );
+    b.add(regs::LOOPV, regs::LOOPV, 1i64);
+    b.jmp(grel);
+    b.bind(grel_done);
+    b.bind(not_gmaster);
+
+    // Every local master waits for its cluster's release, then releases its
+    // members.
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(
+            release_cluster.base(),
+            regs::CLUSTER,
+            release_cluster.stride_bytes(),
+        ),
+        regs::TARGET,
+        regs::WAITVAL,
+        None,
+    );
+    b.li(regs::LOOPV, 1);
+    let mrel = b.new_label();
+    let mrel_done = b.new_label();
+    b.bind(mrel);
+    b.br(Cond::Ge, regs::LOOPV, Operand::Imm(l as i64), mrel_done);
+    b.alu(AluOp::Mul, regs::IDX, regs::CLUSTER, l as i64);
+    b.alu(AluOp::Add, regs::IDX, regs::IDX, Operand::Reg(regs::LOOPV));
+    b.atom_exch(
+        regs::SCRATCH,
+        Mem::indexed(release_wg.base(), regs::IDX, release_wg.stride_bytes()),
+        regs::TARGET,
+    );
+    b.add(regs::LOOPV, regs::LOOPV, 1i64);
+    b.jmp(mrel);
+    b.bind(mrel_done);
+    b.jmp(after);
+
+    // === Member ===
+    b.bind(member);
+    b.atom_exch(
+        regs::SCRATCH,
+        Mem::indexed(arrive.base(), regs::WG_ID, arrive.stride_bytes()),
+        regs::TARGET,
+    );
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(release_wg.base(), regs::WG_ID, release_wg.stride_bytes()),
+        regs::TARGET,
+        regs::WAITVAL,
+        None,
+    );
+    b.bind(after);
+
+    emit_post_barrier(&mut b, params, &layout);
+    emit_epilogue(&mut b, head, params.iterations);
+
+    let iters = params.iterations as i64;
+    let members = (g - c) as i64;
+    let mut checks = common_checks(params, &layout);
+    checks.extend([
+        Check::SumEquals {
+            base: arrive.base(),
+            count: g,
+            stride: arrive.stride_bytes(),
+            expect: members * iters,
+            label: "member arrival flags",
+        },
+        Check::SumEquals {
+            base: cluster_arrive.base(),
+            count: c,
+            stride: cluster_arrive.stride_bytes(),
+            expect: c as i64 * iters,
+            label: "cluster arrival flags",
+        },
+        Check::SumEquals {
+            base: release_cluster.base(),
+            count: c,
+            stride: release_cluster.stride_bytes(),
+            expect: c as i64 * iters,
+            label: "cluster release flags",
+        },
+        Check::SumEquals {
+            base: release_wg.base(),
+            count: g,
+            stride: release_wg.stride_bytes(),
+            expect: members * iters,
+            label: "member release flags",
+        },
+    ]);
+    ProgramPieces {
+        program: b.build().expect("lock-free tree barrier verifies"),
+        init: Vec::new(),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_isa::Machine;
+
+    fn run_functional(pieces: &ProgramPieces, params: &WorkloadParams) {
+        let mut m = Machine::new(
+            pieces.program.clone(),
+            params.num_wgs,
+            params.wgs_per_cluster,
+        );
+        for &(addr, v) in &pieces.init {
+            m.mem_mut().store(addr, v);
+        }
+        m.run(50_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+        crate::checks::validate(&pieces.checks, m.mem())
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+    }
+
+    fn all_styles() -> [SyncStyle; 3] {
+        [
+            SyncStyle::Busy,
+            SyncStyle::WaitInst,
+            SyncStyle::WaitingAtomic,
+        ]
+    }
+
+    #[test]
+    fn tree_barrier_correct_all_styles() {
+        let params = WorkloadParams::smoke();
+        for style in all_styles() {
+            for exchange in [false, true] {
+                run_functional(&tree_barrier(&params, style, exchange), &params);
+            }
+        }
+    }
+
+    #[test]
+    fn lf_tree_barrier_correct_all_styles() {
+        let params = WorkloadParams::smoke();
+        for style in all_styles() {
+            for exchange in [false, true] {
+                run_functional(&lf_tree_barrier(&params, style, exchange), &params);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_degenerates_gracefully() {
+        let params = WorkloadParams {
+            num_wgs: 4,
+            wgs_per_cluster: 4,
+            ..WorkloadParams::smoke()
+        };
+        run_functional(&tree_barrier(&params, SyncStyle::Busy, false), &params);
+        run_functional(&lf_tree_barrier(&params, SyncStyle::Busy, false), &params);
+    }
+
+    #[test]
+    fn paper_scale_tree_barrier_functional() {
+        let params = WorkloadParams {
+            iterations: 2,
+            cs_compute: 0,
+            ..WorkloadParams::isca2020()
+        };
+        run_functional(&tree_barrier(&params, SyncStyle::Busy, false), &params);
+    }
+
+    #[test]
+    fn exchange_variant_allocates_slots() {
+        let params = WorkloadParams::smoke();
+        let plain = tree_barrier(&params, SyncStyle::Busy, false);
+        let ex = tree_barrier(&params, SyncStyle::Busy, true);
+        assert!(ex.program.len() > plain.program.len());
+    }
+}

@@ -1,0 +1,359 @@
+//! The benchmark registry: every Table 2 entry plus the two applications.
+
+use awg_gpu::{Kernel, SyncStyle, WgResources};
+use awg_isa::Program;
+use awg_mem::{Addr, Backing};
+
+use crate::apps;
+use crate::barrier;
+use crate::checks::{self, Check};
+use crate::mutex;
+use crate::params::{Scope, WorkloadParams};
+
+/// Raw output of a benchmark generator.
+#[derive(Debug, Clone)]
+pub struct ProgramPieces {
+    /// The kernel program.
+    pub program: Program,
+    /// Initial memory state.
+    pub init: Vec<(Addr, i64)>,
+    /// Post-conditions.
+    pub checks: Vec<Check>,
+}
+
+/// The benchmark suite (Table 2 abbreviations in parentheses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchmarkKind {
+    /// Test-and-set lock, global scope (SPM_G).
+    SpinMutexGlobal,
+    /// Test-and-set lock with software backoff, global (SPMBO_G).
+    SpinMutexBackoffGlobal,
+    /// Centralized ticket lock, global (FAM_G).
+    FaMutexGlobal,
+    /// Decentralized ticket lock, global (SLM_G).
+    SleepMutexGlobal,
+    /// Test-and-set lock, local scope (SPM_L).
+    SpinMutexLocal,
+    /// Test-and-set lock with software backoff, local (SPMBO_L).
+    SpinMutexBackoffLocal,
+    /// Centralized ticket lock, local (FAM_L).
+    FaMutexLocal,
+    /// Decentralized ticket lock, local (SLM_L).
+    SleepMutexLocal,
+    /// Two-level tree barrier (TB_LG).
+    TreeBarrier,
+    /// Decentralized two-level tree barrier (LFTB_LG).
+    LfTreeBarrier,
+    /// Two-level tree barrier with data exchange (TBEX_LG).
+    TreeBarrierExchange,
+    /// Decentralized two-level tree barrier with exchange (LFTBEX_LG).
+    LfTreeBarrierExchange,
+    /// Lock-based hash table inserts.
+    HashTable,
+    /// Ordered two-lock bank transfers.
+    BankAccount,
+    /// Point-to-point producer/consumer pipeline across WGs (the
+    /// persistent-RNN-style dependence chain the paper's intro motivates).
+    Pipeline,
+    /// Writer-preference reader-writer lock (HeteroSync's semaphore class).
+    ReaderWriter,
+}
+
+impl BenchmarkKind {
+    /// The twelve HeteroSync benchmarks of Figs 14/15, in figure order.
+    pub fn heterosync_suite() -> [BenchmarkKind; 12] {
+        use BenchmarkKind::*;
+        [
+            SpinMutexGlobal,
+            SpinMutexBackoffGlobal,
+            FaMutexGlobal,
+            SleepMutexGlobal,
+            SpinMutexLocal,
+            SpinMutexBackoffLocal,
+            FaMutexLocal,
+            SleepMutexLocal,
+            TreeBarrier,
+            LfTreeBarrier,
+            TreeBarrierExchange,
+            LfTreeBarrierExchange,
+        ]
+    }
+
+    /// Every benchmark including the applications.
+    pub fn all() -> [BenchmarkKind; 16] {
+        use BenchmarkKind::*;
+        [
+            SpinMutexGlobal,
+            SpinMutexBackoffGlobal,
+            FaMutexGlobal,
+            SleepMutexGlobal,
+            SpinMutexLocal,
+            SpinMutexBackoffLocal,
+            FaMutexLocal,
+            SleepMutexLocal,
+            TreeBarrier,
+            LfTreeBarrier,
+            TreeBarrierExchange,
+            LfTreeBarrierExchange,
+            HashTable,
+            BankAccount,
+            Pipeline,
+            ReaderWriter,
+        ]
+    }
+
+    /// The benchmarks the paper modified for the Fig 7 sleep-backoff sweep.
+    pub fn backoff_sweep_suite() -> [BenchmarkKind; 6] {
+        use BenchmarkKind::*;
+        [
+            SpinMutexGlobal,
+            FaMutexGlobal,
+            SpinMutexLocal,
+            FaMutexLocal,
+            TreeBarrier,
+            TreeBarrierExchange,
+        ]
+    }
+
+    /// Paper abbreviation (Table 2 / figure x-axis label).
+    pub fn abbreviation(&self) -> &'static str {
+        use BenchmarkKind::*;
+        match self {
+            SpinMutexGlobal => "SPM_G",
+            SpinMutexBackoffGlobal => "SPMBO_G",
+            FaMutexGlobal => "FAM_G",
+            SleepMutexGlobal => "SLM_G",
+            SpinMutexLocal => "SPM_L",
+            SpinMutexBackoffLocal => "SPMBO_L",
+            FaMutexLocal => "FAM_L",
+            SleepMutexLocal => "SLM_L",
+            TreeBarrier => "TB_LG",
+            LfTreeBarrier => "LFTB_LG",
+            TreeBarrierExchange => "TBEX_LG",
+            LfTreeBarrierExchange => "LFTBEX_LG",
+            HashTable => "HT",
+            BankAccount => "BANK",
+            Pipeline => "PIPE",
+            ReaderWriter => "RW_G",
+        }
+    }
+
+    /// Table 2's description column.
+    pub fn description(&self) -> &'static str {
+        use BenchmarkKind::*;
+        match self {
+            SpinMutexGlobal => "Test-and-set lock",
+            SpinMutexBackoffGlobal => "Test-and-set lock w/ exponential backoff",
+            FaMutexGlobal => "Centralized ticket lock",
+            SleepMutexGlobal => "Decentralized ticket lock",
+            SpinMutexLocal => "Test-and-set lock local scope",
+            SpinMutexBackoffLocal => "Test-and-set lock w/ backoff local scope",
+            FaMutexLocal => "Centralized ticket lock local scope",
+            SleepMutexLocal => "Decentralized ticket lock local scope",
+            TreeBarrier => "Two-level tree barrier",
+            LfTreeBarrier => "Decentralized two-level tree barrier",
+            TreeBarrierExchange => "Two-level tree barrier w/ local exchange",
+            LfTreeBarrierExchange => "Decentralized two-level tree barrier w/ local exchange",
+            HashTable => "Lock-based hash table inserts",
+            BankAccount => "Ordered two-lock bank transfers",
+            Pipeline => "Point-to-point producer/consumer pipeline",
+            ReaderWriter => "Writer-preference reader-writer lock",
+        }
+    }
+
+    /// Per-benchmark WG resource declaration.
+    ///
+    /// All benchmarks use 256-work-item WGs (4 wavefronts), so the baseline
+    /// CU holds exactly 10 WGs and a full launch is `G = 80, L = 10` — the
+    /// configuration both §VI experiments assume (losing one CU makes an
+    /// exactly-fitting kernel oversubscribed). Register and LDS footprints
+    /// vary per benchmark so the context sizes span the paper's 2–10 KB
+    /// (Fig 5).
+    pub fn resources(&self) -> WgResources {
+        use BenchmarkKind::*;
+        let (vgprs_per_wavefront, lds_bytes) = match self {
+            SpinMutexGlobal => (2, 0),
+            SpinMutexBackoffGlobal => (2, 256),
+            FaMutexGlobal => (3, 0),
+            SleepMutexGlobal => (3, 512),
+            SpinMutexLocal => (2, 512),
+            SpinMutexBackoffLocal => (3, 256),
+            FaMutexLocal => (4, 0),
+            SleepMutexLocal => (4, 512),
+            TreeBarrier => (5, 1024),
+            LfTreeBarrier => (5, 0),
+            TreeBarrierExchange => (8, 512),
+            LfTreeBarrierExchange => (7, 0),
+            HashTable => (6, 1024),
+            BankAccount => (4, 0),
+            Pipeline => (5, 256),
+            ReaderWriter => (6, 0),
+        };
+        WgResources {
+            wavefronts: 4,
+            lds_bytes,
+            vgprs_per_wavefront,
+        }
+    }
+
+    /// Episode multiplier applied to `WorkloadParams::iterations` so every
+    /// benchmark's runtime comfortably spans the §VI resource-loss point
+    /// (barrier episodes are much shorter than mutex episodes; local-scope
+    /// mutexes are ~8× less contended than global ones).
+    pub fn episode_weight(&self) -> u32 {
+        use BenchmarkKind::*;
+        match self {
+            TreeBarrier | LfTreeBarrier | TreeBarrierExchange | LfTreeBarrierExchange => 16,
+            SpinMutexLocal | SpinMutexBackoffLocal | FaMutexLocal | SleepMutexLocal => 8,
+            HashTable | BankAccount => 8,
+            Pipeline => 16,
+            ReaderWriter => 8,
+            _ => 1, // global mutexes already run past the loss point
+        }
+    }
+
+    /// Builds the benchmark in the given sync style.
+    pub fn build(&self, params: &WorkloadParams, style: SyncStyle) -> BuiltWorkload {
+        use BenchmarkKind::*;
+        let pieces = match self {
+            SpinMutexGlobal => mutex::spin_mutex(params, style, Scope::Global, false),
+            SpinMutexBackoffGlobal => mutex::spin_mutex(params, style, Scope::Global, true),
+            FaMutexGlobal => mutex::fa_mutex(params, style, Scope::Global),
+            SleepMutexGlobal => mutex::sleep_mutex(params, style, Scope::Global),
+            SpinMutexLocal => mutex::spin_mutex(params, style, Scope::Local, false),
+            SpinMutexBackoffLocal => mutex::spin_mutex(params, style, Scope::Local, true),
+            FaMutexLocal => mutex::fa_mutex(params, style, Scope::Local),
+            SleepMutexLocal => mutex::sleep_mutex(params, style, Scope::Local),
+            TreeBarrier => barrier::tree_barrier(params, style, false),
+            LfTreeBarrier => barrier::lf_tree_barrier(params, style, false),
+            TreeBarrierExchange => barrier::tree_barrier(params, style, true),
+            LfTreeBarrierExchange => barrier::lf_tree_barrier(params, style, true),
+            HashTable => apps::hash_table(params, style),
+            BankAccount => apps::bank_account(params, style),
+            Pipeline => apps::pipeline(params, style),
+            ReaderWriter => crate::rw::reader_writer(params, style),
+        };
+        BuiltWorkload {
+            kind: *self,
+            params: *params,
+            style,
+            resources: self.resources(),
+            program: pieces.program,
+            init: pieces.init,
+            checks: pieces.checks,
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+/// A built, runnable benchmark.
+#[derive(Debug, Clone)]
+pub struct BuiltWorkload {
+    /// Which benchmark.
+    pub kind: BenchmarkKind,
+    /// Its parameters.
+    pub params: WorkloadParams,
+    /// The sync style it was emitted in.
+    pub style: SyncStyle,
+    /// Per-WG resources.
+    pub resources: WgResources,
+    /// The program.
+    pub program: Program,
+    /// Initial memory.
+    pub init: Vec<(Addr, i64)>,
+    /// Post-conditions.
+    pub checks: Vec<Check>,
+}
+
+impl BuiltWorkload {
+    /// Packages the workload as a launchable kernel.
+    pub fn kernel(&self) -> Kernel {
+        Kernel::new(self.program.clone(), self.params.num_wgs, self.resources)
+            .with_cluster(self.params.wgs_per_cluster)
+            .with_init_memory(self.init.clone())
+    }
+
+    /// Validates the post-conditions against a final memory state.
+    ///
+    /// # Errors
+    ///
+    /// Returns descriptions of every violated condition.
+    pub fn validate(&self, mem: &Backing) -> Result<(), String> {
+        checks::validate(&self.checks, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_in_all_styles() {
+        let params = WorkloadParams::smoke();
+        for kind in BenchmarkKind::all() {
+            for style in [
+                SyncStyle::Busy,
+                SyncStyle::WaitInst,
+                SyncStyle::WaitingAtomic,
+            ] {
+                let built = kind.build(&params, style);
+                assert!(built.program.verify().is_ok(), "{kind} {style:?}");
+                assert!(!built.checks.is_empty(), "{kind} needs post-conditions");
+            }
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut abbrevs: Vec<&str> = BenchmarkKind::all()
+            .iter()
+            .map(|k| k.abbreviation())
+            .collect();
+        abbrevs.sort_unstable();
+        let before = abbrevs.len();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), before);
+    }
+
+    #[test]
+    fn context_sizes_span_paper_range() {
+        // Fig 5: WG contexts between 2 and 10 KB (ours use 64-wide SIMDs).
+        let sizes: Vec<u64> = BenchmarkKind::all()
+            .iter()
+            .map(|k| k.resources().context_bytes(64))
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min >= 2 * 1024, "min context {min}");
+        assert!(max <= 10 * 1024, "max context {max}");
+        assert!(max >= 2 * min, "contexts should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn kernels_fit_on_a_baseline_cu_at_full_occupancy() {
+        use awg_gpu::GpuConfig;
+        let cfg = GpuConfig::isca2020_baseline();
+        for kind in BenchmarkKind::all() {
+            let cu = awg_gpu::Cu::new(0, &cfg);
+            let occ = cu.max_occupancy(&kind.resources());
+            assert!(
+                occ >= 8,
+                "{kind}: occupancy {occ} < 8 breaks the L=8 experiment"
+            );
+        }
+    }
+
+    #[test]
+    fn built_kernel_carries_cluster_and_init() {
+        let params = WorkloadParams::smoke();
+        let built = BenchmarkKind::SleepMutexGlobal.build(&params, SyncStyle::Busy);
+        let kernel = built.kernel();
+        assert_eq!(kernel.wgs_per_cluster, params.wgs_per_cluster);
+        assert!(!kernel.init_memory.is_empty(), "SLM seeds its queue head");
+    }
+}

@@ -1,0 +1,157 @@
+//! Table 2: benchmark synchronization characteristics.
+//!
+//! `G` = total WGs, `L` = WGs per CU (cluster), `n` = work-items per WG.
+//! Quantities are symbolic so the table renders exactly as in the paper and
+//! still evaluates numerically for any parameter set.
+
+use crate::bench::BenchmarkKind;
+use crate::params::WorkloadParams;
+
+/// A symbolic quantity from Table 2.
+#[derive(Debug, Clone, Copy)]
+pub enum SyncQuantity {
+    /// A literal constant.
+    Const(u64),
+    /// The total number of WGs.
+    G,
+    /// WGs per cluster.
+    L,
+    /// Number of clusters.
+    GOverL,
+    /// A parameter-dependent constant with a label (e.g. bucket count).
+    Derived(&'static str, fn(&WorkloadParams) -> u64),
+}
+
+impl SyncQuantity {
+    /// Evaluates the quantity for concrete parameters.
+    pub fn eval(&self, params: &WorkloadParams) -> u64 {
+        match self {
+            SyncQuantity::Const(v) => *v,
+            SyncQuantity::G => params.num_wgs,
+            SyncQuantity::L => params.wgs_per_cluster,
+            SyncQuantity::GOverL => params.num_clusters(),
+            SyncQuantity::Derived(_, f) => f(params),
+        }
+    }
+}
+
+impl std::fmt::Display for SyncQuantity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncQuantity::Const(v) => write!(f, "{v}"),
+            SyncQuantity::G => write!(f, "G"),
+            SyncQuantity::L => write!(f, "L"),
+            SyncQuantity::GOverL => write!(f, "G/L"),
+            SyncQuantity::Derived(label, _) => write!(f, "{label}"),
+        }
+    }
+}
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchCharacteristics {
+    /// Work-items per sync variable (always a whole WG's worth: `n`).
+    pub granularity: &'static str,
+    /// Number of sync variables.
+    pub sync_vars: SyncQuantity,
+    /// Conditions per sync variable.
+    pub conds_per_var: SyncQuantity,
+    /// Waiters per condition.
+    pub waiters_per_cond: SyncQuantity,
+    /// Updates per sync variable until the condition is met.
+    pub updates_until_met: SyncQuantity,
+}
+
+fn buckets(params: &WorkloadParams) -> u64 {
+    (params.num_clusters() * 2).max(4)
+}
+
+fn accounts(_params: &WorkloadParams) -> u64 {
+    crate::apps::NUM_ACCOUNTS
+}
+
+impl BenchmarkKind {
+    /// The Table 2 row for this benchmark.
+    pub fn characteristics(&self) -> BenchCharacteristics {
+        use BenchmarkKind::*;
+        use SyncQuantity::*;
+        let (sync_vars, conds, waiters, updates) = match self {
+            SpinMutexGlobal | SpinMutexBackoffGlobal => (Const(1), Const(1), G, Const(2)),
+            FaMutexGlobal => (Const(1), G, Const(1), Const(1)),
+            SleepMutexGlobal | SleepMutexLocal => (G, Const(1), Const(1), Const(1)),
+            TreeBarrier | TreeBarrierExchange => (GOverL, Const(1), L, L),
+            LfTreeBarrier | LfTreeBarrierExchange => (G, Const(1), Const(1), Const(1)),
+            SpinMutexLocal | SpinMutexBackoffLocal => (GOverL, Const(1), L, Const(2)),
+            FaMutexLocal => (GOverL, L, Const(1), Const(1)),
+            HashTable => (Derived("2·G/L", buckets), Const(1), G, Const(2)),
+            BankAccount => (Derived("A", accounts), Const(1), G, Const(2)),
+            Pipeline => (G, Const(1), Const(1), Const(1)),
+            ReaderWriter => (Const(2), Const(1), G, Const(2)),
+        };
+        BenchCharacteristics {
+            granularity: "n",
+            sync_vars,
+            conds_per_var: conds,
+            waiters_per_cond: waiters,
+            updates_until_met: updates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_spm_g_row() {
+        let c = BenchmarkKind::SpinMutexGlobal.characteristics();
+        let p = WorkloadParams::isca2020();
+        assert_eq!(c.sync_vars.eval(&p), 1);
+        assert_eq!(c.conds_per_var.eval(&p), 1);
+        assert_eq!(c.waiters_per_cond.eval(&p), 80);
+        assert_eq!(c.updates_until_met.eval(&p), 2);
+        assert_eq!(c.waiters_per_cond.to_string(), "G");
+    }
+
+    #[test]
+    fn table2_fam_g_row() {
+        let c = BenchmarkKind::FaMutexGlobal.characteristics();
+        assert_eq!(c.sync_vars.to_string(), "1");
+        assert_eq!(c.conds_per_var.to_string(), "G");
+        assert_eq!(c.waiters_per_cond.to_string(), "1");
+    }
+
+    #[test]
+    fn table2_tb_row() {
+        let c = BenchmarkKind::TreeBarrier.characteristics();
+        let p = WorkloadParams::isca2020();
+        assert_eq!(c.sync_vars.to_string(), "G/L");
+        assert_eq!(c.sync_vars.eval(&p), 8);
+        assert_eq!(c.waiters_per_cond.eval(&p), 10);
+        assert_eq!(c.updates_until_met.eval(&p), 10);
+    }
+
+    #[test]
+    fn table2_decentralized_rows_are_one_one_one() {
+        for kind in [
+            BenchmarkKind::SleepMutexGlobal,
+            BenchmarkKind::SleepMutexLocal,
+            BenchmarkKind::LfTreeBarrier,
+            BenchmarkKind::LfTreeBarrierExchange,
+        ] {
+            let c = kind.characteristics();
+            let p = WorkloadParams::isca2020();
+            assert_eq!(c.sync_vars.eval(&p), 80, "{kind}");
+            assert_eq!(c.conds_per_var.eval(&p), 1, "{kind}");
+            assert_eq!(c.waiters_per_cond.eval(&p), 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn derived_quantities_render_and_eval() {
+        let c = BenchmarkKind::HashTable.characteristics();
+        let p = WorkloadParams::isca2020();
+        assert_eq!(c.sync_vars.to_string(), "2·G/L");
+        assert_eq!(c.sync_vars.eval(&p), 16);
+    }
+}

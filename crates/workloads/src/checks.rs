@@ -1,0 +1,195 @@
+//! Machine-checkable workload post-conditions.
+//!
+//! Every benchmark attaches a list of [`Check`]s to its built program; after
+//! a simulation completes, the checks are evaluated against the functional
+//! memory. A mutex benchmark whose lock failed to provide mutual exclusion,
+//! or a barrier that let a WG run ahead, fails its checks — so performance
+//! numbers are only reported for *correct* executions.
+
+use awg_mem::{Addr, Backing};
+
+/// A post-condition over the final memory state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// The word at `addr` must equal `expect`.
+    WordEquals {
+        /// Checked address.
+        addr: Addr,
+        /// Required value.
+        expect: i64,
+        /// What this word means (for failure messages).
+        label: &'static str,
+    },
+    /// The sum of `count` words starting at `base` with byte `stride` must
+    /// equal `expect`.
+    SumEquals {
+        /// First word.
+        base: Addr,
+        /// Number of words.
+        count: u64,
+        /// Byte stride between words.
+        stride: u64,
+        /// Required sum.
+        expect: i64,
+        /// What this array means.
+        label: &'static str,
+    },
+    /// An in-kernel error flag that must still be zero.
+    ErrorFlagClear {
+        /// Flag address.
+        addr: Addr,
+        /// What a non-zero flag means.
+        label: &'static str,
+    },
+}
+
+impl Check {
+    /// Evaluates the check against `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated condition.
+    pub fn evaluate(&self, mem: &Backing) -> Result<(), String> {
+        match *self {
+            Check::WordEquals {
+                addr,
+                expect,
+                label,
+            } => {
+                let got = mem.load(addr);
+                if got == expect {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{label}: word at {addr:#x} is {got}, expected {expect}"
+                    ))
+                }
+            }
+            Check::SumEquals {
+                base,
+                count,
+                stride,
+                expect,
+                label,
+            } => {
+                let sum: i64 = (0..count)
+                    .map(|i| mem.load(base + i * stride))
+                    .fold(0i64, |a, v| a.wrapping_add(v));
+                if sum == expect {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{label}: sum over {count} words at {base:#x} is {sum}, expected {expect}"
+                    ))
+                }
+            }
+            Check::ErrorFlagClear { addr, label } => {
+                let got = mem.load(addr);
+                if got == 0 {
+                    Ok(())
+                } else {
+                    Err(format!("{label}: error flag at {addr:#x} set to {got}"))
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates all checks, collecting every failure.
+///
+/// # Errors
+///
+/// Returns the concatenated failure descriptions if any check fails.
+pub fn validate(checks: &[Check], mem: &Backing) -> Result<(), String> {
+    let failures: Vec<String> = checks
+        .iter()
+        .filter_map(|c| c.evaluate(mem).err())
+        .collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_equals() {
+        let mut mem = Backing::new();
+        mem.store(64, 5);
+        assert!(Check::WordEquals {
+            addr: 64,
+            expect: 5,
+            label: "counter"
+        }
+        .evaluate(&mem)
+        .is_ok());
+        let err = Check::WordEquals {
+            addr: 64,
+            expect: 6,
+            label: "counter",
+        }
+        .evaluate(&mem)
+        .unwrap_err();
+        assert!(err.contains("counter"), "{err}");
+        assert!(err.contains("expected 6"), "{err}");
+    }
+
+    #[test]
+    fn sum_equals_with_stride() {
+        let mut mem = Backing::new();
+        for i in 0..4u64 {
+            mem.store(1024 + i * 64, 10);
+        }
+        assert!(Check::SumEquals {
+            base: 1024,
+            count: 4,
+            stride: 64,
+            expect: 40,
+            label: "balances"
+        }
+        .evaluate(&mem)
+        .is_ok());
+    }
+
+    #[test]
+    fn error_flag() {
+        let mut mem = Backing::new();
+        assert!(Check::ErrorFlagClear {
+            addr: 64,
+            label: "barrier order"
+        }
+        .evaluate(&mem)
+        .is_ok());
+        mem.store(64, 1);
+        assert!(Check::ErrorFlagClear {
+            addr: 64,
+            label: "barrier order"
+        }
+        .evaluate(&mem)
+        .is_err());
+    }
+
+    #[test]
+    fn validate_collects_all_failures() {
+        let mem = Backing::new();
+        let checks = vec![
+            Check::WordEquals {
+                addr: 0,
+                expect: 1,
+                label: "a",
+            },
+            Check::WordEquals {
+                addr: 8,
+                expect: 2,
+                label: "b",
+            },
+        ];
+        let err = validate(&checks, &mem).unwrap_err();
+        assert!(err.contains("a:") && err.contains("b:"), "{err}");
+        assert!(validate(&[], &mem).is_ok());
+    }
+}

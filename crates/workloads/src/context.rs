@@ -1,0 +1,53 @@
+//! Fig 5: work-group context sizes.
+//!
+//! The context a WG saves on a switch is its vector registers, LDS
+//! allocation, and per-wavefront scalar state; the paper reports 2–10 KB
+//! across the suite. Sizes derive from each benchmark's resource
+//! declaration and the baseline 64-wide SIMDs.
+
+use crate::bench::BenchmarkKind;
+
+/// The baseline SIMD width the context model assumes (Table 1).
+pub const SIMD_WIDTH: usize = 64;
+
+/// Context size in bytes for one benchmark's WGs.
+pub fn context_bytes(kind: BenchmarkKind) -> u64 {
+    kind.resources().context_bytes(SIMD_WIDTH)
+}
+
+/// Context size in KB.
+pub fn context_kb(kind: BenchmarkKind) -> f64 {
+    context_bytes(kind) as f64 / 1024.0
+}
+
+/// The Fig 5 series: `(abbreviation, context KB)` for every benchmark.
+pub fn fig5_series() -> Vec<(&'static str, f64)> {
+    BenchmarkKind::all()
+        .iter()
+        .map(|k| (k.abbreviation(), context_kb(*k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contexts_in_paper_range() {
+        for (name, kb) in fig5_series() {
+            assert!((2.0..=10.0).contains(&kb), "{name}: {kb} KB");
+        }
+    }
+
+    #[test]
+    fn exchange_barrier_has_largest_context() {
+        let tbex = context_kb(BenchmarkKind::TreeBarrierExchange);
+        let spm = context_kb(BenchmarkKind::SpinMutexGlobal);
+        assert!(tbex > spm * 2.0, "TBEX {tbex} vs SPM {spm}");
+    }
+
+    #[test]
+    fn series_covers_whole_suite() {
+        assert_eq!(fig5_series().len(), 16);
+    }
+}

@@ -1,0 +1,45 @@
+//! The inter-work-group synchronization benchmark suite (Table 2).
+//!
+//! This crate re-implements the HeteroSync benchmarks the paper evaluates —
+//! spin mutexes (with and without software backoff), centralized and
+//! decentralized ticket locks, centralized and lock-free two-level tree
+//! barriers (with and without data exchange), in globally- and
+//! locally-scoped variants — plus the hash-table and bank-account
+//! applications, all as kernel programs for the `awg-isa` machine.
+//!
+//! Every benchmark can be emitted in each [`awg_gpu::SyncStyle`], because
+//! the paper's architectures use different instructions at the sync points:
+//! plain busy-wait atomics (Baseline/Sleep), `wait`-instruction arming
+//! (MonRS/MonR), or waiting atomics (Timeout/MonNR/AWG). Each built
+//! workload carries machine-checkable post-conditions so runs are validated
+//! for *correctness*, not just timed.
+//!
+//! # Example
+//!
+//! ```
+//! use awg_gpu::SyncStyle;
+//! use awg_workloads::{BenchmarkKind, WorkloadParams};
+//!
+//! let params = WorkloadParams::smoke();
+//! let built = BenchmarkKind::SpinMutexGlobal.build(&params, SyncStyle::Busy);
+//! assert!(built.program.len() > 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod barrier;
+pub mod bench;
+pub mod characteristics;
+pub mod checks;
+pub mod context;
+pub mod mutex;
+pub mod params;
+pub mod rw;
+pub mod sync_emit;
+
+pub use bench::{BenchmarkKind, BuiltWorkload};
+pub use characteristics::{BenchCharacteristics, SyncQuantity};
+pub use checks::Check;
+pub use params::{Scope, WorkloadParams};

@@ -1,0 +1,408 @@
+//! Mutex benchmarks: SpinMutex (test-and-set), FAMutex (centralized ticket
+//! lock), and SleepMutex (decentralized ticket lock), in globally- and
+//! locally-scoped variants (Table 2 rows SPM/FAM/SLM, `_G`/`_L`).
+//!
+//! Every critical section performs non-atomic read-modify-writes on shared
+//! data, so the post-condition `counter == acquisitions` genuinely proves
+//! mutual exclusion held throughout the run.
+
+use awg_gpu::SyncStyle;
+use awg_isa::{AluOp, Cond, Mem, Operand, ProgramBuilder, Special};
+
+use crate::bench::ProgramPieces;
+use crate::checks::Check;
+use crate::params::{Scope, WorkloadParams};
+use crate::sync_emit::{
+    acquire_test_and_set, critical_section, release_test_and_set, wait_until_equals, Backoff,
+};
+
+/// Register conventions shared by the mutex kernels.
+mod regs {
+    use awg_isa::Reg;
+    pub const SCRATCH: Reg = Reg::R0;
+    pub const WG_ID: Reg = Reg::R1;
+    pub const CLUSTER: Reg = Reg::R2;
+    pub const ITER: Reg = Reg::R3;
+    pub const LOCK_IDX: Reg = Reg::R4;
+    pub const TICKET: Reg = Reg::R5;
+    pub const QIDX: Reg = Reg::R6;
+    pub const WAITVAL: Reg = Reg::R7;
+    pub const CS: Reg = Reg::R8;
+    pub const TMP: Reg = Reg::R9;
+    pub const BACKOFF: Reg = Reg::R10;
+}
+
+/// Default software-backoff ladder for the `BO` variants.
+pub const DEFAULT_BACKOFF: (u32, u32) = (250, 16_000);
+
+fn scope_instances(params: &WorkloadParams, scope: Scope) -> u64 {
+    match scope {
+        Scope::Global => 1,
+        Scope::Local => params.num_clusters(),
+    }
+}
+
+/// Emits the prologue loading WG id, cluster id, and zeroing the iteration
+/// counter, then binds and returns the loop-head label.
+fn loop_prologue(b: &mut ProgramBuilder) -> awg_isa::Label {
+    b.special(regs::WG_ID, Special::WgId);
+    b.special(regs::CLUSTER, Special::ClusterId);
+    b.li(regs::ITER, 0);
+    let head = b.new_label();
+    b.bind(head);
+    head
+}
+
+/// Emits the loop epilogue (`iter++; if iter != iterations goto head`) and
+/// the final halt.
+fn loop_epilogue(b: &mut ProgramBuilder, head: awg_isa::Label, iterations: u32) {
+    b.add(regs::ITER, regs::ITER, 1i64);
+    b.br(Cond::Lt, regs::ITER, Operand::Imm(iterations as i64), head);
+    b.halt();
+}
+
+/// Sets `LOCK_IDX` to the sync-variable instance this WG uses.
+fn select_instance(b: &mut ProgramBuilder, scope: Scope) {
+    match scope {
+        Scope::Global => {
+            b.li(regs::LOCK_IDX, 0);
+        }
+        Scope::Local => {
+            b.mov(regs::LOCK_IDX, regs::CLUSTER);
+        }
+    }
+}
+
+/// SpinMutex (SPM): test-and-set lock, optional software backoff (SPMBO).
+pub fn spin_mutex(
+    params: &WorkloadParams,
+    style: SyncStyle,
+    scope: Scope,
+    backoff: bool,
+) -> ProgramPieces {
+    params.assert_valid();
+    let instances = scope_instances(params, scope);
+    let mut space = awg_mem::AddressSpace::new();
+    let locks = space.alloc_sync_array("spm_locks", instances, true);
+    let data = space.alloc_sync_array("spm_data", instances, true);
+
+    let name = match (scope, backoff) {
+        (Scope::Global, false) => "SPM_G",
+        (Scope::Global, true) => "SPMBO_G",
+        (Scope::Local, false) => "SPM_L",
+        (Scope::Local, true) => "SPMBO_L",
+    };
+    let mut b = ProgramBuilder::new(name);
+    let head = loop_prologue(&mut b);
+    select_instance(&mut b, scope);
+    let bk = backoff.then_some(Backoff {
+        reg: regs::BACKOFF,
+        base: DEFAULT_BACKOFF.0,
+        max: DEFAULT_BACKOFF.1,
+    });
+    let lock_mem = Mem::indexed(locks.base(), regs::LOCK_IDX, locks.stride_bytes());
+    acquire_test_and_set(&mut b, style, lock_mem, regs::SCRATCH, bk);
+    critical_section(
+        &mut b,
+        Mem::indexed(data.base(), regs::LOCK_IDX, data.stride_bytes()),
+        params.cs_data_words,
+        params.cs_compute,
+        regs::CS,
+    );
+    release_test_and_set(&mut b, lock_mem, regs::TMP);
+    loop_epilogue(&mut b, head, params.iterations);
+
+    let total = params.total_episodes() as i64;
+    ProgramPieces {
+        program: b.build().expect("spin mutex verifies"),
+        init: Vec::new(),
+        checks: vec![
+            Check::SumEquals {
+                base: data.base(),
+                count: instances,
+                stride: data.stride_bytes(),
+                expect: total,
+                label: "mutual exclusion counter",
+            },
+            Check::SumEquals {
+                base: locks.base(),
+                count: instances,
+                stride: locks.stride_bytes(),
+                expect: 0,
+                label: "all locks released",
+            },
+        ],
+    }
+}
+
+/// FAMutex (FAM): centralized fetch-and-add ticket lock.
+pub fn fa_mutex(params: &WorkloadParams, style: SyncStyle, scope: Scope) -> ProgramPieces {
+    params.assert_valid();
+    let instances = scope_instances(params, scope);
+    let mut space = awg_mem::AddressSpace::new();
+    let tails = space.alloc_sync_array("fam_tail", instances, true);
+    let serving = space.alloc_sync_array("fam_serving", instances, true);
+    let data = space.alloc_sync_array("fam_data", instances, true);
+
+    let name = if scope == Scope::Global {
+        "FAM_G"
+    } else {
+        "FAM_L"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let head = loop_prologue(&mut b);
+    select_instance(&mut b, scope);
+    // Take a ticket, then wait until it is served.
+    b.atom_add(
+        regs::TICKET,
+        Mem::indexed(tails.base(), regs::LOCK_IDX, tails.stride_bytes()),
+        1i64,
+    );
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(serving.base(), regs::LOCK_IDX, serving.stride_bytes()),
+        regs::TICKET,
+        regs::WAITVAL,
+        None,
+    );
+    critical_section(
+        &mut b,
+        Mem::indexed(data.base(), regs::LOCK_IDX, data.stride_bytes()),
+        params.cs_data_words,
+        params.cs_compute,
+        regs::CS,
+    );
+    b.atom_add(
+        regs::TMP,
+        Mem::indexed(serving.base(), regs::LOCK_IDX, serving.stride_bytes()),
+        1i64,
+    );
+    loop_epilogue(&mut b, head, params.iterations);
+
+    let total = params.total_episodes() as i64;
+    ProgramPieces {
+        program: b.build().expect("fa mutex verifies"),
+        init: Vec::new(),
+        checks: vec![
+            Check::SumEquals {
+                base: data.base(),
+                count: instances,
+                stride: data.stride_bytes(),
+                expect: total,
+                label: "mutual exclusion counter",
+            },
+            Check::SumEquals {
+                base: tails.base(),
+                count: instances,
+                stride: tails.stride_bytes(),
+                expect: total,
+                label: "tickets issued",
+            },
+            Check::SumEquals {
+                base: serving.base(),
+                count: instances,
+                stride: serving.stride_bytes(),
+                expect: total,
+                label: "tickets served",
+            },
+        ],
+    }
+}
+
+/// SleepMutex (SLM): decentralized ticket lock — each acquisition spins on
+/// its own queue slot (Fig 10's algorithm, with line-padded entries).
+pub fn sleep_mutex(params: &WorkloadParams, style: SyncStyle, scope: Scope) -> ProgramPieces {
+    params.assert_valid();
+    assert_eq!(
+        params.num_wgs % params.wgs_per_cluster,
+        0,
+        "SLM requires uniform clusters"
+    );
+    let instances = scope_instances(params, scope);
+    let per_instance_episodes = params.total_episodes() / instances;
+    // One queue per instance; +1 slot because the last release unlocks the
+    // slot past the final acquisition.
+    let qlen = per_instance_episodes + 1;
+    let mut space = awg_mem::AddressSpace::new();
+    let tails = space.alloc_sync_array("slm_tail", instances, true);
+    let queue = space.alloc_sync_array("slm_queue", instances * qlen, true);
+    let data = space.alloc_sync_array("slm_data", instances, true);
+
+    // Initially the head slot of every queue is unlocked.
+    let init: Vec<(u64, i64)> = (0..instances).map(|c| (queue.at(c * qlen), 1)).collect();
+
+    let name = if scope == Scope::Global {
+        "SLM_G"
+    } else {
+        "SLM_L"
+    };
+    let mut b = ProgramBuilder::new(name);
+    let head = loop_prologue(&mut b);
+    select_instance(&mut b, scope);
+    // my = fetch_add(tail); slot = instance*qlen + my
+    b.atom_add(
+        regs::TICKET,
+        Mem::indexed(tails.base(), regs::LOCK_IDX, tails.stride_bytes()),
+        1i64,
+    );
+    b.alu(AluOp::Mul, regs::QIDX, regs::LOCK_IDX, qlen as i64);
+    b.alu(
+        AluOp::Add,
+        regs::QIDX,
+        regs::QIDX,
+        Operand::Reg(regs::TICKET),
+    );
+    // Spin on my own slot becoming 1.
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::indexed(queue.base(), regs::QIDX, queue.stride_bytes()),
+        1i64,
+        regs::WAITVAL,
+        None,
+    );
+    critical_section(
+        &mut b,
+        Mem::indexed(data.base(), regs::LOCK_IDX, data.stride_bytes()),
+        params.cs_data_words,
+        params.cs_compute,
+        regs::CS,
+    );
+    // Release: retire my slot, unlock the next.
+    b.atom_exch(
+        regs::TMP,
+        Mem::indexed(queue.base(), regs::QIDX, queue.stride_bytes()),
+        -1i64,
+    );
+    b.add(regs::QIDX, regs::QIDX, 1i64);
+    b.atom_exch(
+        regs::TMP,
+        Mem::indexed(queue.base(), regs::QIDX, queue.stride_bytes()),
+        1i64,
+    );
+    loop_epilogue(&mut b, head, params.iterations);
+
+    let total = params.total_episodes() as i64;
+    let mut checks = vec![
+        Check::SumEquals {
+            base: data.base(),
+            count: instances,
+            stride: data.stride_bytes(),
+            expect: total,
+            label: "mutual exclusion counter",
+        },
+        Check::SumEquals {
+            base: tails.base(),
+            count: instances,
+            stride: tails.stride_bytes(),
+            expect: total,
+            label: "queue tickets issued",
+        },
+    ];
+    for c in 0..instances {
+        checks.push(Check::WordEquals {
+            addr: queue.at(c * qlen + per_instance_episodes),
+            expect: 1,
+            label: "queue fully drained",
+        });
+    }
+    ProgramPieces {
+        program: b.build().expect("sleep mutex verifies"),
+        init,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_isa::Machine;
+
+    fn run_functional(pieces: &ProgramPieces, params: &WorkloadParams) {
+        let mut m = Machine::new(
+            pieces.program.clone(),
+            params.num_wgs,
+            params.wgs_per_cluster,
+        );
+        for &(addr, v) in &pieces.init {
+            m.mem_mut().store(addr, v);
+        }
+        m.run(20_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+        crate::checks::validate(&pieces.checks, m.mem())
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+    }
+
+    fn all_styles() -> [SyncStyle; 3] {
+        [
+            SyncStyle::Busy,
+            SyncStyle::WaitInst,
+            SyncStyle::WaitingAtomic,
+        ]
+    }
+
+    #[test]
+    fn spin_mutex_correct_all_styles_and_scopes() {
+        let params = WorkloadParams::smoke();
+        for style in all_styles() {
+            for scope in [Scope::Global, Scope::Local] {
+                for backoff in [false, true] {
+                    run_functional(&spin_mutex(&params, style, scope, backoff), &params);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fa_mutex_correct_all_styles_and_scopes() {
+        let params = WorkloadParams::smoke();
+        for style in all_styles() {
+            for scope in [Scope::Global, Scope::Local] {
+                run_functional(&fa_mutex(&params, style, scope), &params);
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_mutex_correct_all_styles_and_scopes() {
+        let params = WorkloadParams::smoke();
+        for style in all_styles() {
+            for scope in [Scope::Global, Scope::Local] {
+                run_functional(&sleep_mutex(&params, style, scope), &params);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_spin_mutex_functional() {
+        let params = WorkloadParams {
+            iterations: 2,
+            ..WorkloadParams::isca2020()
+        };
+        run_functional(
+            &spin_mutex(&params, SyncStyle::Busy, Scope::Global, false),
+            &params,
+        );
+    }
+
+    #[test]
+    fn local_scope_uses_one_lock_per_cluster() {
+        let params = WorkloadParams::smoke();
+        let pieces = spin_mutex(&params, SyncStyle::Busy, Scope::Local, false);
+        // Two clusters of four: the counter check must span 2 instances.
+        match &pieces.checks[0] {
+            Check::SumEquals { count, .. } => assert_eq!(*count, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slm_init_unlocks_queue_heads() {
+        let params = WorkloadParams::smoke();
+        let pieces = sleep_mutex(&params, SyncStyle::Busy, Scope::Local);
+        // Two clusters: two queue heads must start unlocked.
+        assert_eq!(pieces.init.len(), 2);
+        assert!(pieces.init.iter().all(|&(_, v)| v == 1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Workload parameters (Table 2's `G`, `L`, `n`, `d`).
+
+/// Synchronization variable scope (the `_G` / `_L` benchmark suffixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// One set of sync variables shared by all WGs.
+    Global,
+    /// One set of sync variables per cluster of `L` WGs (HeteroSync's
+    /// locally-scoped variants, which contend only within a CU's worth of
+    /// WGs).
+    Local,
+}
+
+/// Parameters shared by every benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Total WGs (`G`).
+    pub num_wgs: u64,
+    /// WGs per cluster (`L` — WGs per CU at launch).
+    pub wgs_per_cluster: u64,
+    /// Synchronization episodes per WG (lock acquisitions / barrier
+    /// phases).
+    pub iterations: u32,
+    /// Critical-section / inter-barrier compute, in cycles.
+    pub cs_compute: u32,
+    /// Shared-data words touched per critical section (`d`).
+    pub cs_data_words: u32,
+    /// Seed for workloads with pseudo-random access patterns.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// The paper-scale configuration: the kernel exactly fills the Table 1
+    /// machine — 80 WGs over 8 clusters of 10 (the baseline CU holds ten
+    /// 4-wavefront WGs). Losing one CU (§VI) then oversubscribes it.
+    pub fn isca2020() -> Self {
+        WorkloadParams {
+            num_wgs: 80,
+            wgs_per_cluster: 10,
+            iterations: 4,
+            cs_compute: 100,
+            cs_data_words: 4,
+            seed: 0xA576_15CA_2020,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn smoke() -> Self {
+        WorkloadParams {
+            num_wgs: 8,
+            wgs_per_cluster: 4,
+            iterations: 2,
+            cs_compute: 100,
+            cs_data_words: 2,
+            seed: 7,
+        }
+    }
+
+    /// Number of clusters (`G / L`, rounded up).
+    pub fn num_clusters(&self) -> u64 {
+        self.num_wgs.div_ceil(self.wgs_per_cluster)
+    }
+
+    /// Total synchronization episodes across the grid.
+    pub fn total_episodes(&self) -> u64 {
+        self.num_wgs * self.iterations as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero WGs, zero cluster width,
+    /// cluster width exceeding the grid, or zero iterations).
+    pub fn assert_valid(&self) {
+        assert!(self.num_wgs > 0, "need at least one WG");
+        assert!(self.wgs_per_cluster > 0, "cluster width must be positive");
+        assert!(
+            self.wgs_per_cluster <= self.num_wgs,
+            "cluster wider than the grid"
+        );
+        assert!(self.iterations > 0, "need at least one iteration");
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self::isca2020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = WorkloadParams::isca2020();
+        p.assert_valid();
+        assert_eq!(p.num_clusters(), 8);
+        assert_eq!(p.total_episodes(), 320);
+    }
+
+    #[test]
+    fn clusters_round_up() {
+        let p = WorkloadParams {
+            num_wgs: 10,
+            wgs_per_cluster: 4,
+            ..WorkloadParams::smoke()
+        };
+        assert_eq!(p.num_clusters(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster wider")]
+    fn wide_cluster_rejected() {
+        WorkloadParams {
+            num_wgs: 2,
+            wgs_per_cluster: 4,
+            ..WorkloadParams::smoke()
+        }
+        .assert_valid();
+    }
+}

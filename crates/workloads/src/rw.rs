@@ -1,0 +1,233 @@
+//! Reader–writer lock benchmark (HeteroSync's semaphore class).
+//!
+//! A writer-preference RW lock over two sync variables: `writer_flag`
+//! (0 = no writer, 1 = writer present or pending) and `reader_count`.
+//! Every fourth WG is a writer.
+//!
+//! * **Reader acquire**: wait `writer_flag == 0`; `reader_count += 1`;
+//!   re-check the flag (a writer may have arrived in between) and back out
+//!   if so. Release: `reader_count -= 1`.
+//! * **Writer acquire**: test-and-set `writer_flag` (blocks new readers),
+//!   then wait `reader_count == 0`. Release: `writer_flag = 0`.
+//!
+//! Writers set every data word to a fresh version value; readers load two
+//! words and trip the error flag if they ever observe a torn (mixed-
+//! version) snapshot — the read-side exclusion witness. The write counter
+//! witnesses writer–writer exclusion.
+
+use awg_gpu::SyncStyle;
+use awg_isa::{AluOp, Cond, Mem, Operand, ProgramBuilder, Special};
+
+use crate::bench::ProgramPieces;
+use crate::checks::Check;
+use crate::params::WorkloadParams;
+use crate::sync_emit::{acquire_test_and_set, wait_until_equals};
+
+mod regs {
+    use awg_isa::Reg;
+    pub const SCRATCH: Reg = Reg::R0;
+    pub const WG_ID: Reg = Reg::R1;
+    pub const ITER: Reg = Reg::R3;
+    pub const ROLE: Reg = Reg::R4;
+    pub const WAITVAL: Reg = Reg::R7;
+    pub const V0: Reg = Reg::R8;
+    pub const V1: Reg = Reg::R9;
+    pub const TMP: Reg = Reg::R10;
+    pub const VERSION: Reg = Reg::R11;
+}
+
+/// Every `WRITER_STRIDE`-th WG is a writer.
+pub const WRITER_STRIDE: u64 = 4;
+
+/// Number of versioned data words behind the lock.
+pub const DATA_WORDS: u64 = 2;
+
+/// Builds the RW-lock benchmark.
+pub fn reader_writer(params: &WorkloadParams, style: SyncStyle) -> ProgramPieces {
+    params.assert_valid();
+    let g = params.num_wgs;
+    let writers = g.div_ceil(WRITER_STRIDE);
+    let mut space = awg_mem::AddressSpace::new();
+    let writer_flag = space.alloc_sync_var("rw_writer_flag");
+    let reader_count = space.alloc_sync_var("rw_reader_count");
+    let write_counter = space.alloc_sync_var("rw_write_counter");
+    let data = space.alloc_sync_array("rw_data", DATA_WORDS, false);
+    let error = space.alloc_sync_var("rw_error");
+
+    let mut b = ProgramBuilder::new("RW_G");
+    b.special(regs::WG_ID, Special::WgId);
+    b.li(regs::ITER, 0);
+    let head = b.new_label();
+    b.bind(head);
+    b.alu(AluOp::Rem, regs::ROLE, regs::WG_ID, WRITER_STRIDE as i64);
+    let writer = b.new_label();
+    let next = b.new_label();
+    b.br(Cond::Eq, regs::ROLE, Operand::Imm(0), writer);
+
+    // === Reader ===
+    let racquire = b.new_label();
+    b.bind(racquire);
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::direct(writer_flag),
+        0i64,
+        regs::WAITVAL,
+        None,
+    );
+    b.atom_add(regs::SCRATCH, reader_count, 1i64);
+    // Re-check: a writer may have set the flag between the wait and our
+    // registration; back out so it can proceed.
+    b.atom_load(regs::WAITVAL, writer_flag);
+    let rread = b.new_label();
+    b.br(Cond::Eq, regs::WAITVAL, Operand::Imm(0), rread);
+    b.atom(awg_mem::AtomicOp::Sub, regs::SCRATCH, reader_count, 1i64);
+    b.jmp(racquire);
+    b.bind(rread);
+    // Snapshot two words; they must carry the same version.
+    b.ld(regs::V0, data.at(0));
+    b.ld(regs::V1, data.at(1));
+    if params.cs_compute > 0 {
+        b.compute(params.cs_compute / 2);
+    }
+    let consistent = b.new_label();
+    b.br(Cond::Eq, regs::V0, Operand::Reg(regs::V1), consistent);
+    b.st(error, 1i64);
+    b.bind(consistent);
+    b.atom(awg_mem::AtomicOp::Sub, regs::SCRATCH, reader_count, 1i64);
+    b.jmp(next);
+
+    // === Writer ===
+    b.bind(writer);
+    acquire_test_and_set(&mut b, style, Mem::direct(writer_flag), regs::SCRATCH, None);
+    wait_until_equals(
+        &mut b,
+        style,
+        Mem::direct(reader_count),
+        0i64,
+        regs::WAITVAL,
+        None,
+    );
+    // Exclusive section: bump the counter, stamp every word with the new
+    // version (interleaving compute so torn reads would be visible).
+    b.ld(regs::VERSION, write_counter);
+    b.alu(AluOp::Add, regs::VERSION, regs::VERSION, 1i64);
+    b.st(write_counter, regs::VERSION);
+    b.st(data.at(0), regs::VERSION);
+    if params.cs_compute > 0 {
+        b.compute(params.cs_compute);
+    }
+    b.st(data.at(1), regs::VERSION);
+    b.atom_exch(regs::TMP, writer_flag, 0i64);
+    b.bind(next);
+
+    b.add(regs::ITER, regs::ITER, 1i64);
+    b.br(
+        Cond::Lt,
+        regs::ITER,
+        Operand::Imm(params.iterations as i64),
+        head,
+    );
+    b.halt();
+
+    let total_writes = (writers * params.iterations as u64) as i64;
+    ProgramPieces {
+        program: b.build().expect("rw lock verifies"),
+        init: Vec::new(),
+        checks: vec![
+            Check::ErrorFlagClear {
+                addr: error,
+                label: "reader observed a torn write",
+            },
+            Check::WordEquals {
+                addr: write_counter,
+                expect: total_writes,
+                label: "writer-writer exclusion counter",
+            },
+            Check::WordEquals {
+                addr: data.at(0),
+                expect: total_writes,
+                label: "final version word 0",
+            },
+            Check::WordEquals {
+                addr: data.at(1),
+                expect: total_writes,
+                label: "final version word 1",
+            },
+            Check::WordEquals {
+                addr: reader_count,
+                expect: 0,
+                label: "all readers released",
+            },
+            Check::WordEquals {
+                addr: writer_flag,
+                expect: 0,
+                label: "writer flag released",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_isa::Machine;
+
+    fn run_functional(pieces: &ProgramPieces, params: &WorkloadParams) {
+        let mut m = Machine::new(
+            pieces.program.clone(),
+            params.num_wgs,
+            params.wgs_per_cluster,
+        );
+        for &(addr, v) in &pieces.init {
+            m.mem_mut().store(addr, v);
+        }
+        m.run(50_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+        crate::checks::validate(&pieces.checks, m.mem())
+            .unwrap_or_else(|e| panic!("{}: {e}", pieces.program.name()));
+    }
+
+    #[test]
+    fn rw_lock_correct_all_styles() {
+        let params = WorkloadParams::smoke();
+        for style in [
+            SyncStyle::Busy,
+            SyncStyle::WaitInst,
+            SyncStyle::WaitingAtomic,
+        ] {
+            run_functional(&reader_writer(&params, style), &params);
+        }
+    }
+
+    #[test]
+    fn rw_lock_larger_grid() {
+        let params = WorkloadParams {
+            num_wgs: 24,
+            wgs_per_cluster: 8,
+            iterations: 3,
+            ..WorkloadParams::smoke()
+        };
+        run_functional(&reader_writer(&params, SyncStyle::Busy), &params);
+    }
+
+    #[test]
+    fn writer_count_matches_role_assignment() {
+        // 8 WGs, stride 4 => WGs 0 and 4 write; 2 iterations => counter 4.
+        let params = WorkloadParams::smoke();
+        let pieces = reader_writer(&params, SyncStyle::Busy);
+        let counter_check = pieces
+            .checks
+            .iter()
+            .find_map(|c| match c {
+                Check::WordEquals { expect, label, .. }
+                    if *label == "writer-writer exclusion counter" =>
+                {
+                    Some(*expect)
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(counter_check, 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Style-dependent emission of synchronization points.
+//!
+//! The paper's architectures differ in the *instructions* a kernel uses
+//! where it waits (Fig 6/Fig 10): plain busy-wait atomics, `wait`
+//! instructions after a failed poll, or waiting atomics carrying the
+//! expected value. These helpers emit the right loop shape for a given
+//! [`SyncStyle`], optionally composed with HeteroSync's software
+//! exponential backoff (the `BO` benchmark variants).
+
+use awg_gpu::SyncStyle;
+use awg_isa::{AluOp, Cond, Mem, Operand, ProgramBuilder, Reg};
+use awg_mem::AtomicOp;
+
+/// Software-backoff parameters (the `BO` benchmark variants double a sleep
+/// interval after every failed attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Scratch register holding the current interval.
+    pub reg: Reg,
+    /// Initial interval in cycles.
+    pub base: u32,
+    /// Maximum interval in cycles (Fig 7's `Sleep-Xk` parameter).
+    pub max: u32,
+}
+
+fn emit_backoff_step(b: &mut ProgramBuilder, bk: &Backoff) {
+    b.sleep(bk.reg);
+    b.alu(AluOp::Mul, bk.reg, bk.reg, 2i64);
+    b.alu(AluOp::Min, bk.reg, bk.reg, bk.max as i64);
+}
+
+/// Emits code that blocks until `mem == expected`.
+///
+/// `result` ends up holding the observed (matching) value. `expected` may be
+/// a register (the centralized ticket lock waits on its own ticket number).
+pub fn wait_until_equals(
+    b: &mut ProgramBuilder,
+    style: SyncStyle,
+    mem: Mem,
+    expected: impl Into<Operand>,
+    result: Reg,
+    backoff: Option<Backoff>,
+) {
+    let expected = expected.into();
+    if let Some(bk) = &backoff {
+        b.li(bk.reg, bk.base as i64);
+    }
+    let retry = b.new_label();
+    let done = b.new_label();
+    b.bind(retry);
+    match style {
+        SyncStyle::Busy | SyncStyle::Backoff => {
+            b.atom_load(result, mem);
+            b.br(Cond::Eq, result, expected, done);
+        }
+        SyncStyle::WaitInst => {
+            b.atom_load(result, mem);
+            b.br(Cond::Eq, result, expected, done);
+            // Poll failed: arm the monitor (window of vulnerability lives
+            // between the load above and this arming — Fig 10).
+            b.wait(mem, expected);
+        }
+        SyncStyle::WaitingAtomic => {
+            // The paper's compare-and-wait instruction.
+            b.raw(awg_isa::Inst::Atom {
+                op: AtomicOp::Load,
+                dst: result,
+                mem,
+                operand: Operand::Imm(0),
+                expected: Some(expected),
+            });
+            b.br(Cond::Eq, result, expected, done);
+        }
+    }
+    if let Some(bk) = &backoff {
+        emit_backoff_step(b, bk);
+    }
+    b.jmp(retry);
+    b.bind(done);
+}
+
+/// Emits a test-and-set acquire of `lock` (0 = free, 1 = held), blocking
+/// until acquired. `result` is clobbered.
+pub fn acquire_test_and_set(
+    b: &mut ProgramBuilder,
+    style: SyncStyle,
+    lock: Mem,
+    result: Reg,
+    backoff: Option<Backoff>,
+) {
+    if let Some(bk) = &backoff {
+        b.li(bk.reg, bk.base as i64);
+    }
+    let retry = b.new_label();
+    let done = b.new_label();
+    b.bind(retry);
+    match style {
+        SyncStyle::Busy | SyncStyle::Backoff => {
+            b.atom_exch(result, lock, 1i64);
+            b.br(Cond::Eq, result, Operand::Imm(0), done);
+        }
+        SyncStyle::WaitInst => {
+            b.atom_exch(result, lock, 1i64);
+            b.br(Cond::Eq, result, Operand::Imm(0), done);
+            b.wait(lock, 0i64);
+        }
+        SyncStyle::WaitingAtomic => {
+            // Waiting exchange: expect to have observed "free".
+            b.atom_wait(AtomicOp::Exch, result, lock, 1i64, 0i64);
+            b.br(Cond::Eq, result, Operand::Imm(0), done);
+        }
+    }
+    if let Some(bk) = &backoff {
+        emit_backoff_step(b, bk);
+    }
+    b.jmp(retry);
+    b.bind(done);
+}
+
+/// Emits a test-and-set release (`lock = 0`). `scratch` is clobbered.
+pub fn release_test_and_set(b: &mut ProgramBuilder, lock: Mem, scratch: Reg) {
+    b.atom_exch(scratch, lock, 0i64);
+}
+
+/// Emits the critical-section body: touch `data_words` shared words behind
+/// the lock with plain (non-atomic) read-modify-writes, then compute. The
+/// non-atomic increment of the first word is what the mutual-exclusion
+/// post-condition checks.
+pub fn critical_section(
+    b: &mut ProgramBuilder,
+    data_base: Mem,
+    data_words: u32,
+    compute: u32,
+    scratch: Reg,
+) {
+    for i in 0..data_words.max(1) {
+        let word = Mem {
+            base: data_base.base + (i as u64) * 8,
+            index: data_base.index,
+            scale: data_base.scale,
+        };
+        b.ld(scratch, word);
+        b.add(scratch, scratch, 1i64);
+        b.st(word, scratch);
+    }
+    if compute > 0 {
+        b.compute(compute);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_isa::Machine;
+
+    const LOCK: u64 = 1024;
+    const COUNTER: u64 = 2048;
+
+    fn styles() -> [SyncStyle; 4] {
+        [
+            SyncStyle::Busy,
+            SyncStyle::Backoff,
+            SyncStyle::WaitInst,
+            SyncStyle::WaitingAtomic,
+        ]
+    }
+
+    #[test]
+    fn tas_mutex_excludes_in_all_styles() {
+        for style in styles() {
+            let mut b = ProgramBuilder::new("tas");
+            let backoff = matches!(style, SyncStyle::Backoff).then_some(Backoff {
+                reg: Reg::R10,
+                base: 100,
+                max: 1000,
+            });
+            acquire_test_and_set(&mut b, style, Mem::direct(LOCK), Reg::R0, backoff);
+            critical_section(&mut b, Mem::direct(COUNTER), 1, 10, Reg::R1);
+            release_test_and_set(&mut b, Mem::direct(LOCK), Reg::R0);
+            b.halt();
+            let mut m = Machine::new(b.build().unwrap(), 8, 4);
+            m.run(1_000_000)
+                .unwrap_or_else(|e| panic!("{style:?}: {e}"));
+            assert_eq!(m.mem().load(COUNTER), 8, "{style:?}");
+            assert_eq!(m.mem().load(LOCK), 0, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn wait_until_equals_with_register_expectation() {
+        // Each WG takes a ticket and waits for now-serving == ticket.
+        for style in styles() {
+            let tail = 64u64;
+            let serving = 128u64;
+            let mut b = ProgramBuilder::new("ticket");
+            b.atom_add(Reg::R1, tail, 1i64);
+            wait_until_equals(&mut b, style, Mem::direct(serving), Reg::R1, Reg::R2, None);
+            critical_section(&mut b, Mem::direct(COUNTER), 1, 0, Reg::R3);
+            b.atom_add(Reg::R0, serving, 1i64);
+            b.halt();
+            let mut m = Machine::new(b.build().unwrap(), 6, 3);
+            m.run(1_000_000)
+                .unwrap_or_else(|e| panic!("{style:?}: {e}"));
+            assert_eq!(m.mem().load(COUNTER), 6, "{style:?}");
+            assert_eq!(m.mem().load(serving), 6, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_emits_sleep_ladder() {
+        let mut b = ProgramBuilder::new("bk");
+        acquire_test_and_set(
+            &mut b,
+            SyncStyle::Busy,
+            Mem::direct(LOCK),
+            Reg::R0,
+            Some(Backoff {
+                reg: Reg::R10,
+                base: 64,
+                max: 4096,
+            }),
+        );
+        b.halt();
+        let p = b.build().unwrap();
+        let has_sleep = p
+            .insts()
+            .iter()
+            .any(|i| matches!(i, awg_isa::Inst::Sleep(_)));
+        assert!(has_sleep);
+    }
+
+    #[test]
+    fn waiting_atomic_style_emits_expected_operand() {
+        let mut b = ProgramBuilder::new("wa");
+        wait_until_equals(
+            &mut b,
+            SyncStyle::WaitingAtomic,
+            Mem::direct(64),
+            1i64,
+            Reg::R0,
+            None,
+        );
+        b.halt();
+        let p = b.build().unwrap();
+        let waiting_atomics = p
+            .insts()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    awg_isa::Inst::Atom {
+                        expected: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(waiting_atomics, 1);
+    }
+
+    #[test]
+    fn wait_inst_style_emits_wait() {
+        let mut b = ProgramBuilder::new("wi");
+        wait_until_equals(
+            &mut b,
+            SyncStyle::WaitInst,
+            Mem::direct(64),
+            1i64,
+            Reg::R0,
+            None,
+        );
+        b.halt();
+        let p = b.build().unwrap();
+        let waits = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, awg_isa::Inst::Wait { .. }))
+            .count();
+        assert_eq!(waits, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's §VI oversubscribed experiment, live: a tree-barrier kernel
+//! loses one CU mid-run. The busy-waiting Baseline deadlocks — the machine
+//! detects it — while AWG context switches the preempted WGs and finishes.
+//!
+//! ```sh
+//! cargo run --release --example oversubscribed_barrier
+//! ```
+
+use awg_repro::prelude::*;
+use awg_sim::cycles_to_us;
+
+fn main() {
+    let scale = Scale::paper();
+    let kind = BenchmarkKind::TreeBarrier;
+    println!(
+        "benchmark: {kind} — one CU is removed at {:.0} µs into the run\n",
+        cycles_to_us(scale.resource_loss_at)
+    );
+
+    for policy in [PolicyKind::Baseline, PolicyKind::Timeout, PolicyKind::Awg] {
+        let result = run_experiment(kind, policy, &scale, ExperimentConfig::Oversubscribed);
+        match &result.outcome {
+            RunOutcome::Completed(summary) => {
+                result.validated.as_ref().expect("barrier order must hold");
+                println!(
+                    "  {:<10} completed in {:>9} cycles ({:>6.1} µs), {} swaps out / {} in",
+                    policy.label(),
+                    summary.cycles,
+                    cycles_to_us(summary.cycles),
+                    summary.switches_out,
+                    summary.switches_in,
+                );
+            }
+            RunOutcome::Deadlocked { at, unfinished, .. } => {
+                println!(
+                    "  {:<10} DEADLOCK detected at cycle {at} with {unfinished} WGs stuck \
+                     (no WG-level rescheduling: the preempted work-groups never return)",
+                    policy.label(),
+                );
+            }
+            RunOutcome::CycleLimit { .. } => {
+                println!("  {:<10} hit the cycle cap", policy.label());
+            }
+        }
+    }
+    println!("\nThis is Fig 15's left-most bars: IFP requires WG-granularity scheduling support.");
+}

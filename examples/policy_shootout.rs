@@ -1,0 +1,58 @@
+//! Run the whole §IV policy family on one benchmark and print the Fig 6
+//! trade-off as a table: runtime, dynamic atomics (wait efficiency),
+//! resumes, and context switches.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout [benchmark]
+//! ```
+//!
+//! `benchmark` is a Table 2 abbreviation (default `SPM_G`).
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{run_experiment, ExperimentConfig, Scale};
+use awg_workloads::BenchmarkKind;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "SPM_G".into());
+    let kind = BenchmarkKind::all()
+        .into_iter()
+        .find(|k| k.abbreviation() == want)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{want}'; use a Table 2 abbreviation like SPM_G");
+            std::process::exit(2);
+        });
+    let scale = Scale::paper();
+
+    println!("{} — {}\n", kind.abbreviation(), kind.description());
+    println!(
+        "{:<11} {:>12} {:>10} {:>9} {:>9} {:>10} {:>8}",
+        "policy", "cycles", "atomics", "resumes", "unnecess.", "swaps out", "valid"
+    );
+    for policy in [
+        PolicyKind::Baseline,
+        PolicyKind::Sleep,
+        PolicyKind::Timeout,
+        PolicyKind::MonRsAll,
+        PolicyKind::MonRAll,
+        PolicyKind::MonNrAll,
+        PolicyKind::MonNrOne,
+        PolicyKind::Awg,
+        PolicyKind::MinResume,
+    ] {
+        let r = run_experiment(kind, policy, &scale, ExperimentConfig::NonOversubscribed);
+        let s = r.outcome.summary();
+        println!(
+            "{:<11} {:>12} {:>10} {:>9} {:>9} {:>10} {:>8}",
+            policy.label(),
+            r.cycles()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "DEADLOCK".into()),
+            s.atomics,
+            s.resumes,
+            s.unnecessary_resumes,
+            s.switches_out,
+            if r.is_valid_completion() { "ok" } else { "-" },
+        );
+    }
+    println!("\nMinResume is the Fig 9 oracle; its atomic count is the normalization floor.");
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run one paper benchmark under the busy-waiting Baseline and
+//! under AWG, and print the speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use awg_repro::prelude::*;
+
+fn main() {
+    // The paper's Fig 14 setup: the Table 1 machine, a kernel that exactly
+    // fills it, and the centralized ticket lock (one sync variable for the
+    // whole grid — the case the paper headlines at 12x).
+    let scale = Scale::paper();
+    let kind = BenchmarkKind::FaMutexGlobal;
+
+    println!("benchmark: {kind} ({})", kind.description());
+    let mut cycles = Vec::new();
+    for policy in [PolicyKind::Baseline, PolicyKind::Awg] {
+        let result = run_experiment(kind, policy, &scale, ExperimentConfig::NonOversubscribed);
+        let summary = result.outcome.summary();
+        result
+            .validated
+            .as_ref()
+            .expect("mutual exclusion must hold");
+        println!(
+            "  {:<10} {:>10} cycles  {:>8} dynamic atomics  {:>6} context switches",
+            policy.label(),
+            summary.cycles,
+            summary.atomics,
+            summary.switches_out,
+        );
+        cycles.push(summary.cycles as f64);
+    }
+    println!(
+        "\nAWG speedup over busy-waiting: {:.1}x (paper: ~12x for single-sync-var kernels)",
+        cycles[0] / cycles[1]
+    );
+}

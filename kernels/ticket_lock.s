@@ -1,0 +1,18 @@
+; A centralized ticket lock with waiting atomics, runnable via:
+;   cargo run --release -p awg-harness -- asm kernels/ticket_lock.s --policy awg --wgs 32
+;
+; Memory map:
+;   0x1000  ticket tail
+;   0x1040  now-serving
+;   0x1080  protected counter (the mutual-exclusion witness)
+
+    atom_add r5, [0x1000], 1          ; my ticket
+retry:
+    atom_ld.wait r2, [0x1040], 0, expect=r5
+    bne r2, r5, retry                 ; Mesa: recheck after every resume
+    ld r8, [0x1080]                   ; ---- critical section ----
+    add r8, r8, 1
+    st [0x1080], r8
+    compute 200
+    atom_add r0, [0x1040], 1          ; ---- release ----
+    halt

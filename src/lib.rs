@@ -1,0 +1,74 @@
+//! # awg-repro
+//!
+//! A full reproduction of **_Independent Forward Progress of Work-groups_**
+//! (ISCA 2020) as a Rust workspace: the Autonomous Work-Groups (AWG)
+//! hardware architecture, the GPU timing simulator it was evaluated on, the
+//! HeteroSync-style benchmark suite, and the experiment harness that
+//! regenerates every measured table and figure.
+//!
+//! This crate is the facade: it re-exports the workspace's public API and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! ## The 30-second tour
+//!
+//! ```
+//! use awg_repro::prelude::*;
+//!
+//! // A paper benchmark, emitted for AWG's waiting atomics…
+//! let params = WorkloadParams::smoke();
+//! let policy = build_policy(PolicyKind::Awg);
+//! let built = BenchmarkKind::FaMutexGlobal.build(&params, policy.style());
+//!
+//! // …run on the Table 1 machine…
+//! let mut gpu = Gpu::new(GpuConfig::isca2020_baseline(), built.kernel(), policy);
+//! let outcome = gpu.run();
+//!
+//! // …and validated: the ticket lock must have provided mutual exclusion.
+//! assert!(outcome.is_completed());
+//! built.validate(gpu.backing()).expect("post-conditions hold");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`awg_sim`] | discrete-event engine, stats, deterministic RNG |
+//! | [`awg_mem`] | caches, banked L2 with atomics, DRAM |
+//! | [`awg_isa`] | the kernel mini-ISA and functional machine |
+//! | [`awg_gpu`] | CUs, dispatcher, WG interpreter, context switching |
+//! | [`awg_core`] | **the paper's contribution**: SyncMon, CP, policies |
+//! | [`awg_workloads`] | the Table 2 benchmark suite + applications |
+//! | [`awg_harness`] | per-table/figure experiment harness + `awg-repro` CLI |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use awg_core as core;
+pub use awg_gpu as gpu;
+pub use awg_harness as harness;
+pub use awg_isa as isa;
+pub use awg_mem as mem;
+pub use awg_sim as sim;
+pub use awg_workloads as workloads;
+
+/// Everything needed for the common "build a benchmark, pick a policy, run
+/// it, validate it" flow.
+pub mod prelude {
+    pub use awg_core::policies::{build_policy, PolicyKind};
+    pub use awg_gpu::{Gpu, GpuConfig, Kernel, RunOutcome, SchedPolicy, SyncStyle, WgResources};
+    pub use awg_harness::{run_experiment, ExperimentConfig, Scale};
+    pub use awg_isa::{ProgramBuilder, Reg};
+    pub use awg_workloads::{BenchmarkKind, Scope, WorkloadParams};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links_all_crates() {
+        use crate::prelude::*;
+        let p = build_policy(PolicyKind::Baseline);
+        assert_eq!(p.name(), "Baseline");
+        assert_eq!(WorkloadParams::smoke().num_wgs, 8);
+    }
+}

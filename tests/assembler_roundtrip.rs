@@ -1,0 +1,75 @@
+//! Every benchmark program in every sync style must survive a
+//! disassemble → assemble → disassemble round trip unchanged — the
+//! assembler and disassembler are exact inverses over the whole suite.
+
+use awg_gpu::SyncStyle;
+use awg_isa::{assemble, Inst, Program};
+use awg_workloads::{BenchmarkKind, WorkloadParams};
+
+/// Canonical form: instruction text with branch targets resolved to PCs
+/// (label *ids* are builder bookkeeping and legitimately differ between a
+/// program and its reassembly; the control-flow graph must not).
+fn canonical(program: &Program) -> Vec<String> {
+    program
+        .insts()
+        .iter()
+        .map(|inst| match inst {
+            Inst::Jmp(l) => format!("jmp -> {}", program.target(*l)),
+            Inst::Br(c, r, o, l) => {
+                format!("br {c:?} {r} {o:?} -> {}", program.target(*l))
+            }
+            other => format!("{other}"),
+        })
+        .collect()
+}
+
+#[test]
+fn all_workload_programs_roundtrip() {
+    let params = WorkloadParams::smoke();
+    for kind in BenchmarkKind::all() {
+        for style in [
+            SyncStyle::Busy,
+            SyncStyle::WaitInst,
+            SyncStyle::WaitingAtomic,
+        ] {
+            let built = kind.build(&params, style);
+            let asm = built.program.disassemble();
+            let reassembled = assemble(&asm, built.program.name())
+                .unwrap_or_else(|e| panic!("{kind} {style:?}: {e}\n{asm}"));
+            assert_eq!(
+                canonical(&built.program),
+                canonical(&reassembled),
+                "{kind} {style:?} control flow diverged"
+            );
+            // A second trip is exactly stable.
+            let twice = assemble(&reassembled.disassemble(), reassembled.name()).unwrap();
+            assert_eq!(
+                reassembled.disassemble(),
+                twice.disassemble(),
+                "{kind} {style:?} not idempotent"
+            );
+        }
+    }
+}
+
+#[test]
+fn reassembled_program_behaves_identically() {
+    // Run the original and the round-tripped SPM program on the functional
+    // machine: the final memories must match word for word.
+    let params = WorkloadParams::smoke();
+    let built = BenchmarkKind::SpinMutexGlobal.build(&params, SyncStyle::Busy);
+    let asm = built.program.disassemble();
+    let reassembled = assemble(&asm, "rt").unwrap();
+
+    let run = |program: awg_isa::Program| {
+        let mut m = awg_isa::Machine::new(program, params.num_wgs, params.wgs_per_cluster);
+        for &(a, v) in &built.init {
+            m.mem_mut().store(a, v);
+        }
+        m.run(10_000_000).unwrap();
+        let mut words: Vec<(u64, i64)> = m.mem().nonzero_words().collect();
+        words.sort_unstable();
+        words
+    };
+    assert_eq!(run(built.program.clone()), run(reassembled));
+}

@@ -1,0 +1,86 @@
+//! Liveness under lost notifications: dropping SyncMon wakes degrades
+//! performance but never forward progress or correctness, because every
+//! waiting WG carries a fallback timeout (§V.A's liveness argument).
+
+use awg_core::policies::chaos::DropWakes;
+use awg_core::policies::{AwgPolicy, MonNrAllPolicy, MonNrOnePolicy, PolicyKind};
+use awg_harness::{run_with_policy, ExperimentConfig, Scale};
+use awg_workloads::BenchmarkKind;
+
+#[test]
+fn awg_survives_dropping_every_other_wake() {
+    let scale = Scale::quick();
+    for kind in [
+        BenchmarkKind::SpinMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+        BenchmarkKind::SleepMutexGlobal,
+    ] {
+        let r = run_with_policy(
+            kind,
+            PolicyKind::Awg,
+            Box::new(DropWakes::new(AwgPolicy::new(), 2)),
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+        );
+        assert!(r.outcome.is_completed(), "{kind}: {:?}", r.outcome);
+        r.validated.unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+fn even_dropping_all_wakes_only_slows_things_down() {
+    let scale = Scale::quick();
+    let kind = BenchmarkKind::FaMutexGlobal;
+    let clean = run_with_policy(
+        kind,
+        PolicyKind::MonNrAll,
+        Box::new(MonNrAllPolicy::new()),
+        &scale,
+        ExperimentConfig::NonOversubscribed,
+    );
+    let lossy = run_with_policy(
+        kind,
+        PolicyKind::MonNrAll,
+        Box::new(DropWakes::new(MonNrAllPolicy::new(), 1)),
+        &scale,
+        ExperimentConfig::NonOversubscribed,
+    );
+    assert!(clean.is_valid_completion());
+    assert!(lossy.outcome.is_completed(), "{:?}", lossy.outcome);
+    lossy
+        .validated
+        .as_ref()
+        .expect("correctness is notification-independent");
+    assert!(
+        lossy.cycles().unwrap() > clean.cycles().unwrap(),
+        "losing every wake must cost time: {:?} vs {:?}",
+        lossy.cycles(),
+        clean.cycles()
+    );
+    assert_eq!(
+        lossy
+            .outcome
+            .summary()
+            .stats
+            .get_by_name("chaos_wakes_dropped")
+            .map(|d| d > 0),
+        Some(true)
+    );
+}
+
+#[test]
+fn chaos_composes_with_oversubscription() {
+    let scale = Scale::quick();
+    let r = run_with_policy(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::MonNrOne,
+        Box::new(DropWakes::new(MonNrOnePolicy::new(), 3)),
+        &scale,
+        ExperimentConfig::Oversubscribed,
+    );
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    r.validated
+        .as_ref()
+        .expect("barrier order under chaos + CU loss");
+}

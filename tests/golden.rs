@@ -1,0 +1,29 @@
+//! Golden-file regression: the quick-scale figures are bit-reproducible,
+//! so their CSV output is committed and compared verbatim. A diff here
+//! means either a deliberate model/calibration change (regenerate the
+//! goldens with `awg-repro --quick fig9|fig14 --out tests/golden` and
+//! review the delta) or an accidental determinism break.
+
+use awg_harness::{fig09, fig14, Scale};
+
+fn compare(name: &str, actual: String) {
+    let path = format!("{}/tests/golden/{name}.csv", env!("CARGO_MANIFEST_DIR"));
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path}: {e}"));
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "{name} diverged from its golden file ({path}); \
+         regenerate with `awg-repro --quick {name} --out tests/golden` if intentional"
+    );
+}
+
+#[test]
+fn fig9_quick_matches_golden() {
+    compare("fig9", fig09::run(&Scale::quick()).to_csv());
+}
+
+#[test]
+fn fig14_quick_matches_golden() {
+    compare("fig14", fig14::run(&Scale::quick()).to_csv());
+}

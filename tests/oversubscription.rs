@@ -1,0 +1,115 @@
+//! The §VI oversubscribed scenario end to end: forward-progress guarantees
+//! per policy when a CU is lost mid-kernel.
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{run_experiment, ExperimentConfig, Scale};
+use awg_workloads::BenchmarkKind;
+
+#[test]
+fn baseline_and_sleep_deadlock_awg_survives() {
+    let scale = Scale::quick();
+    for kind in [
+        BenchmarkKind::SpinMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+    ] {
+        for policy in [PolicyKind::Baseline, PolicyKind::Sleep] {
+            let r = run_experiment(kind, policy, &scale, ExperimentConfig::Oversubscribed);
+            assert!(
+                r.deadlocked(),
+                "{kind} under {} should deadlock, got {:?}",
+                policy.label(),
+                r.outcome
+            );
+        }
+        for policy in [
+            PolicyKind::Timeout,
+            PolicyKind::MonNrAll,
+            PolicyKind::MonNrOne,
+            PolicyKind::Awg,
+        ] {
+            let r = run_experiment(kind, policy, &scale, ExperimentConfig::Oversubscribed);
+            assert!(
+                r.is_valid_completion(),
+                "{kind} under {}: {:?} / {:?}",
+                policy.label(),
+                r.outcome,
+                r.validated
+            );
+        }
+    }
+}
+
+#[test]
+fn ifp_policies_actually_context_switch() {
+    let scale = Scale::quick();
+    let r = run_experiment(
+        BenchmarkKind::FaMutexGlobal,
+        PolicyKind::Awg,
+        &scale,
+        ExperimentConfig::Oversubscribed,
+    );
+    let s = r.outcome.summary();
+    assert!(r.is_valid_completion());
+    assert!(
+        s.switches_out > 0 && s.switches_in > 0,
+        "oversubscription must trigger swaps: {s:?}"
+    );
+}
+
+#[test]
+fn oversubscribed_runs_cost_more_than_steady_ones() {
+    let scale = Scale::quick();
+    for kind in [BenchmarkKind::FaMutexGlobal, BenchmarkKind::TreeBarrier] {
+        let steady = run_experiment(
+            kind,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+        );
+        let lossy = run_experiment(
+            kind,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        assert!(
+            lossy.cycles().unwrap() > steady.cycles().unwrap(),
+            "{kind}: losing half the machine must cost time ({:?} vs {:?})",
+            lossy.cycles(),
+            steady.cycles()
+        );
+    }
+}
+
+#[test]
+fn applications_survive_resource_loss_with_correct_results() {
+    let scale = Scale::quick();
+    for kind in [BenchmarkKind::HashTable, BenchmarkKind::BankAccount] {
+        let r = run_experiment(
+            kind,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        assert!(r.outcome.is_completed(), "{kind}: {:?}", r.outcome);
+        r.validated.unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+#[test]
+fn deadlock_reports_unfinished_wg_count() {
+    let scale = Scale::quick();
+    let r = run_experiment(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::Baseline,
+        &scale,
+        ExperimentConfig::Oversubscribed,
+    );
+    match r.outcome {
+        awg_gpu::RunOutcome::Deadlocked { unfinished, .. } => {
+            assert!(unfinished > 0 && unfinished <= scale.params.num_wgs as usize);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}

@@ -1,0 +1,318 @@
+//! Property-based tests over the core invariants.
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{run_experiment, ExperimentConfig, Scale};
+use awg_isa::Machine;
+use awg_sim::EventQueue;
+use awg_workloads::{BenchmarkKind, WorkloadParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The event queue pops in nondecreasing cycle order with FIFO
+    /// tie-break, for arbitrary schedules.
+    #[test]
+    fn event_queue_total_order(cycles in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &c) in cycles.iter().enumerate() {
+            q.schedule(c, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((c, i)) = q.pop() {
+            if let Some((lc, li)) = last {
+                prop_assert!(c > lc || (c == lc && i > li), "({lc},{li}) then ({c},{i})");
+            }
+            last = Some((c, i));
+        }
+    }
+
+    /// Functional and timed execution agree on the final memory state of
+    /// every benchmark (same program, same parameters, wildly different
+    /// interleavings — the post-conditions pin the converged state).
+    #[test]
+    fn timed_and_functional_agree_on_postconditions(
+        wgs in 1u64..4,        // × cluster width below
+        iterations in 1u32..3,
+        kind_idx in 0usize..16,
+    ) {
+        let kind = BenchmarkKind::all()[kind_idx];
+        let params = WorkloadParams {
+            num_wgs: wgs * 2,
+            wgs_per_cluster: 2,
+            iterations,
+            cs_compute: 50,
+            cs_data_words: 2,
+            seed: 3,
+        };
+        // Functional machine (fair round-robin).
+        let built = kind.build(&params, awg_gpu::SyncStyle::Busy);
+        let mut m = Machine::new(built.program.clone(), params.num_wgs, params.wgs_per_cluster);
+        for &(a, v) in &built.init {
+            m.mem_mut().store(a, v);
+        }
+        m.run(50_000_000).expect("functional run terminates");
+        built.validate(m.mem()).expect("functional post-conditions");
+
+        // Timed machine under AWG.
+        let policy = awg_core::policies::build_policy(PolicyKind::Awg);
+        let built = kind.build(&params, policy.style());
+        let mut gpu = awg_gpu::Gpu::new(
+            awg_gpu::GpuConfig::isca2020_baseline(),
+            built.kernel(),
+            policy,
+        );
+        prop_assert!(gpu.run().is_completed());
+        built.validate(gpu.backing()).expect("timed post-conditions");
+    }
+
+    /// Random small workloads complete and validate under every
+    /// forward-progress policy, with or without a mid-run resource loss.
+    #[test]
+    fn ifp_policies_always_make_progress(
+        kind_idx in 0usize..16,
+        policy_idx in 0usize..4,
+        lose_cu in any::<bool>(),
+    ) {
+        let kind = BenchmarkKind::all()[kind_idx];
+        let policy = [
+            PolicyKind::Timeout,
+            PolicyKind::MonNrAll,
+            PolicyKind::MonNrOne,
+            PolicyKind::Awg,
+        ][policy_idx];
+        let scale = Scale::quick();
+        let config = if lose_cu {
+            ExperimentConfig::Oversubscribed
+        } else {
+            ExperimentConfig::NonOversubscribed
+        };
+        let r = run_experiment(kind, policy, &scale, config);
+        prop_assert!(
+            r.outcome.is_completed(),
+            "{kind} under {} ({config:?}): {:?}",
+            policy.label(),
+            r.outcome
+        );
+        prop_assert!(r.validated.is_ok(), "{kind}: {:?}", r.validated);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The counting Bloom filter never reports an inserted value as absent
+    /// (no false negatives) and its unique count never exceeds the number
+    /// of distinct insertions.
+    #[test]
+    fn bloom_no_false_negatives(values in prop::collection::vec(-1000i64..1000, 1..64)) {
+        let mut bloom = awg_core::CountingBloom::new();
+        for &v in &values {
+            bloom.insert(v);
+        }
+        for &v in &values {
+            prop_assert!(bloom.contains(v));
+        }
+        let mut distinct = values.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(bloom.unique_count() as usize <= distinct.len());
+    }
+
+    /// SyncMon register/take round-trips preserve FIFO order and never leak
+    /// waiter slots.
+    #[test]
+    fn syncmon_fifo_and_no_leaks(wgs in prop::collection::vec(0u32..64, 1..40)) {
+        use awg_core::{SyncMon, SyncMonConfig};
+        use awg_gpu::SyncCond;
+        let mut mon = SyncMon::new(SyncMonConfig::isca2020());
+        let cond = SyncCond { addr: 192, expected: 5 };
+        let mut expected_order = Vec::new();
+        for (i, &wg) in wgs.iter().enumerate() {
+            // Make ids unique so FIFO order is well-defined.
+            let unique = wg + (i as u32) * 64;
+            if mon.register(cond, unique, 0) == awg_core::RegisterOutcome::Registered {
+                expected_order.push(unique);
+            }
+        }
+        let taken = mon.take_waiters(&cond, usize::MAX);
+        prop_assert_eq!(taken, expected_order);
+        let (conds, waiters) = mon.occupancy();
+        prop_assert_eq!((conds, waiters), (0, 0));
+    }
+
+    /// Universal-hash condition keys stay in range for arbitrary addresses
+    /// and values.
+    #[test]
+    fn condition_hash_in_range(addr in 0u64..u64::MAX / 2, value in any::<i64>()) {
+        let h = awg_core::hash::UniversalHash::nth(11);
+        let key = awg_core::hash::condition_key(addr & !7, value, 1024, 64);
+        prop_assert!(h.hash(key, 256) < 256);
+    }
+}
+
+/// Strategy pieces for random-program generation.
+#[derive(Debug, Clone)]
+enum FuzzInst {
+    Li(u8, i64),
+    Alu(u8, u8, u8, i64),
+    Compute(u32),
+    Sleep(u32),
+    Barrier,
+    Ld(u8, u64),
+    St(u64, i64),
+    Atom(u8, u64, i64, Option<i64>),
+    Wait(u64, i64),
+    Br(u8, i64, usize),
+    Jmp(usize),
+}
+
+fn fuzz_inst() -> impl Strategy<Value = FuzzInst> {
+    let reg = 0u8..24;
+    let addr = (1u64..512).prop_map(|a| a * 8);
+    prop_oneof![
+        (reg.clone(), any::<i64>()).prop_map(|(r, v)| FuzzInst::Li(r, v)),
+        (0u8..14, reg.clone(), reg.clone(), -100i64..100)
+            .prop_map(|(op, d, s, v)| FuzzInst::Alu(op, d, s, v)),
+        (1u32..1000).prop_map(FuzzInst::Compute),
+        (1u32..1000).prop_map(FuzzInst::Sleep),
+        Just(FuzzInst::Barrier),
+        (reg.clone(), addr.clone()).prop_map(|(r, a)| FuzzInst::Ld(r, a)),
+        (addr.clone(), -50i64..50).prop_map(|(a, v)| FuzzInst::St(a, v)),
+        (0u8..11, addr.clone(), -5i64..5, prop::option::of(-5i64..5))
+            .prop_map(|(op, a, v, e)| FuzzInst::Atom(op, a, v, e)),
+        (addr, -5i64..5).prop_map(|(a, e)| FuzzInst::Wait(a, e)),
+        (0u8..6, -10i64..10, 0usize..64).prop_map(|(c, v, t)| FuzzInst::Br(c, v, t)),
+        (0usize..64).prop_map(FuzzInst::Jmp),
+    ]
+}
+
+fn build_fuzz_program(insts: &[FuzzInst]) -> awg_isa::Program {
+    use awg_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    use awg_mem::AtomicOp;
+    let alu_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Slt,
+        AluOp::Seq,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+    let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+    let atoms = [
+        AtomicOp::Load,
+        AtomicOp::Store,
+        AtomicOp::Exch,
+        AtomicOp::Add,
+        AtomicOp::Sub,
+        AtomicOp::And,
+        AtomicOp::Or,
+        AtomicOp::Xor,
+        AtomicOp::Max,
+        AtomicOp::Min,
+        AtomicOp::Cas,
+    ];
+    let mut b = ProgramBuilder::new("fuzz");
+    // One label bound before every instruction (plus the final halt), so any
+    // branch target in range is valid.
+    let labels: Vec<_> = (0..=insts.len()).map(|_| b.new_label()).collect();
+    for (i, inst) in insts.iter().enumerate() {
+        b.bind(labels[i]);
+        match inst {
+            FuzzInst::Li(r, v) => {
+                b.li(Reg::new(*r), *v);
+            }
+            FuzzInst::Alu(op, d, s, v) => {
+                b.alu(alu_ops[*op as usize], Reg::new(*d), Reg::new(*s), *v);
+            }
+            FuzzInst::Compute(c) => {
+                b.compute(*c);
+            }
+            FuzzInst::Sleep(n) => {
+                b.sleep(*n as i64);
+            }
+            FuzzInst::Barrier => {
+                b.barrier();
+            }
+            FuzzInst::Ld(r, a) => {
+                b.ld(Reg::new(*r), *a);
+            }
+            FuzzInst::St(a, v) => {
+                b.st(*a, *v);
+            }
+            FuzzInst::Atom(op, a, v, e) => {
+                let op = atoms[*op as usize];
+                match (op, e) {
+                    // CAS always needs an expectation; plain ops may not.
+                    (AtomicOp::Cas, _) => {
+                        b.atom_cas(Reg::R0, *a, *v, e.unwrap_or(0));
+                    }
+                    (_, Some(e)) => {
+                        b.atom_wait(op, Reg::R0, *a, *v, *e);
+                    }
+                    (_, None) => {
+                        b.atom(op, Reg::R0, *a, *v);
+                    }
+                }
+            }
+            FuzzInst::Wait(a, e) => {
+                b.wait(*a, *e);
+            }
+            FuzzInst::Br(c, v, t) => {
+                b.br(
+                    conds[*c as usize],
+                    Reg::R1,
+                    *v,
+                    labels[*t % (insts.len() + 1)],
+                );
+            }
+            FuzzInst::Jmp(t) => {
+                b.jmp(labels[*t % (insts.len() + 1)]);
+            }
+        }
+    }
+    b.bind(labels[insts.len()]);
+    b.halt();
+    b.build().expect("fuzz programs are valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any valid program survives a disassemble → assemble round trip with
+    /// identical control flow and text-stable second trip.
+    #[test]
+    fn assembler_roundtrips_arbitrary_programs(
+        insts in prop::collection::vec(fuzz_inst(), 0..40)
+    ) {
+        let program = build_fuzz_program(&insts);
+        let asm = program.disassemble();
+        let re = awg_isa::assemble(&asm, program.name())
+            .unwrap_or_else(|e| panic!("{e}\n{asm}"));
+        prop_assert_eq!(program.len(), re.len());
+        // Targets must resolve identically.
+        for (pc, (a, b)) in program.insts().iter().zip(re.insts()).enumerate() {
+            use awg_isa::Inst;
+            match (a, b) {
+                (Inst::Jmp(x), Inst::Jmp(y)) => {
+                    prop_assert_eq!(program.target(*x), re.target(*y), "pc {}", pc)
+                }
+                (Inst::Br(c1, r1, o1, x), Inst::Br(c2, r2, o2, y)) => {
+                    prop_assert_eq!((c1, r1, o1), (c2, r2, o2));
+                    prop_assert_eq!(program.target(*x), re.target(*y), "pc {}", pc);
+                }
+                (a, b) => prop_assert_eq!(a, b, "pc {}", pc),
+            }
+        }
+        let again = awg_isa::assemble(&re.disassemble(), re.name()).unwrap();
+        prop_assert_eq!(re.disassemble(), again.disassemble());
+    }
+}
