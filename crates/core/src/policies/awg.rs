@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 
 use awg_gpu::{
-    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
+    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
 };
 use awg_mem::Addr;
 use awg_sim::{Cycle, Ewma, Stats};
@@ -257,6 +257,14 @@ impl SchedPolicy for AwgPolicy {
             self.phases.remove(&w.wg);
         }
         wakes
+    }
+
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        self.core.inject_fault(ctx, fault)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.core.snapshot()
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -1,65 +1,115 @@
-//! Failure injection: a policy wrapper that drops resume notifications.
+//! Failure injection: a policy wrapper that perturbs resume notifications.
 //!
 //! AWG's liveness argument (§V.A) is that *every* waiting WG carries a
 //! fallback timeout, so lost or misdirected SyncMon notifications degrade
-//! performance, never forward progress. This wrapper makes that claim
-//! testable: it deterministically swallows every `n`-th wake the inner
-//! policy issues, emulating dropped resume messages between the SyncMon,
-//! the dispatcher, and the CUs.
+//! performance, never forward progress. [`ChaosWrap`] makes that claim
+//! testable: it deterministically perturbs every `n`-th wake the inner
+//! policy issues — dropping, delaying, or duplicating it — emulating faulty
+//! resume plumbing between the SyncMon, the dispatcher, and the CUs.
+//! [`DropWakes`] is the historical drop-only alias.
 
 use awg_gpu::{
-    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
+    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
-/// Wraps a policy and drops every `n`-th wake it issues.
-#[derive(Debug)]
-pub struct DropWakes<P> {
-    inner: P,
-    every_nth: u64,
-    seen: u64,
-    dropped: u64,
+/// What happens to each selected wake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// The wake is silently discarded (the lost-notification scenario).
+    Drop,
+    /// The wake is late by this many extra cycles.
+    Delay(Cycle),
+    /// The wake is delivered twice (the staleness tokens must absorb the
+    /// duplicate).
+    Duplicate,
 }
 
-impl<P: SchedPolicy> DropWakes<P> {
+impl ChaosMode {
+    fn stat_name(&self) -> &'static str {
+        match self {
+            ChaosMode::Drop => "chaos_wakes_dropped",
+            ChaosMode::Delay(_) => "chaos_wakes_delayed",
+            ChaosMode::Duplicate => "chaos_wakes_duplicated",
+        }
+    }
+}
+
+/// Wraps a policy and perturbs every `n`-th wake it issues.
+#[derive(Debug)]
+pub struct ChaosWrap<P> {
+    inner: P,
+    every_nth: u64,
+    mode: ChaosMode,
+    seen: u64,
+    perturbed: u64,
+}
+
+/// The drop-only wrapper, kept as a thin alias: `DropWakes::new(p, n)`
+/// still drops every `n`-th wake.
+pub type DropWakes<P> = ChaosWrap<P>;
+
+impl<P: SchedPolicy> ChaosWrap<P> {
     /// Drops every `every_nth` wake (1 = drop all, 2 = drop half, …).
     ///
     /// # Panics
     ///
     /// Panics if `every_nth == 0`.
     pub fn new(inner: P, every_nth: u64) -> Self {
-        assert!(every_nth > 0, "drop period must be positive");
-        DropWakes {
+        Self::with_mode(inner, every_nth, ChaosMode::Drop)
+    }
+
+    /// Applies `mode` to every `every_nth` wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_nth == 0`.
+    pub fn with_mode(inner: P, every_nth: u64, mode: ChaosMode) -> Self {
+        assert!(every_nth > 0, "perturbation period must be positive");
+        ChaosWrap {
             inner,
             every_nth,
+            mode,
             seen: 0,
-            dropped: 0,
+            perturbed: 0,
         }
     }
 
-    /// Number of wakes swallowed so far.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
+    /// Number of wakes perturbed so far.
+    pub fn perturbed(&self) -> u64 {
+        self.perturbed
     }
 
-    fn filter(&mut self, wakes: Vec<Wake>) -> Vec<Wake> {
-        wakes
-            .into_iter()
-            .filter(|_| {
-                self.seen += 1;
-                if self.seen.is_multiple_of(self.every_nth) {
-                    self.dropped += 1;
-                    false
-                } else {
-                    true
+    /// Number of wakes swallowed so far (the historical `DropWakes`
+    /// accessor; counts perturbations of any mode).
+    pub fn dropped(&self) -> u64 {
+        self.perturbed
+    }
+
+    fn perturb(&mut self, wakes: Vec<Wake>) -> Vec<Wake> {
+        let mut out = Vec::with_capacity(wakes.len());
+        for w in wakes {
+            self.seen += 1;
+            if !self.seen.is_multiple_of(self.every_nth) {
+                out.push(w);
+                continue;
+            }
+            self.perturbed += 1;
+            match self.mode {
+                ChaosMode::Drop => {}
+                ChaosMode::Delay(extra) => out.push(Wake::after(w.wg, w.delay + extra)),
+                ChaosMode::Duplicate => {
+                    out.push(w);
+                    out.push(Wake::after(w.wg, w.delay + 13));
                 }
-            })
-            .collect()
+            }
+        }
+        out
     }
 }
 
-impl<P: SchedPolicy> SchedPolicy for DropWakes<P> {
+impl<P: SchedPolicy> SchedPolicy for ChaosWrap<P> {
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -93,7 +143,7 @@ impl<P: SchedPolicy> SchedPolicy for DropWakes<P> {
         update: &MonitoredUpdate,
     ) -> Vec<Wake> {
         let wakes = self.inner.on_monitored_update(ctx, update);
-        self.filter(wakes)
+        self.perturb(wakes)
     }
 
     fn on_wait_timeout(
@@ -102,7 +152,7 @@ impl<P: SchedPolicy> SchedPolicy for DropWakes<P> {
         wg: WgId,
         cond: &SyncCond,
     ) -> TimeoutAction {
-        // Timeouts are the liveness backstop: never dropped.
+        // Timeouts are the liveness backstop: never perturbed.
         self.inner.on_wait_timeout(ctx, wg, cond)
     }
 
@@ -120,13 +170,24 @@ impl<P: SchedPolicy> SchedPolicy for DropWakes<P> {
 
     fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
         let wakes = self.inner.on_cp_tick(ctx);
-        self.filter(wakes)
+        self.perturb(wakes)
+    }
+
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        // Faults target the inner policy's monitor hardware; the wakes it
+        // issues in response travel the same faulty plumbing.
+        let wakes = self.inner.on_fault(ctx, fault);
+        self.perturb(wakes)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.inner.monitor_snapshot()
     }
 
     fn report(&self, stats: &mut Stats) {
         self.inner.report(stats);
-        let c = stats.counter("chaos_wakes_dropped");
-        stats.add(c, self.dropped);
+        let c = stats.counter(self.mode.stat_name());
+        stats.add(c, self.perturbed);
     }
 }
 
@@ -148,15 +209,22 @@ mod tests {
         }
     }
 
-    #[test]
-    fn drops_every_nth_wake() {
-        let mut p = DropWakes::new(MonNrAllPolicy::new(), 2);
-        let mut l2 = L2::new(L2Config::isca2020());
-        let mut stats = Stats::new();
+    fn update() -> MonitoredUpdate {
+        MonitoredUpdate {
+            addr: 64,
+            old: 0,
+            new: 1,
+            wrote: true,
+            monitored: true,
+            by_wg: 9,
+        }
+    }
+
+    fn four_waiters(p: &mut dyn SchedPolicy, l2: &mut L2, stats: &mut Stats) -> Vec<Wake> {
         let mut ctx = PolicyCtx {
             now: 0,
-            l2: &mut l2,
-            stats: &mut stats,
+            l2,
+            stats,
             pending_wgs: 0,
             ready_wgs: 0,
             swapped_waiting_wgs: 0,
@@ -165,22 +233,46 @@ mod tests {
         for wg in 0..4 {
             p.on_sync_fail(&mut ctx, &fail(wg));
         }
-        let wakes = p.on_monitored_update(
-            &mut ctx,
-            &MonitoredUpdate {
-                addr: 64,
-                old: 0,
-                new: 1,
-                wrote: true,
-                monitored: true,
-                by_wg: 9,
-            },
-        );
+        p.on_monitored_update(&mut ctx, &update())
+    }
+
+    #[test]
+    fn drops_every_nth_wake() {
+        let mut p = DropWakes::new(MonNrAllPolicy::new(), 2);
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let wakes = four_waiters(&mut p, &mut l2, &mut stats);
         assert_eq!(wakes.len(), 2, "half of four wakes dropped");
         assert_eq!(p.dropped(), 2);
         let mut stats = Stats::new();
         p.report(&mut stats);
         assert_eq!(stats.get_by_name("chaos_wakes_dropped"), Some(2));
+    }
+
+    #[test]
+    fn delay_mode_keeps_every_wake_but_late() {
+        let mut p = ChaosWrap::with_mode(MonNrAllPolicy::new(), 2, ChaosMode::Delay(1_000));
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let wakes = four_waiters(&mut p, &mut l2, &mut stats);
+        assert_eq!(wakes.len(), 4, "delay must not lose wakes");
+        assert_eq!(wakes.iter().filter(|w| w.delay >= 1_000).count(), 2);
+        assert_eq!(p.perturbed(), 2);
+        let mut stats = Stats::new();
+        p.report(&mut stats);
+        assert_eq!(stats.get_by_name("chaos_wakes_delayed"), Some(2));
+    }
+
+    #[test]
+    fn duplicate_mode_adds_copies() {
+        let mut p = ChaosWrap::with_mode(MonNrAllPolicy::new(), 2, ChaosMode::Duplicate);
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let wakes = four_waiters(&mut p, &mut l2, &mut stats);
+        assert_eq!(wakes.len(), 6, "two of four wakes doubled");
+        let mut stats = Stats::new();
+        p.report(&mut stats);
+        assert_eq!(stats.get_by_name("chaos_wakes_duplicated"), Some(2));
     }
 
     #[test]
@@ -226,6 +318,28 @@ mod tests {
             WaitDirective::Wait { timeout, .. } => assert!(timeout.is_some()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn forwards_faults_and_snapshots_to_inner() {
+        let mut p = ChaosWrap::with_mode(MonNrAllPolicy::new(), 2, ChaosMode::Drop);
+        let mut l2 = L2::new(L2Config::isca2020());
+        let mut stats = Stats::new();
+        let mut ctx = PolicyCtx {
+            now: 0,
+            l2: &mut l2,
+            stats: &mut stats,
+            pending_wgs: 0,
+            ready_wgs: 0,
+            swapped_waiting_wgs: 0,
+            total_wgs: 8,
+        };
+        for wg in 0..2 {
+            p.on_sync_fail(&mut ctx, &fail(wg));
+        }
+        assert_eq!(p.monitor_snapshot().len(), 1, "inner entry visible");
+        p.on_fault(&mut ctx, &PolicyFault::EvictConditions { count: 8 });
+        assert!(p.monitor_snapshot().is_empty(), "eviction reached inner");
     }
 
     #[test]

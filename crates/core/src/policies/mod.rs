@@ -23,6 +23,7 @@ mod sleep;
 mod timeout;
 
 pub use awg::AwgPolicy;
+pub use chaos::{ChaosMode, ChaosWrap, DropWakes};
 pub use minresume::MinResumePolicy;
 pub use monitor::MonitorCore;
 pub use monnr::{MonNrAllPolicy, MonNrOnePolicy};

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use awg_gpu::{PolicyCtx, SyncCond, Wake, WgId};
+use awg_gpu::{MonitorEntrySnapshot, PolicyCtx, PolicyFault, SyncCond, Wake, WgId};
 use awg_sim::Stats;
 
 use crate::cp::Cp;
@@ -41,6 +41,8 @@ pub struct MonitorCore {
     tracked: HashMap<WgId, (SyncCond, TrackOutcome)>,
     mesa_retries: u64,
     wakes_issued: u64,
+    chaos_evicted_waiters: u64,
+    chaos_bloom_pollutions: u64,
 }
 
 impl MonitorCore {
@@ -63,6 +65,8 @@ impl MonitorCore {
             tracked: HashMap::new(),
             mesa_retries: 0,
             wakes_issued: 0,
+            chaos_evicted_waiters: 0,
+            chaos_bloom_pollutions: 0,
         }
     }
 
@@ -164,6 +168,45 @@ impl MonitorCore {
         wakes
     }
 
+    /// Applies a chaos-engine fault to the monitor hardware. Eviction cuts
+    /// waiters loose from every structure — they hold no registration
+    /// anywhere afterwards, so only their fallback timeouts can rescue
+    /// them, which is exactly the liveness property under test. Bloom
+    /// storms inflate unique-update counts to force false positives in
+    /// AWG's resume predictor.
+    pub fn inject_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        match *fault {
+            PolicyFault::EvictConditions { count } => {
+                for (cond, wgs) in self.syncmon.evict_conditions(count) {
+                    for wg in wgs {
+                        self.tracked.remove(&wg);
+                        self.chaos_evicted_waiters += 1;
+                    }
+                    if !self.syncmon.addr_has_conditions(cond.addr) {
+                        ctx.l2.clear_monitored(cond.addr);
+                    }
+                }
+            }
+            PolicyFault::BloomStorm { unique_values } => {
+                self.chaos_bloom_pollutions += self.syncmon.pollute_blooms(unique_values) as u64;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Live SyncMon condition entries, for forensic hang reports.
+    pub fn snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.syncmon
+            .snapshot()
+            .into_iter()
+            .map(|(cond, waiters)| MonitorEntrySnapshot {
+                addr: cond.addr,
+                expected: cond.expected,
+                waiters,
+            })
+            .collect()
+    }
+
     /// Dumps monitor counters into the run statistics.
     pub fn report(&self, prefix: &str, stats: &mut Stats) {
         let (conds_hw, waiters_hw, addrs_hw) = self.syncmon.high_water();
@@ -183,6 +226,8 @@ impl MonitorCore {
             ("cp_footprint_bytes", fp.total()),
             ("mesa_retries", self.mesa_retries),
             ("wakes_issued", self.wakes_issued),
+            ("chaos_evicted_waiters", self.chaos_evicted_waiters),
+            ("chaos_bloom_pollutions", self.chaos_bloom_pollutions),
         ] {
             let c = stats.counter(&format!("{prefix}_{name}"));
             stats.add(c, value);

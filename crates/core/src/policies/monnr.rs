@@ -12,8 +12,8 @@
 //!   address meets the condition or after a fixed timeout interval").
 
 use awg_gpu::{
-    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
+    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -150,6 +150,14 @@ impl SchedPolicy for MonNrAllPolicy {
         self.0.core.cp_tick(ctx)
     }
 
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        self.0.core.inject_fault(ctx, fault)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.0.core.snapshot()
+    }
+
     fn report(&self, stats: &mut Stats) {
         self.0.core.report("monnr_all", stats);
         let c = stats.counter("monnr_all_met_wakes");
@@ -219,6 +227,14 @@ impl SchedPolicy for MonNrOnePolicy {
 
     fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
         self.0.core.cp_tick(ctx)
+    }
+
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        self.0.core.inject_fault(ctx, fault)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.0.core.snapshot()
     }
 
     fn report(&self, stats: &mut Stats) {

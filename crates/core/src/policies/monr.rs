@@ -8,8 +8,8 @@
 //! fallback timeout preserves forward progress.
 
 use awg_gpu::{
-    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
+    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -102,6 +102,14 @@ impl SchedPolicy for MonRAllPolicy {
 
     fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
         self.core.cp_tick(ctx)
+    }
+
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        self.core.inject_fault(ctx, fault)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.core.snapshot()
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -10,8 +10,8 @@
 //! so waiting carries a fallback timeout.
 
 use awg_gpu::{
-    MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
+    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -106,6 +106,14 @@ impl SchedPolicy for MonRsAllPolicy {
 
     fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
         self.core.cp_tick(ctx)
+    }
+
+    fn on_fault(&mut self, ctx: &mut PolicyCtx<'_>, fault: &PolicyFault) -> Vec<Wake> {
+        self.core.inject_fault(ctx, fault)
+    }
+
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        self.core.snapshot()
     }
 
     fn report(&self, stats: &mut Stats) {

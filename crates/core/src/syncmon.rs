@@ -332,6 +332,50 @@ impl SyncMon {
         false
     }
 
+    /// Forcibly evicts up to `count` live condition entries in slot order
+    /// (deterministic), unlinking their waiters, as if capacity pressure
+    /// had victimized them. Returns the evicted conditions with the WGs
+    /// that were parked on them — the caller decides how to rescue those.
+    pub fn evict_conditions(&mut self, count: usize) -> Vec<(SyncCond, Vec<WgId>)> {
+        let mut out = Vec::new();
+        for slot in 0..self.entries.len() {
+            if out.len() >= count {
+                break;
+            }
+            let Some(entry) = self.entries[slot] else {
+                continue;
+            };
+            let wgs = self.take_waiters(&entry.cond, usize::MAX);
+            out.push((entry.cond, wgs));
+        }
+        out
+    }
+
+    /// Live condition entries `(condition, waiter count)` in slot order.
+    pub fn snapshot(&self) -> Vec<(SyncCond, usize)> {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| (e.cond, e.waiters as usize))
+            .collect()
+    }
+
+    /// Pollutes the Bloom filter of every currently monitored address with
+    /// `unique_values` synthetic distinct values (far outside workload
+    /// ranges), forcing unique-count false positives. Addresses are visited
+    /// in sorted order so the injection is deterministic. Returns the
+    /// number of addresses polluted.
+    pub fn pollute_blooms(&mut self, unique_values: usize) -> usize {
+        let mut addrs: Vec<Addr> = self.addr_index.keys().copied().collect();
+        addrs.sort_unstable();
+        for &addr in &addrs {
+            for k in 0..unique_values {
+                self.record_update(addr, i64::MIN + 1 + k as i64);
+            }
+        }
+        addrs.len()
+    }
+
     /// Records an update value into the address's Bloom filter; returns the
     /// unique-update count afterwards.
     pub fn record_update(&mut self, addr: Addr, value: i64) -> u32 {
@@ -483,6 +527,48 @@ mod tests {
         assert_eq!(m.unique_updates(64), 2);
         m.reset_bloom(64);
         assert_eq!(m.unique_updates(64), 0);
+    }
+
+    #[test]
+    fn evict_conditions_cuts_waiters_loose() {
+        let mut m = SyncMon::new(SyncMonConfig::isca2020());
+        m.register(cond(64, 1), 0, 0);
+        m.register(cond(64, 1), 1, 0);
+        m.register(cond(128, 2), 2, 0);
+        let evicted = m.evict_conditions(1);
+        assert_eq!(evicted.len(), 1);
+        let (c, wgs) = &evicted[0];
+        assert_eq!(wgs.len(), if c.addr == 64 { 2 } else { 1 });
+        // The evicted condition is gone; the other survives.
+        assert_eq!(m.occupancy().0, 1);
+        let evicted = m.evict_conditions(5);
+        assert_eq!(evicted.len(), 1, "only one live entry remained");
+        assert_eq!(m.occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn snapshot_lists_live_entries() {
+        let mut m = SyncMon::new(SyncMonConfig::isca2020());
+        m.register(cond(64, 1), 0, 0);
+        m.register(cond(64, 1), 1, 0);
+        m.register(cond(128, 2), 2, 0);
+        let mut snap = m.snapshot();
+        snap.sort_by_key(|(c, _)| c.addr);
+        assert_eq!(snap, vec![(cond(64, 1), 2), (cond(128, 2), 1)]);
+    }
+
+    #[test]
+    fn bloom_storm_inflates_unique_counts() {
+        let mut m = SyncMon::new(SyncMonConfig::isca2020());
+        m.register(cond(64, 1), 0, 0);
+        m.record_update(64, 1);
+        assert_eq!(m.unique_updates(64), 1);
+        assert_eq!(m.pollute_blooms(4), 1);
+        assert!(m.unique_updates(64) > 2, "storm must defeat the predictor");
+        // Idempotent: the same synthetic values add nothing new.
+        let before = m.unique_updates(64);
+        m.pollute_blooms(4);
+        assert_eq!(m.unique_updates(64), before);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The seeded chaos engine: deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a timeline of adversity the machine injects while a
+//! kernel runs — repeated CU hot-unplug/replug ("flapping", generalizing the
+//! §VI one-shot resource loss), wake delivery chaos (drops, delays,
+//! duplication, reordering), SyncMon condition evictions, forced
+//! Bloom-filter false-positive storms, and transient context-switch stalls.
+//! Plans are generated from a single `u64` seed via the simulator's own
+//! [`Xoshiro256StarStar`] generator, so a reported hang is reproducible from
+//! its seed alone and the same seed always yields a bit-identical run.
+//!
+//! Architectures without WG-granularity rescheduling (Baseline, Sleep)
+//! strand any WG that loses its CU, so plans for them are generated with
+//! [`FaultPlanConfig::resident_safe`], which keeps every other fault class
+//! but never unplugs a CU.
+
+use awg_sim::{Cycle, Xoshiro256StarStar};
+
+use crate::policy::PolicyFault;
+
+/// How wake deliveries are perturbed inside an active chaos window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeChaosMode {
+    /// Wakes are silently discarded (the lost-notification scenario;
+    /// fallback timeouts must rescue the waiters).
+    Drop,
+    /// Every wake is late by this many extra cycles.
+    Delay(Cycle),
+    /// Every wake is delivered twice (the staleness tokens must absorb the
+    /// duplicate).
+    Duplicate,
+    /// Wake batches are delivered in reverse order with staggered delays.
+    Reorder,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Disable a CU and preempt its residents (hot-unplug).
+    CuLoss {
+        /// The CU to disable.
+        cu: usize,
+    },
+    /// Re-enable a previously disabled CU (replug).
+    CuRestore {
+        /// The CU to re-enable.
+        cu: usize,
+    },
+    /// Open a wake-perturbation window of `window` cycles.
+    WakeChaos {
+        /// The perturbation applied inside the window.
+        mode: WakeChaosMode,
+        /// Window length in cycles.
+        window: Cycle,
+    },
+    /// Inject a fault into the policy's monitor hardware.
+    Policy(PolicyFault),
+    /// For `window` cycles, every context save/restore suffers `extra`
+    /// additional cycles (a transient stall: the context traffic loses
+    /// arbitration and retries with backoff until it wins).
+    CtxStall {
+        /// Extra cycles charged per switch inside the window.
+        extra: Cycle,
+        /// Window length in cycles.
+        window: Cycle,
+    },
+}
+
+/// A fault with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation cycle the fault fires at.
+    pub at: Cycle,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Knobs for seeded plan generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Number of CUs in the target machine (flaps pick among these).
+    pub num_cus: usize,
+    /// Earliest injection cycle.
+    pub start: Cycle,
+    /// Latest injection cycle.
+    pub horizon: Cycle,
+    /// CU unplug/replug pairs to schedule.
+    pub cu_flaps: usize,
+    /// Shortest CU outage.
+    pub flap_min: Cycle,
+    /// Longest CU outage. Must stay well under the quiescence window or the
+    /// outage itself reads as a deadlock.
+    pub flap_max: Cycle,
+    /// Wake-perturbation windows to schedule.
+    pub wake_windows: usize,
+    /// Shortest wake window.
+    pub wake_window_min: Cycle,
+    /// Longest wake window.
+    pub wake_window_max: Cycle,
+    /// SyncMon eviction faults to schedule.
+    pub evictions: usize,
+    /// Bloom-filter pollution storms to schedule.
+    pub bloom_storms: usize,
+    /// Context-switch stall windows to schedule.
+    pub ctx_stalls: usize,
+    /// Whether CU flapping is allowed. `false` for architectures that
+    /// cannot reschedule swapped-out WGs (Baseline, Sleep).
+    pub allow_cu_loss: bool,
+}
+
+impl FaultPlanConfig {
+    /// The standard chaos mix for a machine with `num_cus` CUs, scaled so
+    /// every outage fits comfortably inside a quiescence window.
+    pub fn standard(num_cus: usize) -> Self {
+        FaultPlanConfig {
+            num_cus,
+            start: 1_000,
+            horizon: 150_000,
+            cu_flaps: 2,
+            flap_min: 4_000,
+            flap_max: 40_000,
+            wake_windows: 2,
+            wake_window_min: 2_000,
+            wake_window_max: 20_000,
+            evictions: 2,
+            bloom_storms: 2,
+            ctx_stalls: 2,
+            allow_cu_loss: true,
+        }
+    }
+
+    /// The same mix minus CU loss, safe for architectures that strand
+    /// swapped-out WGs.
+    pub fn resident_safe(mut self) -> Self {
+        self.allow_cu_loss = false;
+        self
+    }
+}
+
+/// A deterministic, seeded timeline of injected faults, sorted by time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (reproduces it exactly).
+    pub seed: u64,
+    /// The timeline, sorted by `at` (generation order breaks ties).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (still engages the machine's chaos backstops, so a
+    /// clean run under an empty plan is the control arm of a differential
+    /// experiment).
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates the plan for `seed` under `cfg`. Same seed and config ⇒
+    /// identical plan, on every platform.
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        assert!(cfg.num_cus > 0, "plan needs a machine");
+        assert!(cfg.start <= cfg.horizon, "inverted injection window");
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut events = Vec::new();
+        let at = |rng: &mut Xoshiro256StarStar| rng.next_range(cfg.start, cfg.horizon);
+        if cfg.allow_cu_loss {
+            for _ in 0..cfg.cu_flaps {
+                let cu = rng.next_below(cfg.num_cus as u64) as usize;
+                let t = at(&mut rng);
+                let outage = rng.next_range(cfg.flap_min, cfg.flap_max);
+                events.push(FaultEvent {
+                    at: t,
+                    kind: FaultKind::CuLoss { cu },
+                });
+                events.push(FaultEvent {
+                    at: t + outage,
+                    kind: FaultKind::CuRestore { cu },
+                });
+            }
+        }
+        for _ in 0..cfg.wake_windows {
+            let t = at(&mut rng);
+            let window = rng.next_range(cfg.wake_window_min, cfg.wake_window_max);
+            let mode = match rng.next_below(4) {
+                0 => WakeChaosMode::Drop,
+                1 => WakeChaosMode::Delay(rng.next_range(500, 5_000)),
+                2 => WakeChaosMode::Duplicate,
+                _ => WakeChaosMode::Reorder,
+            };
+            events.push(FaultEvent {
+                at: t,
+                kind: FaultKind::WakeChaos { mode, window },
+            });
+        }
+        for _ in 0..cfg.evictions {
+            let t = at(&mut rng);
+            let count = rng.next_range(1, 4) as usize;
+            events.push(FaultEvent {
+                at: t,
+                kind: FaultKind::Policy(PolicyFault::EvictConditions { count }),
+            });
+        }
+        for _ in 0..cfg.bloom_storms {
+            let t = at(&mut rng);
+            let unique_values = rng.next_range(3, 8) as usize;
+            events.push(FaultEvent {
+                at: t,
+                kind: FaultKind::Policy(PolicyFault::BloomStorm { unique_values }),
+            });
+        }
+        for _ in 0..cfg.ctx_stalls {
+            let t = at(&mut rng);
+            let extra = rng.next_range(200, 2_000);
+            let window = rng.next_range(2_000, 20_000);
+            events.push(FaultEvent {
+                at: t,
+                kind: FaultKind::CtxStall { extra, window },
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// Highest CU index any flap touches, if the plan unplugs CUs at all
+    /// (installation validates it against the machine).
+    pub fn max_cu(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::CuLoss { cu } | FaultKind::CuRestore { cu } => Some(cu),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FaultPlanConfig::standard(4);
+        let a = FaultPlan::generate(7, &cfg);
+        let b = FaultPlan::generate(7, &cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, &cfg);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn timeline_is_sorted_and_complete() {
+        let cfg = FaultPlanConfig::standard(4);
+        let plan = FaultPlan::generate(3, &cfg);
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
+        // 2 flaps (loss+restore each) + 2 wake windows + 2 evictions
+        // + 2 storms + 2 ctx stalls.
+        assert_eq!(plan.events.len(), 2 * 2 + 2 + 2 + 2 + 2);
+        assert!(plan.max_cu().unwrap() < 4);
+    }
+
+    #[test]
+    fn every_flap_is_paired() {
+        let cfg = FaultPlanConfig::standard(2);
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            let losses: Vec<usize> = plan
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    FaultKind::CuLoss { cu } => Some(cu),
+                    _ => None,
+                })
+                .collect();
+            let restores: Vec<usize> = plan
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    FaultKind::CuRestore { cu } => Some(cu),
+                    _ => None,
+                })
+                .collect();
+            let mut l = losses.clone();
+            let mut r = restores.clone();
+            l.sort_unstable();
+            r.sort_unstable();
+            assert_eq!(l, r, "seed {seed}: every unplugged CU must return");
+        }
+    }
+
+    #[test]
+    fn resident_safe_plans_never_unplug() {
+        let cfg = FaultPlanConfig::standard(4).resident_safe();
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            assert!(plan.max_cu().is_none(), "seed {seed} unplugged a CU");
+            assert!(!plan.events.is_empty(), "other fault classes must stay");
+        }
+    }
+
+    #[test]
+    fn outages_respect_bounds() {
+        let mut cfg = FaultPlanConfig::standard(4);
+        cfg.cu_flaps = 1; // exactly one pair, so the outage is unambiguous
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            let loss = plan
+                .events
+                .iter()
+                .find(|e| matches!(e.kind, FaultKind::CuLoss { .. }))
+                .expect("one loss");
+            let restore = plan
+                .events
+                .iter()
+                .find(|e| matches!(e.kind, FaultKind::CuRestore { .. }))
+                .expect("one restore");
+            let outage = restore.at - loss.at;
+            assert!(
+                (cfg.flap_min..=cfg.flap_max).contains(&outage),
+                "seed {seed}: outage {outage} out of bounds"
+            );
+        }
+    }
+}

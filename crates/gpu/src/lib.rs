@@ -46,6 +46,7 @@
 
 pub mod config;
 pub mod cu;
+pub mod fault;
 pub mod machine;
 pub mod policy;
 pub mod result;
@@ -54,11 +55,12 @@ pub mod wg;
 
 pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
 pub use cu::Cu;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, WakeChaosMode};
 pub use machine::Gpu;
 pub use policy::{
-    BusyWaitPolicy, MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle,
-    TimeoutAction, WaitDirective, Wake,
+    BusyWaitPolicy, MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy,
+    SyncCond, SyncFail, SyncStyle, TimeoutAction, WaitDirective, Wake,
 };
-pub use result::{RunOutcome, RunSummary};
+pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 pub use trace::{TraceEvent, TraceRecord};
 pub use wg::{WgId, WgState};

@@ -7,24 +7,30 @@
 //! the per-WG interpreters. All waiting decisions are delegated to the
 //! installed [`SchedPolicy`].
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use awg_isa::{Inst, Mem, Operand, Special};
-use awg_mem::{AtomicRequest, Backing, L2};
+use awg_mem::{Addr, AtomicRequest, Backing, L2};
 use awg_sim::{Cycle, EventQueue, Stats};
 
 use crate::config::{GpuConfig, Kernel, CONTEXT_BASE};
 use crate::cu::Cu;
+use crate::fault::{FaultKind, FaultPlan, WakeChaosMode};
 use crate::policy::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, TimeoutAction, WaitDirective, Wake,
 };
-use crate::result::{RunOutcome, RunSummary};
+use crate::result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 use crate::trace::{Trace, TraceEvent, TraceRecord};
 use crate::wg::{ParkedResponse, Wg, WgId, WgState};
 
 /// Maximum instructions interpreted inline before yielding to the event
 /// queue (guards against ALU-only infinite loops freezing simulated time).
 const MAX_INLINE_STEPS: usize = 1024;
+
+/// Fallback timeout forced onto `Wait { timeout: None }` directives while a
+/// fault plan is installed: dropped wakes must never strand a waiter
+/// forever, or every Drop window would read as a deadlock.
+const CHAOS_BACKSTOP_TIMEOUT: Cycle = 200_000;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -52,6 +58,21 @@ enum Event {
     ResourceRestore(usize),
     /// Periodic deadlock/livelock check.
     ProgressCheck,
+    /// The installed fault plan's event at this index fires.
+    Fault(usize),
+}
+
+/// Running tallies of the chaos the fault plan actually inflicted.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosCounters {
+    cu_losses: u64,
+    wake_windows: u64,
+    wakes_dropped: u64,
+    wakes_delayed: u64,
+    wakes_duplicated: u64,
+    wakes_reordered: u64,
+    policy_injections: u64,
+    ctx_stall_hits: u64,
 }
 
 /// The GPU simulator.
@@ -77,6 +98,11 @@ pub struct Gpu {
     resource_restore: Vec<(usize, Cycle)>,
     trace: Trace,
     deadlocked: Option<Cycle>,
+    fault_plan: Option<FaultPlan>,
+    wake_chaos: Option<(WakeChaosMode, Cycle)>,
+    ctx_stall_until: Cycle,
+    ctx_stall_extra: Cycle,
+    chaos: ChaosCounters,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -130,7 +156,28 @@ impl Gpu {
             resource_restore: Vec::new(),
             trace: Trace::new(),
             deadlocked: None,
+            fault_plan: None,
+            wake_chaos: None,
+            ctx_stall_until: 0,
+            ctx_stall_extra: 0,
+            chaos: ChaosCounters::default(),
         }
+    }
+
+    /// Installs a seeded fault plan; its timeline is injected while the
+    /// kernel runs. Installing a plan also arms the chaos backstop: waits
+    /// with no fallback timeout are clamped to a finite one, so dropped
+    /// wakes stall a waiter but cannot strand it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan unplugs a CU this machine does not have.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        if let Some(cu) = plan.max_cu() {
+            assert!(cu < self.config.num_cus, "fault plan unplugs CU {cu}");
+        }
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Schedules the §VI resource-loss event: at `at` cycles, CU `cu` is
@@ -218,7 +265,52 @@ impl Gpu {
         f(self.policy.as_mut(), &mut ctx)
     }
 
-    fn apply_wakes(&mut self, wakes: Vec<Wake>) {
+    /// Applies the active wake-chaos window (if any) to a batch of policy
+    /// wakes before they are scheduled for delivery.
+    fn perturb_wakes(&mut self, wakes: &mut Vec<Wake>) {
+        let Some((mode, until)) = self.wake_chaos else {
+            return;
+        };
+        if self.now >= until {
+            self.wake_chaos = None;
+            return;
+        }
+        if wakes.is_empty() {
+            return;
+        }
+        match mode {
+            WakeChaosMode::Drop => {
+                self.chaos.wakes_dropped += wakes.len() as u64;
+                wakes.clear();
+            }
+            WakeChaosMode::Delay(extra) => {
+                self.chaos.wakes_delayed += wakes.len() as u64;
+                for w in wakes.iter_mut() {
+                    w.delay += extra;
+                }
+            }
+            WakeChaosMode::Duplicate => {
+                self.chaos.wakes_duplicated += wakes.len() as u64;
+                let dups: Vec<Wake> = wakes
+                    .iter()
+                    .map(|w| Wake::after(w.wg, w.delay + 13))
+                    .collect();
+                wakes.extend(dups);
+            }
+            WakeChaosMode::Reorder => {
+                if wakes.len() > 1 {
+                    self.chaos.wakes_reordered += wakes.len() as u64;
+                }
+                wakes.reverse();
+                for (i, w) in wakes.iter_mut().enumerate() {
+                    w.delay += 17 * i as Cycle;
+                }
+            }
+        }
+    }
+
+    fn apply_wakes(&mut self, mut wakes: Vec<Wake>) {
+        self.perturb_wakes(&mut wakes);
         for wake in wakes {
             let wg = wake.wg as usize;
             match self.wgs[wg].state {
@@ -248,6 +340,21 @@ impl Gpu {
                 // Already woken (timeout raced the notification) — drop.
                 _ => {}
             }
+        }
+    }
+
+    /// With a fault plan installed, waits must carry a finite fallback
+    /// timeout: a dropped wake then costs cycles, not the run.
+    fn chaos_safe_directive(&self, directive: WaitDirective) -> WaitDirective {
+        match directive {
+            WaitDirective::Wait {
+                release,
+                timeout: None,
+            } if self.fault_plan.is_some() => WaitDirective::Wait {
+                release,
+                timeout: Some(CHAOS_BACKSTOP_TIMEOUT),
+            },
+            other => other,
         }
     }
 
@@ -294,11 +401,14 @@ impl Gpu {
             w.cu = Some(cu);
             let token = w.bump_token();
             if from_ready {
+                let stall = self.ctx_stall_penalty();
+                let w = &mut self.wgs[wg as usize];
                 w.set_state(WgState::SwappingIn, self.now);
                 self.switches_in += 1;
                 let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
                 let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
-                    + self.config.ctx_switch_overhead;
+                    + self.config.ctx_switch_overhead
+                    + stall;
                 self.trace.record(self.now, wg, TraceEvent::SwapInStart);
                 self.events.schedule(done, Event::SwapInDone(wg, token));
             } else {
@@ -318,6 +428,7 @@ impl Gpu {
     }
 
     fn begin_swap_out(&mut self, wg: WgId) {
+        let stall = self.ctx_stall_penalty();
         let w = &mut self.wgs[wg as usize];
         debug_assert!(w.state.is_resident(), "swap-out of non-resident WG");
         let token = w.bump_token();
@@ -325,9 +436,21 @@ impl Gpu {
         self.switches_out += 1;
         let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
         let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
-            + self.config.ctx_switch_overhead;
+            + self.config.ctx_switch_overhead
+            + stall;
         self.trace.record(self.now, wg, TraceEvent::SwapOutStart);
         self.events.schedule(done, Event::SwapOutDone(wg, token));
+    }
+
+    /// Extra context-traffic cycles while a transient stall window is
+    /// active (the switch loses arbitration and retries with backoff).
+    fn ctx_stall_penalty(&mut self) -> Cycle {
+        if self.now < self.ctx_stall_until {
+            self.chaos.ctx_stall_hits += 1;
+            self.ctx_stall_extra
+        } else {
+            0
+        }
     }
 
     fn release_cu(&mut self, wg: WgId) {
@@ -537,6 +660,12 @@ impl Gpu {
         let expected = expected.map(|e| self.operand(wgu, e));
         self.wgs[wgu].pc += 1;
         self.wgs[wgu].atomics += 1;
+        if self.wgs[wgu].last_atomic == Some(addr) {
+            self.wgs[wgu].atomic_streak += 1;
+        } else {
+            self.wgs[wgu].last_atomic = Some(addr);
+            self.wgs[wgu].atomic_streak = 1;
+        }
         self.trace
             .record(self.now + t, wg, TraceEvent::AtomicIssue { addr });
         let comp = self.l2.atomic(
@@ -622,6 +751,7 @@ impl Gpu {
             via_wait_inst: true,
         };
         let directive = self.with_policy(|p, ctx| p.on_sync_fail(ctx, &fail));
+        let directive = self.chaos_safe_directive(directive);
         self.wgs[wgu].cond = Some(cond);
         self.wgs[wgu].pending_directive = Some(directive);
         self.wgs[wgu].parked = Some(ParkedResponse {
@@ -777,6 +907,11 @@ impl Gpu {
                 self.handle_wake(wg);
             }
             TimeoutAction::Escalate { release, timeout } => {
+                let timeout = if self.fault_plan.is_some() && timeout.is_none() {
+                    Some(CHAOS_BACKSTOP_TIMEOUT)
+                } else {
+                    timeout
+                };
                 self.wgs[wgu].timeout_at = timeout.map(|t| self.now + t);
                 if release && self.wgs[wgu].state == WgState::Stalled {
                     self.begin_swap_out(wg);
@@ -834,6 +969,36 @@ impl Gpu {
             }
         }
         self.try_dispatch();
+    }
+
+    fn handle_fault(&mut self, idx: usize) {
+        let Some(kind) = self.fault_plan.as_ref().map(|p| p.events[idx].kind) else {
+            return;
+        };
+        match kind {
+            FaultKind::CuLoss { cu } => {
+                self.chaos.cu_losses += 1;
+                self.handle_resource_loss(cu);
+            }
+            FaultKind::CuRestore { cu } => {
+                self.cus[cu].enable();
+                self.last_progress = self.now;
+                self.try_dispatch();
+            }
+            FaultKind::WakeChaos { mode, window } => {
+                self.chaos.wake_windows += 1;
+                self.wake_chaos = Some((mode, self.now + window));
+            }
+            FaultKind::CtxStall { extra, window } => {
+                self.ctx_stall_extra = extra;
+                self.ctx_stall_until = self.now + window;
+            }
+            FaultKind::Policy(fault) => {
+                self.chaos.policy_injections += 1;
+                let wakes = self.with_policy(|p, ctx| p.on_fault(ctx, &fault));
+                self.apply_wakes(wakes);
+            }
+        }
     }
 
     fn handle_cp_tick(&mut self) {
@@ -909,6 +1074,7 @@ impl Gpu {
                 }
             }
             Event::CpTick => self.handle_cp_tick(),
+            Event::Fault(idx) => self.handle_fault(idx),
             Event::ResourceLoss(cu) => self.handle_resource_loss(cu),
             Event::ResourceRestore(cu) => {
                 self.cus[cu].enable();
@@ -933,6 +1099,48 @@ impl Gpu {
     // ---------------------------------------------------------------------
     // Run loop
     // ---------------------------------------------------------------------
+
+    /// Forensic snapshot of every unfinished WG's wait situation, the
+    /// policy's live monitor entries, and the waits-for summary.
+    fn hang_report(&self) -> HangReport {
+        let mut unfinished = Vec::new();
+        let mut waits_for: BTreeMap<Addr, Vec<WgId>> = BTreeMap::new();
+        // Below this many consecutive atomics to one address, a WG without
+        // a declared condition is presumed computing, not spinning.
+        const SPIN_STREAK: u64 = 8;
+        for wg in &self.wgs {
+            if wg.state == WgState::Finished {
+                continue;
+            }
+            let spinning_on = match wg.cond {
+                Some(_) => None,
+                None => wg
+                    .last_atomic
+                    .filter(|_| wg.atomic_streak >= SPIN_STREAK)
+                    .map(|a| (a, wg.atomic_streak)),
+            };
+            let blocked_addr = wg.cond.map(|c| c.addr).or(spinning_on.map(|(a, _)| a));
+            unfinished.push(WgWaitInfo {
+                wg: wg.id,
+                state: wg.state,
+                pc: wg.pc,
+                cond: wg.cond,
+                spinning_on,
+                observed: blocked_addr.map(|a| self.l2.peek(a)),
+                waited: wg.wait_since.map_or(0, |s| self.now.saturating_sub(s)),
+                timeout_in: wg.timeout_at.map(|t| t.saturating_sub(self.now)),
+            });
+            if let Some(a) = blocked_addr {
+                waits_for.entry(a).or_default().push(wg.id);
+            }
+        }
+        HangReport {
+            at: self.now,
+            unfinished,
+            monitor_entries: self.policy.monitor_snapshot(),
+            waits_for: waits_for.into_iter().collect(),
+        }
+    }
 
     fn summarize(&mut self) -> RunSummary {
         let now = self.now;
@@ -964,6 +1172,22 @@ impl Gpu {
             let prev = self.stats.get(c);
             self.stats.add(c, value.saturating_sub(prev));
         }
+        if self.fault_plan.is_some() {
+            for (name, value) in [
+                ("fault_cu_losses", self.chaos.cu_losses),
+                ("fault_wake_windows", self.chaos.wake_windows),
+                ("fault_wakes_dropped", self.chaos.wakes_dropped),
+                ("fault_wakes_delayed", self.chaos.wakes_delayed),
+                ("fault_wakes_duplicated", self.chaos.wakes_duplicated),
+                ("fault_wakes_reordered", self.chaos.wakes_reordered),
+                ("fault_policy_injections", self.chaos.policy_injections),
+                ("fault_ctx_stall_hits", self.chaos.ctx_stall_hits),
+            ] {
+                let c = self.stats.counter(name);
+                let prev = self.stats.get(c);
+                self.stats.add(c, value.saturating_sub(prev));
+            }
+        }
         self.policy.report(&mut self.stats);
         RunSummary {
             cycles: now,
@@ -988,6 +1212,17 @@ impl Gpu {
         for &(cu, at) in &self.resource_restore.clone() {
             self.events.schedule(at, Event::ResourceRestore(cu));
         }
+        if let Some(plan) = &self.fault_plan {
+            let times: Vec<(usize, Cycle)> = plan
+                .events
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.at))
+                .collect();
+            for (i, at) in times {
+                self.events.schedule(at, Event::Fault(i));
+            }
+        }
         if let Some(period) = self.policy.cp_tick_period() {
             self.events.schedule(period, Event::CpTick);
         }
@@ -1001,10 +1236,12 @@ impl Gpu {
             }
             if let Some(at) = self.deadlocked {
                 let unfinished = self.kernel.num_wgs as usize - self.finished;
+                let hang = self.hang_report();
                 return RunOutcome::Deadlocked {
                     at,
                     unfinished,
                     summary: self.summarize(),
+                    hang,
                 };
             }
             let Some((cycle, event)) = self.events.pop() else {
@@ -1012,15 +1249,23 @@ impl Gpu {
                 // notification that can never arrive.
                 let at = self.now;
                 let unfinished = self.kernel.num_wgs as usize - self.finished;
+                let hang = self.hang_report();
                 return RunOutcome::Deadlocked {
                     at,
                     unfinished,
                     summary: self.summarize(),
+                    hang,
                 };
             };
             if cycle > self.config.max_cycles {
+                let at = self.now;
+                let unfinished = self.kernel.num_wgs as usize - self.finished;
+                let hang = self.hang_report();
                 return RunOutcome::CycleLimit {
+                    at,
+                    unfinished,
                     summary: self.summarize(),
+                    hang,
                 };
             }
             self.now = cycle;

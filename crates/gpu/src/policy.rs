@@ -132,6 +132,41 @@ impl Wake {
     }
 }
 
+/// A fault injected directly into a policy's hardware structures (SyncMon
+/// condition cache, Bloom filters) by the chaos engine. The machine only
+/// transports these; policies without monitor hardware ignore them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyFault {
+    /// Forcibly evict up to `count` live SyncMon condition entries, as if
+    /// capacity pressure had victimized them. Evicted waiters must be
+    /// rescued by fallback timeouts — exactly the liveness property under
+    /// test.
+    EvictConditions {
+        /// Maximum entries to evict.
+        count: usize,
+    },
+    /// Pollute the update Bloom filters of every live condition with
+    /// `unique_values` synthetic distinct values, forcing false positives
+    /// (and, for AWG, pushing the resume-count predictor toward
+    /// resume-all storms).
+    BloomStorm {
+        /// Distinct synthetic values inserted per filter.
+        unique_values: usize,
+    },
+}
+
+/// A point-in-time view of one live monitor (SyncMon) condition entry,
+/// exported for forensic hang reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorEntrySnapshot {
+    /// The monitored synchronization address.
+    pub addr: Addr,
+    /// The value the entry waits for.
+    pub expected: i64,
+    /// Number of WGs parked on this entry.
+    pub waiters: usize,
+}
+
 /// Machine state a policy may inspect and (for its own hardware structures)
 /// mutate while making decisions.
 #[derive(Debug)]
@@ -215,6 +250,21 @@ pub trait SchedPolicy {
     /// The CP's periodic firmware work (Monitor Log draining, spilled
     /// condition checks). Returns WGs to wake.
     fn on_cp_tick(&mut self, _ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
+        Vec::new()
+    }
+
+    /// The chaos engine injected a fault into this policy's hardware
+    /// structures. Returns WGs the policy chooses to wake in response
+    /// (e.g. waiters it can no longer track). Policies without monitor
+    /// hardware ignore faults.
+    fn on_fault(&mut self, _ctx: &mut PolicyCtx<'_>, _fault: &PolicyFault) -> Vec<Wake> {
+        Vec::new()
+    }
+
+    /// Point-in-time view of the policy's live monitor entries, for
+    /// forensic hang reports. Policies without monitor hardware return
+    /// nothing.
+    fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
         Vec::new()
     }
 

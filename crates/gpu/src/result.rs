@@ -1,6 +1,12 @@
-//! Run outcomes and summaries.
+//! Run outcomes, summaries, and forensic hang reports.
 
+use std::fmt;
+
+use awg_mem::Addr;
 use awg_sim::{Cycle, Stats};
+
+use crate::policy::{MonitorEntrySnapshot, SyncCond};
+use crate::wg::{WgId, WgState};
 
 /// Aggregate measurements of one simulation run.
 #[derive(Debug, Clone)]
@@ -39,6 +45,110 @@ impl RunSummary {
     }
 }
 
+/// One unfinished WG's wait situation at abort time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WgWaitInfo {
+    /// The WG.
+    pub wg: WgId,
+    /// Its scheduling state when the run was aborted.
+    pub state: WgState,
+    /// Its program counter.
+    pub pc: usize,
+    /// The synchronization condition it was blocked on, if any.
+    pub cond: Option<SyncCond>,
+    /// For busy-wait architectures that never declare a wait condition:
+    /// the address the WG was hammering with consecutive atomics, and the
+    /// streak length (a spin-detection heuristic; only set when `cond` is
+    /// absent).
+    pub spinning_on: Option<(Addr, u64)>,
+    /// The value actually in memory at the blocked address at abort time
+    /// (`None` when the WG held no condition and no spin was detected).
+    pub observed: Option<i64>,
+    /// Cycles spent in the current waiting episode.
+    pub waited: Cycle,
+    /// Cycles until its fallback timeout would have fired, if one was
+    /// armed.
+    pub timeout_in: Option<Cycle>,
+}
+
+/// Forensic diagnostics captured when a run deadlocks or hits the cycle
+/// cap: who is stuck, on what address, expecting what, and what the memory
+/// actually holds.
+#[derive(Debug, Clone, Default)]
+pub struct HangReport {
+    /// Cycle the report was taken at.
+    pub at: Cycle,
+    /// Every unfinished WG, with its wait situation.
+    pub unfinished: Vec<WgWaitInfo>,
+    /// Live SyncMon condition entries, as reported by the policy.
+    pub monitor_entries: Vec<MonitorEntrySnapshot>,
+    /// Waits-for summary: each blocked sync address with the WGs parked on
+    /// it, sorted by address.
+    pub waits_for: Vec<(Addr, Vec<WgId>)>,
+}
+
+impl HangReport {
+    /// The unfinished WGs demonstrably blocked on a sync address — either
+    /// holding a declared wait condition or caught spinning on one address.
+    pub fn blocked_on_sync(&self) -> impl Iterator<Item = &WgWaitInfo> {
+        self.unfinished
+            .iter()
+            .filter(|w| w.cond.is_some() || w.spinning_on.is_some())
+    }
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hang report @ cycle {}: {} unfinished WG(s)",
+            self.at,
+            self.unfinished.len()
+        )?;
+        for w in &self.unfinished {
+            write!(f, "  wg {:>3} {:?} pc={}", w.wg, w.state, w.pc)?;
+            match (w.cond, w.observed) {
+                (Some(c), Some(obs)) => {
+                    write!(
+                        f,
+                        " waits on 0x{:x} for {} (observed {}), waited {} cyc",
+                        c.addr, c.expected, obs, w.waited
+                    )?;
+                    match w.timeout_in {
+                        Some(t) => write!(f, ", timeout in {t}")?,
+                        None => write!(f, ", no timeout armed")?,
+                    }
+                }
+                _ => match (w.spinning_on, w.observed) {
+                    (Some((addr, streak)), Some(obs)) => write!(
+                        f,
+                        " spinning on 0x{addr:x} (observed {obs}, {streak} consecutive atomics)"
+                    )?,
+                    _ => write!(f, " (no sync condition)")?,
+                },
+            }
+            writeln!(f)?;
+        }
+        if !self.monitor_entries.is_empty() {
+            writeln!(f, "  live monitor entries:")?;
+            for e in &self.monitor_entries {
+                writeln!(
+                    f,
+                    "    0x{:x} expects {} ({} waiter(s))",
+                    e.addr, e.expected, e.waiters
+                )?;
+            }
+        }
+        if !self.waits_for.is_empty() {
+            writeln!(f, "  waits-for:")?;
+            for (addr, wgs) in &self.waits_for {
+                writeln!(f, "    0x{addr:x} <- {wgs:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// How a simulation ended.
 #[derive(Debug, Clone)]
 pub enum RunOutcome {
@@ -54,11 +164,19 @@ pub enum RunOutcome {
         unfinished: usize,
         /// Measurements up to the abort.
         summary: RunSummary,
+        /// Forensic snapshot of the stuck machine.
+        hang: HangReport,
     },
     /// The hard cycle cap was reached.
     CycleLimit {
+        /// Cycle at which the cap was hit.
+        at: Cycle,
+        /// Number of unfinished WGs.
+        unfinished: usize,
         /// Measurements up to the abort.
         summary: RunSummary,
+        /// Forensic snapshot of the still-running machine.
+        hang: HangReport,
     },
 }
 
@@ -68,7 +186,7 @@ impl RunOutcome {
         match self {
             RunOutcome::Completed(s) => s,
             RunOutcome::Deadlocked { summary, .. } => summary,
-            RunOutcome::CycleLimit { summary } => summary,
+            RunOutcome::CycleLimit { summary, .. } => summary,
         }
     }
 
@@ -87,6 +205,35 @@ impl RunOutcome {
         match self {
             RunOutcome::Completed(s) => Some(s.cycles),
             _ => None,
+        }
+    }
+
+    /// The forensic hang report, for runs that did not complete.
+    pub fn hang_report(&self) -> Option<&HangReport> {
+        match self {
+            RunOutcome::Completed(_) => None,
+            RunOutcome::Deadlocked { hang, .. } => Some(hang),
+            RunOutcome::CycleLimit { hang, .. } => Some(hang),
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed(s) => write!(f, "completed in {} cycles", s.cycles),
+            RunOutcome::Deadlocked { at, unfinished, .. } => {
+                write!(
+                    f,
+                    "DEADLOCK at cycle {at} with {unfinished} unfinished WG(s)"
+                )
+            }
+            RunOutcome::CycleLimit { at, unfinished, .. } => {
+                write!(
+                    f,
+                    "cycle limit hit at {at} with {unfinished} unfinished WG(s)"
+                )
+            }
         }
     }
 }
@@ -110,21 +257,122 @@ mod tests {
         }
     }
 
+    fn hang() -> HangReport {
+        HangReport {
+            at: 5000,
+            unfinished: vec![WgWaitInfo {
+                wg: 2,
+                state: WgState::Stalled,
+                pc: 7,
+                cond: Some(SyncCond {
+                    addr: 4096,
+                    expected: 0,
+                }),
+                spinning_on: None,
+                observed: Some(1),
+                waited: 4000,
+                timeout_in: None,
+            }],
+            monitor_entries: vec![MonitorEntrySnapshot {
+                addr: 4096,
+                expected: 0,
+                waiters: 1,
+            }],
+            waits_for: vec![(4096, vec![2])],
+        }
+    }
+
     #[test]
     fn outcome_accessors() {
         let c = RunOutcome::Completed(summary());
         assert!(c.is_completed());
         assert!(!c.is_deadlocked());
         assert_eq!(c.completed_cycles(), Some(1000));
+        assert!(c.hang_report().is_none());
 
         let d = RunOutcome::Deadlocked {
             at: 5000,
             unfinished: 3,
             summary: summary(),
+            hang: hang(),
         };
         assert!(d.is_deadlocked());
         assert_eq!(d.completed_cycles(), None);
         assert_eq!(d.summary().cycles, 1000);
+        assert_eq!(d.hang_report().unwrap().at, 5000);
+
+        let l = RunOutcome::CycleLimit {
+            at: 9000,
+            unfinished: 1,
+            summary: summary(),
+            hang: HangReport::default(),
+        };
+        assert!(!l.is_completed() && !l.is_deadlocked());
+        assert!(l.hang_report().is_some());
+    }
+
+    #[test]
+    fn outcome_display_states_why() {
+        let c = format!("{}", RunOutcome::Completed(summary()));
+        assert!(c.contains("completed in 1000"));
+        let d = format!(
+            "{}",
+            RunOutcome::Deadlocked {
+                at: 5000,
+                unfinished: 3,
+                summary: summary(),
+                hang: hang(),
+            }
+        );
+        assert!(d.contains("DEADLOCK") && d.contains("5000") && d.contains('3'));
+        let l = format!(
+            "{}",
+            RunOutcome::CycleLimit {
+                at: 9000,
+                unfinished: 1,
+                summary: summary(),
+                hang: HangReport::default(),
+            }
+        );
+        assert!(l.contains("cycle limit") && l.contains("9000"));
+    }
+
+    #[test]
+    fn hang_report_names_addresses() {
+        let h = hang();
+        assert_eq!(h.blocked_on_sync().count(), 1);
+        let text = h.to_string();
+        assert!(text.contains("0x1000"), "sync address missing: {text}");
+        assert!(
+            text.contains("observed 1"),
+            "observed value missing: {text}"
+        );
+        assert!(
+            text.contains("waits-for"),
+            "waits-for section missing: {text}"
+        );
+    }
+
+    #[test]
+    fn spinners_count_as_blocked() {
+        let mut h = hang();
+        h.unfinished.push(WgWaitInfo {
+            wg: 5,
+            state: WgState::Running,
+            pc: 3,
+            cond: None,
+            spinning_on: Some((8192, 240)),
+            observed: Some(7),
+            waited: 0,
+            timeout_in: None,
+        });
+        assert_eq!(h.blocked_on_sync().count(), 2);
+        let text = h.to_string();
+        assert!(
+            text.contains("spinning on 0x2000"),
+            "spin address missing: {text}"
+        );
+        assert!(text.contains("240 consecutive"), "streak missing: {text}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Work-group contexts and the WG state machine.
 
 use awg_isa::RegFile;
+use awg_mem::Addr;
 use awg_sim::Cycle;
 
 use crate::policy::{SyncCond, WaitDirective};
@@ -121,6 +122,11 @@ pub struct Wg {
     /// A wake was delivered and the next sync check has not yet succeeded
     /// (used to count unnecessary resumes).
     pub wake_pending_check: bool,
+    /// Address of the most recent atomic (spin detection for busy-wait
+    /// architectures that never declare a wait condition).
+    pub last_atomic: Option<Addr>,
+    /// Consecutive atomics issued to `last_atomic`.
+    pub atomic_streak: u64,
 }
 
 impl Wg {
@@ -147,6 +153,8 @@ impl Wg {
             atomics: 0,
             switches_out: 0,
             wake_pending_check: false,
+            last_atomic: None,
+            atomic_streak: 0,
         }
     }
 

@@ -7,6 +7,8 @@
 //! commands:
 //!   table1 table2 fig5 fig7 fig8 fig9 fig11 fig13 fig14 fig15
 //!   ablations fairness  extension studies beyond the paper's figures
+//!   chaos             differential clean-vs-faulted matrix (exits non-zero
+//!                     if any forward-progress invariant is violated)
 //!   trace [policy]    Fig 6-style timeline (policy: baseline|timeout|
 //!                     monrs|monr|monnr-all|monnr-one|awg|minresume)
 //!   asm <file.s> [--policy P] [--wgs N]
@@ -23,14 +25,14 @@ use std::path::PathBuf;
 
 use awg_core::policies::PolicyKind;
 use awg_harness::{
-    ablations, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority, sweep,
-    table1, table2, tracefig, Report, Scale,
+    ablations, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority,
+    sweep, table1, table2, tracefig, Report, Scale,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: awg-repro [--quick] [--out DIR] \
-         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|trace [policy]|asm <file.s>|all>"
+         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|trace [policy]|asm <file.s>|all>"
     );
     std::process::exit(2);
 }
@@ -85,12 +87,11 @@ fn run_asm(path: &str, policy: PolicyKind, wgs: u64, scale: &Scale) {
                 println!("  ... {} more", words.len() - 32);
             }
         }
-        RunOutcome::Deadlocked { at, unfinished, .. } => {
-            eprintln!("DEADLOCK at cycle {at} with {unfinished} WGs unfinished");
-            std::process::exit(3);
-        }
-        RunOutcome::CycleLimit { .. } => {
-            eprintln!("cycle cap reached");
+        aborted => {
+            eprintln!("{aborted}");
+            if let Some(hang) = aborted.hang_report() {
+                eprintln!("{hang}");
+            }
             std::process::exit(3);
         }
     }
@@ -162,6 +163,14 @@ fn main() {
                 let report = runner(&scale);
                 emit(&report, &out, slug);
                 eprintln!("[{slug}] {:.2?}", t0.elapsed());
+            }
+        }
+        "chaos" => {
+            let (report, violations) = chaos::run_checked(&scale, &chaos::DEFAULT_SEEDS);
+            emit(&report, &out, "chaos");
+            if violations > 0 {
+                eprintln!("chaos: {violations} invariant violation(s)");
+                std::process::exit(1);
             }
         }
         "trace" => {

@@ -1,0 +1,238 @@
+//! The differential chaos harness: clean vs seeded-fault runs.
+//!
+//! The paper's §V.A liveness argument says IFP policies guarantee forward
+//! progress *under adversity*. This module makes that claim falsifiable:
+//! every (benchmark × IFP policy) pair runs once clean and twice under each
+//! seeded [`FaultPlan`], asserting that
+//!
+//! 1. completion and memory-state validation are fault-invariant,
+//! 2. the same seed reproduces a bit-identical run, and
+//! 3. Baseline still deadlocks when oversubscribed — now with a forensic
+//!    hang report naming the stuck WGs instead of a bare cycle count.
+//!
+//! Any reported hang is reproducible from its `(benchmark, policy, seed)`
+//! triple alone.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{FaultPlan, FaultPlanConfig};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_experiment, run_with_policy_under_plan, ExpResult, ExperimentConfig};
+use crate::{Cell, Report, Row, Scale};
+
+/// The default seeds of the chaos matrix (CI and the `chaos` subcommand).
+pub const DEFAULT_SEEDS: [u64; 3] = [101, 202, 303];
+
+/// The policy arm of the matrix: every design that claims forward progress
+/// (plus Sleep, which only claims it while all WGs stay resident).
+pub fn policies() -> [PolicyKind; 5] {
+    [
+        PolicyKind::Awg,
+        PolicyKind::MonNrOne,
+        PolicyKind::MonNrAll,
+        PolicyKind::Sleep,
+        PolicyKind::Timeout,
+    ]
+}
+
+/// The benchmark arm: one spin lock, one ticket lock, one barrier.
+pub fn benchmarks() -> [BenchmarkKind; 3] {
+    [
+        BenchmarkKind::SpinMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+    ]
+}
+
+/// The seeded plan used for `policy` at `scale`. The injection window is
+/// anchored to the scale's mid-run marker (`resource_loss_at`) so faults
+/// land while kernels are actually executing at any machine size.
+/// Architectures that cannot reschedule a preempted WG (Sleep) get the
+/// resident-safe mix: a stranded resident is an architectural limitation
+/// already covered by Fig 15, not a chaos finding.
+pub fn plan_for(policy: PolicyKind, scale: &Scale, seed: u64) -> FaultPlan {
+    let mut cfg = FaultPlanConfig::standard(scale.gpu.num_cus);
+    cfg.start = scale.resource_loss_at / 3;
+    cfg.horizon = scale.resource_loss_at * 6;
+    if !build_policy(policy).supports_wg_rescheduling() {
+        cfg = cfg.resident_safe();
+    }
+    FaultPlan::generate(seed, &cfg)
+}
+
+/// Runs `kind` under `policy` with the seeded fault plan installed.
+pub fn run_faulted(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale, seed: u64) -> ExpResult {
+    run_with_policy_under_plan(
+        kind,
+        policy,
+        build_policy(policy),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        Some(plan_for(policy, scale, seed)),
+    )
+}
+
+/// A bit-exact digest of a run, for same-seed determinism checks.
+pub fn fingerprint(r: &ExpResult) -> Vec<u64> {
+    let s = r.outcome.summary();
+    vec![
+        s.cycles,
+        s.insts,
+        s.atomics,
+        s.running_cycles,
+        s.waiting_cycles,
+        s.switches_out,
+        s.switches_in,
+        s.resumes,
+        s.unnecessary_resumes,
+    ]
+}
+
+/// Runs the full differential matrix, returning the report and the number
+/// of violated invariants (0 = pass; the `chaos` subcommand exits non-zero
+/// otherwise).
+pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
+    let mut columns: Vec<String> = vec!["clean".into()];
+    for s in seeds {
+        columns.push(format!("seed {s}"));
+    }
+    columns.push("worst ×".into());
+    columns.push("deterministic".into());
+    let mut report = Report {
+        title: "Chaos matrix: clean vs seeded fault plans".into(),
+        columns,
+        rows: Vec::new(),
+        notes: Vec::new(),
+    };
+    let mut violations = 0usize;
+
+    for kind in benchmarks() {
+        for policy in policies() {
+            let label = format!("{}/{}", kind.abbreviation(), policy.label());
+            let clean = run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed);
+            let mut cells = Vec::new();
+            if clean.is_valid_completion() {
+                cells.push(Cell::Num(clean.cycles().unwrap() as f64));
+            } else {
+                violations += 1;
+                report.note(format!(
+                    "{label}: clean run failed: {} / {:?}",
+                    clean.outcome, clean.validated
+                ));
+                cells.push(Cell::Text("FAIL".into()));
+            }
+            let mut worst = 1.0f64;
+            let mut deterministic = true;
+            for &seed in seeds {
+                let a = run_faulted(kind, policy, scale, seed);
+                let b = run_faulted(kind, policy, scale, seed);
+                if fingerprint(&a) != fingerprint(&b) {
+                    deterministic = false;
+                    violations += 1;
+                    report.note(format!(
+                        "{label} seed {seed}: same seed, divergent runs ({} vs {})",
+                        a.outcome, b.outcome
+                    ));
+                }
+                if a.is_valid_completion() {
+                    let c = a.cycles().unwrap();
+                    if let Some(base) = clean.cycles() {
+                        worst = worst.max(c as f64 / base as f64);
+                    }
+                    cells.push(Cell::Num(c as f64));
+                } else {
+                    violations += 1;
+                    report.note(format!(
+                        "{label} seed {seed}: {} / {:?}",
+                        a.outcome, a.validated
+                    ));
+                    if let Some(hang) = a.outcome.hang_report() {
+                        for line in hang.to_string().lines() {
+                            report.note(line.to_string());
+                        }
+                    }
+                    cells.push(if a.outcome.is_deadlocked() {
+                        Cell::Deadlock
+                    } else {
+                        Cell::Text("FAIL".into())
+                    });
+                }
+            }
+            cells.push(Cell::Num(worst));
+            cells.push(Cell::Text(if deterministic { "yes" } else { "NO" }.into()));
+            report.push(Row::new(label, cells));
+        }
+    }
+
+    // Control arm: Baseline must still deadlock when oversubscribed, and
+    // the watchdog must say who is stuck and on which address. TreeBarrier
+    // guarantees resident waiters: the surviving CU's WGs spin on barrier
+    // flags the stranded WGs will never set.
+    let baseline = run_experiment(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::Baseline,
+        scale,
+        ExperimentConfig::Oversubscribed,
+    );
+    let forensic = baseline
+        .outcome
+        .hang_report()
+        .is_some_and(|h| h.blocked_on_sync().count() > 0);
+    if baseline.deadlocked() && forensic {
+        report.note(format!(
+            "control arm — Baseline/{} oversubscribed: {}",
+            BenchmarkKind::TreeBarrier.abbreviation(),
+            baseline.outcome
+        ));
+        for line in baseline.outcome.hang_report().unwrap().to_string().lines() {
+            report.note(line.to_string());
+        }
+    } else {
+        violations += 1;
+        report.note(format!(
+            "control arm FAILED: expected a forensic Baseline deadlock, got {}",
+            baseline.outcome
+        ));
+    }
+
+    report.note(if violations == 0 {
+        "PASS: completion, validation, and determinism are fault-invariant.".into()
+    } else {
+        format!("{violations} invariant violation(s).")
+    });
+    (report, violations)
+}
+
+/// Runner-compatible entry: the matrix at [`DEFAULT_SEEDS`].
+pub fn run(scale: &Scale) -> Report {
+    run_checked(scale, &DEFAULT_SEEDS).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_respect_rescheduling_support() {
+        let scale = Scale::quick();
+        assert!(plan_for(PolicyKind::Awg, &scale, 1).max_cu().is_some());
+        assert!(plan_for(PolicyKind::Timeout, &scale, 1).max_cu().is_some());
+        assert!(
+            plan_for(PolicyKind::Sleep, &scale, 1).max_cu().is_none(),
+            "Sleep cannot reschedule preempted WGs; its plans must not unplug CUs"
+        );
+    }
+
+    #[test]
+    fn single_cell_differential_quick() {
+        let scale = Scale::quick();
+        let a = run_faulted(BenchmarkKind::SpinMutexGlobal, PolicyKind::Awg, &scale, 101);
+        let b = run_faulted(BenchmarkKind::SpinMutexGlobal, PolicyKind::Awg, &scale, 101);
+        assert!(a.is_valid_completion(), "{} / {:?}", a.outcome, a.validated);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "same seed must be bit-identical"
+        );
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod fairness;
 pub mod fig05;
 pub mod fig07;
@@ -38,5 +39,8 @@ pub mod table2;
 pub mod tracefig;
 
 pub use report::{Cell, Report, Row};
-pub use run::{geomean, run_experiment, run_with_policy, ExpResult, ExperimentConfig};
+pub use run::{
+    geomean, run_experiment, run_with_policy, run_with_policy_under_plan, ExpResult,
+    ExperimentConfig,
+};
 pub use scale::Scale;

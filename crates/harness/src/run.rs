@@ -1,7 +1,7 @@
 //! The experiment runner: one benchmark × one policy × one scenario.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{Gpu, RunOutcome};
+use awg_gpu::{FaultPlan, Gpu, RunOutcome};
 use awg_sim::Cycle;
 use awg_workloads::BenchmarkKind;
 
@@ -25,7 +25,10 @@ pub struct ExpResult {
     pub policy: PolicyKind,
     /// The raw simulation outcome.
     pub outcome: RunOutcome,
-    /// Post-condition validation (only meaningful for completed runs).
+    /// Post-condition validation against the final memory. Runs even for
+    /// aborted runs, distinguishing "stalled but memory consistent" from
+    /// silent corruption (incomplete runs may legitimately fail
+    /// completion-counting checks).
     pub validated: Result<(), String>,
     /// Per-WG `(running, waiting)` cycles at the end of the run.
     pub wg_breakdown: Vec<(u64, u64)>,
@@ -84,6 +87,20 @@ pub fn run_with_policy(
     scale: &Scale,
     config: ExperimentConfig,
 ) -> ExpResult {
+    run_with_policy_under_plan(kind, label, policy_box, scale, config, None)
+}
+
+/// Like [`run_with_policy`], but optionally installing a seeded
+/// [`FaultPlan`] the machine injects while the kernel runs (the chaos
+/// harness's faulted arm).
+pub fn run_with_policy_under_plan(
+    kind: BenchmarkKind,
+    label: PolicyKind,
+    policy_box: Box<dyn awg_gpu::SchedPolicy>,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+) -> ExpResult {
     let mut params = scale.params;
     params.iterations = params.iterations.saturating_mul(kind.episode_weight());
     let built = kind.build(&params, policy_box.style());
@@ -92,12 +109,11 @@ pub fn run_with_policy(
     if config == ExperimentConfig::Oversubscribed {
         gpu.schedule_resource_loss(scale.lost_cu, scale.resource_loss_at);
     }
+    if let Some(plan) = plan {
+        gpu.install_fault_plan(plan);
+    }
     let outcome = gpu.run();
-    let validated = if outcome.is_completed() {
-        built.validate(gpu.backing())
-    } else {
-        Ok(())
-    };
+    let validated = built.validate(gpu.backing());
     ExpResult {
         kind,
         policy: label,
@@ -178,6 +194,23 @@ mod tests {
             ExperimentConfig::Oversubscribed,
         );
         assert!(r.deadlocked(), "expected deadlock, got {:?}", r.outcome);
+    }
+
+    #[test]
+    fn aborted_runs_still_validate_memory() {
+        let scale = Scale::quick();
+        let r = run_experiment(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Baseline,
+            &scale,
+            ExperimentConfig::Oversubscribed,
+        );
+        assert!(r.deadlocked(), "{}", r.outcome);
+        assert!(
+            r.validated.is_err(),
+            "a deadlocked mutex run leaves its counters short; validation must say so"
+        );
+        assert!(!r.is_valid_completion());
     }
 
     #[test]

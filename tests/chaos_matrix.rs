@@ -1,0 +1,127 @@
+//! The differential chaos matrix: every (benchmark × IFP policy) pair must
+//! complete, validate, and stay bit-deterministic under seeded fault plans
+//! (§V.A under adversity), while Baseline's oversubscribed deadlock must
+//! yield an actionable forensic hang report instead of a bare cycle count.
+
+use awg_core::policies::PolicyKind;
+use awg_harness::{chaos, run_experiment, ExperimentConfig, Scale};
+use awg_workloads::BenchmarkKind;
+
+#[test]
+fn matrix_is_fault_invariant_and_deterministic() {
+    let (report, violations) = chaos::run_checked(&Scale::quick(), &chaos::DEFAULT_SEEDS);
+    assert_eq!(
+        violations,
+        0,
+        "chaos matrix violations:\n{}\n{}",
+        report.to_markdown(),
+        report.notes.join("\n")
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_adversity() {
+    let scale = Scale::quick();
+    let a = chaos::run_faulted(BenchmarkKind::SpinMutexGlobal, PolicyKind::Awg, &scale, 101);
+    let b = chaos::run_faulted(BenchmarkKind::SpinMutexGlobal, PolicyKind::Awg, &scale, 303);
+    assert_ne!(
+        chaos::fingerprint(&a),
+        chaos::fingerprint(&b),
+        "seeds 101 and 303 should schedule different fault timelines"
+    );
+}
+
+#[test]
+fn fault_plans_actually_engage_the_machine() {
+    let scale = Scale::quick();
+    let r = chaos::run_faulted(BenchmarkKind::FaMutexGlobal, PolicyKind::Awg, &scale, 202);
+    assert!(r.is_valid_completion(), "{} / {:?}", r.outcome, r.validated);
+    let stats = &r.outcome.summary().stats;
+    assert_eq!(
+        stats.get_by_name("fault_cu_losses"),
+        Some(2),
+        "the standard plan schedules two CU flaps"
+    );
+    assert_eq!(
+        stats.get_by_name("fault_wake_windows"),
+        Some(2),
+        "the standard plan opens two wake-chaos windows"
+    );
+    assert_eq!(
+        stats.get_by_name("fault_policy_injections"),
+        Some(4),
+        "two evictions plus two bloom storms reach the policy"
+    );
+}
+
+#[test]
+fn resident_safe_plans_spare_non_rescheduling_policies() {
+    let scale = Scale::quick();
+    for seed in chaos::DEFAULT_SEEDS {
+        let r = chaos::run_faulted(BenchmarkKind::TreeBarrier, PolicyKind::Sleep, &scale, seed);
+        assert!(
+            r.is_valid_completion(),
+            "seed {seed}: {} / {:?}",
+            r.outcome,
+            r.validated
+        );
+        assert_eq!(
+            r.outcome.summary().stats.get_by_name("fault_cu_losses"),
+            Some(0),
+            "seed {seed}: Sleep cannot survive CU loss, so its plans must not unplug"
+        );
+    }
+}
+
+/// Satellite: the known Fig 15 Baseline oversubscribed deadlock must name
+/// the actual waiting WGs and their lock/barrier addresses.
+#[test]
+fn baseline_oversubscribed_hang_report_names_waiters() {
+    let scale = Scale::quick();
+    let r = run_experiment(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::Baseline,
+        &scale,
+        ExperimentConfig::Oversubscribed,
+    );
+    assert!(r.deadlocked(), "expected deadlock, got {}", r.outcome);
+    let hang = r.outcome.hang_report().expect("deadlock carries a report");
+    assert!(!hang.unfinished.is_empty());
+    assert!(hang.unfinished.len() <= scale.params.num_wgs as usize);
+
+    let blocked: Vec<_> = hang.blocked_on_sync().collect();
+    assert!(
+        !blocked.is_empty(),
+        "at least one WG must be caught on a sync address:\n{hang}"
+    );
+    for w in &blocked {
+        let addr = w
+            .cond
+            .map(|c| c.addr)
+            .or(w.spinning_on.map(|(a, _)| a))
+            .expect("blocked WGs carry an address");
+        assert!(
+            hang.waits_for
+                .iter()
+                .any(|(a, wgs)| *a == addr && wgs.contains(&w.wg)),
+            "wg {} missing from waits-for entry for {addr:#x}:\n{hang}",
+            w.wg
+        );
+        assert!(
+            w.observed.is_some(),
+            "blocked WGs report the value actually in memory:\n{hang}"
+        );
+    }
+
+    let text = hang.to_string();
+    assert!(
+        text.contains("waits-for"),
+        "waits-for section missing:\n{text}"
+    );
+    for (addr, _) in &hang.waits_for {
+        assert!(
+            text.contains(&format!("{addr:#x}")),
+            "address {addr:#x} missing from the rendered report:\n{text}"
+        );
+    }
+}
