@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assembler_roundtrip-0047e3af9af74eba.d: tests/assembler_roundtrip.rs
+
+/root/repo/target/debug/deps/assembler_roundtrip-0047e3af9af74eba: tests/assembler_roundtrip.rs
+
+tests/assembler_roundtrip.rs:

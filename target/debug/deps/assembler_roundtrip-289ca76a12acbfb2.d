@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assembler_roundtrip-289ca76a12acbfb2.d: tests/assembler_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassembler_roundtrip-289ca76a12acbfb2.rmeta: tests/assembler_roundtrip.rs Cargo.toml
+
+tests/assembler_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

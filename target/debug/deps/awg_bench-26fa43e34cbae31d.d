@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/awg_bench-26fa43e34cbae31d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libawg_bench-26fa43e34cbae31d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libawg_bench-26fa43e34cbae31d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/awg_bench-7d070f5a9502f116.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/awg_bench-7d070f5a9502f116: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/awg_bench-ab1e59b891b5cb38.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_bench-ab1e59b891b5cb38.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

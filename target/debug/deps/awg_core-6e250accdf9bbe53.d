@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/awg_core-6e250accdf9bbe53.d: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/cp.rs crates/core/src/hash.rs crates/core/src/monitorlog.rs crates/core/src/policies/mod.rs crates/core/src/policies/awg.rs crates/core/src/policies/chaos.rs crates/core/src/policies/minresume.rs crates/core/src/policies/monitor.rs crates/core/src/policies/monnr.rs crates/core/src/policies/monr.rs crates/core/src/policies/monrs.rs crates/core/src/policies/sleep.rs crates/core/src/policies/timeout.rs crates/core/src/syncmon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_core-6e250accdf9bbe53.rmeta: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/cp.rs crates/core/src/hash.rs crates/core/src/monitorlog.rs crates/core/src/policies/mod.rs crates/core/src/policies/awg.rs crates/core/src/policies/chaos.rs crates/core/src/policies/minresume.rs crates/core/src/policies/monitor.rs crates/core/src/policies/monnr.rs crates/core/src/policies/monr.rs crates/core/src/policies/monrs.rs crates/core/src/policies/sleep.rs crates/core/src/policies/timeout.rs crates/core/src/syncmon.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bloom.rs:
+crates/core/src/cp.rs:
+crates/core/src/hash.rs:
+crates/core/src/monitorlog.rs:
+crates/core/src/policies/mod.rs:
+crates/core/src/policies/awg.rs:
+crates/core/src/policies/chaos.rs:
+crates/core/src/policies/minresume.rs:
+crates/core/src/policies/monitor.rs:
+crates/core/src/policies/monnr.rs:
+crates/core/src/policies/monr.rs:
+crates/core/src/policies/monrs.rs:
+crates/core/src/policies/sleep.rs:
+crates/core/src/policies/timeout.rs:
+crates/core/src/syncmon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/awg_gpu-4e85f935d3bcc271.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/debug/deps/awg_gpu-4e85f935d3bcc271: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/cu.rs:
+crates/gpu/src/fault.rs:
+crates/gpu/src/machine.rs:
+crates/gpu/src/policy.rs:
+crates/gpu/src/result.rs:
+crates/gpu/src/trace.rs:
+crates/gpu/src/wg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/awg_gpu-52c48b429ab38e29.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_gpu-52c48b429ab38e29.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/cu.rs:
+crates/gpu/src/fault.rs:
+crates/gpu/src/machine.rs:
+crates/gpu/src/policy.rs:
+crates/gpu/src/result.rs:
+crates/gpu/src/trace.rs:
+crates/gpu/src/wg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/awg_gpu-78f3c149b26557b9.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/debug/deps/libawg_gpu-78f3c149b26557b9.rlib: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/debug/deps/libawg_gpu-78f3c149b26557b9.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/cu.rs:
+crates/gpu/src/fault.rs:
+crates/gpu/src/machine.rs:
+crates/gpu/src/policy.rs:
+crates/gpu/src/result.rs:
+crates/gpu/src/trace.rs:
+crates/gpu/src/wg.rs:

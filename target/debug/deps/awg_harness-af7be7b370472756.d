@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/awg_harness-af7be7b370472756.d: crates/harness/src/lib.rs crates/harness/src/ablations.rs crates/harness/src/chaos.rs crates/harness/src/fairness.rs crates/harness/src/fig05.rs crates/harness/src/fig07.rs crates/harness/src/fig08.rs crates/harness/src/fig09.rs crates/harness/src/fig11.rs crates/harness/src/fig13.rs crates/harness/src/fig14.rs crates/harness/src/fig15.rs crates/harness/src/priority.rs crates/harness/src/report.rs crates/harness/src/run.rs crates/harness/src/scale.rs crates/harness/src/sweep.rs crates/harness/src/table1.rs crates/harness/src/table2.rs crates/harness/src/tracefig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_harness-af7be7b370472756.rmeta: crates/harness/src/lib.rs crates/harness/src/ablations.rs crates/harness/src/chaos.rs crates/harness/src/fairness.rs crates/harness/src/fig05.rs crates/harness/src/fig07.rs crates/harness/src/fig08.rs crates/harness/src/fig09.rs crates/harness/src/fig11.rs crates/harness/src/fig13.rs crates/harness/src/fig14.rs crates/harness/src/fig15.rs crates/harness/src/priority.rs crates/harness/src/report.rs crates/harness/src/run.rs crates/harness/src/scale.rs crates/harness/src/sweep.rs crates/harness/src/table1.rs crates/harness/src/table2.rs crates/harness/src/tracefig.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/ablations.rs:
+crates/harness/src/chaos.rs:
+crates/harness/src/fairness.rs:
+crates/harness/src/fig05.rs:
+crates/harness/src/fig07.rs:
+crates/harness/src/fig08.rs:
+crates/harness/src/fig09.rs:
+crates/harness/src/fig11.rs:
+crates/harness/src/fig13.rs:
+crates/harness/src/fig14.rs:
+crates/harness/src/fig15.rs:
+crates/harness/src/priority.rs:
+crates/harness/src/report.rs:
+crates/harness/src/run.rs:
+crates/harness/src/scale.rs:
+crates/harness/src/sweep.rs:
+crates/harness/src/table1.rs:
+crates/harness/src/table2.rs:
+crates/harness/src/tracefig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/awg_isa-3d0b2a8375b2bc5c.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_isa-3d0b2a8375b2bc5c.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/functional.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

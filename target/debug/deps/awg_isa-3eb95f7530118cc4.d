@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/awg_isa-3eb95f7530118cc4.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/awg_isa-3eb95f7530118cc4: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/functional.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

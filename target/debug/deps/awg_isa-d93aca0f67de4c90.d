@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/awg_isa-d93aca0f67de4c90.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libawg_isa-d93aca0f67de4c90.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libawg_isa-d93aca0f67de4c90.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/functional.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

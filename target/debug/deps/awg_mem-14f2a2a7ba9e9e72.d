@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/awg_mem-14f2a2a7ba9e9e72.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/awg_mem-14f2a2a7ba9e9e72: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/atomic.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

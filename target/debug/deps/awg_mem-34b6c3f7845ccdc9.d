@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/awg_mem-34b6c3f7845ccdc9.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_mem-34b6c3f7845ccdc9.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/atomic.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/awg_mem-9b67287bb0f7400f.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/libawg_mem-9b67287bb0f7400f.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/debug/deps/libawg_mem-9b67287bb0f7400f.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/atomic.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/awg_repro-37e93f37dc29b047.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_repro-37e93f37dc29b047.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

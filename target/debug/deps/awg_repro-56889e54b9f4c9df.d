@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/awg_repro-56889e54b9f4c9df.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_repro-56889e54b9f4c9df.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/awg_repro-83a0a37749df2b92.d: crates/harness/src/bin/awg_repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_repro-83a0a37749df2b92.rmeta: crates/harness/src/bin/awg_repro.rs Cargo.toml
+
+crates/harness/src/bin/awg_repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

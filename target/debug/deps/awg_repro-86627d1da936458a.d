@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/awg_repro-86627d1da936458a.d: src/lib.rs
+
+/root/repo/target/debug/deps/awg_repro-86627d1da936458a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/awg_repro-9bad1f269e07c15d.d: crates/harness/src/bin/awg_repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_repro-9bad1f269e07c15d.rmeta: crates/harness/src/bin/awg_repro.rs Cargo.toml
+
+crates/harness/src/bin/awg_repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/awg_repro-ade6f25a303e1984.d: crates/harness/src/bin/awg_repro.rs
+
+/root/repo/target/debug/deps/awg_repro-ade6f25a303e1984: crates/harness/src/bin/awg_repro.rs
+
+crates/harness/src/bin/awg_repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/awg_repro-d924a11113cbbe9f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libawg_repro-d924a11113cbbe9f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libawg_repro-d924a11113cbbe9f.rmeta: src/lib.rs
+
+src/lib.rs:

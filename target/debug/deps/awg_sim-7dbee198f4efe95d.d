@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/awg_sim-7dbee198f4efe95d.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libawg_sim-7dbee198f4efe95d.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libawg_sim-7dbee198f4efe95d.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/ewma.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/awg_sim-cafcea619ce2ab7c.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/awg_sim-cafcea619ce2ab7c: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/ewma.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

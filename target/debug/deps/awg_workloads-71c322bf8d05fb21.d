@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/awg_workloads-71c322bf8d05fb21.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+/root/repo/target/debug/deps/awg_workloads-71c322bf8d05fb21: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/barrier.rs:
+crates/workloads/src/bench.rs:
+crates/workloads/src/characteristics.rs:
+crates/workloads/src/checks.rs:
+crates/workloads/src/context.rs:
+crates/workloads/src/mutex.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/rw.rs:
+crates/workloads/src/sync_emit.rs:

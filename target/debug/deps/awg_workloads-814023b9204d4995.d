@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/awg_workloads-814023b9204d4995.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+/root/repo/target/debug/deps/libawg_workloads-814023b9204d4995.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+/root/repo/target/debug/deps/libawg_workloads-814023b9204d4995.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/barrier.rs:
+crates/workloads/src/bench.rs:
+crates/workloads/src/characteristics.rs:
+crates/workloads/src/checks.rs:
+crates/workloads/src/context.rs:
+crates/workloads/src/mutex.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/rw.rs:
+crates/workloads/src/sync_emit.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/awg_workloads-d750cda3da6263a8.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libawg_workloads-d750cda3da6263a8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/barrier.rs:
+crates/workloads/src/bench.rs:
+crates/workloads/src/characteristics.rs:
+crates/workloads/src/checks.rs:
+crates/workloads/src/context.rs:
+crates/workloads/src/mutex.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/rw.rs:
+crates/workloads/src/sync_emit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

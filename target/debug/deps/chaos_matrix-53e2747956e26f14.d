@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_matrix-53e2747956e26f14.d: tests/chaos_matrix.rs
+
+/root/repo/target/debug/deps/chaos_matrix-53e2747956e26f14: tests/chaos_matrix.rs
+
+tests/chaos_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_matrix-d085b8522f1abe32.d: tests/chaos_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_matrix-d085b8522f1abe32.rmeta: tests/chaos_matrix.rs Cargo.toml
+
+tests/chaos_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a9c21600637f2a52.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a9c21600637f2a52: tests/determinism.rs
+
+tests/determinism.rs:

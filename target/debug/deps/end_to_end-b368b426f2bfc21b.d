@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b368b426f2bfc21b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b368b426f2bfc21b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

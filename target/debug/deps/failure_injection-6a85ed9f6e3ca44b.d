@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-6a85ed9f6e3ca44b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-6a85ed9f6e3ca44b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

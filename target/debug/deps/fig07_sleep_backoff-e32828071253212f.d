@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_sleep_backoff-e32828071253212f.d: crates/bench/benches/fig07_sleep_backoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_sleep_backoff-e32828071253212f.rmeta: crates/bench/benches/fig07_sleep_backoff.rs Cargo.toml
+
+crates/bench/benches/fig07_sleep_backoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

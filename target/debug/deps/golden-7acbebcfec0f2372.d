@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden-7acbebcfec0f2372.d: tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-7acbebcfec0f2372.rmeta: tests/golden.rs Cargo.toml
+
+tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-99b150bcbb2d8a55.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-99b150bcbb2d8a55: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

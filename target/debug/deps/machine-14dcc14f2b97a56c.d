@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-14dcc14f2b97a56c.d: crates/gpu/tests/machine.rs
+
+/root/repo/target/debug/deps/machine-14dcc14f2b97a56c: crates/gpu/tests/machine.rs
+
+crates/gpu/tests/machine.rs:

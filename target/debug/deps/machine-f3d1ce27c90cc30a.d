@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-f3d1ce27c90cc30a.d: crates/gpu/tests/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-f3d1ce27c90cc30a.rmeta: crates/gpu/tests/machine.rs Cargo.toml
+
+crates/gpu/tests/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

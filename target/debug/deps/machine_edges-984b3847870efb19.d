@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_edges-984b3847870efb19.d: crates/gpu/tests/machine_edges.rs
+
+/root/repo/target/debug/deps/machine_edges-984b3847870efb19: crates/gpu/tests/machine_edges.rs
+
+crates/gpu/tests/machine_edges.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_edges-b915e38cf5a60bc8.d: crates/gpu/tests/machine_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_edges-b915e38cf5a60bc8.rmeta: crates/gpu/tests/machine_edges.rs Cargo.toml
+
+crates/gpu/tests/machine_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oversubscription-80992550fa812fb6.d: tests/oversubscription.rs
+
+/root/repo/target/debug/deps/oversubscription-80992550fa812fb6: tests/oversubscription.rs
+
+tests/oversubscription.rs:

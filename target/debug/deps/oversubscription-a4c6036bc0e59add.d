@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oversubscription-a4c6036bc0e59add.d: tests/oversubscription.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboversubscription-a4c6036bc0e59add.rmeta: tests/oversubscription.rs Cargo.toml
+
+tests/oversubscription.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

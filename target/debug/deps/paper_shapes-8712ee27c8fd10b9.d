@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-8712ee27c8fd10b9.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-8712ee27c8fd10b9: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bank_account_audit-6338047fc94e5fde.d: examples/bank_account_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbank_account_audit-6338047fc94e5fde.rmeta: examples/bank_account_audit.rs Cargo.toml
+
+examples/bank_account_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_account_audit-696be87b5d4dec9e.d: examples/bank_account_audit.rs
+
+/root/repo/target/debug/examples/bank_account_audit-696be87b5d4dec9e: examples/bank_account_audit.rs
+
+examples/bank_account_audit.rs:

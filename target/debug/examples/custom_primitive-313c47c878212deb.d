@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_primitive-313c47c878212deb.d: examples/custom_primitive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_primitive-313c47c878212deb.rmeta: examples/custom_primitive.rs Cargo.toml
+
+examples/custom_primitive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

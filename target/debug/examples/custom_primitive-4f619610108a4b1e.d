@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_primitive-4f619610108a4b1e.d: examples/custom_primitive.rs
+
+/root/repo/target/debug/examples/custom_primitive-4f619610108a4b1e: examples/custom_primitive.rs
+
+examples/custom_primitive.rs:

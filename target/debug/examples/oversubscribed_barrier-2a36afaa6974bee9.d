@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed_barrier-2a36afaa6974bee9.d: examples/oversubscribed_barrier.rs
+
+/root/repo/target/debug/examples/oversubscribed_barrier-2a36afaa6974bee9: examples/oversubscribed_barrier.rs
+
+examples/oversubscribed_barrier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oversubscribed_barrier-94623c46cefcdc53.d: examples/oversubscribed_barrier.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboversubscribed_barrier-94623c46cefcdc53.rmeta: examples/oversubscribed_barrier.rs Cargo.toml
+
+examples/oversubscribed_barrier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

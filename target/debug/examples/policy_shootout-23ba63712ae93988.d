@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/policy_shootout-23ba63712ae93988.d: examples/policy_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpolicy_shootout-23ba63712ae93988.rmeta: examples/policy_shootout.rs Cargo.toml
+
+examples/policy_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

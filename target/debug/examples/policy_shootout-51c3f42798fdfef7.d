@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_shootout-51c3f42798fdfef7.d: examples/policy_shootout.rs
+
+/root/repo/target/debug/examples/policy_shootout-51c3f42798fdfef7: examples/policy_shootout.rs
+
+examples/policy_shootout.rs:

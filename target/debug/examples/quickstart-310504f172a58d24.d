@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-310504f172a58d24.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-310504f172a58d24: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeline-8d6483e7f6065500.d: examples/timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeline-8d6483e7f6065500.rmeta: examples/timeline.rs Cargo.toml
+
+examples/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

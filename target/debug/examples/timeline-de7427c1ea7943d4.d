@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeline-de7427c1ea7943d4.d: examples/timeline.rs
+
+/root/repo/target/debug/examples/timeline-de7427c1ea7943d4: examples/timeline.rs
+
+examples/timeline.rs:

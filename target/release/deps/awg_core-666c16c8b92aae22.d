@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/awg_core-666c16c8b92aae22.d: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/cp.rs crates/core/src/hash.rs crates/core/src/monitorlog.rs crates/core/src/policies/mod.rs crates/core/src/policies/awg.rs crates/core/src/policies/chaos.rs crates/core/src/policies/minresume.rs crates/core/src/policies/monitor.rs crates/core/src/policies/monnr.rs crates/core/src/policies/monr.rs crates/core/src/policies/monrs.rs crates/core/src/policies/sleep.rs crates/core/src/policies/timeout.rs crates/core/src/syncmon.rs
+
+/root/repo/target/release/deps/libawg_core-666c16c8b92aae22.rlib: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/cp.rs crates/core/src/hash.rs crates/core/src/monitorlog.rs crates/core/src/policies/mod.rs crates/core/src/policies/awg.rs crates/core/src/policies/chaos.rs crates/core/src/policies/minresume.rs crates/core/src/policies/monitor.rs crates/core/src/policies/monnr.rs crates/core/src/policies/monr.rs crates/core/src/policies/monrs.rs crates/core/src/policies/sleep.rs crates/core/src/policies/timeout.rs crates/core/src/syncmon.rs
+
+/root/repo/target/release/deps/libawg_core-666c16c8b92aae22.rmeta: crates/core/src/lib.rs crates/core/src/bloom.rs crates/core/src/cp.rs crates/core/src/hash.rs crates/core/src/monitorlog.rs crates/core/src/policies/mod.rs crates/core/src/policies/awg.rs crates/core/src/policies/chaos.rs crates/core/src/policies/minresume.rs crates/core/src/policies/monitor.rs crates/core/src/policies/monnr.rs crates/core/src/policies/monr.rs crates/core/src/policies/monrs.rs crates/core/src/policies/sleep.rs crates/core/src/policies/timeout.rs crates/core/src/syncmon.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bloom.rs:
+crates/core/src/cp.rs:
+crates/core/src/hash.rs:
+crates/core/src/monitorlog.rs:
+crates/core/src/policies/mod.rs:
+crates/core/src/policies/awg.rs:
+crates/core/src/policies/chaos.rs:
+crates/core/src/policies/minresume.rs:
+crates/core/src/policies/monitor.rs:
+crates/core/src/policies/monnr.rs:
+crates/core/src/policies/monr.rs:
+crates/core/src/policies/monrs.rs:
+crates/core/src/policies/sleep.rs:
+crates/core/src/policies/timeout.rs:
+crates/core/src/syncmon.rs:

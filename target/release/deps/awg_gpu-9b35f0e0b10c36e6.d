@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/awg_gpu-9b35f0e0b10c36e6.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/release/deps/awg_gpu-9b35f0e0b10c36e6: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/cu.rs:
+crates/gpu/src/fault.rs:
+crates/gpu/src/machine.rs:
+crates/gpu/src/policy.rs:
+crates/gpu/src/result.rs:
+crates/gpu/src/trace.rs:
+crates/gpu/src/wg.rs:

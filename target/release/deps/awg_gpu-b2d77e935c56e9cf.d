@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/awg_gpu-b2d77e935c56e9cf.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/release/deps/libawg_gpu-b2d77e935c56e9cf.rlib: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+/root/repo/target/release/deps/libawg_gpu-b2d77e935c56e9cf.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/cu.rs crates/gpu/src/fault.rs crates/gpu/src/machine.rs crates/gpu/src/policy.rs crates/gpu/src/result.rs crates/gpu/src/trace.rs crates/gpu/src/wg.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/cu.rs:
+crates/gpu/src/fault.rs:
+crates/gpu/src/machine.rs:
+crates/gpu/src/policy.rs:
+crates/gpu/src/result.rs:
+crates/gpu/src/trace.rs:
+crates/gpu/src/wg.rs:

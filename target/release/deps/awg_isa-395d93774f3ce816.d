@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/awg_isa-395d93774f3ce816.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libawg_isa-395d93774f3ce816.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libawg_isa-395d93774f3ce816.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/builder.rs crates/isa/src/functional.rs crates/isa/src/inst.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/builder.rs:
+crates/isa/src/functional.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

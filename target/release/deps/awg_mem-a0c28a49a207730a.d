@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/awg_mem-a0c28a49a207730a.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/release/deps/libawg_mem-a0c28a49a207730a.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+/root/repo/target/release/deps/libawg_mem-a0c28a49a207730a.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/atomic.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/l2.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/atomic.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/l2.rs:

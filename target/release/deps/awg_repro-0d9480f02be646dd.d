@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/awg_repro-0d9480f02be646dd.d: src/lib.rs
+
+/root/repo/target/release/deps/libawg_repro-0d9480f02be646dd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libawg_repro-0d9480f02be646dd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/awg_repro-18076f335efd9521.d: crates/harness/src/bin/awg_repro.rs
+
+/root/repo/target/release/deps/awg_repro-18076f335efd9521: crates/harness/src/bin/awg_repro.rs
+
+crates/harness/src/bin/awg_repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/awg_repro-96a3f08cf3a4160b.d: crates/harness/src/bin/awg_repro.rs
+
+/root/repo/target/release/deps/awg_repro-96a3f08cf3a4160b: crates/harness/src/bin/awg_repro.rs
+
+crates/harness/src/bin/awg_repro.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/awg_sim-78f4f01598d83634.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libawg_sim-78f4f01598d83634.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libawg_sim-78f4f01598d83634.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/ewma.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/ewma.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/awg_workloads-a7d5d6867c6e41ce.d: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+/root/repo/target/release/deps/libawg_workloads-a7d5d6867c6e41ce.rlib: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+/root/repo/target/release/deps/libawg_workloads-a7d5d6867c6e41ce.rmeta: crates/workloads/src/lib.rs crates/workloads/src/apps.rs crates/workloads/src/barrier.rs crates/workloads/src/bench.rs crates/workloads/src/characteristics.rs crates/workloads/src/checks.rs crates/workloads/src/context.rs crates/workloads/src/mutex.rs crates/workloads/src/params.rs crates/workloads/src/rw.rs crates/workloads/src/sync_emit.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/apps.rs:
+crates/workloads/src/barrier.rs:
+crates/workloads/src/bench.rs:
+crates/workloads/src/characteristics.rs:
+crates/workloads/src/checks.rs:
+crates/workloads/src/context.rs:
+crates/workloads/src/mutex.rs:
+crates/workloads/src/params.rs:
+crates/workloads/src/rw.rs:
+crates/workloads/src/sync_emit.rs:

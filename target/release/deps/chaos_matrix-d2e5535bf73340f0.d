@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_matrix-d2e5535bf73340f0.d: tests/chaos_matrix.rs
+
+/root/repo/target/release/deps/chaos_matrix-d2e5535bf73340f0: tests/chaos_matrix.rs
+
+tests/chaos_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine-a589e8cefd080f55.d: crates/gpu/tests/machine.rs
+
+/root/repo/target/release/deps/machine-a589e8cefd080f55: crates/gpu/tests/machine.rs
+
+crates/gpu/tests/machine.rs:

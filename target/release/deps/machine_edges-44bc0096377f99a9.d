@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine_edges-44bc0096377f99a9.d: crates/gpu/tests/machine_edges.rs
+
+/root/repo/target/release/deps/machine_edges-44bc0096377f99a9: crates/gpu/tests/machine_edges.rs
+
+crates/gpu/tests/machine_edges.rs:
