@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use awg_gpu::{
     MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
-    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
+    SyncStyle, TimeoutAction, WaitDirective, WaiterRecord, Wake, WgId,
 };
 use awg_mem::Addr;
 use awg_sim::{Cycle, Ewma, Stats};
@@ -265,6 +265,10 @@ impl SchedPolicy for AwgPolicy {
 
     fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
         self.core.snapshot()
+    }
+
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        self.core.registry()
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -10,7 +10,7 @@
 
 use awg_gpu::{
     MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
-    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
+    SyncStyle, TimeoutAction, WaitDirective, WaiterRecord, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -182,6 +182,10 @@ impl<P: SchedPolicy> SchedPolicy for ChaosWrap<P> {
 
     fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
         self.inner.monitor_snapshot()
+    }
+
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        self.inner.waiter_registry()
     }
 
     fn report(&self, stats: &mut Stats) {

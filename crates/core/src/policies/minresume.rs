@@ -11,7 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use awg_gpu::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
-    WaitDirective, Wake, WgId,
+    WaitDirective, WaiterRecord, WaiterStructure, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -120,6 +120,26 @@ impl SchedPolicy for MinResumePolicy {
 
     fn on_cp_tick(&mut self, ctx: &mut PolicyCtx<'_>) -> Vec<Wake> {
         self.release_satisfied(ctx, 1)
+    }
+
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        let mut out: Vec<(WgId, WaiterRecord)> = self
+            .waiters
+            .iter()
+            .flat_map(|(&cond, q)| {
+                q.iter().map(move |&wg| {
+                    (
+                        wg,
+                        WaiterRecord {
+                            cond,
+                            structure: WaiterStructure::PolicyLocal,
+                        },
+                    )
+                })
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(wg, _)| wg);
+        out
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -3,7 +3,10 @@
 
 use std::collections::HashMap;
 
-use awg_gpu::{MonitorEntrySnapshot, PolicyCtx, PolicyFault, SyncCond, Wake, WgId};
+use awg_gpu::{
+    MonitorEntrySnapshot, PolicyCtx, PolicyFault, SyncCond, WaiterRecord, WaiterStructure, Wake,
+    WgId,
+};
 use awg_sim::Stats;
 
 use crate::cp::Cp;
@@ -140,6 +143,25 @@ impl MonitorCore {
     /// Where `wg` is currently tracked.
     pub fn tracking_of(&self, wg: WgId) -> Option<(SyncCond, TrackOutcome)> {
         self.tracked.get(&wg).copied()
+    }
+
+    /// Every tracked waiter with the structure holding its registration,
+    /// sorted by WG for the invariant oracle. `MesaRetry` outcomes never
+    /// enter `tracked`, so everything here is Cached or Spilled.
+    pub fn registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        let mut out: Vec<(WgId, WaiterRecord)> = self
+            .tracked
+            .iter()
+            .map(|(&wg, &(cond, outcome))| {
+                let structure = match outcome {
+                    TrackOutcome::Cached => WaiterStructure::SyncMon,
+                    TrackOutcome::Spilled | TrackOutcome::MesaRetry => WaiterStructure::MonitorLog,
+                };
+                (wg, WaiterRecord { cond, structure })
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(wg, _)| wg);
+        out
     }
 
     /// The CP firmware tick: drain the log, check spilled conditions with

@@ -13,7 +13,7 @@
 
 use awg_gpu::{
     MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
-    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
+    SyncStyle, TimeoutAction, WaitDirective, WaiterRecord, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -158,6 +158,10 @@ impl SchedPolicy for MonNrAllPolicy {
         self.0.core.snapshot()
     }
 
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        self.0.core.registry()
+    }
+
     fn report(&self, stats: &mut Stats) {
         self.0.core.report("monnr_all", stats);
         let c = stats.counter("monnr_all_met_wakes");
@@ -235,6 +239,10 @@ impl SchedPolicy for MonNrOnePolicy {
 
     fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
         self.0.core.snapshot()
+    }
+
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        self.0.core.registry()
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -9,7 +9,7 @@
 
 use awg_gpu::{
     MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy, SyncCond, SyncFail,
-    SyncStyle, TimeoutAction, WaitDirective, Wake, WgId,
+    SyncStyle, TimeoutAction, WaitDirective, WaiterRecord, Wake, WgId,
 };
 use awg_sim::{Cycle, Stats};
 
@@ -110,6 +110,10 @@ impl SchedPolicy for MonRAllPolicy {
 
     fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
         self.core.snapshot()
+    }
+
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
+        self.core.registry()
     }
 
     fn report(&self, stats: &mut Stats) {

@@ -154,16 +154,42 @@ impl Kernel {
     ///
     /// Panics if `num_wgs == 0` or the program fails verification.
     pub fn new(program: Program, num_wgs: u64, resources: WgResources) -> Self {
-        assert!(num_wgs > 0, "kernel needs at least one WG");
-        program.verify().expect("kernel program must verify");
+        match Self::try_new(program, num_wgs, resources) {
+            Ok(kernel) => kernel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Kernel::new`] for user-supplied programs
+    /// (e.g. assembled from a `.s` file on the command line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::Config`] if `num_wgs == 0` or the program
+    /// fails verification.
+    pub fn try_new(
+        program: Program,
+        num_wgs: u64,
+        resources: WgResources,
+    ) -> Result<Self, crate::SimError> {
+        if num_wgs == 0 {
+            return Err(crate::SimError::Config(
+                "kernel needs at least one WG".into(),
+            ));
+        }
+        if let Err(e) = program.verify() {
+            return Err(crate::SimError::Config(format!(
+                "kernel program must verify: {e}"
+            )));
+        }
         let wgs_per_cluster = num_wgs.div_ceil(8).max(1);
-        Kernel {
+        Ok(Kernel {
             program: Arc::new(program),
             num_wgs,
             wgs_per_cluster,
             resources,
             init_memory: Vec::new(),
-        }
+        })
     }
 
     /// Sets the cluster width (the paper's `L`).

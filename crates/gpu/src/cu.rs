@@ -125,6 +125,20 @@ impl Cu {
         by_wf.min(by_lds).min(by_vgpr)
     }
 
+    /// Total `(wavefront slots, LDS bytes, VGPRs)` capacity (Table 1).
+    pub fn capacity(&self) -> (u32, u32, u32) {
+        (self.wf_slots, self.lds_bytes, self.vgprs)
+    }
+
+    /// Currently free `(wavefront slots, LDS bytes, VGPRs)`.
+    ///
+    /// The invariant oracle cross-checks these against the resident list:
+    /// the resources the residents demand plus the free amounts must equal
+    /// the capacity exactly, or admission/release bookkeeping has leaked.
+    pub fn free_resources(&self) -> (u32, u32, u32) {
+        (self.free_wf, self.free_lds, self.free_vgprs)
+    }
+
     /// The CU's private L1 cache.
     pub fn l1_mut(&mut self) -> &mut Cache {
         &mut self.l1

@@ -1,0 +1,57 @@
+//! Typed errors for user-reachable simulator failures.
+//!
+//! Library-internal bugs still panic (they indicate a broken simulator, not
+//! broken input), but everything a CLI user can trigger — malformed
+//! configurations, unparsable fault plans, invariant-oracle violations —
+//! surfaces as a [`SimError`] so front ends can map each class to a
+//! distinct exit code instead of a backtrace.
+
+use crate::oracle::InvariantViolation;
+
+/// A user-reachable simulator failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A kernel, machine, or fault-plan configuration is invalid
+    /// (e.g. zero work-groups, a WG too large for any CU, a plan that
+    /// unplugs a CU the machine does not have).
+    Config(String),
+    /// A serialized fault plan could not be parsed.
+    PlanFormat(String),
+    /// The invariant oracle caught the machine violating a machine-wide
+    /// invariant mid-run.
+    Invariant(InvariantViolation),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "{msg}"),
+            SimError::PlanFormat(msg) => write!(f, "fault plan parse error: {msg}"),
+            SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::InvariantKind;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = SimError::Config("kernel needs at least one WG".into());
+        assert_eq!(e.to_string(), "kernel needs at least one WG");
+        let e = SimError::PlanFormat("expected '{'".into());
+        assert!(e.to_string().contains("parse error"));
+        let e = SimError::Invariant(InvariantViolation {
+            at: 42,
+            kind: InvariantKind::UnreachableWaiter,
+            detail: "WG 3 stalled with no wake path".into(),
+        });
+        let text = e.to_string();
+        assert!(text.contains("cycle 42"), "{text}");
+        assert!(text.contains("WG 3"), "{text}");
+    }
+}

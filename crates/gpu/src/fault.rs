@@ -234,6 +234,296 @@ impl FaultPlan {
             })
             .max()
     }
+
+    /// Serializes the plan as a replayable JSON reproducer (the format
+    /// [`FaultPlan::from_json`] parses). Dependency-free by construction:
+    /// every field is an unsigned number or a fixed keyword.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"events\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let body = match e.kind {
+                FaultKind::CuLoss { cu } => format!("\"kind\": \"cu_loss\", \"cu\": {cu}"),
+                FaultKind::CuRestore { cu } => format!("\"kind\": \"cu_restore\", \"cu\": {cu}"),
+                FaultKind::WakeChaos { mode, window } => {
+                    let mode = match mode {
+                        WakeChaosMode::Drop => "\"mode\": \"drop\"".to_string(),
+                        WakeChaosMode::Delay(extra) => {
+                            format!("\"mode\": \"delay\", \"extra\": {extra}")
+                        }
+                        WakeChaosMode::Duplicate => "\"mode\": \"duplicate\"".to_string(),
+                        WakeChaosMode::Reorder => "\"mode\": \"reorder\"".to_string(),
+                    };
+                    format!("\"kind\": \"wake_chaos\", {mode}, \"window\": {window}")
+                }
+                FaultKind::Policy(PolicyFault::EvictConditions { count }) => {
+                    format!("\"kind\": \"evict_conditions\", \"count\": {count}")
+                }
+                FaultKind::Policy(PolicyFault::BloomStorm { unique_values }) => {
+                    format!("\"kind\": \"bloom_storm\", \"unique_values\": {unique_values}")
+                }
+                FaultKind::CtxStall { extra, window } => {
+                    format!("\"kind\": \"ctx_stall\", \"extra\": {extra}, \"window\": {window}")
+                }
+            };
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            s.push_str(&format!("    {{\"at\": {}, {body}}}{comma}\n", e.at));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a plan previously written by [`FaultPlan::to_json`] (or
+    /// hand-edited: whitespace and key order are free).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural or semantic problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("top level")?;
+        let seed = json::get(obj, "seed")?.as_u64("seed")?;
+        let mut events = Vec::new();
+        for (i, item) in json::get(obj, "events")?
+            .as_array("events")?
+            .iter()
+            .enumerate()
+        {
+            let ev = item.as_object(&format!("events[{i}]"))?;
+            let at = json::get(ev, "at")?.as_u64("at")?;
+            let kind = json::get(ev, "kind")?.as_str("kind")?;
+            let num = |key: &str| -> Result<u64, String> {
+                json::get(ev, key)
+                    .map_err(|e| format!("events[{i}] ({kind}): {e}"))?
+                    .as_u64(key)
+            };
+            let kind = match kind {
+                "cu_loss" => FaultKind::CuLoss {
+                    cu: num("cu")? as usize,
+                },
+                "cu_restore" => FaultKind::CuRestore {
+                    cu: num("cu")? as usize,
+                },
+                "wake_chaos" => {
+                    let mode = match json::get(ev, "mode")?.as_str("mode")? {
+                        "drop" => WakeChaosMode::Drop,
+                        "delay" => WakeChaosMode::Delay(num("extra")?),
+                        "duplicate" => WakeChaosMode::Duplicate,
+                        "reorder" => WakeChaosMode::Reorder,
+                        other => return Err(format!("events[{i}]: unknown wake mode {other:?}")),
+                    };
+                    FaultKind::WakeChaos {
+                        mode,
+                        window: num("window")?,
+                    }
+                }
+                "evict_conditions" => FaultKind::Policy(PolicyFault::EvictConditions {
+                    count: num("count")? as usize,
+                }),
+                "bloom_storm" => FaultKind::Policy(PolicyFault::BloomStorm {
+                    unique_values: num("unique_values")? as usize,
+                }),
+                "ctx_stall" => FaultKind::CtxStall {
+                    extra: num("extra")?,
+                    window: num("window")?,
+                },
+                other => return Err(format!("events[{i}]: unknown fault kind {other:?}")),
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        if events.windows(2).any(|w| w[0].at > w[1].at) {
+            return Err("events must be sorted by \"at\"".into());
+        }
+        Ok(FaultPlan { seed, events })
+    }
+}
+
+/// A deliberately tiny JSON reader, just enough for fault-plan reproducers:
+/// objects, arrays, unsigned integers, and plain strings. Kept private so
+/// nothing else grows a dependency on it.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Number(u64),
+        String(String),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Object(fields) => Ok(fields),
+                other => Err(format!("{what}: expected an object, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                other => Err(format!("{what}: expected an array, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(format!("{what}: expected a number, got {other:?}")),
+            }
+        }
+
+        pub(super) fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::String(s) => Ok(s),
+                other => Err(format!("{what}: expected a string, got {other:?}")),
+            }
+        }
+    }
+
+    pub(super) fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                ch as char,
+                *pos,
+                bytes.get(*pos).map(|&b| b as char)
+            ))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b) if b.is_ascii_digit() => parse_number(bytes, pos),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|&b| b as char),
+                *pos
+            )),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        *pos,
+                        other.map(|&b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        *pos,
+                        other.map(|&b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                *pos += 1;
+                return Ok(s.to_string());
+            }
+            if b == b'\\' {
+                return Err(format!("escape sequences unsupported (byte {})", *pos));
+            }
+            *pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +611,62 @@ mod tests {
                 (cfg.flap_min..=cfg.flap_max).contains(&outage),
                 "seed {seed}: outage {outage} out of bounds"
             );
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_fault_kind() {
+        for seed in 0..10 {
+            let plan = FaultPlan::generate(seed, &FaultPlanConfig::standard(4));
+            let text = plan.to_json();
+            let back = FaultPlan::from_json(&text).expect("round trip");
+            assert_eq!(back, plan, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn json_parses_hand_written_plans() {
+        let text = r#"{
+            "seed": 9,
+            "events": [
+                {"kind": "cu_loss", "at": 100, "cu": 2},
+                {"at": 200, "kind": "wake_chaos", "mode": "delay", "extra": 7, "window": 50},
+                {"at": 300, "kind": "ctx_stall", "extra": 40, "window": 10}
+            ]
+        }"#;
+        let plan = FaultPlan::from_json(text).expect("parse");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.events[0].kind, FaultKind::CuLoss { cu: 2 });
+        assert_eq!(
+            plan.events[1].kind,
+            FaultKind::WakeChaos {
+                mode: WakeChaosMode::Delay(7),
+                window: 50
+            }
+        );
+    }
+
+    #[test]
+    fn json_rejects_malformed_plans() {
+        for (text, needle) in [
+            ("", "unexpected"),
+            ("{\"seed\": 1}", "missing key \"events\""),
+            ("{\"seed\": 1, \"events\": [{}]}", "missing key"),
+            (
+                "{\"seed\": 1, \"events\": [{\"at\": 5, \"kind\": \"volcano\"}]}",
+                "unknown fault kind",
+            ),
+            (
+                "{\"seed\": 1, \"events\": [\
+                 {\"at\": 9, \"kind\": \"cu_loss\", \"cu\": 0},\
+                 {\"at\": 5, \"kind\": \"cu_restore\", \"cu\": 0}]}",
+                "sorted",
+            ),
+            ("{\"seed\": 1, \"events\": []} trailing", "trailing"),
+        ] {
+            let err = FaultPlan::from_json(text).expect_err(text);
+            assert!(err.contains(needle), "{text}: {err}");
         }
     }
 }

@@ -46,8 +46,10 @@
 
 pub mod config;
 pub mod cu;
+pub mod error;
 pub mod fault;
 pub mod machine;
+pub mod oracle;
 pub mod policy;
 pub mod result;
 pub mod trace;
@@ -55,11 +57,14 @@ pub mod wg;
 
 pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
 pub use cu::Cu;
+pub use error::SimError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, WakeChaosMode};
 pub use machine::Gpu;
+pub use oracle::{InvariantKind, InvariantViolation};
 pub use policy::{
     BusyWaitPolicy, MonitorEntrySnapshot, MonitoredUpdate, PolicyCtx, PolicyFault, SchedPolicy,
-    SyncCond, SyncFail, SyncStyle, TimeoutAction, WaitDirective, Wake,
+    SyncCond, SyncFail, SyncStyle, TimeoutAction, WaitDirective, WaiterRecord, WaiterStructure,
+    Wake,
 };
 pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 pub use trace::{TraceEvent, TraceRecord};

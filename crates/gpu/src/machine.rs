@@ -11,11 +11,13 @@ use std::collections::{BTreeMap, VecDeque};
 
 use awg_isa::{Inst, Mem, Operand, Special};
 use awg_mem::{Addr, AtomicRequest, Backing, L2};
-use awg_sim::{Cycle, EventQueue, Stats};
+use awg_sim::{Cycle, EventQueue, Fingerprint64, Stats};
 
 use crate::config::{GpuConfig, Kernel, CONTEXT_BASE};
 use crate::cu::Cu;
+use crate::error::SimError;
 use crate::fault::{FaultKind, FaultPlan, WakeChaosMode};
+use crate::oracle::{InvariantKind, InvariantViolation};
 use crate::policy::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, TimeoutAction, WaitDirective, Wake,
 };
@@ -33,7 +35,7 @@ const MAX_INLINE_STEPS: usize = 1024;
 const CHAOS_BACKSTOP_TIMEOUT: Cycle = 200_000;
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     /// Resume batch execution (compute/sleep/barrier done, inline-step cap).
     Continue(WgId, u64),
     /// A memory/sync response reached the CU; deliver it (applying any
@@ -77,18 +79,18 @@ struct ChaosCounters {
 
 /// The GPU simulator.
 pub struct Gpu {
-    config: GpuConfig,
-    kernel: Kernel,
-    l2: L2,
-    cus: Vec<Cu>,
-    wgs: Vec<Wg>,
-    events: EventQueue<Event>,
+    pub(crate) config: GpuConfig,
+    pub(crate) kernel: Kernel,
+    pub(crate) l2: L2,
+    pub(crate) cus: Vec<Cu>,
+    pub(crate) wgs: Vec<Wg>,
+    pub(crate) events: EventQueue<Event>,
     now: Cycle,
-    policy: Box<dyn SchedPolicy>,
+    pub(crate) policy: Box<dyn SchedPolicy>,
     stats: Stats,
-    pending: VecDeque<WgId>,
-    ready: VecDeque<WgId>,
-    finished: usize,
+    pub(crate) pending: VecDeque<WgId>,
+    pub(crate) ready: VecDeque<WgId>,
+    pub(crate) finished: usize,
     last_progress: Cycle,
     resumes: u64,
     unnecessary_resumes: u64,
@@ -103,6 +105,11 @@ pub struct Gpu {
     ctx_stall_until: Cycle,
     ctx_stall_extra: Cycle,
     chaos: ChaosCounters,
+    oracle_on: bool,
+    violations: Vec<InvariantViolation>,
+    digest_window: Option<Cycle>,
+    digest_next: Cycle,
+    digest_trail: Vec<u64>,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -123,18 +130,34 @@ impl Gpu {
     ///
     /// Panics if the kernel's WGs cannot fit on even one CU.
     pub fn new(config: GpuConfig, kernel: Kernel, policy: Box<dyn SchedPolicy>) -> Self {
+        match Self::try_new(config, kernel, policy) {
+            Ok(gpu) => gpu,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Gpu::new`] for user-supplied configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the kernel's WGs cannot fit on even
+    /// one CU.
+    pub fn try_new(
+        config: GpuConfig,
+        kernel: Kernel,
+        policy: Box<dyn SchedPolicy>,
+    ) -> Result<Self, SimError> {
         let cus: Vec<Cu> = (0..config.num_cus).map(|i| Cu::new(i, &config)).collect();
-        assert!(
-            cus[0].max_occupancy(&kernel.resources) >= 1,
-            "a single WG must fit on a CU"
-        );
+        if cus.is_empty() || cus[0].max_occupancy(&kernel.resources) < 1 {
+            return Err(SimError::Config("a single WG must fit on a CU".into()));
+        }
         let wgs = (0..kernel.num_wgs).map(|i| Wg::new(i as WgId)).collect();
         let mut l2 = L2::with_dram(config.l2, config.dram);
         for &(addr, value) in &kernel.init_memory {
             l2.backing_mut().store(addr, value);
         }
         let pending = (0..kernel.num_wgs as WgId).collect();
-        Gpu {
+        Ok(Gpu {
             config,
             kernel,
             l2,
@@ -161,7 +184,12 @@ impl Gpu {
             ctx_stall_until: 0,
             ctx_stall_extra: 0,
             chaos: ChaosCounters::default(),
-        }
+            oracle_on: false,
+            violations: Vec::new(),
+            digest_window: None,
+            digest_next: 0,
+            digest_trail: Vec::new(),
+        })
     }
 
     /// Installs a seeded fault plan; its timeline is injected while the
@@ -173,11 +201,134 @@ impl Gpu {
     ///
     /// Panics if the plan unplugs a CU this machine does not have.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        match self.try_install_fault_plan(plan) {
+            Ok(gpu) => gpu,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`install_fault_plan`](Gpu::install_fault_plan)
+    /// for plans loaded from user-supplied reproducer files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the plan unplugs a CU this machine
+    /// does not have.
+    pub fn try_install_fault_plan(&mut self, plan: FaultPlan) -> Result<&mut Self, SimError> {
         if let Some(cu) = plan.max_cu() {
-            assert!(cu < self.config.num_cus, "fault plan unplugs CU {cu}");
+            if cu >= self.config.num_cus {
+                return Err(SimError::Config(format!("fault plan unplugs CU {cu}")));
+            }
         }
         self.fault_plan = Some(plan);
+        Ok(self)
+    }
+
+    /// Enables the invariant oracle: after every scheduling event the
+    /// machine cross-checks its state against the machine-wide invariants
+    /// (see [`crate::oracle`]) and records violations for
+    /// [`violations`](Gpu::violations).
+    pub fn enable_invariant_oracle(&mut self) -> &mut Self {
+        self.oracle_on = true;
         self
+    }
+
+    /// Invariant violations the oracle has recorded so far (empty unless
+    /// [`enable_invariant_oracle`](Gpu::enable_invariant_oracle) was called).
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Enables the cycle-windowed digest trail: at every multiple of
+    /// `window` cycles the machine appends [`digest`](Gpu::digest) to a
+    /// trail, so two same-seed runs can be compared window by window and
+    /// the first divergent window identified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn enable_digest_trail(&mut self, window: Cycle) -> &mut Self {
+        assert!(window > 0, "digest window must be positive");
+        self.digest_window = Some(window);
+        self.digest_next = window;
+        self
+    }
+
+    /// The per-window digest trail recorded so far.
+    pub fn digest_trail(&self) -> &[u64] {
+        &self.digest_trail
+    }
+
+    /// Order-sensitive digest of the machine's architectural state: queues,
+    /// per-WG execution state, CU residency, and every non-zero memory
+    /// word. Two same-seed runs must digest identically at identical event
+    /// boundaries; any mismatch is a determinism bug.
+    pub fn digest(&self) -> u64 {
+        let mut f = Fingerprint64::new();
+        f.push(self.now);
+        f.push(self.finished as u64);
+        f.push_seq(self.pending.iter().map(|&w| u64::from(w)));
+        f.push_seq(self.ready.iter().map(|&w| u64::from(w)));
+        for wg in &self.wgs {
+            f.push(wg.state as u64);
+            f.push(wg.pc as u64);
+            f.push(wg.token);
+            f.push(wg.insts);
+            f.push(wg.atomics);
+            match wg.cond {
+                Some(c) => {
+                    f.push(1);
+                    f.push(c.addr);
+                    f.push_i64(c.expected);
+                }
+                None => f.push(0),
+            }
+            f.push(wg.cu.map_or(u64::MAX, |c| c as u64));
+        }
+        for cu in &self.cus {
+            f.push(u64::from(cu.is_enabled()));
+            // Residency order is scheduling-dependent scratch state; sort so
+            // the digest reflects *which* WGs are resident, not swap order.
+            let mut resident: Vec<WgId> = cu.resident().to_vec();
+            resident.sort_unstable();
+            f.push_seq(resident.into_iter().map(u64::from));
+        }
+        let mut words: Vec<(Addr, i64)> = self.l2.backing().nonzero_words().collect();
+        words.sort_unstable_by_key(|&(a, _)| a);
+        f.push(words.len() as u64);
+        for (a, v) in words {
+            f.push(a);
+            f.push_i64(v);
+        }
+        f.finish()
+    }
+
+    fn record_violation(&mut self, kind: InvariantKind, detail: String) {
+        const MAX_RECORDED: usize = 64;
+        if self.violations.len() >= MAX_RECORDED {
+            return;
+        }
+        // One report per (kind, detail): a standing violation re-detected at
+        // every subsequent event would otherwise drown the first cause.
+        if self
+            .violations
+            .iter()
+            .any(|v| v.kind == kind && v.detail == detail)
+        {
+            return;
+        }
+        self.violations.push(InvariantViolation {
+            at: self.now,
+            kind,
+            detail,
+        });
+    }
+
+    /// Runs the oracle's full invariant sweep and records anything it finds.
+    fn oracle_sweep(&mut self) {
+        for v in self.check_invariants() {
+            self.record_violation(v.kind, v.detail);
+        }
     }
 
     /// Schedules the §VI resource-loss event: at `at` cycles, CU `cu` is
@@ -884,7 +1035,18 @@ impl Gpu {
                 self.trace.record(self.now, wg, TraceEvent::Resume);
                 self.try_dispatch();
             }
-            _ => {} // stale
+            state => {
+                // A token-valid wake reached a WG that is not waiting. Every
+                // legal transition out of a waiting state bumps the token,
+                // so this delivery was aimed at a running or descheduled WG
+                // — exactly the misdelivery the oracle exists to catch.
+                if self.oracle_on {
+                    self.record_violation(
+                        InvariantKind::MisdeliveredWake,
+                        format!("wake delivered to WG {wg} in state {state:?}"),
+                    );
+                }
+            }
         }
     }
 
@@ -1268,8 +1430,21 @@ impl Gpu {
                     hang,
                 };
             }
+            if let Some(window) = self.digest_window {
+                // Digest at each window boundary the machine is about to
+                // cross: all events strictly before the boundary have been
+                // handled, none at-or-after it have.
+                while self.digest_next <= cycle {
+                    let d = self.digest();
+                    self.digest_trail.push(d);
+                    self.digest_next += window;
+                }
+            }
             self.now = cycle;
             self.handle(event);
+            if self.oracle_on {
+                self.oracle_sweep();
+            }
         }
     }
 

@@ -1,0 +1,385 @@
+//! The invariant oracle: machine-wide self-checks for the simulator.
+//!
+//! When enabled ([`Gpu::enable_invariant_oracle`]), the machine sweeps
+//! these invariants after every scheduling event:
+//!
+//! 1. **Registration** — every waiter a policy tracks is registered in
+//!    exactly one wait structure, and only while the WG is actually in a
+//!    state that can receive a wake.
+//! 2. **Superset property** — a waiter cached in the SyncMon must still
+//!    hold its L2 monitored bit (a cleared bit means updates can no longer
+//!    notify it), and *every* waiting WG must be reachable by some wake
+//!    path: a policy registration, a pending token-valid wake or fallback
+//!    timeout, or a wake that already landed (`woke`).
+//! 3. **Wake delivery** — wakes are never delivered to running or
+//!    descheduled WGs (recorded at the delivery site in the machine).
+//! 4. **WG conservation** — the work-group population is conserved across
+//!    preemption and migration: every WG sits in exactly one scheduler
+//!    home (pending queue, ready queue, a CU's resident list, swapped-out
+//!    waiting, or finished) and the queues agree with per-WG state.
+//! 5. **Occupancy** — no CU ever holds more WGs than its Table 1 resource
+//!    limits admit, and its free-resource counters exactly mirror the
+//!    residents' demands.
+//!
+//! The sweep is read-only and allocation-light, but it runs per event:
+//! leave it off for throughput experiments and on for the chaos matrix and
+//! CI, where catching a corrupted schedule at the first bad event is worth
+//! the slowdown.
+
+use std::collections::{HashMap, HashSet};
+
+use awg_sim::Cycle;
+
+use crate::machine::{Event, Gpu};
+use crate::policy::WaiterStructure;
+use crate::wg::{WgId, WgState};
+
+/// Which machine-wide invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A WG is registered in more than one wait structure at once.
+    DuplicateRegistration,
+    /// A WG is registered although its state cannot receive a wake.
+    StaleRegistration,
+    /// A SyncMon-cached waiter's address lost its L2 monitored bit: updates
+    /// can no longer notify it (the Bloom/monitored-bit superset property).
+    MonitorSupersetHole,
+    /// A waiting WG has no wake path at all — no registration, no pending
+    /// wake or timeout for its current token, no landed wake.
+    UnreachableWaiter,
+    /// A wake was delivered to a WG that was not waiting.
+    MisdeliveredWake,
+    /// The WG population is not conserved: queues and per-WG states
+    /// disagree, or the scheduler homes do not sum to the kernel size.
+    WgAccounting,
+    /// A CU's occupancy or resource counters violate its capacity limits.
+    CuAccounting,
+    /// A CU's resident list disagrees with per-WG state or placement.
+    CuResidency,
+}
+
+/// One invariant violation, stamped with the cycle it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Cycle of the scheduling event after which the sweep fired.
+    pub at: Cycle,
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Human-readable specifics (WG ids, addresses, counts).
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}: {:?}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// Whether a state occupies CU execution resources. This deliberately
+/// includes `SwappingIn` (admitted before its context restore completes),
+/// unlike [`WgState::is_resident`] which tracks context *ownership*.
+fn holds_cu(state: WgState) -> bool {
+    matches!(
+        state,
+        WgState::Dispatching
+            | WgState::Running
+            | WgState::Sleeping
+            | WgState::Stalled
+            | WgState::SwappingOut
+            | WgState::SwappingIn
+    )
+}
+
+impl Gpu {
+    /// Sweeps every machine-wide invariant against the current state and
+    /// returns the violations found (empty when the machine is sound).
+    ///
+    /// This is the read-only core of the oracle; with
+    /// [`enable_invariant_oracle`](Gpu::enable_invariant_oracle) the
+    /// machine runs it after every scheduling event and accumulates the
+    /// findings in [`violations`](Gpu::violations).
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let mut report = |kind: InvariantKind, detail: String| {
+            out.push(InvariantViolation {
+                at: self.now(),
+                kind,
+                detail,
+            });
+        };
+
+        // -- WG conservation: queues agree with states ---------------------
+        let count_state = |s: WgState| self.wgs.iter().filter(|w| w.state == s).count();
+        let finished_states = count_state(WgState::Finished);
+        if finished_states != self.finished {
+            report(
+                InvariantKind::WgAccounting,
+                format!(
+                    "finished counter {} but {} WGs in Finished state",
+                    self.finished, finished_states
+                ),
+            );
+        }
+        for (queue, name, state) in [
+            (&self.pending, "pending", WgState::Pending),
+            (&self.ready, "ready", WgState::ReadySwapped),
+        ] {
+            let mut seen = HashSet::new();
+            for &wg in queue {
+                if !seen.insert(wg) {
+                    report(
+                        InvariantKind::WgAccounting,
+                        format!("WG {wg} queued twice in the {name} queue"),
+                    );
+                }
+                let actual = self.wgs[wg as usize].state;
+                if actual != state {
+                    report(
+                        InvariantKind::WgAccounting,
+                        format!("WG {wg} in the {name} queue but in state {actual:?}"),
+                    );
+                }
+            }
+            let in_state = count_state(state);
+            if in_state != seen.len() {
+                report(
+                    InvariantKind::WgAccounting,
+                    format!(
+                        "{} WGs in state {state:?} but {} in the {name} queue",
+                        in_state,
+                        seen.len()
+                    ),
+                );
+            }
+        }
+
+        // -- CU residency and occupancy ------------------------------------
+        let req = &self.kernel.resources;
+        let mut placed: HashMap<WgId, usize> = HashMap::new();
+        for cu in &self.cus {
+            for &wg in cu.resident() {
+                if let Some(prev) = placed.insert(wg, cu.id()) {
+                    report(
+                        InvariantKind::CuResidency,
+                        format!("WG {wg} resident on CU {prev} and CU {}", cu.id()),
+                    );
+                }
+                let w = &self.wgs[wg as usize];
+                if w.cu != Some(cu.id()) {
+                    report(
+                        InvariantKind::CuResidency,
+                        format!(
+                            "WG {wg} resident on CU {} but its placement says {:?}",
+                            cu.id(),
+                            w.cu
+                        ),
+                    );
+                }
+                if !holds_cu(w.state) {
+                    report(
+                        InvariantKind::CuResidency,
+                        format!(
+                            "WG {wg} resident on CU {} in non-resident state {:?}",
+                            cu.id(),
+                            w.state
+                        ),
+                    );
+                }
+            }
+            let n = cu.resident().len() as u32;
+            if n > cu.max_occupancy(req) {
+                report(
+                    InvariantKind::CuAccounting,
+                    format!(
+                        "CU {} holds {n} WGs, above its occupancy limit {}",
+                        cu.id(),
+                        cu.max_occupancy(req)
+                    ),
+                );
+            }
+            let (cap_wf, cap_lds, cap_vgpr) = cu.capacity();
+            let (free_wf, free_lds, free_vgpr) = cu.free_resources();
+            let used = (
+                n * req.wavefronts,
+                n * req.lds_bytes,
+                n * req.wavefronts * req.vgprs_per_wavefront,
+            );
+            if (free_wf + used.0, free_lds + used.1, free_vgpr + used.2)
+                != (cap_wf, cap_lds, cap_vgpr)
+            {
+                report(
+                    InvariantKind::CuAccounting,
+                    format!(
+                        "CU {} resource leak: {n} residents, free ({free_wf}, {free_lds}, \
+                         {free_vgpr}) + demand {used:?} != capacity ({cap_wf}, {cap_lds}, \
+                         {cap_vgpr})",
+                        cu.id()
+                    ),
+                );
+            }
+        }
+        for w in &self.wgs {
+            if holds_cu(w.state) && !placed.contains_key(&w.id) {
+                report(
+                    InvariantKind::CuResidency,
+                    format!("WG {} in state {:?} but resident on no CU", w.id, w.state),
+                );
+            }
+        }
+
+        // -- WG conservation: homes sum to the kernel size -----------------
+        let swapped_waiting = count_state(WgState::SwappedWaiting);
+        let homes = self.pending.len()
+            + self.ready.len()
+            + placed.len()
+            + swapped_waiting
+            + finished_states;
+        if homes as u64 != self.kernel.num_wgs {
+            report(
+                InvariantKind::WgAccounting,
+                format!(
+                    "{} pending + {} ready + {} resident + {swapped_waiting} swapped-waiting + \
+                     {finished_states} finished != {} WGs",
+                    self.pending.len(),
+                    self.ready.len(),
+                    placed.len(),
+                    self.kernel.num_wgs
+                ),
+            );
+        }
+
+        // -- Waiter registrations ------------------------------------------
+        let registry = self.policy.waiter_registry();
+        let mut registered: HashSet<WgId> = HashSet::new();
+        for (wg, rec) in &registry {
+            if !registered.insert(*wg) {
+                report(
+                    InvariantKind::DuplicateRegistration,
+                    format!("WG {wg} registered in more than one wait structure"),
+                );
+                continue;
+            }
+            let state = self.wgs[*wg as usize].state;
+            if matches!(
+                state,
+                WgState::Pending | WgState::ReadySwapped | WgState::Finished
+            ) {
+                report(
+                    InvariantKind::StaleRegistration,
+                    format!(
+                        "WG {wg} registered ({:?}) but in state {state:?}",
+                        rec.structure
+                    ),
+                );
+            }
+            if rec.structure == WaiterStructure::SyncMon && !self.l2.is_monitored(rec.cond.addr) {
+                report(
+                    InvariantKind::MonitorSupersetHole,
+                    format!(
+                        "WG {wg} cached in the SyncMon for {:#x} but the monitored bit is clear",
+                        rec.cond.addr
+                    ),
+                );
+            }
+        }
+
+        // -- Reachability: every waiter has some wake path -----------------
+        let mut pending_rescue: HashSet<(WgId, u64)> = HashSet::new();
+        for (_, ev) in self.events.iter() {
+            if let Event::WakeDeliver(wg, token) | Event::WaitTimeout(wg, token) = *ev {
+                pending_rescue.insert((wg, token));
+            }
+        }
+        for w in &self.wgs {
+            if !matches!(w.state, WgState::Stalled | WgState::SwappedWaiting) {
+                continue;
+            }
+            if w.woke || registered.contains(&w.id) || pending_rescue.contains(&(w.id, w.token)) {
+                continue;
+            }
+            report(
+                InvariantKind::UnreachableWaiter,
+                format!(
+                    "WG {} waiting in state {:?} on {:?} with no registration, no pending wake \
+                     or timeout, and no landed wake",
+                    w.id, w.state, w.cond
+                ),
+            );
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Kernel;
+    use crate::config::WgResources;
+    use crate::policy::{BusyWaitPolicy, SyncCond};
+    use crate::GpuConfig;
+    use awg_isa::ProgramBuilder;
+
+    fn mini_gpu(num_wgs: u64) -> Gpu {
+        let mut b = ProgramBuilder::new("oracle");
+        b.compute(50);
+        b.halt();
+        let kernel = Kernel::new(b.build().unwrap(), num_wgs, WgResources::default());
+        Gpu::new(
+            GpuConfig::isca2020_baseline(),
+            kernel,
+            Box::new(BusyWaitPolicy::new()),
+        )
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut gpu = mini_gpu(4);
+        gpu.enable_invariant_oracle();
+        let outcome = gpu.run();
+        assert!(outcome.is_completed(), "{outcome:?}");
+        assert!(gpu.violations().is_empty(), "{:?}", gpu.violations());
+    }
+
+    #[test]
+    fn tampered_waiter_is_unreachable() {
+        let mut gpu = mini_gpu(2);
+        assert!(gpu.run().is_completed());
+        // Forge a waiter the scheduler has forgotten about: stalled, with a
+        // condition, but no registration, event, or landed wake.
+        gpu.wgs[0].state = WgState::Stalled;
+        gpu.wgs[0].cond = Some(SyncCond {
+            addr: 4096,
+            expected: 1,
+        });
+        let kinds: Vec<InvariantKind> = gpu.check_invariants().iter().map(|v| v.kind).collect();
+        assert!(
+            kinds.contains(&InvariantKind::UnreachableWaiter),
+            "{kinds:?}"
+        );
+        assert!(kinds.contains(&InvariantKind::WgAccounting), "{kinds:?}");
+    }
+
+    #[test]
+    fn tampered_residency_is_caught() {
+        let mut gpu = mini_gpu(2);
+        assert!(gpu.run().is_completed());
+        // Re-admit a finished WG behind the scheduler's back.
+        let req = gpu.kernel.resources;
+        gpu.cus[0].admit(0, &req);
+        let kinds: Vec<InvariantKind> = gpu.check_invariants().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&InvariantKind::CuResidency), "{kinds:?}");
+    }
+
+    #[test]
+    fn violation_renders_with_cycle_and_kind() {
+        let v = InvariantViolation {
+            at: 7,
+            kind: InvariantKind::CuAccounting,
+            detail: "CU 0 resource leak".into(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("cycle 7"), "{text}");
+        assert!(text.contains("CuAccounting"), "{text}");
+    }
+}

@@ -155,6 +155,33 @@ pub enum PolicyFault {
     },
 }
 
+/// Which wait structure holds a registered waiter.
+///
+/// The invariant oracle uses this to prove the superset property: every
+/// waiting WG must be reachable by *some* wake path — a SyncMon entry, a
+/// spilled Monitor Log record, a policy-private queue, or (failing all of
+/// those) a pending fallback timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaiterStructure {
+    /// Cached in the SyncMon condition table; the waiter's address must
+    /// still carry its L2 monitored bit or updates cannot notify it.
+    SyncMon,
+    /// Spilled to the Monitor Log; the CP's periodic tick rescues it.
+    MonitorLog,
+    /// Held in a policy-private software structure serviced by the CP.
+    PolicyLocal,
+}
+
+/// One entry of a policy's waiter registry: which condition a WG waits on
+/// and which structure is responsible for waking it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaiterRecord {
+    /// The condition the WG is parked on.
+    pub cond: SyncCond,
+    /// The structure that will deliver its wake.
+    pub structure: WaiterStructure,
+}
+
 /// A point-in-time view of one live monitor (SyncMon) condition entry,
 /// exported for forensic hang reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,6 +292,15 @@ pub trait SchedPolicy {
     /// forensic hang reports. Policies without monitor hardware return
     /// nothing.
     fn monitor_snapshot(&self) -> Vec<MonitorEntrySnapshot> {
+        Vec::new()
+    }
+
+    /// Every waiter this policy currently holds a registration for, sorted
+    /// by WG id, exactly one record per WG. The invariant oracle cross
+    /// checks this against machine state (no waiter registered twice, no
+    /// waiting WG unreachable by every wake path). Policies whose waiters
+    /// are rescued purely by machine-level timeouts return nothing.
+    fn waiter_registry(&self) -> Vec<(WgId, WaiterRecord)> {
         Vec::new()
     }
 

@@ -7,8 +7,13 @@
 //! commands:
 //!   table1 table2 fig5 fig7 fig8 fig9 fig11 fig13 fig14 fig15
 //!   ablations fairness  extension studies beyond the paper's figures
-//!   chaos             differential clean-vs-faulted matrix (exits non-zero
-//!                     if any forward-progress invariant is violated)
+//!   chaos             differential clean-vs-faulted matrix with the
+//!                     invariant oracle on (exits 1 on any violation)
+//!   shrink <bench> <policy> <seed> [--plan FILE]
+//!                     delta-debug the seeded chaos plan of a hanging
+//!                     triple down to a minimal JSON reproducer
+//!   replay <plan.json> <bench> <policy>
+//!                     re-run a saved reproducer (exit 3 = still hangs)
 //!   trace [policy]    Fig 6-style timeline (policy: baseline|timeout|
 //!                     monrs|monr|monnr-all|monnr-one|awg|minresume)
 //!   asm <file.s> [--policy P] [--wgs N]
@@ -18,27 +23,49 @@
 //! options:
 //!   --quick           scaled-down machine (2 CUs, 20 WGs) for smoke runs
 //!   --out DIR         also write each report as CSV into DIR
+//!
+//! exit codes:
+//!   0 success   1 I/O or chaos/validation failure   2 usage error
+//!   3 hang (deadlock or aborted run)   4 invariant violation
+//!   5 fault-plan parse error
 //! ```
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use awg_core::policies::PolicyKind;
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::FaultPlan;
 use awg_harness::{
     ablations, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority,
-    sweep, table1, table2, tracefig, Report, Scale,
+    run::{run_instrumented, ExperimentConfig, Instrumentation},
+    shrink, sweep, table1, table2, tracefig, Report, Scale,
 };
+use awg_workloads::BenchmarkKind;
 
-fn usage() -> ! {
+const EXIT_FAIL: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_HANG: u8 = 3;
+const EXIT_INVARIANT: u8 = 4;
+const EXIT_PLAN: u8 = 5;
+
+fn print_usage() {
     eprintln!(
         "usage: awg-repro [--quick] [--out DIR] \
-         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|trace [policy]|asm <file.s>|all>"
+         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos\
+         |shrink <bench> <policy> <seed> [--plan FILE]\
+         |replay <plan.json> <bench> <policy>\
+         |trace [policy]|asm <file.s>|all>"
     );
-    std::process::exit(2);
 }
 
-fn parse_policy(name: &str) -> PolicyKind {
-    match name {
+fn usage() -> ExitCode {
+    print_usage();
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, ExitCode> {
+    Ok(match name {
         "baseline" => PolicyKind::Baseline,
         "sleep" => PolicyKind::Sleep,
         "timeout" => PolicyKind::Timeout,
@@ -50,26 +77,52 @@ fn parse_policy(name: &str) -> PolicyKind {
         "minresume" => PolicyKind::MinResume,
         other => {
             eprintln!("unknown policy '{other}'");
-            usage()
+            return Err(usage());
         }
-    }
+    })
+}
+
+/// Accepts a Table 2 abbreviation (`TB_LG`, `spm_g`, …) case-insensitively.
+fn parse_benchmark(name: &str) -> Result<BenchmarkKind, ExitCode> {
+    BenchmarkKind::all()
+        .into_iter()
+        .find(|k| k.abbreviation().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = BenchmarkKind::all()
+                .into_iter()
+                .map(|k| k.abbreviation())
+                .collect();
+            eprintln!("unknown benchmark '{name}'; one of: {}", names.join(" "));
+            usage()
+        })
 }
 
 /// Assembles and runs a user kernel on the simulator under `policy`.
-fn run_asm(path: &str, policy: PolicyKind, wgs: u64, scale: &Scale) {
-    use awg_core::policies::build_policy;
+fn run_asm(path: &str, policy: PolicyKind, wgs: u64, scale: &Scale) -> ExitCode {
     use awg_gpu::{Gpu, Kernel, RunOutcome, WgResources};
 
-    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read '{path}': {e}");
-        std::process::exit(1);
-    });
-    let program = awg_isa::assemble(&source, path).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(1);
-    });
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
+    let program = match awg_isa::assemble(&source, path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
     println!("{}", program.disassemble());
-    let kernel = Kernel::new(program, wgs, WgResources::default());
+    let kernel = match Kernel::try_new(program, wgs, WgResources::default()) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
     let mut gpu = Gpu::new(scale.gpu.clone(), kernel, build_policy(policy));
     match gpu.run() {
         RunOutcome::Completed(s) => {
@@ -86,29 +139,132 @@ fn run_asm(path: &str, policy: PolicyKind, wgs: u64, scale: &Scale) {
             if words.len() > 32 {
                 println!("  ... {} more", words.len() - 32);
             }
+            ExitCode::SUCCESS
         }
         aborted => {
             eprintln!("{aborted}");
             if let Some(hang) = aborted.hang_report() {
                 eprintln!("{hang}");
             }
-            std::process::exit(3);
+            ExitCode::from(EXIT_HANG)
         }
     }
 }
 
-fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) {
-    println!("{}", report.to_markdown());
-    if let Some(dir) = out {
-        std::fs::create_dir_all(dir).expect("create output directory");
-        let path = dir.join(format!("{slug}.csv"));
-        let mut f = std::fs::File::create(&path).expect("create CSV");
-        f.write_all(report.to_csv().as_bytes()).expect("write CSV");
-        eprintln!("wrote {}", path.display());
+/// Minimizes the seeded chaos plan of a hanging triple and writes the
+/// reproducer JSON to `--plan FILE` (or stdout).
+fn run_shrink(
+    bench: BenchmarkKind,
+    policy: PolicyKind,
+    seed: u64,
+    plan_out: Option<PathBuf>,
+    scale: &Scale,
+) -> ExitCode {
+    let res = match shrink::shrink(bench, policy, scale, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("shrink: {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
+    eprintln!(
+        "shrink {}/{} seed {seed}: {} fault(s) -> {} (in {} runs)",
+        bench.abbreviation(),
+        policy.label(),
+        res.original.events.len(),
+        res.minimized.events.len(),
+        res.runs
+    );
+    let json = res.minimized.to_json();
+    match plan_out {
+        Some(path) => match std::fs::write(&path, &json) {
+            Ok(()) => {
+                eprintln!("wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write '{}': {e}", path.display());
+                ExitCode::from(EXIT_FAIL)
+            }
+        },
+        None => {
+            print!("{json}");
+            ExitCode::SUCCESS
+        }
     }
 }
 
-fn main() {
+/// Replays a saved reproducer with the oracle on. Exit 3 means the plan
+/// still hangs the triple (a shrunk reproducer is *expected* to exit 3).
+fn run_replay(path: &str, bench: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read '{path}': {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
+    let plan = match FaultPlan::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: fault plan parse error: {e}");
+            return ExitCode::from(EXIT_PLAN);
+        }
+    };
+    eprintln!(
+        "replaying {} fault(s) against {}/{}",
+        plan.events.len(),
+        bench.abbreviation(),
+        policy.label()
+    );
+    let r = run_instrumented(
+        bench,
+        policy,
+        build_policy(policy),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        Some(plan),
+        Instrumentation::checked(),
+    );
+    if !r.violations.is_empty() {
+        eprintln!("{} invariant violation(s):", r.violations.len());
+        for v in &r.violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::from(EXIT_INVARIANT);
+    }
+    if r.is_valid_completion() {
+        println!("completed and validated: {}", r.outcome);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("reproduced: {} / {:?}", r.outcome, r.validated);
+        if let Some(hang) = r.outcome.hang_report() {
+            eprintln!("{hang}");
+        }
+        ExitCode::from(EXIT_HANG)
+    }
+}
+
+fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) -> Result<(), ExitCode> {
+    println!("{}", report.to_markdown());
+    if let Some(dir) = out {
+        let io_fail = |what: &str, e: std::io::Error| {
+            eprintln!("cannot {what}: {e}");
+            ExitCode::from(EXIT_FAIL)
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io_fail(&format!("create '{}'", dir.display()), e))?;
+        let path = dir.join(format!("{slug}.csv"));
+        let mut f = std::fs::File::create(&path)
+            .map_err(|e| io_fail(&format!("create CSV '{}'", path.display()), e))?;
+        f.write_all(report.to_csv().as_bytes())
+            .map_err(|e| io_fail(&format!("write CSV '{}'", path.display()), e))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
@@ -122,7 +278,7 @@ fn main() {
             "--out" => {
                 args.remove(i);
                 if i >= args.len() {
-                    usage();
+                    return usage();
                 }
                 out = Some(PathBuf::from(args.remove(i)));
             }
@@ -135,7 +291,9 @@ fn main() {
         Scale::paper()
     };
     let Some(command) = args.first().map(String::as_str) else {
-        usage()
+        // Bare invocation is a help request, not a usage error.
+        print_usage();
+        return ExitCode::SUCCESS;
     };
 
     type Runner = fn(&Scale) -> Report;
@@ -161,30 +319,87 @@ fn main() {
             for (slug, runner) in all {
                 let t0 = std::time::Instant::now();
                 let report = runner(&scale);
-                emit(&report, &out, slug);
+                if let Err(code) = emit(&report, &out, slug) {
+                    return code;
+                }
                 eprintln!("[{slug}] {:.2?}", t0.elapsed());
             }
+            ExitCode::SUCCESS
         }
         "chaos" => {
             let (report, violations) = chaos::run_checked(&scale, &chaos::DEFAULT_SEEDS);
-            emit(&report, &out, "chaos");
+            if let Err(code) = emit(&report, &out, "chaos") {
+                return code;
+            }
             if violations > 0 {
                 eprintln!("chaos: {violations} invariant violation(s)");
-                std::process::exit(1);
+                return ExitCode::from(EXIT_FAIL);
             }
+            ExitCode::SUCCESS
+        }
+        "shrink" => {
+            // awg-repro shrink <bench> <policy> <seed> [--plan FILE]
+            let (Some(bench), Some(policy), Some(seed)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                return usage();
+            };
+            let bench = match parse_benchmark(bench) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            let policy = match parse_policy(policy) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let Ok(seed) = seed.parse::<u64>() else {
+                eprintln!("seed must be an unsigned integer, got '{seed}'");
+                return usage();
+            };
+            let mut plan_out = None;
+            match args.get(4).map(String::as_str) {
+                Some("--plan") => match args.get(5) {
+                    Some(p) => plan_out = Some(PathBuf::from(p)),
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+                None => {}
+            }
+            run_shrink(bench, policy, seed, plan_out, &scale)
+        }
+        "replay" => {
+            // awg-repro replay <plan.json> <bench> <policy>
+            let (Some(path), Some(bench), Some(policy)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                return usage();
+            };
+            let bench = match parse_benchmark(bench) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            let policy = match parse_policy(policy) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            run_replay(&path.clone(), bench, policy, &scale)
         }
         "trace" => {
-            let policy = args
-                .get(1)
-                .map(|s| parse_policy(s))
-                .unwrap_or(PolicyKind::Awg);
+            let policy = match args.get(1) {
+                Some(s) => match parse_policy(s) {
+                    Ok(p) => p,
+                    Err(code) => return code,
+                },
+                None => PolicyKind::Awg,
+            };
             println!("{}", tracefig::gantt_for(&scale, policy));
-            emit(&tracefig::run_policy(&scale, policy), &out, "trace");
+            match emit(&tracefig::run_policy(&scale, policy), &out, "trace") {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(code) => code,
+            }
         }
         "asm" => {
             // awg-repro asm <file.s> [--policy P] [--wgs N]
             let Some(path) = args.get(1).cloned() else {
-                usage()
+                return usage();
             };
             let mut policy = PolicyKind::Awg;
             let mut wgs: u64 = 16;
@@ -193,23 +408,29 @@ fn main() {
                 match args[i].as_str() {
                     "--policy" => {
                         i += 1;
-                        policy = parse_policy(args.get(i).map(String::as_str).unwrap_or(""));
+                        policy = match parse_policy(args.get(i).map(String::as_str).unwrap_or("")) {
+                            Ok(p) => p,
+                            Err(code) => return code,
+                        };
                     }
                     "--wgs" => {
                         i += 1;
-                        wgs = args
-                            .get(i)
-                            .and_then(|s| s.parse().ok())
-                            .unwrap_or_else(|| usage());
+                        wgs = match args.get(i).and_then(|s| s.parse().ok()) {
+                            Some(n) => n,
+                            None => return usage(),
+                        };
                     }
-                    _ => usage(),
+                    _ => return usage(),
                 }
                 i += 1;
             }
-            run_asm(&path, policy, wgs, &scale);
+            run_asm(&path, policy, wgs, &scale)
         }
         name => match all.iter().find(|(slug, _)| *slug == name) {
-            Some((slug, runner)) => emit(&runner(&scale), &out, slug),
+            Some((slug, runner)) => match emit(&runner(&scale), &out, slug) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(code) => code,
+            },
             None => usage(),
         },
     }

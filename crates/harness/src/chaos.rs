@@ -15,9 +15,10 @@
 
 use awg_core::policies::{build_policy, PolicyKind};
 use awg_gpu::{FaultPlan, FaultPlanConfig};
+use awg_sim::first_divergence;
 use awg_workloads::BenchmarkKind;
 
-use crate::run::{run_experiment, run_with_policy_under_plan, ExpResult, ExperimentConfig};
+use crate::run::{run_instrumented, ExpResult, ExperimentConfig, Instrumentation, DIGEST_WINDOW};
 use crate::{Cell, Report, Row, Scale};
 
 /// The default seeds of the chaos matrix (CI and the `chaos` subcommand).
@@ -60,15 +61,17 @@ pub fn plan_for(policy: PolicyKind, scale: &Scale, seed: u64) -> FaultPlan {
     FaultPlan::generate(seed, &cfg)
 }
 
-/// Runs `kind` under `policy` with the seeded fault plan installed.
+/// Runs `kind` under `policy` with the seeded fault plan installed, the
+/// invariant oracle on, and a per-window digest trail recorded.
 pub fn run_faulted(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale, seed: u64) -> ExpResult {
-    run_with_policy_under_plan(
+    run_instrumented(
         kind,
         policy,
         build_policy(policy),
         scale,
         ExperimentConfig::NonOversubscribed,
         Some(plan_for(policy, scale, seed)),
+        Instrumentation::checked(),
     )
 }
 
@@ -106,10 +109,33 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
     };
     let mut violations = 0usize;
 
+    // Any oracle finding is an invariant violation in its own right,
+    // independent of whether the run still completed.
+    let oracle_check = |report: &mut Report, label: &str, r: &ExpResult| -> usize {
+        if r.violations.is_empty() {
+            return 0;
+        }
+        report.note(format!(
+            "{label}: ORACLE: {} invariant violation(s), first: {}",
+            r.violations.len(),
+            r.violations[0]
+        ));
+        1
+    };
+
     for kind in benchmarks() {
         for policy in policies() {
             let label = format!("{}/{}", kind.abbreviation(), policy.label());
-            let clean = run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed);
+            let clean = run_instrumented(
+                kind,
+                policy,
+                build_policy(policy),
+                scale,
+                ExperimentConfig::NonOversubscribed,
+                None,
+                Instrumentation::checked(),
+            );
+            violations += oracle_check(&mut report, &label, &clean);
             let mut cells = Vec::new();
             if clean.is_valid_completion() {
                 cells.push(Cell::Num(clean.cycles().unwrap() as f64));
@@ -126,11 +152,26 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
             for &seed in seeds {
                 let a = run_faulted(kind, policy, scale, seed);
                 let b = run_faulted(kind, policy, scale, seed);
-                if fingerprint(&a) != fingerprint(&b) {
+                violations += oracle_check(&mut report, &format!("{label} seed {seed}"), &a);
+                if fingerprint(&a) != fingerprint(&b) || a.digest_trail != b.digest_trail {
                     deterministic = false;
                     violations += 1;
+                    let window = first_divergence(&a.digest_trail, &b.digest_trail);
+                    let locus = match window {
+                        Some(w) => format!(
+                            "first divergent window {w} (cycles {}..{})",
+                            w as u64 * DIGEST_WINDOW,
+                            (w as u64 + 1) * DIGEST_WINDOW
+                        ),
+                        None => format!(
+                            "digest trails agree on their common prefix \
+                             ({} vs {} windows); runs diverged after the shorter trail ended",
+                            a.digest_trail.len(),
+                            b.digest_trail.len()
+                        ),
+                    };
                     report.note(format!(
-                        "{label} seed {seed}: same seed, divergent runs ({} vs {})",
+                        "{label} seed {seed}: same seed, divergent runs ({} vs {}); {locus}",
                         a.outcome, b.outcome
                     ));
                 }
@@ -168,12 +209,16 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
     // the watchdog must say who is stuck and on which address. TreeBarrier
     // guarantees resident waiters: the surviving CU's WGs spin on barrier
     // flags the stranded WGs will never set.
-    let baseline = run_experiment(
+    let baseline = run_instrumented(
         BenchmarkKind::TreeBarrier,
         PolicyKind::Baseline,
+        build_policy(PolicyKind::Baseline),
         scale,
         ExperimentConfig::Oversubscribed,
+        None,
+        Instrumentation::checked(),
     );
+    violations += oracle_check(&mut report, "control arm Baseline/TB_LG", &baseline);
     let forensic = baseline
         .outcome
         .hang_report()
@@ -233,6 +278,16 @@ mod tests {
             fingerprint(&a),
             fingerprint(&b),
             "same seed must be bit-identical"
+        );
+        assert!(!a.digest_trail.is_empty(), "checked runs record digests");
+        assert_eq!(
+            a.digest_trail, b.digest_trail,
+            "same seed must digest identically window by window"
+        );
+        assert!(
+            a.violations.is_empty(),
+            "oracle must stay quiet on a passing run: {:?}",
+            a.violations
         );
     }
 }

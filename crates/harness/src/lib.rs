@@ -33,6 +33,7 @@ pub mod priority;
 pub mod report;
 pub mod run;
 pub mod scale;
+pub mod shrink;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
@@ -40,7 +41,8 @@ pub mod tracefig;
 
 pub use report::{Cell, Report, Row};
 pub use run::{
-    geomean, run_experiment, run_with_policy, run_with_policy_under_plan, ExpResult,
-    ExperimentConfig,
+    geomean, run_experiment, run_instrumented, run_with_policy, run_with_policy_under_plan,
+    ExpResult, ExperimentConfig, Instrumentation, DIGEST_WINDOW,
 };
 pub use scale::Scale;
+pub use shrink::{shrink, still_hangs, ShrinkResult};

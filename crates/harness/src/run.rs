@@ -1,11 +1,42 @@
 //! The experiment runner: one benchmark × one policy × one scenario.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{FaultPlan, Gpu, RunOutcome};
+use awg_gpu::{FaultPlan, Gpu, InvariantViolation, RunOutcome};
 use awg_sim::Cycle;
 use awg_workloads::BenchmarkKind;
 
 use crate::scale::Scale;
+
+/// Self-checking knobs for a run: the invariant oracle and the per-window
+/// state-digest trail. [`Instrumentation::none`] is the plain timing run;
+/// the chaos harness runs everything under [`Instrumentation::checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Instrumentation {
+    /// Validate machine-wide invariants at every scheduling event.
+    pub oracle: bool,
+    /// Record a state digest every this-many cycles (for same-seed
+    /// divergence localization).
+    pub digest_window: Option<Cycle>,
+}
+
+/// The digest window the chaos harness records at: fine enough to pin a
+/// divergence to a few scheduling events, coarse enough to stay cheap.
+pub const DIGEST_WINDOW: Cycle = 5_000;
+
+impl Instrumentation {
+    /// No self-checking (the plain timing configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Oracle on, digests every [`DIGEST_WINDOW`] cycles.
+    pub fn checked() -> Self {
+        Instrumentation {
+            oracle: true,
+            digest_window: Some(DIGEST_WINDOW),
+        }
+    }
+}
 
 /// A scenario: constant resources, or the §VI mid-kernel resource loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +63,11 @@ pub struct ExpResult {
     pub validated: Result<(), String>,
     /// Per-WG `(running, waiting)` cycles at the end of the run.
     pub wg_breakdown: Vec<(u64, u64)>,
+    /// Invariant violations the oracle recorded (empty when the oracle was
+    /// off — or when the machine really is self-consistent).
+    pub violations: Vec<InvariantViolation>,
+    /// Per-window state digests (empty unless a digest window was set).
+    pub digest_trail: Vec<u64>,
 }
 
 impl ExpResult {
@@ -101,6 +137,28 @@ pub fn run_with_policy_under_plan(
     config: ExperimentConfig,
     plan: Option<FaultPlan>,
 ) -> ExpResult {
+    run_instrumented(
+        kind,
+        label,
+        policy_box,
+        scale,
+        config,
+        plan,
+        Instrumentation::none(),
+    )
+}
+
+/// The fully-general runner: scenario, optional fault plan, and
+/// self-checking instrumentation.
+pub fn run_instrumented(
+    kind: BenchmarkKind,
+    label: PolicyKind,
+    policy_box: Box<dyn awg_gpu::SchedPolicy>,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+    instr: Instrumentation,
+) -> ExpResult {
     let mut params = scale.params;
     params.iterations = params.iterations.saturating_mul(kind.episode_weight());
     let built = kind.build(&params, policy_box.style());
@@ -112,6 +170,12 @@ pub fn run_with_policy_under_plan(
     if let Some(plan) = plan {
         gpu.install_fault_plan(plan);
     }
+    if instr.oracle {
+        gpu.enable_invariant_oracle();
+    }
+    if let Some(window) = instr.digest_window {
+        gpu.enable_digest_trail(window);
+    }
     let outcome = gpu.run();
     let validated = built.validate(gpu.backing());
     ExpResult {
@@ -120,6 +184,8 @@ pub fn run_with_policy_under_plan(
         outcome,
         validated,
         wg_breakdown: gpu.wg_breakdown(),
+        violations: gpu.violations().to_vec(),
+        digest_trail: gpu.digest_trail().to_vec(),
     }
 }
 

@@ -1,0 +1,364 @@
+//! Delta-debugging shrinker for hanging chaos reproducers.
+//!
+//! Given a `(benchmark, policy, seed)` triple whose seeded [`FaultPlan`]
+//! hangs the simulator, [`shrink`] minimizes the plan while preserving the
+//! hang: first ddmin over *fault atoms* (a CU unplug travels with its
+//! replug; every other event stands alone), then per-event window
+//! narrowing (halve a chaos window or a CU outage while the hang
+//! survives). The result is the smallest replayable JSON reproducer this
+//! process can certify — every removal and narrowing was re-validated by
+//! an actual run.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use crate::Scale;
+
+/// A fault atom: the unit ddmin removes. CU flaps pair an unplug with its
+/// replug so partial plans never strand a CU disabled forever by accident
+/// of deletion order (a loss-only plan is still reachable — by removing
+/// the *pair* and keeping a different one, or when the minimal hang truly
+/// needs an unplug with no recovery, via outage narrowing).
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A CuLoss with its matching CuRestore.
+    Flap(FaultEvent, FaultEvent),
+    /// Any other single event (including an unpaired loss or restore in a
+    /// hand-written plan).
+    Single(FaultEvent),
+}
+
+impl Atom {
+    fn events(&self) -> Vec<FaultEvent> {
+        match self {
+            Atom::Flap(loss, restore) => vec![*loss, *restore],
+            Atom::Single(e) => vec![*e],
+        }
+    }
+}
+
+/// Pairs each CuLoss with the next CuRestore of the same CU; everything
+/// else becomes a single-event atom.
+fn atomize(plan: &FaultPlan) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut consumed = vec![false; plan.events.len()];
+    for (i, e) in plan.events.iter().enumerate() {
+        if consumed[i] {
+            continue;
+        }
+        if let FaultKind::CuLoss { cu } = e.kind {
+            let restore = plan.events.iter().enumerate().skip(i + 1).find(|(j, r)| {
+                !consumed[*j] && matches!(r.kind, FaultKind::CuRestore { cu: rcu } if rcu == cu)
+            });
+            if let Some((j, r)) = restore {
+                consumed[j] = true;
+                atoms.push(Atom::Flap(*e, *r));
+                continue;
+            }
+        }
+        atoms.push(Atom::Single(*e));
+    }
+    atoms
+}
+
+fn assemble(seed: u64, atoms: &[Atom]) -> FaultPlan {
+    let mut events: Vec<FaultEvent> = atoms.iter().flat_map(Atom::events).collect();
+    events.sort_by_key(|e| e.at);
+    FaultPlan { seed, events }
+}
+
+/// How one shrink run went.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The benchmark of the reproducer.
+    pub kind: BenchmarkKind,
+    /// The policy of the reproducer.
+    pub policy: PolicyKind,
+    /// The full generated plan the shrink started from.
+    pub original: FaultPlan,
+    /// The minimized plan (still hangs).
+    pub minimized: FaultPlan,
+    /// Simulator runs spent shrinking.
+    pub runs: usize,
+}
+
+/// Whether `plan` still hangs `kind`×`policy` at `scale`: the run must
+/// fail to reach a validated completion (deadlock, livelock abort, or a
+/// completion with corrupted memory all count as reproducing the defect).
+pub fn still_hangs(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    plan: &FaultPlan,
+) -> bool {
+    let r = run_instrumented(
+        kind,
+        policy,
+        build_policy(policy),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        Some(plan.clone()),
+        Instrumentation::none(),
+    );
+    !r.is_valid_completion()
+}
+
+/// The full chaos plan `shrink` starts from: the standard mix (CU loss
+/// included — shrink targets exactly the hangs the matrix's
+/// resident-safety guard exists to avoid), anchored to the scale's
+/// mid-run marker like the chaos matrix.
+pub fn full_plan(scale: &Scale, seed: u64) -> FaultPlan {
+    let mut cfg = FaultPlanConfig::standard(scale.gpu.num_cus);
+    cfg.start = scale.resource_loss_at / 3;
+    cfg.horizon = scale.resource_loss_at * 6;
+    FaultPlan::generate(seed, &cfg)
+}
+
+/// Minimizes the seeded plan for a hanging triple.
+///
+/// # Errors
+///
+/// Refuses to shrink when the hang is not actually fault-induced: the
+/// clean (fault-free) run must complete and the full plan must hang.
+pub fn shrink(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    seed: u64,
+) -> Result<ShrinkResult, String> {
+    let original = full_plan(scale, seed);
+    let mut runs = 0usize;
+    let mut check = |plan: &FaultPlan| {
+        runs += 1;
+        still_hangs(kind, policy, scale, plan)
+    };
+
+    if check(&FaultPlan::empty(seed)) {
+        return Err(format!(
+            "{}/{} hangs with no faults at all — nothing to shrink; \
+             this is a plain (non-chaos) failure",
+            kind.abbreviation(),
+            policy.label()
+        ));
+    }
+    if !check(&original) {
+        return Err(format!(
+            "{}/{} seed {seed}: the full fault plan does not hang — \
+             nothing to reproduce",
+            kind.abbreviation(),
+            policy.label()
+        ));
+    }
+
+    // Phase 1: ddmin over atoms.
+    let mut atoms = atomize(&original);
+    let mut granularity = 2usize;
+    while atoms.len() >= 2 {
+        let chunk = atoms.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < atoms.len() {
+            let end = (start + chunk).min(atoms.len());
+            let complement: Vec<Atom> = atoms[..start]
+                .iter()
+                .chain(atoms[end..].iter())
+                .cloned()
+                .collect();
+            if !complement.is_empty() && check(&assemble(seed, &complement)) {
+                atoms = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if granularity >= atoms.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(atoms.len());
+        }
+    }
+
+    // Phase 2: narrow windows and outages by halving while the hang holds.
+    let mut events: Vec<FaultEvent> = assemble(seed, &atoms).events;
+    for i in 0..events.len() {
+        while let Some(candidate) = halve_extent(&events, i) {
+            runs += 1;
+            if still_hangs(kind, policy, scale, &candidate) {
+                events = candidate.events;
+            } else {
+                break;
+            }
+        }
+    }
+
+    Ok(ShrinkResult {
+        kind,
+        policy,
+        original,
+        minimized: FaultPlan { seed, events },
+        runs,
+    })
+}
+
+/// A copy of the plan with event `i`'s temporal extent halved: chaos
+/// windows shrink in place; a CU outage halves by pulling the matching
+/// restore closer to its loss. Returns `None` when event `i` has no
+/// extent left to narrow.
+fn halve_extent(events: &[FaultEvent], i: usize) -> Option<FaultPlan> {
+    let mut out = events.to_vec();
+    match out[i].kind {
+        FaultKind::WakeChaos { mode, window } if window >= 2 => {
+            out[i].kind = FaultKind::WakeChaos {
+                mode,
+                window: window / 2,
+            };
+        }
+        FaultKind::CtxStall { extra, window } if window >= 2 => {
+            out[i].kind = FaultKind::CtxStall {
+                extra,
+                window: window / 2,
+            };
+        }
+        FaultKind::CuLoss { cu } => {
+            let at = out[i].at;
+            let (j, restore) = events
+                .iter()
+                .enumerate()
+                .find(|(j, r)| {
+                    *j > i && matches!(r.kind, FaultKind::CuRestore { cu: rcu } if rcu == cu)
+                })
+                .map(|(j, r)| (j, *r))?;
+            let outage = restore.at - at;
+            if outage < 2 {
+                return None;
+            }
+            out[j].at = at + outage / 2;
+            out.sort_by_key(|e| e.at);
+        }
+        _ => return None,
+    }
+    Some(FaultPlan {
+        seed: 0, // the caller re-stamps; extents carry no seed
+        events: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: FaultKind) -> FaultEvent {
+        FaultEvent { at, kind }
+    }
+
+    #[test]
+    fn atoms_pair_flaps_and_reassemble_sorted() {
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![
+                ev(10, FaultKind::CuLoss { cu: 0 }),
+                ev(
+                    20,
+                    FaultKind::CtxStall {
+                        extra: 5,
+                        window: 100,
+                    },
+                ),
+                ev(30, FaultKind::CuRestore { cu: 0 }),
+            ],
+        };
+        let atoms = atomize(&plan);
+        assert_eq!(atoms.len(), 2);
+        assert!(matches!(&atoms[0], Atom::Flap(l, r)
+            if l.at == 10 && r.at == 30));
+        let back = assemble(1, &atoms);
+        assert_eq!(back.events, plan.events, "reassembly preserves order");
+    }
+
+    #[test]
+    fn unpaired_restore_survives_as_single() {
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![ev(10, FaultKind::CuRestore { cu: 3 })],
+        };
+        let atoms = atomize(&plan);
+        assert_eq!(atoms.len(), 1);
+        assert!(matches!(atoms[0], Atom::Single(_)));
+    }
+
+    #[test]
+    fn halving_narrows_windows_and_outages() {
+        let events = vec![
+            ev(
+                0,
+                FaultKind::WakeChaos {
+                    mode: awg_gpu::WakeChaosMode::Drop,
+                    window: 1000,
+                },
+            ),
+            ev(100, FaultKind::CuLoss { cu: 0 }),
+            ev(900, FaultKind::CuRestore { cu: 0 }),
+        ];
+        let halved = halve_extent(&events, 0).expect("window halves");
+        assert!(matches!(
+            halved.events[0].kind,
+            FaultKind::WakeChaos { window: 500, .. }
+        ));
+        let halved = halve_extent(&events, 1).expect("outage halves");
+        let restore = halved
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::CuRestore { .. }))
+            .unwrap();
+        assert_eq!(restore.at, 500, "outage 800 → 400, restore at 100+400");
+        assert!(
+            halve_extent(&events, 2).is_none(),
+            "restores have no extent"
+        );
+    }
+
+    #[test]
+    fn shrink_refuses_non_hanging_triples() {
+        // AWG survives the standard plan, so there is nothing to shrink.
+        let err = shrink(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &Scale::quick(),
+            101,
+        )
+        .expect_err("AWG survives chaos");
+        assert!(err.contains("does not hang"), "{err}");
+    }
+
+    #[test]
+    fn shrink_minimizes_a_baseline_hang() {
+        // Baseline cannot reschedule preempted WGs: any surviving CuLoss
+        // strands residents, so the minimal plan is tiny and still hangs.
+        let scale = Scale::quick();
+        let res = shrink(
+            BenchmarkKind::TreeBarrier,
+            PolicyKind::Baseline,
+            &scale,
+            101,
+        )
+        .expect("Baseline hangs under CU loss");
+        assert!(
+            res.minimized.events.len() < res.original.events.len(),
+            "shrink must remove faults: {} vs {}",
+            res.minimized.events.len(),
+            res.original.events.len()
+        );
+        assert!(
+            still_hangs(res.kind, res.policy, &scale, &res.minimized),
+            "the minimized plan must still reproduce the hang"
+        );
+        // The reproducer round-trips through its JSON form.
+        let replayed = FaultPlan::from_json(&res.minimized.to_json()).unwrap();
+        assert_eq!(replayed, res.minimized);
+    }
+}

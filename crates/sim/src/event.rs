@@ -114,6 +114,14 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.seq
     }
+
+    /// Visits every pending event in unspecified order (heap order).
+    ///
+    /// This is an inspection aid for invariant checkers that need to answer
+    /// "is any event still scheduled for X?" without draining the queue.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &E)> {
+        self.heap.iter().map(|e| (e.key.0 .0, &e.event))
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -170,6 +178,18 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(1, 2);
         assert_eq!(q.scheduled_total(), before + 1);
+    }
+
+    #[test]
+    fn iter_sees_all_pending_without_draining() {
+        let mut q = EventQueue::new();
+        q.schedule(3, 'a');
+        q.schedule(1, 'b');
+        q.schedule(2, 'c');
+        let mut seen: Vec<_> = q.iter().map(|(c, &e)| (c, e)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 'b'), (2, 'c'), (3, 'a')]);
+        assert_eq!(q.len(), 3, "iteration must not consume events");
     }
 
     #[test]

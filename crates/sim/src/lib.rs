@@ -12,6 +12,8 @@
 //!   bit-identical simulations,
 //! * [`Ewma`] — the exponentially-weighted moving average used by AWG's
 //!   stall-time predictor (§IV.B of the paper),
+//! * [`Fingerprint64`] — an order-sensitive state hasher for the
+//!   machine-layer digests the determinism harness compares,
 //! * cycle/time conversion helpers for the paper's 2 GHz baseline clock.
 //!
 //! # Example
@@ -35,12 +37,14 @@
 
 pub mod event;
 pub mod ewma;
+pub mod fingerprint;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
 pub use ewma::Ewma;
+pub use fingerprint::{first_divergence, Fingerprint64};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{CounterId, DistId, HistId, Stats};
 pub use time::{cycles_to_ns, cycles_to_us, us_to_cycles, Cycle, BASELINE_CLOCK_GHZ};

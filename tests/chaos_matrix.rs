@@ -32,6 +32,38 @@ fn different_seeds_produce_different_adversity() {
 }
 
 #[test]
+fn faulted_runs_carry_oracle_and_digest_instrumentation() {
+    let scale = Scale::quick();
+    let a = chaos::run_faulted(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::MonNrAll,
+        &scale,
+        101,
+    );
+    let b = chaos::run_faulted(
+        BenchmarkKind::TreeBarrier,
+        PolicyKind::MonNrAll,
+        &scale,
+        101,
+    );
+    assert!(
+        a.violations.is_empty(),
+        "the invariant oracle found violations on a passing run: {:?}",
+        a.violations
+    );
+    assert!(
+        !a.digest_trail.is_empty(),
+        "chaos runs must record per-window state digests"
+    );
+    assert_eq!(
+        awg_sim::first_divergence(&a.digest_trail, &b.digest_trail),
+        None,
+        "same-seed pair must agree in every digest window"
+    );
+    assert_eq!(a.digest_trail.len(), b.digest_trail.len());
+}
+
+#[test]
 fn fault_plans_actually_engage_the_machine() {
     let scale = Scale::quick();
     let r = chaos::run_faulted(BenchmarkKind::FaMutexGlobal, PolicyKind::Awg, &scale, 202);

@@ -151,6 +151,80 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated fault plans are well-formed for arbitrary seeds and
+    /// machine sizes: sorted timeline, every replug preceded by an unplug
+    /// of the same CU, positive windows, in-range CUs — and the whole
+    /// timeline survives a JSON round trip.
+    #[test]
+    fn fault_plans_are_well_formed(seed in any::<u64>(), num_cus in 1usize..9) {
+        use awg_gpu::{FaultKind, FaultPlan, FaultPlanConfig, WakeChaosMode};
+        let cfg = FaultPlanConfig::standard(num_cus);
+        let plan = FaultPlan::generate(seed, &cfg);
+
+        prop_assert!(
+            plan.events.windows(2).all(|w| w[0].at <= w[1].at),
+            "timeline must be sorted"
+        );
+        let mut down: Vec<usize> = Vec::new();
+        for e in &plan.events {
+            // Losses land inside the injection window; a restore may trail
+            // its loss by up to the longest outage.
+            prop_assert!(
+                (cfg.start..=cfg.horizon + cfg.flap_max).contains(&e.at),
+                "{e:?} outside window"
+            );
+            match e.kind {
+                FaultKind::CuLoss { cu } => {
+                    prop_assert!(cu < num_cus, "CU {cu} out of range");
+                    down.push(cu);
+                }
+                FaultKind::CuRestore { cu } => {
+                    let pos = down.iter().position(|&c| c == cu);
+                    prop_assert!(pos.is_some(), "restore of CU {cu} without a prior loss");
+                    down.remove(pos.unwrap());
+                }
+                FaultKind::WakeChaos { mode, window } => {
+                    prop_assert!(window > 0, "empty wake window");
+                    if let WakeChaosMode::Delay(extra) = mode {
+                        prop_assert!(extra > 0, "zero-cycle delay");
+                    }
+                }
+                FaultKind::CtxStall { extra, window } => {
+                    prop_assert!(extra > 0 && window > 0, "degenerate ctx stall");
+                }
+                FaultKind::Policy(_) => {}
+            }
+        }
+        prop_assert!(down.is_empty(), "CUs still unplugged at the horizon: {down:?}");
+
+        let back = FaultPlan::from_json(&plan.to_json());
+        prop_assert_eq!(back.as_ref(), Ok(&plan), "JSON round trip");
+    }
+
+    /// Plan generation is a pure function of the seed, and resident-safe
+    /// plans never touch a CU while keeping the other fault classes.
+    #[test]
+    fn fault_plans_are_seed_deterministic_and_resident_safe(
+        seed in any::<u64>(),
+        num_cus in 1usize..9,
+    ) {
+        use awg_gpu::{FaultPlan, FaultPlanConfig};
+        let cfg = FaultPlanConfig::standard(num_cus);
+        prop_assert_eq!(
+            FaultPlan::generate(seed, &cfg),
+            FaultPlan::generate(seed, &cfg),
+            "same seed, same plan"
+        );
+
+        let safe = FaultPlan::generate(seed, &cfg.resident_safe());
+        prop_assert!(safe.max_cu().is_none(), "resident-safe plan unplugged a CU");
+        prop_assert!(!safe.events.is_empty(), "other fault classes must remain");
+    }
+}
+
 /// Strategy pieces for random-program generation.
 #[derive(Debug, Clone)]
 enum FuzzInst {

@@ -1,0 +1,99 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the criterion API its bench
+//! targets use: [`Criterion::bench_function`] with a [`Bencher::iter`]
+//! body, plus the builder calls the shared `bench_main_with_report!`
+//! macro issues. Measurements are plain wall-clock samples printed to
+//! stdout — enough to track figure-regeneration cost over time, with
+//! zero dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Benchmark driver. Mirrors `criterion::Criterion`'s builder calls.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints the mean wall-clock time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: f64 = b.samples.iter().sum();
+        println!(
+            "bench {name:<45} {:>12.1} us/iter ({n} samples)",
+            total / n as f64
+        );
+        self
+    }
+
+    /// No-op; per-benchmark lines were already printed.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, keeping its return value alive via
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_iterations() {
+        let mut c = Criterion::default().sample_size(7).configure_from_args();
+        let mut runs = 0;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 7);
+        c.final_summary();
+    }
+
+    #[test]
+    fn sample_size_never_zero() {
+        let mut c = Criterion::default().sample_size(0);
+        let mut runs = 0;
+        c.bench_function("clamped", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}
