@@ -156,9 +156,12 @@ impl SchedPolicy for AwgPolicy {
                         // Stall for the predicted met latency first; the
                         // timeout escalates to a context switch (§IV.B).
                         self.phases.insert(fail.wg, Phase::PredictStall);
+                        let predicted = self.predicted_stall(fail.cond.addr);
+                        let d = ctx.stats.dist("awg_predicted_stall_cycles");
+                        ctx.stats.sample(d, predicted);
                         WaitDirective::Wait {
                             release: false,
-                            timeout: Some(self.predicted_stall(fail.cond.addr)),
+                            timeout: Some(predicted),
                         }
                     } else {
                         self.phases.insert(fail.wg, Phase::Fallback);
@@ -194,7 +197,10 @@ impl SchedPolicy for AwgPolicy {
         let mut wakes = Vec::new();
         for cond in self.core.syncmon.conditions_met(update.addr, update.new) {
             if let Some(registered_at) = self.core.syncmon.registered_at(&cond) {
-                self.record_met_latency(update.addr, ctx.now.saturating_sub(registered_at));
+                let latency = ctx.now.saturating_sub(registered_at);
+                self.record_met_latency(update.addr, latency);
+                let h = ctx.stats.hist("awg_met_latency_cycles");
+                ctx.stats.observe(h, latency);
             }
             let waiters = self.core.syncmon.waiter_count(&cond);
             let resume_all = !self.predict_enabled || waiters <= 1 || unique > 2;

@@ -114,6 +114,10 @@ impl MonitorCore {
             self.tracked.remove(&wg);
         }
         self.wakes_issued += wgs.len() as u64;
+        if !wgs.is_empty() {
+            let h = ctx.stats.hist("monitor_wake_batch_size");
+            ctx.stats.observe(h, wgs.len() as u64);
+        }
         if !self.syncmon.addr_has_conditions(cond.addr) {
             ctx.l2.clear_monitored(cond.addr);
         }

@@ -113,6 +113,11 @@ impl Cu {
         &self.resident
     }
 
+    /// Number of WGs currently resident (the telemetry occupancy metric).
+    pub fn occupancy(&self) -> u32 {
+        self.resident.len() as u32
+    }
+
     /// Maximum number of WGs with requirements `req` this CU can hold.
     pub fn max_occupancy(&self, req: &WgResources) -> u32 {
         let by_wf = self.wf_slots / req.wavefronts.max(1);

@@ -52,6 +52,7 @@ pub mod machine;
 pub mod oracle;
 pub mod policy;
 pub mod result;
+pub mod timeline;
 pub mod trace;
 pub mod wg;
 
@@ -67,5 +68,6 @@ pub use policy::{
     Wake,
 };
 pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
-pub use trace::{TraceEvent, TraceRecord};
+pub use timeline::{chrome_trace, expected_counts, TimelineCounts};
+pub use trace::{Trace, TraceEvent, TraceRecord};
 pub use wg::{WgId, WgState};

@@ -9,9 +9,14 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use std::time::{Duration, Instant};
+
 use awg_isa::{Inst, Mem, Operand, Special};
 use awg_mem::{Addr, AtomicRequest, Backing, L2};
-use awg_sim::{Cycle, EventQueue, Fingerprint64, Stats};
+use awg_sim::telemetry::{SnapshotSample, Subsystem, SwapDir, PROGRESS_STATES};
+use awg_sim::{
+    Cycle, EventQueue, Fingerprint64, ProfileReport, Stats, TelemetryConfig, TelemetryHub,
+};
 
 use crate::config::{GpuConfig, Kernel, CONTEXT_BASE};
 use crate::cu::Cu;
@@ -110,6 +115,9 @@ pub struct Gpu {
     digest_window: Option<Cycle>,
     digest_next: Cycle,
     digest_trail: Vec<u64>,
+    telemetry: Option<TelemetryHub>,
+    run_started: Option<Instant>,
+    run_wall: Duration,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -189,6 +197,9 @@ impl Gpu {
             digest_window: None,
             digest_next: 0,
             digest_trail: Vec::new(),
+            telemetry: None,
+            run_started: None,
+            run_wall: Duration::ZERO,
         })
     }
 
@@ -366,15 +377,54 @@ impl Gpu {
         self
     }
 
-    /// Enables event tracing (Fig 6 timelines).
+    /// Enables event tracing (Fig 6 timelines, Perfetto export).
     pub fn enable_trace(&mut self) -> &mut Self {
         self.trace.enable();
         self
     }
 
-    /// The recorded trace.
-    pub fn trace_records(&self) -> &[TraceRecord] {
-        self.trace.records()
+    /// Bounds the trace buffer to the newest `capacity` records (`None`
+    /// restores the unbounded default). Long chaos runs with tracing on can
+    /// then run indefinitely in constant memory.
+    pub fn set_trace_capacity(&mut self, capacity: Option<usize>) -> &mut Self {
+        self.trace.set_capacity(capacity);
+        self
+    }
+
+    /// Number of trace records evicted by the ring bound so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// A copy of the retained trace, oldest record first.
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.trace.snapshot()
+    }
+
+    /// Enables the telemetry hub: per-WG progress accounting, optional
+    /// cycle-windowed metric snapshots, and optional host self-profiling.
+    ///
+    /// Off by default. The hub is a pure observer — enabling it never
+    /// changes simulated behaviour, so digest trails stay bit-identical.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) -> &mut Self {
+        let mut hub = TelemetryHub::new(config);
+        hub.ensure_wgs(self.kernel.num_wgs as usize);
+        self.telemetry = Some(hub);
+        self
+    }
+
+    /// The telemetry hub, when enabled.
+    pub fn telemetry(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref()
+    }
+
+    /// The end-of-run self-profiling summary, when telemetry ran with
+    /// profiling enabled.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.telemetry
+            .as_ref()
+            .filter(|h| h.profiling())
+            .map(|h| h.profile_report(self.run_wall, self.now))
     }
 
     /// The functional memory (workload validation after a run).
@@ -467,12 +517,18 @@ impl Gpu {
             match self.wgs[wg].state {
                 WgState::Stalled | WgState::SwappedWaiting => {
                     let token = self.wgs[wg].token;
+                    if let Some(hub) = self.telemetry.as_mut() {
+                        hub.note_wake(wg, self.now);
+                    }
                     self.events.schedule(
                         self.now + self.config.resume_latency + wake.delay,
                         Event::WakeDeliver(wake.wg, token),
                     );
                 }
                 WgState::SwappingOut => {
+                    if let Some(hub) = self.telemetry.as_mut() {
+                        hub.note_wake(wg, self.now);
+                    }
                     self.wgs[wg].woke = true;
                 }
                 WgState::Running
@@ -548,22 +604,28 @@ impl Gpu {
             }
             let req = self.kernel.resources;
             self.cus[cu].admit(wg, &req);
-            let w = &mut self.wgs[wg as usize];
-            w.cu = Some(cu);
-            let token = w.bump_token();
+            self.wgs[wg as usize].cu = Some(cu);
+            let token = self.wgs[wg as usize].bump_token();
             if from_ready {
                 let stall = self.ctx_stall_penalty();
-                let w = &mut self.wgs[wg as usize];
-                w.set_state(WgState::SwappingIn, self.now);
+                self.set_wg_state(wg, WgState::SwappingIn, self.now);
                 self.switches_in += 1;
                 let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
-                let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
-                    + self.config.ctx_switch_overhead
-                    + stall;
-                self.trace.record(self.now, wg, TraceEvent::SwapInStart);
+                let burst_done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines);
+                let done = burst_done + self.config.ctx_switch_overhead + stall;
+                if let Some(hub) = self.telemetry.as_mut() {
+                    hub.note_ctx_switch(
+                        SwapDir::In,
+                        burst_done.saturating_sub(self.now),
+                        self.config.ctx_switch_overhead,
+                        stall,
+                    );
+                }
+                self.trace
+                    .record(self.now, wg, TraceEvent::SwapInStart { cu });
                 self.events.schedule(done, Event::SwapInDone(wg, token));
             } else {
-                w.set_state(WgState::Dispatching, self.now);
+                self.set_wg_state(wg, WgState::Dispatching, self.now);
                 self.trace.record(self.now, wg, TraceEvent::Dispatch { cu });
                 self.events.schedule(
                     self.now + self.config.dispatch_cycles,
@@ -580,15 +642,24 @@ impl Gpu {
 
     fn begin_swap_out(&mut self, wg: WgId) {
         let stall = self.ctx_stall_penalty();
-        let w = &mut self.wgs[wg as usize];
-        debug_assert!(w.state.is_resident(), "swap-out of non-resident WG");
-        let token = w.bump_token();
-        w.set_state(WgState::SwappingOut, self.now);
+        debug_assert!(
+            self.wgs[wg as usize].state.is_resident(),
+            "swap-out of non-resident WG"
+        );
+        let token = self.wgs[wg as usize].bump_token();
+        self.set_wg_state(wg, WgState::SwappingOut, self.now);
         self.switches_out += 1;
         let lines = self.kernel.context_bytes(&self.config).div_ceil(64);
-        let done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines)
-            + self.config.ctx_switch_overhead
-            + stall;
+        let burst_done = self.l2.context_burst(self.now, Self::ctx_addr(wg), lines);
+        let done = burst_done + self.config.ctx_switch_overhead + stall;
+        if let Some(hub) = self.telemetry.as_mut() {
+            hub.note_ctx_switch(
+                SwapDir::Out,
+                burst_done.saturating_sub(self.now),
+                self.config.ctx_switch_overhead,
+                stall,
+            );
+        }
         self.trace.record(self.now, wg, TraceEvent::SwapOutStart);
         self.events.schedule(done, Event::SwapOutDone(wg, token));
     }
@@ -607,6 +678,15 @@ impl Gpu {
     fn release_cu(&mut self, wg: WgId) {
         if let Some(cu) = self.wgs[wg as usize].cu.take() {
             self.cus[cu].release(wg, &self.kernel.resources);
+        }
+    }
+
+    /// Transitions a WG's scheduling state, keeping the telemetry hub's
+    /// time-in-state accounting in step with the machine's own.
+    fn set_wg_state(&mut self, wg: WgId, state: WgState, at: Cycle) {
+        self.wgs[wg as usize].set_state(state, at);
+        if let Some(hub) = self.telemetry.as_mut() {
+            hub.transition(wg as usize, state.progress_class(), at);
         }
     }
 
@@ -723,7 +803,7 @@ impl Gpu {
                     let n = self.operand(wgu, op).max(0) as Cycle;
                     self.wgs[wgu].pc = pc + 1;
                     let token = self.wgs[wgu].bump_token();
-                    self.wgs[wgu].set_state(WgState::Sleeping, self.now + t);
+                    self.set_wg_state(wg, WgState::Sleeping, self.now + t);
                     self.trace
                         .record(self.now + t, wg, TraceEvent::Sleep { cycles: n });
                     self.events
@@ -839,6 +919,8 @@ impl Gpu {
             monitored: comp.was_monitored,
             by_wg: wg,
         });
+        self.trace
+            .record(comp.done, wg, TraceEvent::AtomicDone { addr });
         self.wgs[wgu].parked = Some(ParkedResponse {
             dst: Some(dst),
             value: comp.result.old,
@@ -916,7 +998,7 @@ impl Gpu {
     fn finish_wg(&mut self, wg: WgId, at: Cycle) {
         let wgu = wg as usize;
         self.wgs[wgu].bump_token();
-        self.wgs[wgu].set_state(WgState::Finished, at);
+        self.set_wg_state(wg, WgState::Finished, at);
         self.wgs[wgu].finished_at = Some(at);
         self.release_cu(wg);
         self.finished += 1;
@@ -946,7 +1028,7 @@ impl Gpu {
         self.wgs[wgu].cond = None;
         self.wgs[wgu].timeout_at = None;
         if self.wgs[wgu].state != WgState::Running {
-            self.wgs[wgu].set_state(WgState::Running, self.now);
+            self.set_wg_state(wg, WgState::Running, self.now);
         }
         if self.wgs[wgu].force_out && !self.cus[self.wgs[wgu].cu.expect("resident")].is_enabled() {
             // Preempted mid-flight by the resource-loss event: save context
@@ -968,7 +1050,7 @@ impl Gpu {
             self.begin_swap_out(wg);
         } else {
             let _ = self.wgs[wgu].bump_token();
-            self.wgs[wgu].set_state(WgState::Stalled, self.now);
+            self.set_wg_state(wg, WgState::Stalled, self.now);
             self.trace.record(self.now, wg, TraceEvent::Stall);
         }
         self.rearm_timeout(wg);
@@ -981,7 +1063,7 @@ impl Gpu {
             Some(WaitDirective::Retry) => self.deliver_and_advance(wg),
             Some(WaitDirective::SleepFor(n)) => {
                 let token = self.wgs[wgu].bump_token();
-                self.wgs[wgu].set_state(WgState::Sleeping, self.now);
+                self.set_wg_state(wg, WgState::Sleeping, self.now);
                 self.trace
                     .record(self.now, wg, TraceEvent::Sleep { cycles: n });
                 self.events
@@ -1030,7 +1112,7 @@ impl Gpu {
                     self.with_policy(|p, ctx| p.on_wake_delivered(ctx, wg, &c));
                 }
                 let _ = self.wgs[wgu].bump_token();
-                self.wgs[wgu].set_state(WgState::ReadySwapped, self.now);
+                self.set_wg_state(wg, WgState::ReadySwapped, self.now);
                 self.ready.push_back(wg);
                 self.trace.record(self.now, wg, TraceEvent::Resume);
                 self.try_dispatch();
@@ -1094,10 +1176,10 @@ impl Gpu {
         let _ = token_bump;
         if self.wgs[wgu].woke || self.wgs[wgu].cond.is_none() {
             self.wgs[wgu].woke = false;
-            self.wgs[wgu].set_state(WgState::ReadySwapped, self.now);
+            self.set_wg_state(wg, WgState::ReadySwapped, self.now);
             self.ready.push_back(wg);
         } else {
-            self.wgs[wgu].set_state(WgState::SwappedWaiting, self.now);
+            self.set_wg_state(wg, WgState::SwappedWaiting, self.now);
             self.rearm_timeout(wg);
         }
         self.try_dispatch();
@@ -1121,7 +1203,7 @@ impl Gpu {
                     // Cancel the dispatch and requeue at the front.
                     self.wgs[wgu].bump_token();
                     self.release_cu(wg);
-                    self.wgs[wgu].set_state(WgState::Pending, self.now);
+                    self.set_wg_state(wg, WgState::Pending, self.now);
                     self.pending.push_front(wg);
                 }
                 WgState::SwappingIn => {
@@ -1173,6 +1255,22 @@ impl Gpu {
         }
     }
 
+    /// Which subsystem the self-profiler attributes this event to.
+    fn event_subsystem(event: &Event) -> Subsystem {
+        match event {
+            Event::Continue(..) | Event::Response(..) | Event::DispatchDone(..) => {
+                Subsystem::Execute
+            }
+            Event::WakeDeliver(..) | Event::WaitTimeout(..) | Event::CpTick | Event::Fault(_) => {
+                Subsystem::Wakeup
+            }
+            Event::SwapOutDone(..) | Event::SwapInDone(..) => Subsystem::ContextSwitch,
+            Event::ResourceLoss(_) | Event::ResourceRestore(_) | Event::ProgressCheck => {
+                Subsystem::Other
+            }
+        }
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::Continue(wg, token) => {
@@ -1181,7 +1279,7 @@ impl Gpu {
                 }
                 let wgu = wg as usize;
                 if self.wgs[wgu].state == WgState::Sleeping {
-                    self.wgs[wgu].set_state(WgState::Running, self.now);
+                    self.set_wg_state(wg, WgState::Running, self.now);
                 }
                 if self.wgs[wgu].parked.is_some() {
                     // Sleep-then-deliver (backoff response).
@@ -1231,7 +1329,7 @@ impl Gpu {
                         self.wgs[wgu].dispatched_at = Some(self.now);
                     }
                     self.last_progress = self.now;
-                    self.wgs[wgu].set_state(WgState::Running, self.now);
+                    self.set_wg_state(wg, WgState::Running, self.now);
                     self.advance(wg);
                 }
             }
@@ -1304,8 +1402,28 @@ impl Gpu {
         }
     }
 
+    /// Absolute telemetry totals at `cycle` (the snapshot window boundary).
+    fn snapshot_sample(&self, cycle: Cycle) -> SnapshotSample {
+        let mut state_counts = [0u64; PROGRESS_STATES];
+        for wg in &self.wgs {
+            state_counts[wg.state.progress_class().index()] += 1;
+        }
+        let (atomics, _, _) = self.l2.op_counts();
+        SnapshotSample {
+            cycle,
+            occupancy: self.cus.iter().map(|c| c.occupancy()).collect(),
+            state_counts,
+            atomics_total: atomics,
+            swap_outs_total: self.switches_out,
+            swap_ins_total: self.switches_in,
+        }
+    }
+
     fn summarize(&mut self) -> RunSummary {
         let now = self.now;
+        if let Some(start) = self.run_started {
+            self.run_wall = start.elapsed();
+        }
         let mut insts = 0;
         let mut atomics = 0;
         let mut running = 0;
@@ -1350,6 +1468,11 @@ impl Gpu {
                 self.stats.add(c, value.saturating_sub(prev));
             }
         }
+        if let Some(mut hub) = self.telemetry.take() {
+            hub.finalize(now);
+            self.stats.absorb(hub.stats());
+            self.telemetry = Some(hub);
+        }
         self.policy.report(&mut self.stats);
         RunSummary {
             cycles: now,
@@ -1367,6 +1490,7 @@ impl Gpu {
 
     /// Runs the kernel to completion, deadlock, or the cycle cap.
     pub fn run(&mut self) -> RunOutcome {
+        self.run_started = Some(Instant::now());
         // Schedule experiment events.
         for &(cu, at) in &self.resource_loss.clone() {
             self.events.schedule(at, Event::ResourceLoss(cu));
@@ -1440,10 +1564,38 @@ impl Gpu {
                     self.digest_next += window;
                 }
             }
+            // Metric snapshots use the same boundary discipline as digests:
+            // the sample reflects all events strictly before the boundary.
+            while let Some(boundary) = self.telemetry.as_ref().and_then(|h| h.due_snapshot(cycle)) {
+                let sample = self.snapshot_sample(boundary);
+                if let Some(hub) = self.telemetry.as_mut() {
+                    hub.push_snapshot(sample);
+                }
+            }
             self.now = cycle;
-            self.handle(event);
+            let profiling = self.telemetry.as_ref().is_some_and(|h| h.profiling());
+            if profiling {
+                let subsystem = Self::event_subsystem(&event);
+                let t0 = Instant::now();
+                self.handle(event);
+                let wall = t0.elapsed();
+                if let Some(hub) = self.telemetry.as_mut() {
+                    hub.profile_note(subsystem, wall);
+                }
+            } else {
+                self.handle(event);
+            }
             if self.oracle_on {
-                self.oracle_sweep();
+                if profiling {
+                    let t0 = Instant::now();
+                    self.oracle_sweep();
+                    let wall = t0.elapsed();
+                    if let Some(hub) = self.telemetry.as_mut() {
+                        hub.profile_note(Subsystem::Check, wall);
+                    }
+                } else {
+                    self.oracle_sweep();
+                }
             }
         }
     }

@@ -1,0 +1,292 @@
+//! Chrome-Trace-Format / Perfetto timeline export over the trace stream.
+//!
+//! [`chrome_trace`] turns a recorded [`TraceRecord`] stream into the
+//! `trace_event` JSON that `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) load directly:
+//!
+//! * one process group per CU (`pid = cu + 1`), with one span slice per WG
+//!   residency interval (dispatch or swap-in through swap-out completion or
+//!   finish) on a per-WG thread track,
+//! * an `occupancy` counter track per CU (resident WGs over time),
+//! * a global `outstanding_atomics` counter track (issued minus completed),
+//! * instant events for scheduling incidents (stall, sleep, swap-out start,
+//!   sync fail, timeout, resume) on the WG's current track.
+//!
+//! Timestamps are microseconds at the paper's 2 GHz baseline clock, so one
+//! cycle is 0.0005 µs; fractional timestamps are valid Chrome trace JSON.
+
+use std::collections::{BTreeMap, HashSet};
+
+use awg_sim::telemetry::chrome::TraceBuilder;
+use awg_sim::{cycles_to_us, Cycle};
+
+use crate::trace::{TraceEvent, TraceRecord};
+use crate::wg::WgId;
+
+/// Process id of the global (non-resident) track group.
+const GPU_PID: u64 = 0;
+
+fn cu_pid(cu: usize) -> u64 {
+    cu as u64 + 1
+}
+
+/// Exports `records` as a Chrome-Trace-Format JSON document.
+///
+/// Residency intervals still open at the end of the stream are closed at
+/// the last recorded cycle. The export is deterministic for a given record
+/// stream: records are ordered by cycle with ties kept in recording order.
+pub fn chrome_trace(records: &[TraceRecord], num_cus: usize) -> String {
+    let mut records: Vec<TraceRecord> = records.to_vec();
+    records.sort_by_key(|r| r.cycle);
+    let end = records.last().map_or(0, |r| r.cycle);
+
+    let mut b = TraceBuilder::new();
+    b.process_name(GPU_PID, "GPU (non-resident)");
+    for cu in 0..num_cus {
+        b.process_name(cu_pid(cu), &format!("CU {cu}"));
+    }
+
+    let mut named: HashSet<(u64, u64)> = HashSet::new();
+    // WG -> (residency start cycle, CU).
+    let mut open: BTreeMap<WgId, (Cycle, usize)> = BTreeMap::new();
+    let mut occupancy = vec![0i64; num_cus];
+    let mut outstanding: i64 = 0;
+
+    let mut name_thread = |b: &mut TraceBuilder, pid: u64, wg: WgId| {
+        if named.insert((pid, u64::from(wg))) {
+            b.thread_name(pid, u64::from(wg), &format!("WG {wg}"));
+        }
+    };
+    let close_residency = |b: &mut TraceBuilder,
+                           occupancy: &mut [i64],
+                           wg: WgId,
+                           start: Cycle,
+                           cu: usize,
+                           at: Cycle| {
+        b.complete_slice(
+            cu_pid(cu),
+            u64::from(wg),
+            &format!("WG {wg}"),
+            "residency",
+            cycles_to_us(start),
+            cycles_to_us(at) - cycles_to_us(start),
+            &[("wg", wg.to_string()), ("cu", cu.to_string())],
+        );
+        occupancy[cu] -= 1;
+        b.counter(
+            cu_pid(cu),
+            "occupancy",
+            cycles_to_us(at),
+            &[("resident", occupancy[cu] as f64)],
+        );
+    };
+
+    for r in &records {
+        let ts = cycles_to_us(r.cycle);
+        match r.event {
+            TraceEvent::Dispatch { cu } | TraceEvent::SwapInStart { cu } => {
+                if let Some((start, prev_cu)) = open.remove(&r.wg) {
+                    // Defensive: a re-open without an observed close (e.g. a
+                    // ring-bounded trace that evicted the close) ends the
+                    // stale interval here.
+                    close_residency(&mut b, &mut occupancy, r.wg, start, prev_cu, r.cycle);
+                }
+                open.insert(r.wg, (r.cycle, cu));
+                occupancy[cu] += 1;
+                b.counter(
+                    cu_pid(cu),
+                    "occupancy",
+                    ts,
+                    &[("resident", occupancy[cu] as f64)],
+                );
+            }
+            TraceEvent::SwapOutDone | TraceEvent::Finish => {
+                if let Some((start, cu)) = open.remove(&r.wg) {
+                    name_thread(&mut b, cu_pid(cu), r.wg);
+                    close_residency(&mut b, &mut occupancy, r.wg, start, cu, r.cycle);
+                }
+            }
+            TraceEvent::AtomicIssue { .. } => {
+                outstanding += 1;
+                b.counter(
+                    GPU_PID,
+                    "outstanding_atomics",
+                    ts,
+                    &[("atomics", outstanding as f64)],
+                );
+            }
+            TraceEvent::AtomicDone { .. } => {
+                outstanding -= 1;
+                b.counter(
+                    GPU_PID,
+                    "outstanding_atomics",
+                    ts,
+                    &[("atomics", outstanding as f64)],
+                );
+            }
+            TraceEvent::Stall
+            | TraceEvent::Sleep { .. }
+            | TraceEvent::SwapOutStart
+            | TraceEvent::SyncFail { .. }
+            | TraceEvent::Timeout
+            | TraceEvent::Resume => {
+                let (pid, tid) = match open.get(&r.wg) {
+                    Some(&(_, cu)) => (cu_pid(cu), u64::from(r.wg)),
+                    None => (GPU_PID, u64::from(r.wg)),
+                };
+                name_thread(&mut b, pid, r.wg);
+                let (name, args) = instant_details(r.event);
+                b.instant(pid, tid, name, "sched", ts, &args);
+            }
+        }
+    }
+    // Close intervals still open when the stream ended (deadlocks, cycle
+    // caps, or WGs mid-swap at completion).
+    let still_open: Vec<(WgId, (Cycle, usize))> = open.into_iter().collect();
+    for (wg, (start, cu)) in still_open {
+        name_thread(&mut b, cu_pid(cu), wg);
+        close_residency(&mut b, &mut occupancy, wg, start, cu, end);
+    }
+    b.finish()
+}
+
+fn instant_details(event: TraceEvent) -> (&'static str, Vec<(&'static str, String)>) {
+    match event {
+        TraceEvent::Stall => ("stall", Vec::new()),
+        TraceEvent::Sleep { cycles } => ("sleep", vec![("cycles", cycles.to_string())]),
+        TraceEvent::SwapOutStart => ("swap-out", Vec::new()),
+        TraceEvent::SyncFail { addr, expected } => (
+            "sync-fail",
+            vec![
+                ("addr", addr.to_string()),
+                ("expected", expected.to_string()),
+            ],
+        ),
+        TraceEvent::Timeout => ("timeout", Vec::new()),
+        TraceEvent::Resume => ("resume", Vec::new()),
+        _ => unreachable!("only incident events have instant details"),
+    }
+}
+
+/// Expected event counts for a record stream, mirroring the export rules.
+///
+/// Used by tests (and the CI smoke check) to assert that an exported
+/// document accounts for every in-memory trace record:
+/// `slices = opens`, `counters = 2 * opens + atomic events`,
+/// `instants = incident events`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineCounts {
+    /// Residency slices (`ph:"X"`).
+    pub slices: u64,
+    /// Counter samples (`ph:"C"`).
+    pub counters: u64,
+    /// Instant events (`ph:"i"`).
+    pub instants: u64,
+}
+
+/// Computes the event counts [`chrome_trace`] will emit for `records`.
+pub fn expected_counts(records: &[TraceRecord]) -> TimelineCounts {
+    let mut opens = 0u64;
+    let mut atomics = 0u64;
+    let mut instants = 0u64;
+    for r in records {
+        match r.event {
+            TraceEvent::Dispatch { .. } | TraceEvent::SwapInStart { .. } => opens += 1,
+            TraceEvent::AtomicIssue { .. } | TraceEvent::AtomicDone { .. } => atomics += 1,
+            TraceEvent::Stall
+            | TraceEvent::Sleep { .. }
+            | TraceEvent::SwapOutStart
+            | TraceEvent::SyncFail { .. }
+            | TraceEvent::Timeout
+            | TraceEvent::Resume => instants += 1,
+            TraceEvent::SwapOutDone | TraceEvent::Finish => {}
+        }
+    }
+    TimelineCounts {
+        slices: opens,
+        counters: 2 * opens + atomics,
+        instants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_sim::json;
+
+    fn rec(cycle: Cycle, wg: WgId, event: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, wg, event }
+    }
+
+    fn count_ph(doc: &json::Value, ph: &str) -> usize {
+        doc.get("traceEvents")
+            .and_then(|e| e.as_array())
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+            .count()
+    }
+
+    #[test]
+    fn residency_slices_open_and_close() {
+        let records = vec![
+            rec(0, 0, TraceEvent::Dispatch { cu: 0 }),
+            rec(10, 1, TraceEvent::Dispatch { cu: 1 }),
+            rec(50, 0, TraceEvent::SwapOutStart),
+            rec(90, 0, TraceEvent::SwapOutDone),
+            rec(120, 0, TraceEvent::SwapInStart { cu: 1 }),
+            rec(200, 0, TraceEvent::Finish),
+            rec(260, 1, TraceEvent::Finish),
+        ];
+        let doc = json::parse(&chrome_trace(&records, 2)).unwrap();
+        let expected = expected_counts(&records);
+        assert_eq!(count_ph(&doc, "X") as u64, expected.slices);
+        assert_eq!(expected.slices, 3); // two dispatches + one swap-in
+        assert_eq!(count_ph(&doc, "C") as u64, expected.counters);
+        assert_eq!(count_ph(&doc, "i") as u64, expected.instants);
+    }
+
+    #[test]
+    fn open_residency_is_closed_at_stream_end() {
+        let records = vec![
+            rec(0, 4, TraceEvent::Dispatch { cu: 0 }),
+            rec(500, 4, TraceEvent::Stall),
+        ];
+        let doc = json::parse(&chrome_trace(&records, 1)).unwrap();
+        assert_eq!(count_ph(&doc, "X"), 1);
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        // 500 cycles at 2 GHz = 0.25 µs.
+        assert!((slice.get("dur").unwrap().as_f64().unwrap() - 0.25).abs() < 1e-9);
+        assert_eq!(slice.get("ts").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn atomics_counter_tracks_outstanding() {
+        let records = vec![
+            rec(0, 0, TraceEvent::AtomicIssue { addr: 64 }),
+            rec(5, 1, TraceEvent::AtomicIssue { addr: 64 }),
+            rec(30, 0, TraceEvent::AtomicDone { addr: 64 }),
+        ];
+        let doc = json::parse(&chrome_trace(&records, 1)).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let values: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("atomics")))
+            .filter_map(|v| v.as_f64())
+            .collect();
+        assert_eq!(values, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let doc = json::parse(&chrome_trace(&[], 2)).unwrap();
+        // Metadata only: one global process plus one per CU.
+        assert_eq!(count_ph(&doc, "M"), 3);
+        assert_eq!(count_ph(&doc, "X"), 0);
+    }
+}

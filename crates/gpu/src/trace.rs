@@ -1,4 +1,7 @@
-//! Optional event tracing (used to regenerate the Fig 6 policy timelines).
+//! Optional event tracing (used to regenerate the Fig 6 policy timelines
+//! and to feed the Chrome-Trace-Format timeline exporter).
+
+use std::collections::VecDeque;
 
 use awg_sim::Cycle;
 
@@ -14,6 +17,11 @@ pub enum TraceEvent {
     },
     /// Atomic issued (dynamic atomic instruction).
     AtomicIssue {
+        /// Target address.
+        addr: u64,
+    },
+    /// Atomic completed at the shared point of coherence.
+    AtomicDone {
         /// Target address.
         addr: u64,
     },
@@ -36,7 +44,10 @@ pub enum TraceEvent {
     /// Context switch out finished; resources released.
     SwapOutDone,
     /// Context switch in started.
-    SwapInStart,
+    SwapInStart {
+        /// Destination CU.
+        cu: usize,
+    },
     /// WG resumed execution.
     Resume,
     /// WG's fallback timeout fired.
@@ -56,11 +67,17 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
-/// An append-only trace buffer.
+/// A trace buffer, optionally bounded as a ring.
+///
+/// With a capacity set, the buffer keeps only the newest records and counts
+/// what it evicted, so long chaos runs with tracing enabled cannot grow
+/// memory without limit.
 #[derive(Debug, Default)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
     enabled: bool,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Trace {
@@ -79,17 +96,65 @@ impl Trace {
         self.enabled
     }
 
+    /// Bounds the buffer to the newest `capacity` records (`None` restores
+    /// the unbounded default). Excess oldest records are evicted
+    /// immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.evict();
+    }
+
+    /// The configured bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of records evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn evict(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.records.len() > cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+    }
+
     /// Records an event when enabled.
     #[inline]
     pub fn record(&mut self, cycle: Cycle, wg: WgId, event: TraceEvent) {
         if self.enabled {
-            self.records.push(TraceRecord { cycle, wg, event });
+            self.records.push_back(TraceRecord { cycle, wg, event });
+            if let Some(cap) = self.capacity {
+                if self.records.len() > cap {
+                    self.records.pop_front();
+                    self.dropped += 1;
+                }
+            }
         }
     }
 
-    /// All records in chronological order of recording.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Copies the retained records out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.iter().copied().collect()
     }
 }
 
@@ -101,7 +166,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
         t.record(5, 0, TraceEvent::Stall);
-        assert!(t.records().is_empty());
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -110,8 +175,39 @@ mod tests {
         t.enable();
         t.record(5, 0, TraceEvent::Stall);
         t.record(9, 1, TraceEvent::Resume);
-        assert_eq!(t.records().len(), 2);
-        assert_eq!(t.records()[1].cycle, 9);
-        assert_eq!(t.records()[1].event, TraceEvent::Resume);
+        let records = t.snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].cycle, 9);
+        assert_eq!(records[1].event, TraceEvent::Resume);
+    }
+
+    #[test]
+    fn ring_bound_keeps_newest_records() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_capacity(Some(3));
+        for cycle in 0..10 {
+            t.record(cycle, 0, TraceEvent::Stall);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let cycles: Vec<_> = t.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut t = Trace::new();
+        t.enable();
+        for cycle in 0..5 {
+            t.record(cycle, 0, TraceEvent::Resume);
+        }
+        t.set_capacity(Some(2));
+        let cycles: Vec<_> = t.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+        assert_eq!(t.dropped(), 3);
+        // Restoring unbounded keeps what remains.
+        t.set_capacity(None);
+        assert_eq!(t.len(), 2);
     }
 }

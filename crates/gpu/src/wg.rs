@@ -62,6 +62,24 @@ impl WgState {
                 | WgState::SwappingIn
         )
     }
+
+    /// The telemetry-level accounting class for this state.
+    ///
+    /// Collapses the CP's internal distinctions into the coarser classes
+    /// the telemetry hub reports time-in-state for.
+    pub fn progress_class(self) -> awg_sim::telemetry::ProgressState {
+        use awg_sim::telemetry::ProgressState;
+        match self {
+            WgState::Pending | WgState::Dispatching => ProgressState::Queued,
+            WgState::Running => ProgressState::Running,
+            WgState::Stalled => ProgressState::Stalled,
+            WgState::Sleeping => ProgressState::Sleeping,
+            WgState::SwappingOut => ProgressState::SwapOut,
+            WgState::SwappedWaiting | WgState::ReadySwapped => ProgressState::SwappedOut,
+            WgState::SwappingIn => ProgressState::SwapIn,
+            WgState::Finished => ProgressState::Finished,
+        }
+    }
 }
 
 /// The response of a completed sync-sensitive operation, parked until the

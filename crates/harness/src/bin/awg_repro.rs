@@ -16,6 +16,11 @@
 //!                     re-run a saved reproducer (exit 3 = still hangs)
 //!   trace [policy]    Fig 6-style timeline (policy: baseline|timeout|
 //!                     monrs|monr|monnr-all|monnr-one|awg|minresume)
+//!   timeline --bench B --policy P --out FILE [--snapshots FILE]
+//!                     [--trace-cap N]
+//!                     Perfetto/Chrome-Trace JSON export of a traced run
+//!                     (load FILE in ui.perfetto.dev), with windowed metric
+//!                     snapshots as JSONL and a host self-profile on stderr
 //!   asm <file.s> [--policy P] [--wgs N]
 //!                     assemble and run a custom kernel
 //!   all               every table and figure, in order
@@ -39,7 +44,7 @@ use awg_gpu::FaultPlan;
 use awg_harness::{
     ablations, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority,
     run::{run_instrumented, ExperimentConfig, Instrumentation},
-    shrink, sweep, table1, table2, tracefig, Report, Scale,
+    shrink, sweep, table1, table2, timeline, tracefig, Report, Scale,
 };
 use awg_workloads::BenchmarkKind;
 
@@ -55,7 +60,9 @@ fn print_usage() {
          <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
-         |trace [policy]|asm <file.s>|all>"
+         |trace [policy]\
+         |timeline --bench B --policy P --out FILE [--snapshots FILE] [--trace-cap N]\
+         |asm <file.s>|all>"
     );
 }
 
@@ -245,6 +252,96 @@ fn run_replay(path: &str, bench: BenchmarkKind, policy: PolicyKind, scale: &Scal
     }
 }
 
+/// Runs a traced+telemetry run and writes the Perfetto JSON (and optional
+/// snapshot JSONL). The export is validated before it is written: it must
+/// parse as JSON and its slice/counter/instant counts must account for the
+/// in-memory trace.
+fn run_timeline_cmd(
+    bench: BenchmarkKind,
+    policy: PolicyKind,
+    out_path: &std::path::Path,
+    snapshots_path: Option<PathBuf>,
+    trace_cap: Option<usize>,
+    scale: &Scale,
+) -> ExitCode {
+    let t = timeline::run_timeline(bench, policy, scale, trace_cap);
+
+    let doc = match awg_sim::json::parse(&t.json) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("timeline: exported document is not valid JSON: {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+    };
+    let count_ph = |ph: &str| -> u64 {
+        doc.get("traceEvents")
+            .and_then(|e| e.as_array())
+            .map_or(0, |events| {
+                events
+                    .iter()
+                    .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                    .count() as u64
+            })
+    };
+    let (slices, counters, instants) = (count_ph("X"), count_ph("C"), count_ph("i"));
+    if (slices, counters, instants) != (t.counts.slices, t.counts.counters, t.counts.instants) {
+        eprintln!(
+            "timeline: export does not account for the trace: \
+             got {slices} slices / {counters} counters / {instants} instants, \
+             expected {} / {} / {}",
+            t.counts.slices, t.counts.counters, t.counts.instants
+        );
+        return ExitCode::from(EXIT_FAIL);
+    }
+
+    if let Err(e) = std::fs::write(out_path, &t.json) {
+        eprintln!("cannot write '{}': {e}", out_path.display());
+        return ExitCode::from(EXIT_FAIL);
+    }
+    eprintln!(
+        "wrote {} ({} trace events from {} records{}; load in ui.perfetto.dev)",
+        out_path.display(),
+        slices + counters + instants,
+        t.records,
+        if t.dropped > 0 {
+            format!(", {} evicted by the ring buffer", t.dropped)
+        } else {
+            String::new()
+        }
+    );
+    if let Some(path) = snapshots_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", t.snapshots_jsonl)) {
+            eprintln!("cannot write '{}': {e}", path.display());
+            return ExitCode::from(EXIT_FAIL);
+        }
+        eprintln!(
+            "wrote {} ({} snapshot windows)",
+            path.display(),
+            t.snapshots_jsonl.lines().count()
+        );
+    }
+
+    println!("{}/{}: {}", bench.abbreviation(), policy.label(), t.outcome);
+    if let Some(buckets) = t
+        .stats
+        .hist_buckets_by_name("telemetry_wake_to_resume_cycles")
+    {
+        let rendered: Vec<String> = buckets.iter().map(|(lo, c)| format!("{lo}:{c}")).collect();
+        println!(
+            "wake-to-resume latency (log2 cycles): {}",
+            rendered.join(" ")
+        );
+    }
+    if let Some(profile) = &t.profile {
+        println!("{profile}");
+    }
+    if t.outcome.is_completed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_HANG)
+    }
+}
+
 fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) -> Result<(), ExitCode> {
     println!("{}", report.to_markdown());
     if let Some(dir) = out {
@@ -268,6 +365,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut command_seen: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -275,14 +373,21 @@ fn main() -> ExitCode {
                 quick = true;
                 args.remove(i);
             }
-            "--out" => {
+            // `timeline` owns its `--out FILE`; the global flag is the
+            // CSV directory for report commands.
+            "--out" if command_seen.as_deref() != Some("timeline") => {
                 args.remove(i);
                 if i >= args.len() {
                     return usage();
                 }
                 out = Some(PathBuf::from(args.remove(i)));
             }
-            _ => i += 1,
+            other => {
+                if command_seen.is_none() && !other.starts_with("--") {
+                    command_seen = Some(other.to_string());
+                }
+                i += 1;
+            }
         }
     }
     let scale = if quick {
@@ -395,6 +500,55 @@ fn main() -> ExitCode {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(code) => code,
             }
+        }
+        "timeline" => {
+            // awg-repro timeline --bench B --policy P --out FILE
+            //                    [--snapshots FILE] [--trace-cap N]
+            let mut bench = None;
+            let mut policy = PolicyKind::Awg;
+            let mut out_path = None;
+            let mut snapshots_path = None;
+            let mut trace_cap = None;
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--bench" => {
+                        bench = Some(match parse_benchmark(value) {
+                            Ok(b) => b,
+                            Err(code) => return code,
+                        });
+                    }
+                    "--policy" => {
+                        policy = match parse_policy(value) {
+                            Ok(p) => p,
+                            Err(code) => return code,
+                        };
+                    }
+                    "--out" => out_path = Some(PathBuf::from(value)),
+                    "--snapshots" => snapshots_path = Some(PathBuf::from(value)),
+                    "--trace-cap" => {
+                        trace_cap = match value.parse::<usize>() {
+                            Ok(n) => Some(n),
+                            Err(_) => {
+                                eprintln!("--trace-cap must be an unsigned integer, got '{value}'");
+                                return usage();
+                            }
+                        };
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let (Some(bench), Some(out_path)) = (bench, out_path) else {
+                eprintln!("timeline requires --bench and --out");
+                return usage();
+            };
+            run_timeline_cmd(bench, policy, &out_path, snapshots_path, trace_cap, &scale)
         }
         "asm" => {
             // awg-repro asm <file.s> [--policy P] [--wgs N]

@@ -37,6 +37,7 @@ pub mod shrink;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
+pub mod timeline;
 pub mod tracefig;
 
 pub use report::{Cell, Report, Row};

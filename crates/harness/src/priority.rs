@@ -57,6 +57,8 @@ pub fn run_bursty(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> Exp
         wg_breakdown: gpu.wg_breakdown(),
         violations: gpu.violations().to_vec(),
         digest_trail: gpu.digest_trail().to_vec(),
+        snapshots: Vec::new(),
+        profile: None,
     }
 }
 

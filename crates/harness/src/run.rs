@@ -2,14 +2,15 @@
 
 use awg_core::policies::{build_policy, PolicyKind};
 use awg_gpu::{FaultPlan, Gpu, InvariantViolation, RunOutcome};
-use awg_sim::Cycle;
+use awg_sim::{Cycle, MetricSnapshot, ProfileReport, TelemetryConfig};
 use awg_workloads::BenchmarkKind;
 
 use crate::scale::Scale;
 
-/// Self-checking knobs for a run: the invariant oracle and the per-window
-/// state-digest trail. [`Instrumentation::none`] is the plain timing run;
-/// the chaos harness runs everything under [`Instrumentation::checked`].
+/// Self-checking and observability knobs for a run: the invariant oracle,
+/// the per-window state-digest trail, and the telemetry hub.
+/// [`Instrumentation::none`] is the plain timing run; the chaos harness
+/// runs everything under [`Instrumentation::checked`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Instrumentation {
     /// Validate machine-wide invariants at every scheduling event.
@@ -17,6 +18,9 @@ pub struct Instrumentation {
     /// Record a state digest every this-many cycles (for same-seed
     /// divergence localization).
     pub digest_window: Option<Cycle>,
+    /// Enable the telemetry hub (per-WG progress accounting, windowed
+    /// metric snapshots, host self-profiling).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// The digest window the chaos harness records at: fine enough to pin a
@@ -34,6 +38,20 @@ impl Instrumentation {
         Instrumentation {
             oracle: true,
             digest_window: Some(DIGEST_WINDOW),
+            telemetry: None,
+        }
+    }
+
+    /// Telemetry only: progress accounting, snapshots every
+    /// [`DIGEST_WINDOW`] cycles, and self-profiling.
+    pub fn observed() -> Self {
+        Instrumentation {
+            oracle: false,
+            digest_window: None,
+            telemetry: Some(TelemetryConfig {
+                snapshot_window: Some(DIGEST_WINDOW),
+                profiling: true,
+            }),
         }
     }
 }
@@ -68,6 +86,11 @@ pub struct ExpResult {
     pub violations: Vec<InvariantViolation>,
     /// Per-window state digests (empty unless a digest window was set).
     pub digest_trail: Vec<u64>,
+    /// Windowed metric snapshots (empty unless telemetry snapshots were on).
+    pub snapshots: Vec<MetricSnapshot>,
+    /// Host self-profiling summary (present only when telemetry profiling
+    /// was on).
+    pub profile: Option<ProfileReport>,
 }
 
 impl ExpResult {
@@ -176,6 +199,9 @@ pub fn run_instrumented(
     if let Some(window) = instr.digest_window {
         gpu.enable_digest_trail(window);
     }
+    if let Some(config) = instr.telemetry {
+        gpu.enable_telemetry(config);
+    }
     let outcome = gpu.run();
     let validated = built.validate(gpu.backing());
     ExpResult {
@@ -186,6 +212,11 @@ pub fn run_instrumented(
         wg_breakdown: gpu.wg_breakdown(),
         violations: gpu.violations().to_vec(),
         digest_trail: gpu.digest_trail().to_vec(),
+        snapshots: gpu
+            .telemetry()
+            .map(|h| h.snapshots().to_vec())
+            .unwrap_or_default(),
+        profile: gpu.profile_report(),
     }
 }
 

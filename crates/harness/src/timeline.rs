@@ -1,0 +1,134 @@
+//! The `timeline` workflow: one benchmark × policy run with the trace
+//! recorder and telemetry hub on, exported as a Perfetto-loadable
+//! Chrome-Trace-Format document plus its companion artifacts (windowed
+//! metric snapshots as JSONL, the host self-profile, and the run's stats
+//! with the telemetry distributions absorbed).
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{chrome_trace, expected_counts, Gpu, RunOutcome, TimelineCounts};
+use awg_sim::{ProfileReport, Stats, TelemetryConfig};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::DIGEST_WINDOW;
+use crate::scale::Scale;
+
+/// Everything a timeline run produces.
+#[derive(Debug)]
+pub struct TimelineRun {
+    /// The Chrome-Trace-Format JSON document (load in ui.perfetto.dev).
+    pub json: String,
+    /// Windowed metric snapshots, one JSON object per line.
+    pub snapshots_jsonl: String,
+    /// Host self-profiling summary.
+    pub profile: Option<ProfileReport>,
+    /// The run's stats, including the telemetry distributions
+    /// (`telemetry_wake_to_resume_cycles`, per-state cycle totals, …).
+    pub stats: Stats,
+    /// The raw simulation outcome.
+    pub outcome: RunOutcome,
+    /// Event counts the export is expected to contain, derived from the
+    /// in-memory trace (for validation against the parsed document).
+    pub counts: TimelineCounts,
+    /// In-memory trace records the export was built from.
+    pub records: usize,
+    /// Records evicted by the trace ring buffer (0 when unbounded).
+    pub dropped: u64,
+}
+
+/// Runs `kind` under `policy` with tracing and telemetry enabled and
+/// exports the timeline.
+///
+/// `trace_capacity` bounds the trace ring buffer (`None` keeps every
+/// record). A bounded trace still exports valid JSON; evicted records are
+/// reported in [`TimelineRun::dropped`].
+pub fn run_timeline(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    trace_capacity: Option<usize>,
+) -> TimelineRun {
+    let policy_box = build_policy(policy);
+    let built = kind.build(&scale.params, policy_box.style());
+    let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+    gpu.enable_trace();
+    gpu.set_trace_capacity(trace_capacity);
+    gpu.enable_telemetry(TelemetryConfig {
+        snapshot_window: Some(DIGEST_WINDOW),
+        profiling: true,
+    });
+    let outcome = gpu.run();
+
+    let records = gpu.trace_records();
+    let json = chrome_trace(&records, scale.gpu.num_cus);
+    let counts = expected_counts(&records);
+    let snapshots_jsonl = gpu
+        .telemetry()
+        .map(|hub| {
+            hub.snapshots()
+                .iter()
+                .map(|s| s.to_jsonl())
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .unwrap_or_default();
+    let profile = gpu.profile_report();
+    TimelineRun {
+        json,
+        snapshots_jsonl,
+        profile,
+        stats: outcome.summary().stats.clone(),
+        outcome,
+        counts,
+        records: records.len(),
+        dropped: gpu.trace_dropped(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_sim::json;
+
+    #[test]
+    fn timeline_exports_parse_and_match_counts() {
+        let t = run_timeline(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &Scale::quick(),
+            None,
+        );
+        let doc = json::parse(&t.json).expect("timeline must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        let count_ph = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .count() as u64
+        };
+        assert_eq!(count_ph("X"), t.counts.slices);
+        assert_eq!(count_ph("C"), t.counts.counters);
+        assert_eq!(count_ph("i"), t.counts.instants);
+        assert!(t.counts.slices > 0, "a real run dispatches WGs");
+        assert!(!t.snapshots_jsonl.is_empty());
+        for line in t.snapshots_jsonl.lines() {
+            json::parse(line).expect("snapshot lines must be valid JSON");
+        }
+        assert!(t.profile.is_some());
+    }
+
+    #[test]
+    fn bounded_trace_still_exports_valid_json() {
+        let t = run_timeline(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &Scale::quick(),
+            Some(64),
+        );
+        assert!(t.records <= 64);
+        assert!(t.dropped > 0, "quick SPM produces far more than 64 records");
+        json::parse(&t.json).expect("bounded timeline must be valid JSON");
+    }
+}

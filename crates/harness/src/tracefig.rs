@@ -33,7 +33,12 @@ pub fn run_policy(scale: &Scale, policy: PolicyKind) -> Report {
     for rec in gpu
         .trace_records()
         .iter()
-        .filter(|rec| !matches!(rec.event, TraceEvent::AtomicIssue { .. }))
+        .filter(|rec| {
+            !matches!(
+                rec.event,
+                TraceEvent::AtomicIssue { .. } | TraceEvent::AtomicDone { .. }
+            )
+        })
         .take(MAX_ROWS)
     {
         r.push(Row::new(
@@ -136,7 +141,7 @@ pub fn render_gantt(
             TraceEvent::Sleep { .. } => Some(S::Sleeping),
             TraceEvent::SwapOutStart => Some(S::SwapOut),
             TraceEvent::SwapOutDone => Some(S::Swapped),
-            TraceEvent::SwapInStart => Some(S::SwapIn),
+            TraceEvent::SwapInStart { .. } => Some(S::SwapIn),
             TraceEvent::Finish => Some(S::Done),
             _ => None,
         };
@@ -178,7 +183,7 @@ pub fn gantt_for(scale: &Scale, policy: PolicyKind) -> String {
     format!(
         "SPM x4 under {}\n{}",
         policy.label(),
-        render_gantt(gpu.trace_records(), 4, gpu.now(), 72)
+        render_gantt(&gpu.trace_records(), 4, gpu.now(), 72)
     )
 }
 

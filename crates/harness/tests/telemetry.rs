@@ -1,0 +1,226 @@
+//! Integration tests for the telemetry hub on real benchmark runs: the
+//! per-WG accounting identity, digest-trail transparency, the run-report
+//! histograms, and the Perfetto export's well-formedness.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{chrome_trace, expected_counts, Gpu};
+use awg_harness::{
+    run::{run_instrumented, ExperimentConfig, Instrumentation},
+    timeline, Scale, DIGEST_WINDOW,
+};
+use awg_sim::{json, Cycle, TelemetryConfig};
+use awg_workloads::BenchmarkKind;
+
+fn telemetry_on() -> TelemetryConfig {
+    TelemetryConfig {
+        snapshot_window: Some(DIGEST_WINDOW),
+        profiling: true,
+    }
+}
+
+/// Acceptance: for every WG — including swapped and never-dispatched ones —
+/// the per-state cycle totals sum to the run's elapsed cycles.
+#[test]
+fn state_times_sum_to_elapsed_for_every_wg() {
+    let scale = Scale::quick();
+    for policy in [PolicyKind::Baseline, PolicyKind::Awg] {
+        let policy_box = build_policy(policy);
+        let built = BenchmarkKind::SpinMutexGlobal.build(&scale.params, policy_box.style());
+        let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+        gpu.enable_telemetry(telemetry_on());
+        let outcome = gpu.run();
+        assert!(outcome.is_completed(), "{policy:?}: {outcome}");
+        let hub = gpu.telemetry().expect("telemetry was enabled");
+        // The hub closes at the retirement of the last instruction, which
+        // may sit a few cycles past the final scheduled event.
+        let elapsed = hub.end_cycle().expect("run finalizes the hub");
+        assert!(elapsed >= gpu.now());
+        assert!(hub.wg_count() > 0);
+        for wg in 0..hub.wg_count() {
+            let times = hub.wg_state_times(wg).expect("wg accounted");
+            let total: Cycle = times.iter().sum();
+            assert_eq!(
+                total, elapsed,
+                "{policy:?} wg {wg}: state times {times:?} must sum to {elapsed}"
+            );
+        }
+    }
+}
+
+/// Telemetry is a pure observer: the per-window digest trail is
+/// bit-identical with the hub off and on.
+#[test]
+fn telemetry_does_not_perturb_digest_trail() {
+    let scale = Scale::quick();
+    let digests_only = Instrumentation {
+        oracle: false,
+        digest_window: Some(DIGEST_WINDOW),
+        telemetry: None,
+    };
+    let digests_and_telemetry = Instrumentation {
+        oracle: false,
+        digest_window: Some(DIGEST_WINDOW),
+        telemetry: Some(telemetry_on()),
+    };
+    let run = |instr: Instrumentation| {
+        run_instrumented(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            build_policy(PolicyKind::Awg),
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+            None,
+            instr,
+        )
+    };
+    let plain = run(digests_only);
+    let observed = run(digests_and_telemetry);
+    assert!(plain.is_valid_completion());
+    assert!(observed.is_valid_completion());
+    assert!(!plain.digest_trail.is_empty());
+    assert_eq!(
+        plain.digest_trail, observed.digest_trail,
+        "the hub must never feed back into the simulation"
+    );
+    assert!(plain.snapshots.is_empty());
+    assert!(!observed.snapshots.is_empty());
+}
+
+/// The wake-to-resume histogram lands in the run report's stats whenever a
+/// sleeping policy actually wakes WGs.
+#[test]
+fn wake_to_resume_hist_reaches_run_report() {
+    let scale = Scale::quick();
+    let r = run_instrumented(
+        BenchmarkKind::SpinMutexGlobal,
+        PolicyKind::Awg,
+        build_policy(PolicyKind::Awg),
+        &scale,
+        ExperimentConfig::NonOversubscribed,
+        None,
+        Instrumentation::observed(),
+    );
+    assert!(r.is_valid_completion());
+    let stats = &r.outcome.summary().stats;
+    let buckets = stats
+        .hist_buckets_by_name("telemetry_wake_to_resume_cycles")
+        .expect("hist registered by the hub");
+    assert!(
+        buckets.iter().map(|&(_, c)| c).sum::<u64>() > 0,
+        "AWG wakes stalled WGs, so latencies must be observed"
+    );
+    // The rendered report (Stats::Display) includes the histogram too.
+    let text = stats.to_string();
+    assert!(
+        text.contains("telemetry_wake_to_resume_cycles: count="),
+        "{text}"
+    );
+    assert!(r.profile.is_some());
+}
+
+/// Golden export check on a contended-mutex run: the document parses, every
+/// event is well-formed (known `ph`, numeric non-negative `ts`, numeric
+/// `pid`/`tid`), and the phase counts account for the in-memory trace.
+#[test]
+fn perfetto_export_is_well_formed_and_complete() {
+    let scale = Scale::quick();
+    let policy_box = build_policy(PolicyKind::Awg);
+    let built = BenchmarkKind::SpinMutexGlobal.build(&scale.params, policy_box.style());
+    let mut gpu = Gpu::new(scale.gpu.clone(), built.kernel(), policy_box);
+    gpu.enable_trace();
+    gpu.enable_telemetry(telemetry_on());
+    let outcome = gpu.run();
+    assert!(outcome.is_completed(), "{outcome}");
+
+    let records = gpu.trace_records();
+    assert!(!records.is_empty());
+    let doc = json::parse(&chrome_trace(&records, scale.gpu.num_cus)).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+
+    let mut slices = 0u64;
+    let mut counters = 0u64;
+    let mut instants = 0u64;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph present");
+        assert!(
+            matches!(ph, "X" | "C" | "i" | "M"),
+            "unexpected phase {ph:?}"
+        );
+        let pid = e.get("pid").and_then(|p| p.as_f64()).expect("numeric pid");
+        assert!(pid >= 0.0);
+        let tid = e.get("tid").and_then(|t| t.as_f64()).expect("numeric tid");
+        assert!(tid >= 0.0);
+        if ph != "M" {
+            let ts = e.get("ts").and_then(|t| t.as_f64()).expect("numeric ts");
+            assert!(ts >= 0.0, "negative timestamp {ts}");
+        }
+        match ph {
+            "X" => {
+                slices += 1;
+                let dur = e.get("dur").and_then(|d| d.as_f64()).expect("numeric dur");
+                assert!(dur >= 0.0);
+            }
+            "C" => counters += 1,
+            "i" => instants += 1,
+            _ => {}
+        }
+    }
+    let expected = expected_counts(&records);
+    assert_eq!(slices, expected.slices);
+    assert_eq!(counters, expected.counters);
+    assert_eq!(instants, expected.instants);
+}
+
+/// Context switches (forced here by mid-run CU loss) record their
+/// traffic/fixed/stall breakdown and land swap intervals in the per-WG
+/// accounting.
+#[test]
+fn oversubscription_records_ctx_switch_breakdown() {
+    let scale = Scale::quick();
+    let r = run_instrumented(
+        BenchmarkKind::SpinMutexGlobal,
+        PolicyKind::Awg,
+        build_policy(PolicyKind::Awg),
+        &scale,
+        ExperimentConfig::Oversubscribed,
+        None,
+        Instrumentation::observed(),
+    );
+    assert!(r.is_valid_completion(), "{:?}", r.outcome);
+    assert!(r.outcome.summary().switches_out > 0, "CU loss forces swaps");
+    let stats = &r.outcome.summary().stats;
+    let out = stats
+        .dist_summary_by_name("telemetry_ctx_out_traffic_cycles")
+        .expect("swap-out breakdown recorded");
+    assert_eq!(out.count, r.outcome.summary().switches_out);
+    assert!(out.sum > 0, "context save is real DRAM traffic");
+    assert!(stats
+        .hist_buckets_by_name("telemetry_ctx_out_total_cycles")
+        .is_some());
+    let swapped = stats
+        .dist_summary_by_name("telemetry_wg_cycles_swapped_out")
+        .expect("per-WG state dists published");
+    assert!(swapped.sum > 0, "some WG spent time swapped out");
+}
+
+/// The timeline workflow produces the same artifacts the CLI writes.
+#[test]
+fn timeline_workflow_runs_quick() {
+    let t = timeline::run_timeline(
+        BenchmarkKind::FaMutexGlobal,
+        PolicyKind::MonNrOne,
+        &Scale::quick(),
+        None,
+    );
+    assert!(t.outcome.is_completed(), "{}", t.outcome);
+    json::parse(&t.json).expect("valid JSON");
+    for line in t.snapshots_jsonl.lines() {
+        let snap = json::parse(line).expect("valid snapshot line");
+        assert!(snap.get("cycle").is_some());
+        assert!(snap.get("occupancy").is_some());
+        assert!(snap.get("states").is_some());
+    }
+}

@@ -38,13 +38,19 @@
 pub mod event;
 pub mod ewma;
 pub mod fingerprint;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::EventQueue;
 pub use ewma::Ewma;
 pub use fingerprint::{first_divergence, Fingerprint64};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
-pub use stats::{CounterId, DistId, HistId, Stats};
+pub use stats::{CounterId, DistId, DistSummary, HistId, Stats};
+pub use telemetry::{
+    MetricSnapshot, ProfileReport, ProgressState, SnapshotSample, Subsystem, TelemetryConfig,
+    TelemetryHub,
+};
 pub use time::{cycles_to_ns, cycles_to_us, us_to_cycles, Cycle, BASELINE_CLOCK_GHZ};

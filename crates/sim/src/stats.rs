@@ -4,6 +4,7 @@
 //! ([`CounterId`], [`DistId`], [`HistId`]) are cheap indices so the hot path
 //! never hashes strings.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::time::Cycle;
@@ -80,6 +81,12 @@ pub struct Stats {
     counters: Vec<u64>,
     dists: Vec<Dist>,
     hists: Vec<Hist>,
+    // Name → slot indices so registration (and by-name lookup) is O(1).
+    // Policies register per-WG metrics on hot paths; a linear scan makes
+    // that quadratic in the number of registered names.
+    counter_index: HashMap<String, usize>,
+    dist_index: HashMap<String, usize>,
+    hist_index: HashMap<String, usize>,
 }
 
 impl Stats {
@@ -90,17 +97,19 @@ impl Stats {
 
     /// Registers (or finds) a counter named `name` and returns its handle.
     pub fn counter(&mut self, name: &str) -> CounterId {
-        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+        if let Some(&i) = self.counter_index.get(name) {
             return CounterId(i);
         }
         self.counter_names.push(name.to_owned());
         self.counters.push(0);
-        CounterId(self.counters.len() - 1)
+        let i = self.counters.len() - 1;
+        self.counter_index.insert(name.to_owned(), i);
+        CounterId(i)
     }
 
     /// Registers (or finds) a distribution named `name`.
     pub fn dist(&mut self, name: &str) -> DistId {
-        if let Some(i) = self.dists.iter().position(|d| d.name == name) {
+        if let Some(&i) = self.dist_index.get(name) {
             return DistId(i);
         }
         self.dists.push(Dist {
@@ -110,12 +119,14 @@ impl Stats {
             min: u64::MAX,
             max: 0,
         });
-        DistId(self.dists.len() - 1)
+        let i = self.dists.len() - 1;
+        self.dist_index.insert(name.to_owned(), i);
+        DistId(i)
     }
 
     /// Registers (or finds) a log₂ histogram named `name`.
     pub fn hist(&mut self, name: &str) -> HistId {
-        if let Some(i) = self.hists.iter().position(|h| h.name == name) {
+        if let Some(&i) = self.hist_index.get(name) {
             return HistId(i);
         }
         self.hists.push(Hist {
@@ -123,7 +134,9 @@ impl Stats {
             buckets: [0; HIST_BUCKETS],
             count: 0,
         });
-        HistId(self.hists.len() - 1)
+        let i = self.hists.len() - 1;
+        self.hist_index.insert(name.to_owned(), i);
+        HistId(i)
     }
 
     /// Increments a counter by one.
@@ -146,10 +159,7 @@ impl Stats {
 
     /// Looks up a counter's current value by name, if registered.
     pub fn get_by_name(&self, name: &str) -> Option<u64> {
-        self.counter_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| self.counters[i])
+        self.counter_index.get(name).map(|&i| self.counters[i])
     }
 
     /// Records a sample into a distribution.
@@ -200,10 +210,16 @@ impl Stats {
 
     /// Looks up a histogram's non-empty buckets by name, if registered.
     pub fn hist_buckets_by_name(&self, name: &str) -> Option<Vec<(u64, u64)>> {
-        self.hists
-            .iter()
-            .position(|h| h.name == name)
-            .map(|i| self.hist_buckets(HistId(i)))
+        self.hist_index
+            .get(name)
+            .map(|&i| self.hist_buckets(HistId(i)))
+    }
+
+    /// Looks up a distribution's summary by name, if registered.
+    pub fn dist_summary_by_name(&self, name: &str) -> Option<DistSummary> {
+        self.dist_index
+            .get(name)
+            .map(|&i| self.dist_summary(DistId(i)))
     }
 
     /// Iterates over all `(name, value)` counters in registration order.
@@ -212,6 +228,55 @@ impl Stats {
             .iter()
             .map(String::as_str)
             .zip(self.counters.iter().copied())
+    }
+
+    /// Iterates over all `(name, summary)` distributions in registration
+    /// order.
+    pub fn dists(&self) -> impl Iterator<Item = (&str, DistSummary)> {
+        self.dists.iter().map(|d| {
+            (
+                d.name.as_str(),
+                DistSummary {
+                    count: d.count,
+                    sum: d.sum,
+                    min: if d.count == 0 { 0 } else { d.min },
+                    max: d.max,
+                },
+            )
+        })
+    }
+
+    /// Iterates over all `(name, non-empty buckets)` histograms in
+    /// registration order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, Vec<(u64, u64)>)> {
+        (0..self.hists.len()).map(|i| (self.hists[i].name.as_str(), self.hist_buckets(HistId(i))))
+    }
+
+    /// Merges another registry into this one by name: counters add,
+    /// distributions combine their moments, histograms add bucketwise.
+    /// Used to fold a subsystem's private registry (e.g. the telemetry
+    /// hub's) into the run-level one at report time.
+    pub fn absorb(&mut self, other: &Stats) {
+        for (name, value) in other.counters() {
+            let c = self.counter(name);
+            self.add(c, value);
+        }
+        for o in &other.dists {
+            let id = self.dist(&o.name);
+            let d = &mut self.dists[id.0];
+            d.count += o.count;
+            d.sum += o.sum;
+            d.min = d.min.min(o.min);
+            d.max = d.max.max(o.max);
+        }
+        for o in &other.hists {
+            let id = self.hist(&o.name);
+            let h = &mut self.hists[id.0];
+            for (b, &c) in h.buckets.iter_mut().zip(o.buckets.iter()) {
+                *b += c;
+            }
+            h.count += o.count;
+        }
     }
 
     /// Resets all counters, distributions and histograms to zero, keeping
@@ -254,6 +319,14 @@ impl fmt::Display for Stats {
                 s.min,
                 s.max
             )?;
+        }
+        for i in 0..self.hists.len() {
+            let h = &self.hists[i];
+            write!(f, "{}: count={}", h.name, h.count)?;
+            for (lo, c) in self.hist_buckets(HistId(i)) {
+                write!(f, " | {lo}:{c}")?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -343,5 +416,21 @@ mod tests {
         s.inc(c);
         let text = s.to_string();
         assert!(text.contains("visible: 1"));
+    }
+
+    #[test]
+    fn display_renders_histograms() {
+        let mut s = Stats::new();
+        let h = s.hist("latency");
+        s.observe(h, 0);
+        s.observe(h, 1);
+        s.observe(h, 3);
+        s.observe(h, 3);
+        let text = s.to_string();
+        // Buckets: 0 -> "0:1", 1 -> "1:1", {3,3} -> "2:2".
+        assert!(
+            text.contains("latency: count=4 | 0:1 | 1:1 | 2:2"),
+            "{text}"
+        );
     }
 }
