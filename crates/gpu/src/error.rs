@@ -20,6 +20,15 @@ pub enum SimError {
     /// The invariant oracle caught the machine violating a machine-wide
     /// invariant mid-run.
     Invariant(InvariantViolation),
+    /// A campaign job panicked. The sweep pool catches the panic so one bad
+    /// run becomes a typed row in the report instead of killing the whole
+    /// campaign.
+    JobPanic {
+        /// Stable key of the job that panicked (e.g. `fig14/SPM_G/AWG`).
+        job: String,
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -28,6 +37,9 @@ impl std::fmt::Display for SimError {
             SimError::Config(msg) => write!(f, "{msg}"),
             SimError::PlanFormat(msg) => write!(f, "fault plan parse error: {msg}"),
             SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
+            SimError::JobPanic { job, message } => {
+                write!(f, "job '{job}' panicked: {message}")
+            }
         }
     }
 }
@@ -53,5 +65,13 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("cycle 42"), "{text}");
         assert!(text.contains("WG 3"), "{text}");
+        let e = SimError::JobPanic {
+            job: "fig14/SPM_G/AWG".into(),
+            message: "index out of bounds".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("fig14/SPM_G/AWG"), "{text}");
+        assert!(text.contains("panicked"), "{text}");
+        assert!(text.contains("index out of bounds"), "{text}");
     }
 }

@@ -19,6 +19,7 @@ use awg_core::SyncMonConfig;
 use awg_gpu::SchedPolicy;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_with_policy, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -64,19 +65,46 @@ pub fn benchmarks() -> [BenchmarkKind; 4] {
 /// Runs the ablation study (oversubscribed scenario; runtime normalized to
 /// full AWG).
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the ablation study on `pool`: one job per (benchmark, variant)
+/// cell. Variants are constructed inside their jobs (policy boxes are not
+/// shared across threads), and results merge in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Ablations: AWG components disabled one at a time (runtime / full AWG, oversubscribed)",
         VARIANTS.to_vec(),
     );
+    let mut jobs = Vec::new();
     for kind in benchmarks() {
-        let full = run_with_policy(
-            kind,
-            PolicyKind::Awg,
-            build_variant(0),
-            scale,
-            ExperimentConfig::Oversubscribed,
-        );
-        let Some(base) = full.cycles() else {
+        for (v, name) in VARIANTS.iter().enumerate() {
+            jobs.push(pool::job(
+                format!("ablations/{}/{name}", kind.abbreviation()),
+                move || {
+                    run_with_policy(
+                        kind,
+                        PolicyKind::Awg,
+                        build_variant(v),
+                        scale,
+                        ExperimentConfig::Oversubscribed,
+                    )
+                },
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in benchmarks() {
+        let results: Vec<_> = VARIANTS
+            .iter()
+            .map(|_| outputs.next().expect("one job per ablated variant"))
+            .collect();
+        let Some(base) = results[0]
+            .result
+            .as_ref()
+            .ok()
+            .and_then(|full| full.cycles())
+        else {
             r.push(Row::new(
                 kind.abbreviation(),
                 vec![Cell::Deadlock; VARIANTS.len()],
@@ -84,18 +112,14 @@ pub fn run(scale: &Scale) -> Report {
             continue;
         };
         let mut cells = vec![Cell::Num(1.0)];
-        for v in 1..VARIANTS.len() {
-            let res = run_with_policy(
-                kind,
-                PolicyKind::Awg,
-                build_variant(v),
-                scale,
-                ExperimentConfig::Oversubscribed,
-            );
-            cells.push(match (res.cycles(), res.validated) {
-                (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
-                (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
-                (None, _) => Cell::Deadlock,
+        for out in &results[1..] {
+            cells.push(match &out.result {
+                Ok(res) => match (res.cycles(), &res.validated) {
+                    (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
+                    (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                    (None, _) => Cell::Deadlock,
+                },
+                Err(e) => pool::error_cell(e),
             });
         }
         r.push(Row::new(kind.abbreviation(), cells));

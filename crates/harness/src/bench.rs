@@ -1,0 +1,112 @@
+//! Host-performance campaign: how fast does the simulator itself run?
+//!
+//! Runs a (benchmark × policy) matrix with the telemetry hub's
+//! self-profiling on and reports, per job, the simulated cycle count, the
+//! job's host wall-clock, and the resulting simulation rate — plus the
+//! campaign aggregate via [`CampaignProfile`]. This is the `awg-repro
+//! bench` subcommand: the number to watch when changing the event loop or
+//! the sweep pool's scheduling.
+//!
+//! Wall-clocks vary run to run, so this report is *not* byte-deterministic
+//! across invocations — only its row/column structure and the simulated
+//! cycle counts are.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_workloads::BenchmarkKind;
+
+use crate::pool::{self, CampaignProfile, Pool};
+use crate::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use crate::{Cell, Report, Row, Scale};
+
+/// The benchmark arm (one spin lock, one ticket lock, one barrier — the
+/// chaos matrix's suite, so `bench` and `chaos` numbers are comparable).
+pub fn benchmarks() -> [BenchmarkKind; 3] {
+    crate::chaos::benchmarks()
+}
+
+/// The policy arm (the chaos matrix's IFP designs).
+pub fn policies() -> [PolicyKind; 5] {
+    crate::chaos::policies()
+}
+
+/// Runs the host-performance matrix on `pool`. Returns the per-job report
+/// and the campaign aggregate (total wall-clock, absorbed run stats, and
+/// simulated cycles per host-second).
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> (Report, CampaignProfile) {
+    let mut r = Report::new(
+        "Bench: simulator host performance (self-profile per job)",
+        vec!["sim Mcycles", "host ms", "Mcycles/s"],
+    );
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for policy in policies() {
+            jobs.push(pool::job(
+                format!("bench/{}/{}", kind.abbreviation(), policy.label()),
+                move || {
+                    run_instrumented(
+                        kind,
+                        policy,
+                        build_policy(policy),
+                        scale,
+                        ExperimentConfig::NonOversubscribed,
+                        None,
+                        Instrumentation::profiled(),
+                    )
+                },
+            ));
+        }
+    }
+    let mut profile = CampaignProfile::default();
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in benchmarks() {
+        for policy in policies() {
+            let out = outputs.next().expect("one job per matrix cell");
+            profile.absorb_job(&out);
+            let label = format!("{}/{}", kind.abbreviation(), policy.label());
+            let cells = match &out.result {
+                Ok(res) => match &res.profile {
+                    Some(p) => {
+                        let secs = p.total_wall.as_secs_f64();
+                        vec![
+                            Cell::Num(p.sim_cycles as f64 / 1e6),
+                            Cell::Num(secs * 1e3),
+                            Cell::Num(if secs > 0.0 {
+                                p.sim_cycles as f64 / secs / 1e6
+                            } else {
+                                0.0
+                            }),
+                        ]
+                    }
+                    None => vec![Cell::Missing; 3],
+                },
+                Err(e) => vec![pool::error_cell(e); 3],
+            };
+            r.push(Row::new(label, cells));
+        }
+    }
+    r.note(format!("Aggregate: {}", profile.summary_line(pool.jobs())));
+    r.note("Host wall-clocks vary run to run; only the simulated cycle counts are deterministic.");
+    (r, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_matrix_profiles_every_cell() {
+        let (r, profile) = run_pooled(&Scale::quick(), &Pool::new(2));
+        assert_eq!(r.rows.len(), benchmarks().len() * policies().len());
+        for row in &r.rows {
+            let mcycles = row.cells[0].as_num().unwrap_or(0.0);
+            assert!(mcycles > 0.0, "{}: {:?}", row.label, row.cells);
+        }
+        assert_eq!(profile.timings.len(), r.rows.len());
+        assert!(profile.sim_cycles > 0);
+        assert!(profile.cycles_per_sec() > 0.0);
+        assert!(
+            profile.stats.counters().count() > 0,
+            "absorbed run stats must be non-empty"
+        );
+    }
+}

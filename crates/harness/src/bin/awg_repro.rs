@@ -2,13 +2,18 @@
 //! Progress of Work-groups* (ISCA 2020).
 //!
 //! ```text
-//! awg-repro [--quick] [--out DIR] <command>
+//! awg-repro [--quick] [--jobs N] [--out DIR] <command>
 //!
 //! commands:
 //!   table1 table2 fig5 fig7 fig8 fig9 fig11 fig13 fig14 fig15
 //!   ablations fairness  extension studies beyond the paper's figures
 //!   chaos             differential clean-vs-faulted matrix with the
-//!                     invariant oracle on (exits 1 on any violation)
+//!                     invariant oracle on (exits 1 on any violation);
+//!                     reports per-job wall-clock and the aggregate
+//!                     simulation rate on stderr
+//!   bench             simulator host-performance matrix: per-job
+//!                     wall-clock and aggregate cycles/s from the
+//!                     telemetry self-profile
 //!   shrink <bench> <policy> <seed> [--plan FILE]
 //!                     delta-debug the seeded chaos plan of a hanging
 //!                     triple down to a minimal JSON reproducer
@@ -27,6 +32,10 @@
 //!
 //! options:
 //!   --quick           scaled-down machine (2 CUs, 20 WGs) for smoke runs
+//!   --jobs N          run campaign cells on N worker threads (default:
+//!                     available parallelism; 1 = serial). Reports are
+//!                     byte-identical at any N: jobs carry stable keys and
+//!                     merge in enumeration order
 //!   --out DIR         also write each report as CSV into DIR
 //!
 //! exit codes:
@@ -42,7 +51,9 @@ use std::process::ExitCode;
 use awg_core::policies::{build_policy, PolicyKind};
 use awg_gpu::FaultPlan;
 use awg_harness::{
-    ablations, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15, priority,
+    ablations, bench, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
+    pool::{CampaignProfile, Pool},
+    priority,
     run::{run_instrumented, ExperimentConfig, Instrumentation},
     shrink, sweep, table1, table2, timeline, tracefig, Report, Scale,
 };
@@ -56,8 +67,8 @@ const EXIT_PLAN: u8 = 5;
 
 fn print_usage() {
     eprintln!(
-        "usage: awg-repro [--quick] [--out DIR] \
-         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos\
+        "usage: awg-repro [--quick] [--jobs N] [--out DIR] \
+         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|bench\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
          |trace [policy]\
@@ -361,10 +372,27 @@ fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) -> Result<(), ExitCo
     Ok(())
 }
 
+/// Prints a campaign's per-job wall-clocks and the aggregate simulation
+/// rate (from the telemetry self-profile) to stderr, keeping stdout clean
+/// for the report itself.
+fn report_campaign_profile(
+    slug: &str,
+    profile: &CampaignProfile,
+    pool: &Pool,
+    elapsed: std::time::Duration,
+) {
+    for (key, wall) in &profile.timings {
+        eprintln!("[{slug}] {key}: {wall:.2?}");
+    }
+    eprintln!("[{slug}] {}", profile.summary_line(pool.jobs()));
+    eprintln!("[{slug}] campaign wall-clock: {elapsed:.2?}");
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut pool = Pool::auto();
     let mut command_seen: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -372,6 +400,20 @@ fn main() -> ExitCode {
             "--quick" => {
                 quick = true;
                 args.remove(i);
+            }
+            "--jobs" => {
+                args.remove(i);
+                if i >= args.len() {
+                    return usage();
+                }
+                let value = args.remove(i);
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => pool = Pool::new(n),
+                    _ => {
+                        eprintln!("--jobs must be a positive integer, got '{value}'");
+                        return usage();
+                    }
+                }
             }
             // `timeline` owns its `--out FILE`; the global flag is the
             // CSV directory for report commands.
@@ -401,29 +443,29 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
 
-    type Runner = fn(&Scale) -> Report;
+    type Runner = fn(&Scale, &Pool) -> Report;
     let all: [(&str, Runner); 14] = [
-        ("table1", table1::run),
-        ("table2", table2::run),
-        ("fig5", fig05::run),
-        ("fig7", fig07::run),
-        ("fig8", fig08::run),
-        ("fig9", fig09::run),
-        ("fig11", fig11::run),
-        ("fig13", fig13::run),
-        ("fig14", fig14::run),
-        ("fig15", fig15::run),
-        ("ablations", ablations::run),
-        ("fairness", fairness::run),
-        ("sweep", sweep::run),
-        ("priority", priority::run),
+        ("table1", table1::run_pooled),
+        ("table2", table2::run_pooled),
+        ("fig5", fig05::run_pooled),
+        ("fig7", fig07::run_pooled),
+        ("fig8", fig08::run_pooled),
+        ("fig9", fig09::run_pooled),
+        ("fig11", fig11::run_pooled),
+        ("fig13", fig13::run_pooled),
+        ("fig14", fig14::run_pooled),
+        ("fig15", fig15::run_pooled),
+        ("ablations", ablations::run_pooled),
+        ("fairness", fairness::run_pooled),
+        ("sweep", sweep::run_pooled),
+        ("priority", priority::run_pooled),
     ];
 
     match command {
         "all" => {
             for (slug, runner) in all {
                 let t0 = std::time::Instant::now();
-                let report = runner(&scale);
+                let report = runner(&scale, &pool);
                 if let Err(code) = emit(&report, &out, slug) {
                     return code;
                 }
@@ -432,14 +474,28 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "chaos" => {
-            let (report, violations) = chaos::run_checked(&scale, &chaos::DEFAULT_SEEDS);
+            let t0 = std::time::Instant::now();
+            let (report, violations, profile) =
+                chaos::run_checked_pooled(&scale, &chaos::DEFAULT_SEEDS, &pool);
+            let elapsed = t0.elapsed();
             if let Err(code) = emit(&report, &out, "chaos") {
                 return code;
             }
+            report_campaign_profile("chaos", &profile, &pool, elapsed);
             if violations > 0 {
                 eprintln!("chaos: {violations} invariant violation(s)");
                 return ExitCode::from(EXIT_FAIL);
             }
+            ExitCode::SUCCESS
+        }
+        "bench" => {
+            let t0 = std::time::Instant::now();
+            let (report, profile) = bench::run_pooled(&scale, &pool);
+            let elapsed = t0.elapsed();
+            if let Err(code) = emit(&report, &out, "bench") {
+                return code;
+            }
+            report_campaign_profile("bench", &profile, &pool, elapsed);
             ExitCode::SUCCESS
         }
         "shrink" => {
@@ -581,7 +637,7 @@ fn main() -> ExitCode {
             run_asm(&path, policy, wgs, &scale)
         }
         name => match all.iter().find(|(slug, _)| *slug == name) {
-            Some((slug, runner)) => match emit(&runner(&scale), &out, slug) {
+            Some((slug, runner)) => match emit(&runner(&scale, &pool), &out, slug) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(code) => code,
             },

@@ -18,6 +18,7 @@ use awg_gpu::{FaultPlan, FaultPlanConfig};
 use awg_sim::first_divergence;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, CampaignProfile, Pool};
 use crate::run::{run_instrumented, ExpResult, ExperimentConfig, Instrumentation, DIGEST_WINDOW};
 use crate::{Cell, Report, Row, Scale};
 
@@ -62,7 +63,9 @@ pub fn plan_for(policy: PolicyKind, scale: &Scale, seed: u64) -> FaultPlan {
 }
 
 /// Runs `kind` under `policy` with the seeded fault plan installed, the
-/// invariant oracle on, and a per-window digest trail recorded.
+/// invariant oracle on, a per-window digest trail recorded, and the host
+/// self-profile collected (telemetry is a pure observer, so the digests
+/// and oracle verdicts are identical to an unprofiled run).
 pub fn run_faulted(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale, seed: u64) -> ExpResult {
     run_instrumented(
         kind,
@@ -71,7 +74,7 @@ pub fn run_faulted(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale, seed:
         scale,
         ExperimentConfig::NonOversubscribed,
         Some(plan_for(policy, scale, seed)),
-        Instrumentation::checked(),
+        Instrumentation::profiled(),
     )
 }
 
@@ -95,6 +98,21 @@ pub fn fingerprint(r: &ExpResult) -> Vec<u64> {
 /// of violated invariants (0 = pass; the `chaos` subcommand exits non-zero
 /// otherwise).
 pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
+    let (report, violations, _) = run_checked_pooled(scale, seeds, &Pool::serial());
+    (report, violations)
+}
+
+/// Runs the full differential matrix on `pool`: one job per run — clean,
+/// and two per seed for the same-seed comparison — merged back in strict
+/// matrix order, so the report (cells *and* notes) is byte-identical to
+/// the serial run at any concurrency. Also returns the campaign's
+/// host-side accounting (per-job wall-clock, absorbed run stats, and the
+/// aggregate self-profile).
+pub fn run_checked_pooled(
+    scale: &Scale,
+    seeds: &[u64],
+    pool: &Pool,
+) -> (Report, usize, CampaignProfile) {
     let mut columns: Vec<String> = vec!["clean".into()];
     for s in seeds {
         columns.push(format!("seed {s}"));
@@ -108,6 +126,51 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
         notes: Vec::new(),
     };
     let mut violations = 0usize;
+
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for policy in policies() {
+            let label = format!("chaos/{}/{}", kind.abbreviation(), policy.label());
+            jobs.push(pool::job(format!("{label}/clean"), move || {
+                run_instrumented(
+                    kind,
+                    policy,
+                    build_policy(policy),
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                    None,
+                    Instrumentation::profiled(),
+                )
+            }));
+            for &seed in seeds {
+                for arm in ["a", "b"] {
+                    jobs.push(pool::job(format!("{label}/seed-{seed}/{arm}"), move || {
+                        run_faulted(kind, policy, scale, seed)
+                    }));
+                }
+            }
+        }
+    }
+    jobs.push(pool::job("chaos/control/TB_LG/Baseline", move || {
+        run_instrumented(
+            BenchmarkKind::TreeBarrier,
+            PolicyKind::Baseline,
+            build_policy(PolicyKind::Baseline),
+            scale,
+            ExperimentConfig::Oversubscribed,
+            None,
+            Instrumentation::profiled(),
+        )
+    }));
+    let mut profile = CampaignProfile::default();
+    let mut outputs = pool.run(jobs).into_iter();
+    // Timings and stats absorb in job order (the same order the report
+    // consumes), so the campaign profile is deterministic too.
+    let mut next = move |profile: &mut CampaignProfile| {
+        let out = outputs.next().expect("one output per enumerated job");
+        profile.absorb_job(&out);
+        out
+    };
 
     // Any oracle finding is an invariant violation in its own right,
     // independent of whether the run still completed.
@@ -126,34 +189,51 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
     for kind in benchmarks() {
         for policy in policies() {
             let label = format!("{}/{}", kind.abbreviation(), policy.label());
-            let clean = run_instrumented(
-                kind,
-                policy,
-                build_policy(policy),
-                scale,
-                ExperimentConfig::NonOversubscribed,
-                None,
-                Instrumentation::checked(),
-            );
-            violations += oracle_check(&mut report, &label, &clean);
+            let clean_out = next(&mut profile);
             let mut cells = Vec::new();
-            if clean.is_valid_completion() {
-                cells.push(Cell::Num(clean.cycles().unwrap() as f64));
-            } else {
-                violations += 1;
-                report.note(format!(
-                    "{label}: clean run failed: {} / {:?}",
-                    clean.outcome, clean.validated
-                ));
-                cells.push(Cell::Text("FAIL".into()));
+            let clean = match &clean_out.result {
+                Ok(res) => Some(res),
+                Err(e) => {
+                    violations += 1;
+                    report.note(format!("{label}: clean run panicked: {e}"));
+                    cells.push(pool::error_cell(e));
+                    None
+                }
+            };
+            if let Some(clean) = clean {
+                violations += oracle_check(&mut report, &label, clean);
+                if clean.is_valid_completion() {
+                    cells.push(Cell::Num(clean.cycles().unwrap() as f64));
+                } else {
+                    violations += 1;
+                    report.note(format!(
+                        "{label}: clean run failed: {} / {:?}",
+                        clean.outcome, clean.validated
+                    ));
+                    cells.push(Cell::Text("FAIL".into()));
+                }
             }
             let mut worst = 1.0f64;
             let mut deterministic = true;
             for &seed in seeds {
-                let a = run_faulted(kind, policy, scale, seed);
-                let b = run_faulted(kind, policy, scale, seed);
-                violations += oracle_check(&mut report, &format!("{label} seed {seed}"), &a);
-                if fingerprint(&a) != fingerprint(&b) || a.digest_trail != b.digest_trail {
+                let a_out = next(&mut profile);
+                let b_out = next(&mut profile);
+                let (a, b) = match (&a_out.result, &b_out.result) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (r_a, r_b) => {
+                        let e = r_a
+                            .as_ref()
+                            .err()
+                            .or(r_b.as_ref().err())
+                            .expect("one arm erred");
+                        violations += 1;
+                        report.note(format!("{label} seed {seed}: job panicked: {e}"));
+                        cells.push(pool::error_cell(e));
+                        continue;
+                    }
+                };
+                violations += oracle_check(&mut report, &format!("{label} seed {seed}"), a);
+                if fingerprint(a) != fingerprint(b) || a.digest_trail != b.digest_trail {
                     deterministic = false;
                     violations += 1;
                     let window = first_divergence(&a.digest_trail, &b.digest_trail);
@@ -177,7 +257,7 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
                 }
                 if a.is_valid_completion() {
                     let c = a.cycles().unwrap();
-                    if let Some(base) = clean.cycles() {
+                    if let Some(base) = clean.and_then(|clean| clean.cycles()) {
                         worst = worst.max(c as f64 / base as f64);
                     }
                     cells.push(Cell::Num(c as f64));
@@ -209,35 +289,35 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
     // the watchdog must say who is stuck and on which address. TreeBarrier
     // guarantees resident waiters: the surviving CU's WGs spin on barrier
     // flags the stranded WGs will never set.
-    let baseline = run_instrumented(
-        BenchmarkKind::TreeBarrier,
-        PolicyKind::Baseline,
-        build_policy(PolicyKind::Baseline),
-        scale,
-        ExperimentConfig::Oversubscribed,
-        None,
-        Instrumentation::checked(),
-    );
-    violations += oracle_check(&mut report, "control arm Baseline/TB_LG", &baseline);
-    let forensic = baseline
-        .outcome
-        .hang_report()
-        .is_some_and(|h| h.blocked_on_sync().count() > 0);
-    if baseline.deadlocked() && forensic {
-        report.note(format!(
-            "control arm — Baseline/{} oversubscribed: {}",
-            BenchmarkKind::TreeBarrier.abbreviation(),
-            baseline.outcome
-        ));
-        for line in baseline.outcome.hang_report().unwrap().to_string().lines() {
-            report.note(line.to_string());
+    let baseline_out = next(&mut profile);
+    match &baseline_out.result {
+        Ok(baseline) => {
+            violations += oracle_check(&mut report, "control arm Baseline/TB_LG", baseline);
+            let forensic = baseline
+                .outcome
+                .hang_report()
+                .is_some_and(|h| h.blocked_on_sync().count() > 0);
+            if baseline.deadlocked() && forensic {
+                report.note(format!(
+                    "control arm — Baseline/{} oversubscribed: {}",
+                    BenchmarkKind::TreeBarrier.abbreviation(),
+                    baseline.outcome
+                ));
+                for line in baseline.outcome.hang_report().unwrap().to_string().lines() {
+                    report.note(line.to_string());
+                }
+            } else {
+                violations += 1;
+                report.note(format!(
+                    "control arm FAILED: expected a forensic Baseline deadlock, got {}",
+                    baseline.outcome
+                ));
+            }
         }
-    } else {
-        violations += 1;
-        report.note(format!(
-            "control arm FAILED: expected a forensic Baseline deadlock, got {}",
-            baseline.outcome
-        ));
+        Err(e) => {
+            violations += 1;
+            report.note(format!("control arm FAILED: {e}"));
+        }
     }
 
     report.note(if violations == 0 {
@@ -245,7 +325,7 @@ pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
     } else {
         format!("{violations} invariant violation(s).")
     });
-    (report, violations)
+    (report, violations, profile)
 }
 
 /// Runner-compatible entry: the matrix at [`DEFAULT_SEEDS`].

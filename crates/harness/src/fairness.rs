@@ -15,6 +15,7 @@ use awg_core::policies::{AwgPolicy, PolicyKind};
 use awg_core::{CheckOrder, SyncMonConfig};
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_with_policy, ExpResult, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -53,8 +54,24 @@ fn run_order(kind: BenchmarkKind, order: CheckOrder, scale: &Scale) -> ExpResult
     )
 }
 
+/// The benchmarks the fairness study sweeps.
+pub fn benchmarks() -> [BenchmarkKind; 4] {
+    [
+        BenchmarkKind::SleepMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::LfTreeBarrier,
+        BenchmarkKind::SpinMutexGlobal,
+    ]
+}
+
 /// Runs the fairness comparison.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the fairness comparison on `pool`: one job per (benchmark,
+/// check-order) cell, merged in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Fairness: CP check order with a spill-heavy (tiny) SyncMon",
         vec![
@@ -64,24 +81,38 @@ pub fn run(scale: &Scale) -> Report {
             "oldest-first: max/mean wait",
         ],
     );
-    for kind in [
-        BenchmarkKind::SleepMutexGlobal,
-        BenchmarkKind::FaMutexGlobal,
-        BenchmarkKind::LfTreeBarrier,
-        BenchmarkKind::SpinMutexGlobal,
-    ] {
-        let sorted = run_order(kind, CheckOrder::AddressSorted, scale);
-        let oldest = run_order(kind, CheckOrder::OldestFirst, scale);
+    const ORDERS: [(CheckOrder, &str); 2] = [
+        (CheckOrder::AddressSorted, "sorted"),
+        (CheckOrder::OldestFirst, "oldest-first"),
+    ];
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for (order, name) in ORDERS {
+            jobs.push(pool::job(
+                format!("fairness/{}/{name}", kind.abbreviation()),
+                move || run_order(kind, order, scale),
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in benchmarks() {
         let mut cells = Vec::new();
-        for res in [&sorted, &oldest] {
-            match res.cycles() {
-                Some(c) if res.validated.is_ok() => {
-                    let (max, mean) = waiting_spread(res);
-                    cells.push(Cell::Num(c as f64));
-                    cells.push(Cell::Num(if mean > 0.0 { max as f64 / mean } else { 0.0 }));
-                }
-                _ => {
-                    cells.push(Cell::Deadlock);
+        for _ in ORDERS {
+            let out = outputs.next().expect("one job per check order");
+            match &out.result {
+                Ok(res) => match res.cycles() {
+                    Some(c) if res.validated.is_ok() => {
+                        let (max, mean) = waiting_spread(res);
+                        cells.push(Cell::Num(c as f64));
+                        cells.push(Cell::Num(if mean > 0.0 { max as f64 / mean } else { 0.0 }));
+                    }
+                    _ => {
+                        cells.push(Cell::Deadlock);
+                        cells.push(Cell::Missing);
+                    }
+                },
+                Err(e) => {
+                    cells.push(pool::error_cell(e));
                     cells.push(Cell::Missing);
                 }
             }

@@ -2,27 +2,44 @@
 
 use awg_workloads::{context, BenchmarkKind};
 
+use crate::pool::{self, Pool};
 use crate::{Cell, Report, Row, Scale};
 
 /// Renders the Fig 5 series.
-pub fn run(_scale: &Scale) -> Report {
+pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Renders the Fig 5 series with one job per benchmark on `pool`. The rows
+/// are pure accounting, but routing them through the pool keeps the merge
+/// path under test on the cheapest campaign (the CI determinism smoke).
+pub fn run_pooled(_scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Fig 5: Work-group context size",
         vec!["Context (KB)", "VGPR bytes", "LDS bytes", "Scalar bytes"],
     );
-    for kind in BenchmarkKind::all() {
-        let res = kind.resources();
-        let vgpr = res.wavefronts as u64 * res.vgprs_per_wavefront as u64 * 4 * 64;
-        let scalar = res.wavefronts as u64 * 128;
-        r.push(Row::new(
-            kind.abbreviation(),
-            vec![
-                Cell::Num(context::context_kb(kind)),
-                Cell::Num(vgpr as f64),
-                Cell::Num(res.lds_bytes as f64),
-                Cell::Num(scalar as f64),
-            ],
-        ));
+    let jobs = BenchmarkKind::all()
+        .into_iter()
+        .map(|kind| {
+            pool::job(format!("fig05/{}", kind.abbreviation()), move || {
+                let res = kind.resources();
+                let vgpr = res.wavefronts as u64 * res.vgprs_per_wavefront as u64 * 4 * 64;
+                let scalar = res.wavefronts as u64 * 128;
+                vec![
+                    Cell::Num(context::context_kb(kind)),
+                    Cell::Num(vgpr as f64),
+                    Cell::Num(res.lds_bytes as f64),
+                    Cell::Num(scalar as f64),
+                ]
+            })
+        })
+        .collect();
+    for (kind, out) in BenchmarkKind::all().into_iter().zip(pool.run(jobs)) {
+        let cells = match out.result {
+            Ok(cells) => cells,
+            Err(e) => vec![pool::error_cell(&e); 4],
+        };
+        r.push(Row::new(kind.abbreviation(), cells));
     }
     r.note("Paper reports 2-10 KB across the suite (Fig 5).");
     r

@@ -8,6 +8,7 @@
 use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_experiment, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -18,20 +19,53 @@ pub const SLEEP_SWEEP: [u64; 9] = [
 
 /// Runs the Fig 7 sweep.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the Fig 7 sweep on `pool`: one job per (benchmark, interval) cell,
+/// merged back in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut columns = vec!["Baseline".to_owned()];
     columns.extend(SLEEP_SWEEP.iter().map(|m| format!("Sleep-{}k", m / 1000)));
     let mut r = Report::new(
         "Fig 7: Exponential backoff with s_sleep (runtime normalized to Baseline)",
         columns.iter().map(String::as_str).collect(),
     );
+    let mut jobs = Vec::new();
     for kind in BenchmarkKind::backoff_sweep_suite() {
-        let base = run_experiment(
-            kind,
-            PolicyKind::Baseline,
-            scale,
-            ExperimentConfig::NonOversubscribed,
-        );
-        let Some(base_cycles) = base.cycles() else {
+        jobs.push(pool::job(
+            format!("fig07/{}/Baseline", kind.abbreviation()),
+            move || {
+                run_experiment(
+                    kind,
+                    PolicyKind::Baseline,
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            },
+        ));
+        for max in SLEEP_SWEEP {
+            jobs.push(pool::job(
+                format!("fig07/{}/Sleep-{}k", kind.abbreviation(), max / 1000),
+                move || {
+                    run_experiment(
+                        kind,
+                        PolicyKind::SleepMax(max),
+                        scale,
+                        ExperimentConfig::NonOversubscribed,
+                    )
+                },
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in BenchmarkKind::backoff_sweep_suite() {
+        let base = outputs.next().expect("one baseline job per benchmark");
+        let swept: Vec<_> = SLEEP_SWEEP
+            .iter()
+            .map(|_| outputs.next().expect("one job per swept interval"))
+            .collect();
+        let Some(base_cycles) = base.result.as_ref().ok().and_then(|res| res.cycles()) else {
             r.push(Row::new(
                 kind.abbreviation(),
                 vec![Cell::Deadlock; SLEEP_SWEEP.len() + 1],
@@ -39,16 +73,13 @@ pub fn run(scale: &Scale) -> Report {
             continue;
         };
         let mut cells = vec![Cell::Num(1.0)];
-        for max in SLEEP_SWEEP {
-            let res = run_experiment(
-                kind,
-                PolicyKind::SleepMax(max),
-                scale,
-                ExperimentConfig::NonOversubscribed,
-            );
-            cells.push(match res.cycles() {
-                Some(c) => Cell::Num(c as f64 / base_cycles as f64),
-                None => Cell::Deadlock,
+        for out in &swept {
+            cells.push(match &out.result {
+                Ok(res) => match res.cycles() {
+                    Some(c) => Cell::Num(c as f64 / base_cycles as f64),
+                    None => Cell::Deadlock,
+                },
+                Err(e) => pool::error_cell(e),
             });
         }
         r.push(Row::new(kind.abbreviation(), cells));

@@ -9,6 +9,7 @@
 use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_experiment, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -21,25 +22,56 @@ pub const POLICIES: [PolicyKind; 3] = [
 
 /// Runs the Fig 9 comparison.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the Fig 9 comparison on `pool`: one job per (benchmark, policy)
+/// cell including the MinResume oracle, merged back in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Fig 9: Wait efficiency (dynamic atomics normalized to MinResume)",
         vec!["MinResume", "MonRS-All", "MonR-All", "MonNR-All"],
     );
+    let mut jobs = Vec::new();
     for kind in BenchmarkKind::heterosync_suite() {
-        let oracle = run_experiment(
-            kind,
-            PolicyKind::MinResume,
-            scale,
-            ExperimentConfig::NonOversubscribed,
-        );
-        let base = oracle.atomics().max(1);
-        let mut cells = vec![Cell::Num(1.0)];
+        jobs.push(pool::job(
+            format!("fig09/{}/MinResume", kind.abbreviation()),
+            move || {
+                run_experiment(
+                    kind,
+                    PolicyKind::MinResume,
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            },
+        ));
         for policy in POLICIES {
-            let res = run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed);
-            cells.push(if res.outcome.is_completed() {
-                Cell::Num(res.atomics() as f64 / base as f64)
-            } else {
-                Cell::Deadlock
+            jobs.push(pool::job(
+                format!("fig09/{}/{}", kind.abbreviation(), policy.label()),
+                move || run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed),
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in BenchmarkKind::heterosync_suite() {
+        let oracle = outputs.next().expect("one oracle job per benchmark");
+        let base = oracle
+            .result
+            .as_ref()
+            .map(|res| res.atomics().max(1))
+            .unwrap_or(1);
+        let mut cells = vec![match &oracle.result {
+            Ok(_) => Cell::Num(1.0),
+            Err(e) => pool::error_cell(e),
+        }];
+        for _ in POLICIES {
+            let out = outputs.next().expect("one job per compared policy");
+            cells.push(match &out.result {
+                Ok(res) if res.outcome.is_completed() => {
+                    Cell::Num(res.atomics() as f64 / base as f64)
+                }
+                Ok(_) => Cell::Deadlock,
+                Err(e) => pool::error_cell(e),
             });
         }
         r.push(Row::new(kind.abbreviation(), cells));

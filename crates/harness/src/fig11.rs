@@ -8,6 +8,7 @@
 use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_experiment, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -37,6 +38,12 @@ pub const POLICIES: [PolicyKind; 3] = [
 
 /// Runs the Fig 11 break-down.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the Fig 11 break-down on `pool`: one job per (benchmark, policy)
+/// cell, merged back in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Fig 11: WG execution break-down (normalized to Timeout total)",
         vec![
@@ -48,11 +55,29 @@ pub fn run(scale: &Scale) -> Report {
             "MonNR-One wait",
         ],
     );
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for policy in POLICIES {
+            jobs.push(pool::job(
+                format!("fig11/{}/{}", kind.abbreviation(), policy.label()),
+                move || run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed),
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
     for kind in benchmarks() {
         let mut cells = Vec::with_capacity(6);
         let mut norm: Option<f64> = None;
-        for policy in POLICIES {
-            let res = run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed);
+        for _ in POLICIES {
+            let out = outputs.next().expect("one job per compared policy");
+            let res = match &out.result {
+                Ok(res) => res,
+                Err(e) => {
+                    cells.push(pool::error_cell(e));
+                    cells.push(pool::error_cell(e));
+                    continue;
+                }
+            };
             if !res.outcome.is_completed() {
                 cells.push(Cell::Deadlock);
                 cells.push(Cell::Deadlock);

@@ -8,6 +8,7 @@
 use awg_core::cp::{ADDR_ENTRY_BYTES, COND_ENTRY_BYTES, TABLE_ENTRY_BYTES, WG_ENTRY_BYTES};
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::{Cell, Report, Row, Scale};
 
 /// Worst-case concurrent quantities for one benchmark.
@@ -40,6 +41,12 @@ pub fn demand(kind: BenchmarkKind, scale: &Scale) -> CpDemand {
 
 /// Renders the Fig 13 series (sizes in KB).
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Renders the Fig 13 series with one (cheap, pure-accounting) job per
+/// benchmark on `pool`.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = Report::new(
         "Fig 13: CP scheduling data structures (KB, worst case, no SyncMon cache)",
         vec![
@@ -50,22 +57,31 @@ pub fn run(scale: &Scale) -> Report {
             "Total",
         ],
     );
-    for kind in BenchmarkKind::all() {
-        let d = demand(kind, scale);
-        let conds_kb = (d.conditions * COND_ENTRY_BYTES) as f64 / 1024.0;
-        let addrs_kb = (d.addresses * ADDR_ENTRY_BYTES) as f64 / 1024.0;
-        let wgs_kb = (d.wgs * WG_ENTRY_BYTES) as f64 / 1024.0;
-        let table_kb = (d.conditions * TABLE_ENTRY_BYTES) as f64 / 1024.0;
-        r.push(Row::new(
-            kind.abbreviation(),
-            vec![
-                Cell::Num(conds_kb),
-                Cell::Num(addrs_kb),
-                Cell::Num(wgs_kb),
-                Cell::Num(table_kb),
-                Cell::Num(conds_kb + addrs_kb + wgs_kb + table_kb),
-            ],
-        ));
+    let jobs = BenchmarkKind::all()
+        .into_iter()
+        .map(|kind| {
+            pool::job(format!("fig13/{}", kind.abbreviation()), move || {
+                let d = demand(kind, scale);
+                let conds_kb = (d.conditions * COND_ENTRY_BYTES) as f64 / 1024.0;
+                let addrs_kb = (d.addresses * ADDR_ENTRY_BYTES) as f64 / 1024.0;
+                let wgs_kb = (d.wgs * WG_ENTRY_BYTES) as f64 / 1024.0;
+                let table_kb = (d.conditions * TABLE_ENTRY_BYTES) as f64 / 1024.0;
+                vec![
+                    Cell::Num(conds_kb),
+                    Cell::Num(addrs_kb),
+                    Cell::Num(wgs_kb),
+                    Cell::Num(table_kb),
+                    Cell::Num(conds_kb + addrs_kb + wgs_kb + table_kb),
+                ]
+            })
+        })
+        .collect();
+    for (kind, out) in BenchmarkKind::all().into_iter().zip(pool.run(jobs)) {
+        let cells = match out.result {
+            Ok(cells) => cells,
+            Err(e) => vec![pool::error_cell(&e); 5],
+        };
+        r.push(Row::new(kind.abbreviation(), cells));
     }
     r.note("Paper reports up to ~20 KB across the suite; WG context storage (0.74-3.11 MB) is tracked separately.");
     r

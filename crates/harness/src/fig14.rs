@@ -4,6 +4,7 @@
 use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{geomean, run_experiment, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -19,45 +20,79 @@ pub const POLICIES: [PolicyKind; 6] = [
 
 /// Runs the Fig 14 comparison.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the Fig 14 comparison on `pool`.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     run_speedups(
         scale,
         ExperimentConfig::NonOversubscribed,
         PolicyKind::Baseline,
         "Fig 14: Speedup normalized to Baseline (non-oversubscribed)",
+        pool,
     )
 }
 
 /// Shared implementation for Figs 14/15: speedups of every policy relative
-/// to `reference` under `config`.
+/// to `reference` under `config`, one pool job per (benchmark, policy)
+/// cell. The reference runs once per benchmark; its own cell is 1.0 by
+/// definition when it completes.
 pub fn run_speedups(
     scale: &Scale,
     config: ExperimentConfig,
     reference: PolicyKind,
     title: &str,
+    pool: &Pool,
 ) -> Report {
     let columns: Vec<String> = POLICIES.iter().map(|p| p.label()).collect();
     let mut r = Report::new(title, columns.iter().map(String::as_str).collect());
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    let mut jobs = Vec::new();
     for kind in BenchmarkKind::heterosync_suite() {
-        let reference_cycles = run_experiment(kind, reference, scale, config).cycles();
+        jobs.push(pool::job(
+            format!(
+                "{title}/{}/{} (reference)",
+                kind.abbreviation(),
+                reference.label()
+            ),
+            move || run_experiment(kind, reference, scale, config),
+        ));
+        for &policy in POLICIES.iter().filter(|&&p| p != reference) {
+            jobs.push(pool::job(
+                format!("{title}/{}/{}", kind.abbreviation(), policy.label()),
+                move || run_experiment(kind, policy, scale, config),
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in BenchmarkKind::heterosync_suite() {
+        let reference_out = outputs.next().expect("one reference job per benchmark");
+        let reference_cycles = reference_out
+            .result
+            .as_ref()
+            .ok()
+            .and_then(|res| res.cycles());
         let mut cells = Vec::with_capacity(POLICIES.len());
         for (i, &policy) in POLICIES.iter().enumerate() {
-            let res = if policy == reference {
-                // Re-running the reference would double the cost; its
-                // speedup is 1 by definition when it completes.
-                match reference_cycles {
-                    Some(_) => {
+            if policy == reference {
+                match (&reference_out.result, reference_cycles) {
+                    (Err(e), _) => cells.push(pool::error_cell(e)),
+                    (Ok(_), Some(_)) => {
                         per_policy[i].push(1.0);
                         cells.push(Cell::Num(1.0));
-                        continue;
                     }
-                    None => {
-                        cells.push(Cell::Deadlock);
-                        continue;
-                    }
+                    (Ok(_), None) => cells.push(Cell::Deadlock),
                 }
-            } else {
-                run_experiment(kind, policy, scale, config)
+                continue;
+            }
+            let out = outputs.next().expect("one job per compared policy");
+            let res = match &out.result {
+                Ok(res) => res,
+                Err(e) => {
+                    cells.push(pool::error_cell(e));
+                    continue;
+                }
             };
             match (reference_cycles, res.cycles()) {
                 (Some(base), Some(c)) if res.validated.is_ok() => {

@@ -8,16 +8,23 @@
 use awg_core::policies::PolicyKind;
 
 use crate::fig14::run_speedups;
+use crate::pool::Pool;
 use crate::run::ExperimentConfig;
 use crate::{Report, Scale};
 
 /// Runs the Fig 15 comparison.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the Fig 15 comparison on `pool`.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut r = run_speedups(
         scale,
         ExperimentConfig::Oversubscribed,
         PolicyKind::Timeout,
         "Fig 15: Speedup normalized to Timeout (oversubscribed: one CU lost mid-run)",
+        pool,
     );
     r.note("Baseline and Sleep cannot reschedule preempted WGs and deadlock, as in the paper.");
     r

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod chaos;
 pub mod fairness;
 pub mod fig05;
@@ -29,6 +30,7 @@ pub mod fig11;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod pool;
 pub mod priority;
 pub mod report;
 pub mod run;
@@ -40,6 +42,7 @@ pub mod table2;
 pub mod timeline;
 pub mod tracefig;
 
+pub use pool::{job, CampaignProfile, Job, JobOutput, Pool};
 pub use report::{Cell, Report, Row};
 pub use run::{
     geomean, run_experiment, run_instrumented, run_with_policy, run_with_policy_under_plan,

@@ -12,6 +12,7 @@ use awg_gpu::Gpu;
 use awg_sim::Cycle;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::ExpResult;
 use crate::{Cell, Report, Row, Scale};
 
@@ -62,15 +63,35 @@ pub fn run_bursty(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> Exp
     }
 }
 
-/// The priority-burst comparison across policies.
-pub fn run(scale: &Scale) -> Report {
-    let policies = [
+/// The compared policies, in report order.
+pub fn policies() -> [PolicyKind; 4] {
+    [
         PolicyKind::Baseline,
         PolicyKind::Timeout,
         PolicyKind::MonNrOne,
         PolicyKind::Awg,
-    ];
-    let columns: Vec<String> = policies.iter().map(|p| p.label()).collect();
+    ]
+}
+
+/// The benchmarks the burst study sweeps.
+pub fn benchmarks() -> [BenchmarkKind; 4] {
+    [
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+        BenchmarkKind::Pipeline,
+        BenchmarkKind::BankAccount,
+    ]
+}
+
+/// The priority-burst comparison across policies.
+pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// The priority-burst comparison on `pool`: one job per (benchmark,
+/// policy) cell, merged in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+    let columns: Vec<String> = policies().iter().map(|p| p.label()).collect();
     let mut r = Report::new(
         format!(
             "Priority bursts: {BURST_CUS} CUs taken for {} cycles every {} (runtime, Mcycles)",
@@ -79,20 +100,28 @@ pub fn run(scale: &Scale) -> Report {
         ),
         columns.iter().map(String::as_str).collect(),
     );
-    for kind in [
-        BenchmarkKind::FaMutexGlobal,
-        BenchmarkKind::TreeBarrier,
-        BenchmarkKind::Pipeline,
-        BenchmarkKind::BankAccount,
-    ] {
-        let cells: Vec<Cell> = policies
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for policy in policies() {
+            jobs.push(pool::job(
+                format!("priority/{}/{}", kind.abbreviation(), policy.label()),
+                move || run_bursty(kind, policy, scale),
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in benchmarks() {
+        let cells: Vec<Cell> = policies()
             .iter()
-            .map(|&policy| {
-                let res = run_bursty(kind, policy, scale);
-                match (res.cycles(), &res.validated) {
-                    (Some(c), Ok(())) => Cell::Num(c as f64 / 1e6),
-                    (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
-                    (None, _) => Cell::Deadlock,
+            .map(|_| {
+                let out = outputs.next().expect("one job per compared policy");
+                match &out.result {
+                    Ok(res) => match (res.cycles(), &res.validated) {
+                        (Some(c), Ok(())) => Cell::Num(c as f64 / 1e6),
+                        (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                        (None, _) => Cell::Deadlock,
+                    },
+                    Err(e) => pool::error_cell(e),
                 }
             })
             .collect();

@@ -42,6 +42,22 @@ impl Instrumentation {
         }
     }
 
+    /// Everything [`checked`](Self::checked) records plus host
+    /// self-profiling (no windowed snapshots): campaigns run under this so
+    /// the CLI can report aggregate simulated-cycles-per-host-second
+    /// across jobs. Telemetry is a pure observer, so the digest trail and
+    /// oracle verdicts are identical to `checked`.
+    pub fn profiled() -> Self {
+        Instrumentation {
+            oracle: true,
+            digest_window: Some(DIGEST_WINDOW),
+            telemetry: Some(TelemetryConfig {
+                snapshot_window: None,
+                profiling: true,
+            }),
+        }
+    }
+
     /// Telemetry only: progress accounting, snapshots every
     /// [`DIGEST_WINDOW`] cycles, and self-profiling.
     pub fn observed() -> Self {

@@ -12,6 +12,7 @@ use awg_core::policies::{AwgPolicy, PolicyKind};
 use awg_core::SyncMonConfig;
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::{self, Pool};
 use crate::run::{run_with_policy, ExperimentConfig};
 use crate::{Cell, Report, Row, Scale};
 
@@ -27,38 +28,68 @@ fn config_for(capacity: usize) -> SyncMonConfig {
     }
 }
 
+/// The benchmarks the sweep exercises (one per behaviour class).
+pub fn benchmarks() -> [BenchmarkKind; 4] {
+    [
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::SleepMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+        BenchmarkKind::Pipeline,
+    ]
+}
+
 /// Runs the capacity sweep.
 pub fn run(scale: &Scale) -> Report {
+    run_pooled(scale, &Pool::serial())
+}
+
+/// Runs the capacity sweep on `pool`: one job per (benchmark, capacity)
+/// cell. Each job constructs its own [`AwgPolicy`] (policies are not
+/// shared across threads), and results merge in enumeration order.
+pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let columns: Vec<String> = CAPACITIES.iter().map(|c| format!("{c} conds")).collect();
     let mut r = Report::new(
         "SyncMon capacity sweep (runtime normalized to the paper's 1024 conditions)",
         columns.iter().map(String::as_str).collect(),
     );
-    for kind in [
-        BenchmarkKind::FaMutexGlobal,
-        BenchmarkKind::SleepMutexGlobal,
-        BenchmarkKind::TreeBarrier,
-        BenchmarkKind::Pipeline,
-    ] {
+    let mut jobs = Vec::new();
+    for kind in benchmarks() {
+        for &cap in CAPACITIES.iter() {
+            jobs.push(pool::job(
+                format!("sweep/{}/{cap}", kind.abbreviation()),
+                move || {
+                    run_with_policy(
+                        kind,
+                        PolicyKind::Awg,
+                        Box::new(AwgPolicy::new().with_monitor_config(config_for(cap), 4096)),
+                        scale,
+                        ExperimentConfig::NonOversubscribed,
+                    )
+                },
+            ));
+        }
+    }
+    let mut outputs = pool.run(jobs).into_iter();
+    for kind in benchmarks() {
         let results: Vec<_> = CAPACITIES
             .iter()
-            .map(|&cap| {
-                run_with_policy(
-                    kind,
-                    PolicyKind::Awg,
-                    Box::new(AwgPolicy::new().with_monitor_config(config_for(cap), 4096)),
-                    scale,
-                    ExperimentConfig::NonOversubscribed,
-                )
-            })
+            .map(|_| outputs.next().expect("one job per swept capacity"))
             .collect();
-        let base = results.last().and_then(|r| r.cycles()).unwrap_or(1).max(1);
+        let base = results
+            .last()
+            .and_then(|out| out.result.as_ref().ok())
+            .and_then(|r| r.cycles())
+            .unwrap_or(1)
+            .max(1);
         let cells: Vec<Cell> = results
             .iter()
-            .map(|res| match (res.cycles(), &res.validated) {
-                (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
-                (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
-                (None, _) => Cell::Deadlock,
+            .map(|out| match &out.result {
+                Ok(res) => match (res.cycles(), &res.validated) {
+                    (Some(c), Ok(())) => Cell::Num(c as f64 / base as f64),
+                    (Some(_), Err(e)) => Cell::Text(format!("INVALID: {e}")),
+                    (None, _) => Cell::Deadlock,
+                },
+                Err(e) => pool::error_cell(e),
             })
             .collect();
         r.push(Row::new(kind.abbreviation(), cells));

@@ -1,6 +1,13 @@
 //! Table 1: the baseline GPU model.
 
+use crate::pool::Pool;
 use crate::{Cell, Report, Row, Scale};
+
+/// Runner-uniform entry: Table 1 is pure configuration rendering, so the
+/// pool is unused.
+pub fn run_pooled(scale: &Scale, _pool: &Pool) -> Report {
+    run(scale)
+}
 
 /// Renders the machine configuration as the paper's Table 1.
 pub fn run(scale: &Scale) -> Report {

@@ -2,7 +2,14 @@
 
 use awg_workloads::BenchmarkKind;
 
+use crate::pool::Pool;
 use crate::{Cell, Report, Row, Scale};
+
+/// Runner-uniform entry: Table 2 is pure characteristics rendering, so the
+/// pool is unused.
+pub fn run_pooled(scale: &Scale, _pool: &Pool) -> Report {
+    run(scale)
+}
 
 /// Renders Table 2: one row per benchmark with its symbolic and concrete
 /// characteristics.

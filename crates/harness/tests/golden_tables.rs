@@ -1,0 +1,51 @@
+//! Golden-file conformance for the configuration tables.
+//!
+//! Table 1 (machine model) and Table 2 (benchmark characteristics) are
+//! pure renderings of pinned configuration, so their CSVs are checked in
+//! under `tests/golden/` and compared byte-for-byte. When an intentional
+//! model change shifts them, re-bless with:
+//!
+//! ```sh
+//! BLESS=1 cargo test -p awg-harness --test golden_tables
+//! ```
+//!
+//! and review the golden diff like any other code change.
+
+use std::path::PathBuf;
+
+use awg_harness::{table1, table2, Scale};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden CSV; if the change is intentional, \
+         re-run with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn table1_matches_golden_csv() {
+    check_golden("table1_paper.csv", &table1::run(&Scale::paper()).to_csv());
+}
+
+#[test]
+fn table2_matches_golden_csv() {
+    check_golden("table2_paper.csv", &table2::run(&Scale::paper()).to_csv());
+}

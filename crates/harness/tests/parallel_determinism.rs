@@ -1,0 +1,83 @@
+//! The parallel sweep engine's headline guarantee: `--jobs N` changes
+//! wall-clock, never bytes. Campaign CSVs, digest trails, and oracle
+//! verdicts are identical at any concurrency, and a panicking job becomes
+//! a typed row instead of a dead campaign.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::SimError;
+use awg_harness::pool::{self, Pool};
+use awg_harness::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use awg_harness::{chaos, fig05, Scale};
+use awg_workloads::BenchmarkKind;
+
+#[test]
+fn fig05_csv_is_byte_identical_across_jobs() {
+    let scale = Scale::quick();
+    let serial = fig05::run_pooled(&scale, &Pool::new(1));
+    let parallel = fig05::run_pooled(&scale, &Pool::new(8));
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn chaos_matrix_is_byte_identical_across_jobs() {
+    let scale = Scale::quick();
+    let (serial, v_serial, _) = chaos::run_checked_pooled(&scale, &[101], &Pool::serial());
+    let (parallel, v_parallel, _) = chaos::run_checked_pooled(&scale, &[101], &Pool::new(8));
+    assert_eq!(v_serial, v_parallel);
+    // Cells *and* notes: the differential harness's forensic notes must
+    // also merge in enumeration order.
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn panicking_job_yields_typed_row_without_aborting_the_campaign() {
+    let pool = Pool::new(4);
+    let outputs = pool.run(vec![
+        pool::job("campaign/ok-0", || 1u64),
+        pool::job("campaign/bad", || panic!("deliberate campaign panic")),
+        pool::job("campaign/ok-1", || 2u64),
+    ]);
+    assert_eq!(outputs.len(), 3, "campaign must not abort");
+    assert_eq!(*outputs[0].result.as_ref().unwrap(), 1);
+    assert_eq!(*outputs[2].result.as_ref().unwrap(), 2);
+    let err = outputs[1].result.as_ref().unwrap_err();
+    match err {
+        SimError::JobPanic { job, message } => {
+            assert_eq!(job, "campaign/bad");
+            assert!(message.contains("deliberate campaign panic"));
+        }
+        other => panic!("expected JobPanic, got {other:?}"),
+    }
+    // And the typed error renders as a report cell a reader can act on.
+    let cell = pool::error_cell(err);
+    let rendered = format!("{cell:?}");
+    assert!(rendered.contains("panicked"), "{rendered}");
+}
+
+#[test]
+fn digest_trail_is_identical_inside_and_outside_the_pool() {
+    let scale = Scale::quick();
+    let run = |policy: PolicyKind| {
+        run_instrumented(
+            BenchmarkKind::FaMutexGlobal,
+            policy,
+            build_policy(policy),
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+            None,
+            Instrumentation::checked(),
+        )
+    };
+    let direct = run(PolicyKind::Awg);
+    let outputs = Pool::new(4).run(vec![
+        pool::job("trail/awg", move || run(PolicyKind::Awg)),
+        pool::job("trail/baseline", move || run(PolicyKind::Baseline)),
+    ]);
+    let pooled = outputs[0].result.as_ref().unwrap();
+    assert!(!direct.digest_trail.is_empty(), "checked run must digest");
+    assert_eq!(direct.digest_trail, pooled.digest_trail);
+    assert!(pooled.violations.is_empty(), "{:?}", pooled.violations);
+    assert_eq!(direct.cycles(), pooled.cycles());
+}

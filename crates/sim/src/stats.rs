@@ -255,13 +255,25 @@ impl Stats {
     /// Merges another registry into this one by name: counters add,
     /// distributions combine their moments, histograms add bucketwise.
     /// Used to fold a subsystem's private registry (e.g. the telemetry
-    /// hub's) into the run-level one at report time.
+    /// hub's) into the run-level one at report time, and to aggregate
+    /// per-job registries across a parallel sweep campaign.
+    ///
+    /// Names absent from `self` are registered in **sorted name order**,
+    /// not in `other`'s registration order. Parallel campaigns absorb
+    /// registries whose registration order depends on which policy ran the
+    /// job; sorting makes the merged registry's iteration order (and hence
+    /// its `Display` rendering) a function of the merged name *set* only.
     pub fn absorb(&mut self, other: &Stats) {
-        for (name, value) in other.counters() {
+        let mut counter_names: Vec<&str> = other.counter_names.iter().map(String::as_str).collect();
+        counter_names.sort_unstable();
+        for name in counter_names {
+            let value = other.counters[other.counter_index[name]];
             let c = self.counter(name);
             self.add(c, value);
         }
-        for o in &other.dists {
+        let mut dist_slots: Vec<&Dist> = other.dists.iter().collect();
+        dist_slots.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        for o in dist_slots {
             let id = self.dist(&o.name);
             let d = &mut self.dists[id.0];
             d.count += o.count;
@@ -269,7 +281,9 @@ impl Stats {
             d.min = d.min.min(o.min);
             d.max = d.max.max(o.max);
         }
-        for o in &other.hists {
+        let mut hist_slots: Vec<&Hist> = other.hists.iter().collect();
+        hist_slots.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        for o in hist_slots {
             let id = self.hist(&o.name);
             let h = &mut self.hists[id.0];
             for (b, &c) in h.buckets.iter_mut().zip(o.buckets.iter()) {
@@ -416,6 +430,70 @@ mod tests {
         s.inc(c);
         let text = s.to_string();
         assert!(text.contains("visible: 1"));
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut a = Stats::new();
+        let ca = a.counter("atomics");
+        a.add(ca, 3);
+        let da = a.dist("lat");
+        a.sample(da, 10);
+        let ha = a.hist("wake");
+        a.observe(ha, 4);
+
+        let mut b = Stats::new();
+        let cb = b.counter("atomics");
+        b.add(cb, 5);
+        let db = b.dist("lat");
+        b.sample(db, 2);
+        let hb = b.hist("wake");
+        b.observe(hb, 4);
+
+        a.absorb(&b);
+        assert_eq!(a.get_by_name("atomics"), Some(8));
+        let lat = a.dist_summary_by_name("lat").unwrap();
+        assert_eq!((lat.count, lat.sum, lat.min, lat.max), (2, 12, 2, 10));
+        assert_eq!(a.hist_buckets_by_name("wake").unwrap(), vec![(4, 2)]);
+    }
+
+    /// Regression: merged registration order must not depend on the order
+    /// the absorbed registries registered their names — workers in a
+    /// parallel campaign register metrics in policy-dependent order.
+    #[test]
+    fn absorb_order_is_registration_order_independent() {
+        fn registry(names: [&str; 3]) -> Stats {
+            let mut s = Stats::new();
+            for name in names {
+                let c = s.counter(name);
+                s.inc(c);
+                let d = s.dist(name);
+                s.sample(d, 1);
+                let h = s.hist(name);
+                s.observe(h, 1);
+            }
+            s
+        }
+        let forward = registry(["alpha", "beta", "gamma"]);
+        let reverse = registry(["gamma", "beta", "alpha"]);
+        let mut via_forward = Stats::new();
+        via_forward.absorb(&forward);
+        via_forward.absorb(&reverse);
+        let mut via_reverse = Stats::new();
+        via_reverse.absorb(&reverse);
+        via_reverse.absorb(&forward);
+        let order_f: Vec<_> = via_forward.counters().collect();
+        let order_r: Vec<_> = via_reverse.counters().collect();
+        assert_eq!(order_f, order_r, "counter order must match");
+        assert_eq!(
+            via_forward.dists().map(|(n, _)| n).collect::<Vec<_>>(),
+            via_reverse.dists().map(|(n, _)| n).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            via_forward.hists().map(|(n, _)| n).collect::<Vec<_>>(),
+            via_reverse.hists().map(|(n, _)| n).collect::<Vec<_>>(),
+        );
+        assert_eq!(via_forward.to_string(), via_reverse.to_string());
     }
 
     #[test]
