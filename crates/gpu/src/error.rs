@@ -6,7 +6,10 @@
 //! surfaces as a [`SimError`] so front ends can map each class to a
 //! distinct exit code instead of a backtrace.
 
+use awg_sim::Cycle;
+
 use crate::oracle::InvariantViolation;
+use crate::watchdog::CancelCause;
 
 /// A user-reachable simulator failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +32,24 @@ pub enum SimError {
         /// The panic payload, when it carried a message.
         message: String,
     },
+    /// A campaign job exceeded its watchdog limit (wall-clock deadline or
+    /// simulated-cycle budget) and exhausted its retries. The supervisor
+    /// turns wedged jobs into this typed row so the rest of the campaign
+    /// can finish.
+    JobTimeout {
+        /// Stable key of the job that timed out.
+        job: String,
+        /// Simulated cycle at which the run was cancelled.
+        at: Cycle,
+        /// Which watchdog limit fired.
+        cause: CancelCause,
+    },
+    /// A campaign job was abandoned before producing a result because the
+    /// campaign was interrupted (SIGINT/SIGTERM).
+    JobCancelled {
+        /// Stable key of the abandoned job.
+        job: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -39,6 +60,12 @@ impl std::fmt::Display for SimError {
             SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
             SimError::JobPanic { job, message } => {
                 write!(f, "job '{job}' panicked: {message}")
+            }
+            SimError::JobTimeout { job, at, cause } => {
+                write!(f, "job '{job}' timed out at cycle {at}: {cause}")
+            }
+            SimError::JobCancelled { job } => {
+                write!(f, "job '{job}' cancelled before completion")
             }
         }
     }
@@ -73,5 +100,25 @@ mod tests {
         assert!(text.contains("fig14/SPM_G/AWG"), "{text}");
         assert!(text.contains("panicked"), "{text}");
         assert!(text.contains("index out of bounds"), "{text}");
+    }
+
+    #[test]
+    fn timeout_and_cancel_display_the_job_key() {
+        let e = SimError::JobTimeout {
+            job: "chaos/TB_LG/Baseline".into(),
+            at: 123_456,
+            cause: CancelCause::CycleBudget(100_000),
+        };
+        let text = e.to_string();
+        assert!(text.contains("chaos/TB_LG/Baseline"), "{text}");
+        assert!(text.contains("timed out at cycle 123456"), "{text}");
+        assert!(text.contains("budget 100000"), "{text}");
+
+        let e = SimError::JobCancelled {
+            job: "fig5/SPM_G".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("fig5/SPM_G"), "{text}");
+        assert!(text.contains("cancelled"), "{text}");
     }
 }

@@ -54,6 +54,7 @@ pub mod policy;
 pub mod result;
 pub mod timeline;
 pub mod trace;
+pub mod watchdog;
 pub mod wg;
 
 pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
@@ -70,4 +71,7 @@ pub use policy::{
 pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 pub use timeline::{chrome_trace, expected_counts, TimelineCounts};
 pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use watchdog::{
+    global_cancelled, request_global_cancel, reset_global_cancel, CancelCause, Watchdog,
+};
 pub use wg::{WgId, WgState};

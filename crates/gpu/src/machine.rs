@@ -28,6 +28,7 @@ use crate::policy::{
 };
 use crate::result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 use crate::trace::{Trace, TraceEvent, TraceRecord};
+use crate::watchdog::Watchdog;
 use crate::wg::{ParkedResponse, Wg, WgId, WgState};
 
 /// Maximum instructions interpreted inline before yielding to the event
@@ -116,6 +117,7 @@ pub struct Gpu {
     digest_next: Cycle,
     digest_trail: Vec<u64>,
     telemetry: Option<TelemetryHub>,
+    watchdog: Option<Watchdog>,
     run_started: Option<Instant>,
     run_wall: Duration,
 }
@@ -198,9 +200,19 @@ impl Gpu {
             digest_next: 0,
             digest_trail: Vec::new(),
             telemetry: None,
+            watchdog: None,
             run_started: None,
             run_wall: Duration::ZERO,
         })
+    }
+
+    /// Installs a cooperative-cancellation watchdog. The event loop polls
+    /// it each iteration; when a limit fires the run ends with
+    /// [`RunOutcome::Cancelled`], keeping the usual summary and forensic
+    /// hang report.
+    pub fn set_watchdog(&mut self, watchdog: Watchdog) -> &mut Self {
+        self.watchdog = Some(watchdog);
+        self
     }
 
     /// Installs a seeded fault plan; its timeline is injected while the
@@ -1550,6 +1562,18 @@ impl Gpu {
                 return RunOutcome::CycleLimit {
                     at,
                     unfinished,
+                    summary: self.summarize(),
+                    hang,
+                };
+            }
+            if let Some(cause) = self.watchdog.as_ref().and_then(|wd| wd.check(cycle)) {
+                let at = self.now;
+                let unfinished = self.kernel.num_wgs as usize - self.finished;
+                let hang = self.hang_report();
+                return RunOutcome::Cancelled {
+                    at,
+                    unfinished,
+                    cause,
                     summary: self.summarize(),
                     hang,
                 };

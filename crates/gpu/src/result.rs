@@ -6,6 +6,7 @@ use awg_mem::Addr;
 use awg_sim::{Cycle, Stats};
 
 use crate::policy::{MonitorEntrySnapshot, SyncCond};
+use crate::watchdog::CancelCause;
 use crate::wg::{WgId, WgState};
 
 /// Aggregate measurements of one simulation run.
@@ -178,6 +179,22 @@ pub enum RunOutcome {
         /// Forensic snapshot of the still-running machine.
         hang: HangReport,
     },
+    /// A watchdog cancelled the run before it could finish — the job's
+    /// wall-clock deadline or simulated-cycle budget was exceeded, or the
+    /// campaign was interrupted. The summary and hang report cover the run
+    /// up to the cancellation point.
+    Cancelled {
+        /// Cycle at which the run was cancelled.
+        at: Cycle,
+        /// Number of unfinished WGs.
+        unfinished: usize,
+        /// Which watchdog limit fired.
+        cause: CancelCause,
+        /// Measurements up to the cancellation.
+        summary: RunSummary,
+        /// Forensic snapshot of the machine at cancellation time.
+        hang: HangReport,
+    },
 }
 
 impl RunOutcome {
@@ -187,6 +204,7 @@ impl RunOutcome {
             RunOutcome::Completed(s) => s,
             RunOutcome::Deadlocked { summary, .. } => summary,
             RunOutcome::CycleLimit { summary, .. } => summary,
+            RunOutcome::Cancelled { summary, .. } => summary,
         }
     }
 
@@ -214,6 +232,15 @@ impl RunOutcome {
             RunOutcome::Completed(_) => None,
             RunOutcome::Deadlocked { hang, .. } => Some(hang),
             RunOutcome::CycleLimit { hang, .. } => Some(hang),
+            RunOutcome::Cancelled { hang, .. } => Some(hang),
+        }
+    }
+
+    /// The cancellation point and cause, if a watchdog cancelled the run.
+    pub fn cancelled(&self) -> Option<(Cycle, CancelCause)> {
+        match self {
+            RunOutcome::Cancelled { at, cause, .. } => Some((*at, *cause)),
+            _ => None,
         }
     }
 }
@@ -232,6 +259,17 @@ impl fmt::Display for RunOutcome {
                 write!(
                     f,
                     "cycle limit hit at {at} with {unfinished} unfinished WG(s)"
+                )
+            }
+            RunOutcome::Cancelled {
+                at,
+                unfinished,
+                cause,
+                ..
+            } => {
+                write!(
+                    f,
+                    "cancelled at cycle {at} ({cause}) with {unfinished} unfinished WG(s)"
                 )
             }
         }
@@ -309,6 +347,27 @@ mod tests {
         };
         assert!(!l.is_completed() && !l.is_deadlocked());
         assert!(l.hang_report().is_some());
+    }
+
+    #[test]
+    fn cancelled_outcome_carries_cause_and_forensics() {
+        let c = RunOutcome::Cancelled {
+            at: 7000,
+            unfinished: 2,
+            cause: CancelCause::CycleBudget(5000),
+            summary: summary(),
+            hang: hang(),
+        };
+        assert!(!c.is_completed() && !c.is_deadlocked());
+        assert_eq!(c.completed_cycles(), None);
+        assert_eq!(c.summary().cycles, 1000);
+        assert_eq!(c.hang_report().unwrap().at, 5000);
+        assert_eq!(c.cancelled(), Some((7000, CancelCause::CycleBudget(5000))));
+        assert_eq!(RunOutcome::Completed(summary()).cancelled(), None);
+        let text = c.to_string();
+        assert!(text.contains("cancelled at cycle 7000"), "{text}");
+        assert!(text.contains("budget 5000"), "{text}");
+        assert!(text.contains("2 unfinished"), "{text}");
     }
 
     #[test]

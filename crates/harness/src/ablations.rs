@@ -20,7 +20,8 @@ use awg_gpu::SchedPolicy;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_with_policy, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The ablated variants, in report order.
@@ -65,13 +66,14 @@ pub fn benchmarks() -> [BenchmarkKind; 4] {
 /// Runs the ablation study (oversubscribed scenario; runtime normalized to
 /// full AWG).
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the ablation study on `pool`: one job per (benchmark, variant)
-/// cell. Variants are constructed inside their jobs (policy boxes are not
-/// shared across threads), and results merge in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the ablation study under `sup`: one supervised job per (benchmark,
+/// variant) cell. Variants are constructed inside their jobs (policy boxes
+/// are not shared across threads — and each retry needs a fresh one), and
+/// results merge in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Ablations: AWG components disabled one at a time (runtime / full AWG, oversubscribed)",
         VARIANTS.to_vec(),
@@ -79,21 +81,20 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for (v, name) in VARIANTS.iter().enumerate() {
-            jobs.push(pool::job(
-                format!("ablations/{}/{name}", kind.abbreviation()),
-                move || {
-                    run_with_policy(
-                        kind,
-                        PolicyKind::Awg,
-                        build_variant(v),
-                        scale,
-                        ExperimentConfig::Oversubscribed,
-                    )
-                },
-            ));
+            let key = format!("ablations/{}/{name}", kind.abbreviation());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_with_policy(
+                    kind,
+                    PolicyKind::Awg,
+                    build_variant(v),
+                    scale,
+                    ExperimentConfig::Oversubscribed,
+                )
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         let results: Vec<_> = VARIANTS
             .iter()

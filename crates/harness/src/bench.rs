@@ -11,11 +11,15 @@
 //! across invocations — only its row/column structure and the simulated
 //! cycle counts are.
 
+use std::path::{Path, PathBuf};
+
 use awg_core::policies::{build_policy, PolicyKind};
+use awg_sim::json::Value;
 use awg_workloads::BenchmarkKind;
 
-use crate::pool::{self, CampaignProfile, Pool};
-use crate::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use crate::pool::{self, CampaignProfile};
+use crate::run::{ExperimentConfig, Instrumentation};
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The benchmark arm (one spin lock, one ticket lock, one barrier — the
@@ -29,10 +33,10 @@ pub fn policies() -> [PolicyKind; 5] {
     crate::chaos::policies()
 }
 
-/// Runs the host-performance matrix on `pool`. Returns the per-job report
-/// and the campaign aggregate (total wall-clock, absorbed run stats, and
-/// simulated cycles per host-second).
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> (Report, CampaignProfile) {
+/// Runs the host-performance matrix under `sup`. Returns the per-job
+/// report and the campaign aggregate (total wall-clock, absorbed run
+/// stats, and simulated cycles per host-second).
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> (Report, CampaignProfile) {
     let mut r = Report::new(
         "Bench: simulator host performance (self-profile per job)",
         vec!["sim Mcycles", "host ms", "Mcycles/s"],
@@ -40,24 +44,23 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> (Report, CampaignProfile) {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for policy in policies() {
-            jobs.push(pool::job(
-                format!("bench/{}/{}", kind.abbreviation(), policy.label()),
-                move || {
-                    run_instrumented(
-                        kind,
-                        policy,
-                        build_policy(policy),
-                        scale,
-                        ExperimentConfig::NonOversubscribed,
-                        None,
-                        Instrumentation::profiled(),
-                    )
-                },
-            ));
+            let key = format!("bench/{}/{}", kind.abbreviation(), policy.label());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_instrumented(
+                    kind,
+                    policy,
+                    build_policy(policy),
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                    None,
+                    Instrumentation::profiled(),
+                )
+            }));
         }
     }
     let mut profile = CampaignProfile::default();
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         for policy in policies() {
             let out = outputs.next().expect("one job per matrix cell");
@@ -84,18 +87,83 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> (Report, CampaignProfile) {
             r.push(Row::new(label, cells));
         }
     }
-    r.note(format!("Aggregate: {}", profile.summary_line(pool.jobs())));
+    r.note(format!(
+        "Aggregate: {}",
+        profile.summary_line(sup.pool().jobs())
+    ));
     r.note("Host wall-clocks vary run to run; only the simulated cycle counts are deterministic.");
     (r, profile)
+}
+
+/// Serializes a bench campaign's aggregate as a machine-readable snapshot:
+/// the job list with per-job wall-clocks, the campaign totals, and the
+/// aggregate simulation rate.
+pub fn profile_to_json(profile: &CampaignProfile, workers: usize) -> Value {
+    let jobs: Vec<Value> = profile
+        .timings
+        .iter()
+        .map(|(key, wall)| {
+            Value::Object(vec![
+                ("key".to_owned(), Value::Str(key.clone())),
+                ("wall_ns".to_owned(), Value::Num(wall.as_nanos() as f64)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("bench".to_owned(), Value::Str("awg-sim".to_owned())),
+        ("workers".to_owned(), Value::Num(workers as f64)),
+        ("jobs".to_owned(), Value::Array(jobs)),
+        (
+            "total_wall_ns".to_owned(),
+            Value::Num(profile.total_wall().as_nanos() as f64),
+        ),
+        (
+            "sim_cycles".to_owned(),
+            Value::Num(profile.sim_cycles as f64),
+        ),
+        ("events".to_owned(), Value::Num(profile.events as f64)),
+        (
+            "mcycles_per_sec".to_owned(),
+            Value::Num(profile.cycles_per_sec() / 1e6),
+        ),
+        (
+            "events_per_sec".to_owned(),
+            Value::Num(profile.events_per_sec()),
+        ),
+    ])
+}
+
+/// Writes the bench snapshot to `dir/BENCH_<timestamp>.json` (the timestamp
+/// is seconds since the Unix epoch) and returns the path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write errors.
+pub fn write_bench_json(
+    profile: &CampaignProfile,
+    workers: usize,
+    dir: &Path,
+) -> std::io::Result<PathBuf> {
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{stamp}.json"));
+    let mut text = profile_to_json(profile, workers).to_json();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::Pool;
 
     #[test]
     fn bench_matrix_profiles_every_cell() {
-        let (r, profile) = run_pooled(&Scale::quick(), &Pool::new(2));
+        let (r, profile) = run_supervised(&Scale::quick(), &Supervisor::bare(Pool::new(2)));
         assert_eq!(r.rows.len(), benchmarks().len() * policies().len());
         for row in &r.rows {
             let mcycles = row.cells[0].as_num().unwrap_or(0.0);
@@ -108,5 +176,39 @@ mod tests {
             profile.stats.counters().count() > 0,
             "absorbed run stats must be non-empty"
         );
+    }
+
+    #[test]
+    fn bench_snapshot_serializes_and_writes() {
+        let mut profile = CampaignProfile::default();
+        profile.timings.push((
+            "bench/SPM_G/AWG".into(),
+            std::time::Duration::from_millis(3),
+        ));
+        profile.sim_cycles = 1_000_000;
+        profile.profiled_wall = std::time::Duration::from_millis(2);
+        profile.events = 500;
+        let v = profile_to_json(&profile, 4);
+        let text = v.to_json();
+        assert!(text.contains("\"bench\":\"awg-sim\""), "{text}");
+        assert!(text.contains("\"workers\":4"), "{text}");
+        assert!(text.contains("bench/SPM_G/AWG"), "{text}");
+        let parsed = awg_sim::json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("sim_cycles").and_then(Value::as_f64),
+            Some(1_000_000.0)
+        );
+
+        let dir = std::env::temp_dir().join(format!("awg-bench-{}", std::process::id()));
+        let path = write_bench_json(&profile, 4, &dir).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("BENCH_") && name.ends_with(".json"),
+            "{name}"
+        );
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.ends_with('\n'));
+        awg_sim::json::parse(&on_disk).expect("written snapshot parses");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

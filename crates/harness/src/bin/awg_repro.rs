@@ -2,7 +2,7 @@
 //! Progress of Work-groups* (ISCA 2020).
 //!
 //! ```text
-//! awg-repro [--quick] [--jobs N] [--out DIR] <command>
+//! awg-repro [--quick] [--jobs N] [--out DIR] [resilience flags] <command>
 //!
 //! commands:
 //!   table1 table2 fig5 fig7 fig8 fig9 fig11 fig13 fig14 fig15
@@ -13,7 +13,8 @@
 //!                     simulation rate on stderr
 //!   bench             simulator host-performance matrix: per-job
 //!                     wall-clock and aggregate cycles/s from the
-//!                     telemetry self-profile
+//!                     telemetry self-profile; also writes a
+//!                     machine-readable BENCH_<timestamp>.json snapshot
 //!   shrink <bench> <policy> <seed> [--plan FILE]
 //!                     delta-debug the seeded chaos plan of a hanging
 //!                     triple down to a minimal JSON reproducer
@@ -38,36 +39,80 @@
 //!                     merge in enumeration order
 //!   --out DIR         also write each report as CSV into DIR
 //!
-//! exit codes:
-//!   0 success   1 I/O or chaos/validation failure   2 usage error
-//!   3 hang (deadlock or aborted run)   4 invariant violation
-//!   5 fault-plan parse error
+//! resilience flags (campaign commands):
+//!   --journal FILE    append a durable JSONL record per completed job; an
+//!                     interrupted campaign prints the exact command that
+//!                     resumes it
+//!   --resume FILE     load FILE first: journaled jobs are served from it
+//!                     instead of re-running, new results are appended, and
+//!                     the merged report is byte-identical to an
+//!                     uninterrupted run
+//!   --job-deadline SECS
+//!                     per-attempt host wall-clock deadline (fractional
+//!                     seconds); a wedged job becomes a typed JobTimeout
+//!                     row instead of hanging the campaign
+//!   --job-cycle-budget N
+//!                     per-attempt simulated-cycle budget; timeout retries
+//!                     escalate it so a retry tells "slow" from "wedged"
+//!   --retries N       extra attempts for retryable failures (panics and
+//!                     timeouts); default 1
+//!
+//! Exit codes are listed by `awg-repro` with no arguments (see also the
+//! `awg_harness::exit` module); campaigns whose jobs exhausted their
+//! retries still emit the report — with typed error rows — and exit with
+//! the partial-completion code.
 //! ```
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::FaultPlan;
+use awg_gpu::{global_cancelled, FaultPlan};
 use awg_harness::{
-    ablations, bench, chaos, fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
+    ablations, bench, chaos,
+    exit::{
+        exit_table_text, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED, EXIT_INVARIANT, EXIT_PARTIAL,
+        EXIT_PLAN, EXIT_USAGE,
+    },
+    fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
     pool::{CampaignProfile, Pool},
     priority,
     run::{run_instrumented, ExperimentConfig, Instrumentation},
-    shrink, sweep, table1, table2, timeline, tracefig, Report, Scale,
+    shrink,
+    supervisor::{JobLimits, Supervisor},
+    sweep, table1, table2, timeline, tracefig, Report, Scale,
 };
 use awg_workloads::BenchmarkKind;
 
-const EXIT_FAIL: u8 = 1;
-const EXIT_USAGE: u8 = 2;
-const EXIT_HANG: u8 = 3;
-const EXIT_INVARIANT: u8 = 4;
-const EXIT_PLAN: u8 = 5;
+/// Arranges for SIGINT/SIGTERM to raise the process-wide cooperative
+/// cancel flag. The handler only stores to an atomic (async-signal-safe);
+/// the event loop observes the flag, the supervisor flushes the journal,
+/// and `main` prints the resume command.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        awg_gpu::request_global_cancel();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn print_usage() {
     eprintln!(
-        "usage: awg-repro [--quick] [--jobs N] [--out DIR] \
+        "usage: awg-repro [--quick] [--jobs N] [--out DIR] [--journal FILE | --resume FILE] \
+         [--job-deadline SECS] [--job-cycle-budget N] [--retries N] \
          <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|bench\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
@@ -75,6 +120,7 @@ fn print_usage() {
          |timeline --bench B --policy P --out FILE [--snapshots FILE] [--trace-cap N]\
          |asm <file.s>|all>"
     );
+    eprint!("{}", exit_table_text());
 }
 
 fn usage() -> ExitCode {
@@ -270,7 +316,7 @@ fn run_replay(path: &str, bench: BenchmarkKind, policy: PolicyKind, scale: &Scal
 fn run_timeline_cmd(
     bench: BenchmarkKind,
     policy: PolicyKind,
-    out_path: &std::path::Path,
+    out_path: &Path,
     snapshots_path: Option<PathBuf>,
     trace_cap: Option<usize>,
     scale: &Scale,
@@ -378,35 +424,93 @@ fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) -> Result<(), ExitCo
 fn report_campaign_profile(
     slug: &str,
     profile: &CampaignProfile,
-    pool: &Pool,
+    workers: usize,
     elapsed: std::time::Duration,
 ) {
     for (key, wall) in &profile.timings {
         eprintln!("[{slug}] {key}: {wall:.2?}");
     }
-    eprintln!("[{slug}] {}", profile.summary_line(pool.jobs()));
+    eprintln!("[{slug}] {}", profile.summary_line(workers));
     eprintln!("[{slug}] campaign wall-clock: {elapsed:.2?}");
 }
 
+/// The exact invocation that resumes an interrupted journaled campaign:
+/// the original argument list with `--journal FILE` rewritten to
+/// `--resume FILE` (an already-resumed invocation is reusable verbatim).
+fn resume_invocation(raw_args: &[String]) -> String {
+    let words: Vec<String> = raw_args
+        .iter()
+        .map(|w| {
+            if w == "--journal" {
+                "--resume".to_owned()
+            } else {
+                w.clone()
+            }
+        })
+        .collect();
+    format!("awg-repro {}", words.join(" "))
+}
+
+/// Interrupt epilogue: the supervisor has already flushed every completed
+/// job to the journal; tell the user how to pick the campaign back up.
+fn interrupted(resume_hint: &Option<String>) -> ExitCode {
+    eprintln!("interrupted: campaign cancelled cooperatively");
+    match resume_hint {
+        Some(cmd) => eprintln!("journal flushed; resume with:\n  {cmd}"),
+        None => eprintln!("(no journal; add --journal FILE to make campaigns resumable)"),
+    }
+    ExitCode::from(EXIT_INTERRUPTED)
+}
+
+/// Per-campaign epilogue shared by every report command: resume-hit and
+/// partial-completion accounting on stderr (stdout carries only the
+/// report, so journaled reruns stay byte-identical).
+fn report_supervised_epilogue(slug: &str, sup: &Supervisor) {
+    if sup.resumed_jobs() > 0 {
+        eprintln!(
+            "[{slug}] {} job(s) served from the resume journal",
+            sup.resumed_jobs()
+        );
+    }
+    if sup.incomplete() > 0 {
+        eprintln!(
+            "[{slug}] INCOMPLETE: {} job(s) exhausted their retries; \
+             the report carries typed error rows for them",
+            sup.incomplete()
+        );
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    install_signal_handlers();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = raw_args.clone();
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
     let mut pool = Pool::auto();
+    let mut limits = JobLimits::default();
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
     let mut command_seen: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
+        // Removes the current flag and yields its value operand.
+        macro_rules! take_value {
+            () => {{
+                args.remove(i);
+                if i >= args.len() {
+                    return usage();
+                }
+                args.remove(i)
+            }};
+        }
         match args[i].as_str() {
             "--quick" => {
                 quick = true;
                 args.remove(i);
             }
             "--jobs" => {
-                args.remove(i);
-                if i >= args.len() {
-                    return usage();
-                }
-                let value = args.remove(i);
+                let value = take_value!();
                 match value.parse::<usize>() {
                     Ok(n) if n >= 1 => pool = Pool::new(n),
                     _ => {
@@ -415,14 +519,53 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--journal" | "--resume" => {
+                let is_resume = args[i] == "--resume";
+                if journal.is_some() {
+                    eprintln!("--journal and --resume are mutually exclusive");
+                    return usage();
+                }
+                journal = Some(PathBuf::from(take_value!()));
+                resume = is_resume;
+            }
+            "--job-deadline" => {
+                let value = take_value!();
+                match value.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                        limits.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!(
+                            "--job-deadline must be a positive number of seconds, got '{value}'"
+                        );
+                        return usage();
+                    }
+                }
+            }
+            "--job-cycle-budget" => {
+                let value = take_value!();
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => limits.cycle_budget = Some(n),
+                    _ => {
+                        eprintln!("--job-cycle-budget must be a positive integer, got '{value}'");
+                        return usage();
+                    }
+                }
+            }
+            "--retries" => {
+                let value = take_value!();
+                match value.parse::<u32>() {
+                    Ok(n) => limits.max_attempts = n.saturating_add(1),
+                    Err(_) => {
+                        eprintln!("--retries must be a non-negative integer, got '{value}'");
+                        return usage();
+                    }
+                }
+            }
             // `timeline` owns its `--out FILE`; the global flag is the
             // CSV directory for report commands.
             "--out" if command_seen.as_deref() != Some("timeline") => {
-                args.remove(i);
-                if i >= args.len() {
-                    return usage();
-                }
-                out = Some(PathBuf::from(args.remove(i)));
+                out = Some(PathBuf::from(take_value!()));
             }
             other => {
                 if command_seen.is_none() && !other.starts_with("--") {
@@ -443,59 +586,115 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
 
-    type Runner = fn(&Scale, &Pool) -> Report;
+    let resume_hint = journal.as_ref().map(|_| resume_invocation(&raw_args));
+    let sup = match &journal {
+        Some(path) => {
+            let cmd = resume_hint.clone().unwrap_or_default();
+            match Supervisor::with_journal(pool, limits, path, resume, &cmd) {
+                Ok(s) => {
+                    if resume {
+                        eprintln!(
+                            "resuming from {}: {} completed job(s) on file",
+                            path.display(),
+                            s.resumed_records()
+                        );
+                    }
+                    s
+                }
+                Err(e) => {
+                    eprintln!("cannot open journal '{}': {e}", path.display());
+                    return ExitCode::from(EXIT_FAIL);
+                }
+            }
+        }
+        None => Supervisor::new(pool, limits),
+    };
+
+    type Runner = fn(&Scale, &Supervisor) -> Report;
     let all: [(&str, Runner); 14] = [
-        ("table1", table1::run_pooled),
-        ("table2", table2::run_pooled),
-        ("fig5", fig05::run_pooled),
-        ("fig7", fig07::run_pooled),
-        ("fig8", fig08::run_pooled),
-        ("fig9", fig09::run_pooled),
-        ("fig11", fig11::run_pooled),
-        ("fig13", fig13::run_pooled),
-        ("fig14", fig14::run_pooled),
-        ("fig15", fig15::run_pooled),
-        ("ablations", ablations::run_pooled),
-        ("fairness", fairness::run_pooled),
-        ("sweep", sweep::run_pooled),
-        ("priority", priority::run_pooled),
+        ("table1", table1::run_supervised),
+        ("table2", table2::run_supervised),
+        ("fig5", fig05::run_supervised),
+        ("fig7", fig07::run_supervised),
+        ("fig8", fig08::run_supervised),
+        ("fig9", fig09::run_supervised),
+        ("fig11", fig11::run_supervised),
+        ("fig13", fig13::run_supervised),
+        ("fig14", fig14::run_supervised),
+        ("fig15", fig15::run_supervised),
+        ("ablations", ablations::run_supervised),
+        ("fairness", fairness::run_supervised),
+        ("sweep", sweep::run_supervised),
+        ("priority", priority::run_supervised),
     ];
 
     match command {
         "all" => {
             for (slug, runner) in all {
                 let t0 = std::time::Instant::now();
-                let report = runner(&scale, &pool);
+                let report = runner(&scale, &sup);
+                if global_cancelled() {
+                    return interrupted(&resume_hint);
+                }
                 if let Err(code) = emit(&report, &out, slug) {
                     return code;
                 }
                 eprintln!("[{slug}] {:.2?}", t0.elapsed());
+            }
+            report_supervised_epilogue("all", &sup);
+            if sup.incomplete() > 0 {
+                return ExitCode::from(EXIT_PARTIAL);
             }
             ExitCode::SUCCESS
         }
         "chaos" => {
             let t0 = std::time::Instant::now();
             let (report, violations, profile) =
-                chaos::run_checked_pooled(&scale, &chaos::DEFAULT_SEEDS, &pool);
+                chaos::run_checked_supervised(&scale, &chaos::DEFAULT_SEEDS, &sup);
             let elapsed = t0.elapsed();
+            if global_cancelled() {
+                return interrupted(&resume_hint);
+            }
             if let Err(code) = emit(&report, &out, "chaos") {
                 return code;
             }
-            report_campaign_profile("chaos", &profile, &pool, elapsed);
+            report_campaign_profile("chaos", &profile, sup.pool().jobs(), elapsed);
+            report_supervised_epilogue("chaos", &sup);
             if violations > 0 {
                 eprintln!("chaos: {violations} invariant violation(s)");
                 return ExitCode::from(EXIT_FAIL);
+            }
+            if sup.incomplete() > 0 {
+                return ExitCode::from(EXIT_PARTIAL);
             }
             ExitCode::SUCCESS
         }
         "bench" => {
             let t0 = std::time::Instant::now();
-            let (report, profile) = bench::run_pooled(&scale, &pool);
+            let (report, profile) = bench::run_supervised(&scale, &sup);
             let elapsed = t0.elapsed();
+            if global_cancelled() {
+                return interrupted(&resume_hint);
+            }
             if let Err(code) = emit(&report, &out, "bench") {
                 return code;
             }
-            report_campaign_profile("bench", &profile, &pool, elapsed);
+            report_campaign_profile("bench", &profile, sup.pool().jobs(), elapsed);
+            let snapshot_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
+            match bench::write_bench_json(&profile, sup.pool().jobs(), &snapshot_dir) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!(
+                        "cannot write bench snapshot in '{}': {e}",
+                        snapshot_dir.display()
+                    );
+                    return ExitCode::from(EXIT_FAIL);
+                }
+            }
+            report_supervised_epilogue("bench", &sup);
+            if sup.incomplete() > 0 {
+                return ExitCode::from(EXIT_PARTIAL);
+            }
             ExitCode::SUCCESS
         }
         "shrink" => {
@@ -637,10 +836,24 @@ fn main() -> ExitCode {
             run_asm(&path, policy, wgs, &scale)
         }
         name => match all.iter().find(|(slug, _)| *slug == name) {
-            Some((slug, runner)) => match emit(&runner(&scale, &pool), &out, slug) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(code) => code,
-            },
+            Some((slug, runner)) => {
+                let t0 = std::time::Instant::now();
+                let report = runner(&scale, &sup);
+                if global_cancelled() {
+                    return interrupted(&resume_hint);
+                }
+                match emit(&report, &out, slug) {
+                    Ok(()) => {
+                        eprintln!("[{slug}] {:.2?}", t0.elapsed());
+                        report_supervised_epilogue(slug, &sup);
+                        if sup.incomplete() > 0 {
+                            return ExitCode::from(EXIT_PARTIAL);
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(code) => code,
+                }
+            }
             None => usage(),
         },
     }

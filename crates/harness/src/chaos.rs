@@ -20,6 +20,7 @@ use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, CampaignProfile, Pool};
 use crate::run::{run_instrumented, ExpResult, ExperimentConfig, Instrumentation, DIGEST_WINDOW};
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The default seeds of the chaos matrix (CI and the `chaos` subcommand).
@@ -98,20 +99,24 @@ pub fn fingerprint(r: &ExpResult) -> Vec<u64> {
 /// of violated invariants (0 = pass; the `chaos` subcommand exits non-zero
 /// otherwise).
 pub fn run_checked(scale: &Scale, seeds: &[u64]) -> (Report, usize) {
-    let (report, violations, _) = run_checked_pooled(scale, seeds, &Pool::serial());
+    let (report, violations, _) =
+        run_checked_supervised(scale, seeds, &Supervisor::bare(Pool::serial()));
     (report, violations)
 }
 
-/// Runs the full differential matrix on `pool`: one job per run — clean,
-/// and two per seed for the same-seed comparison — merged back in strict
-/// matrix order, so the report (cells *and* notes) is byte-identical to
-/// the serial run at any concurrency. Also returns the campaign's
+/// Runs the full differential matrix under `sup`: one supervised job per
+/// run — clean, and two per seed for the same-seed comparison — merged
+/// back in strict matrix order, so the report (cells *and* notes) is
+/// byte-identical to the serial run at any concurrency (and to a
+/// `--resume`d run). Faulted-job digests additionally cover the serialized
+/// fault plan, so a plan-generation change invalidates journaled results
+/// instead of silently resuming stale ones. Also returns the campaign's
 /// host-side accounting (per-job wall-clock, absorbed run stats, and the
 /// aggregate self-profile).
-pub fn run_checked_pooled(
+pub fn run_checked_supervised(
     scale: &Scale,
     seeds: &[u64],
-    pool: &Pool,
+    sup: &Supervisor,
 ) -> (Report, usize, CampaignProfile) {
     let mut columns: Vec<String> = vec!["clean".into()];
     for s in seeds {
@@ -131,8 +136,10 @@ pub fn run_checked_pooled(
     for kind in benchmarks() {
         for policy in policies() {
             let label = format!("chaos/{}/{}", kind.abbreviation(), policy.label());
-            jobs.push(pool::job(format!("{label}/clean"), move || {
-                run_instrumented(
+            let key = format!("{label}/clean");
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_instrumented(
                     kind,
                     policy,
                     build_policy(policy),
@@ -144,26 +151,41 @@ pub fn run_checked_pooled(
             }));
             for &seed in seeds {
                 for arm in ["a", "b"] {
-                    jobs.push(pool::job(format!("{label}/seed-{seed}/{arm}"), move || {
-                        run_faulted(kind, policy, scale, seed)
+                    let key = format!("{label}/seed-{seed}/{arm}");
+                    let plan = plan_for(policy, scale, seed);
+                    let digest = job_digest(&key, scale, &[plan.to_json().as_str()]);
+                    jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                        ctl.run_instrumented(
+                            kind,
+                            policy,
+                            build_policy(policy),
+                            scale,
+                            ExperimentConfig::NonOversubscribed,
+                            Some(plan.clone()),
+                            Instrumentation::profiled(),
+                        )
                     }));
                 }
             }
         }
     }
-    jobs.push(pool::job("chaos/control/TB_LG/Baseline", move || {
-        run_instrumented(
-            BenchmarkKind::TreeBarrier,
-            PolicyKind::Baseline,
-            build_policy(PolicyKind::Baseline),
-            scale,
-            ExperimentConfig::Oversubscribed,
-            None,
-            Instrumentation::profiled(),
-        )
-    }));
+    {
+        let key = "chaos/control/TB_LG/Baseline";
+        let digest = job_digest(key, scale, &[]);
+        jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+            ctl.run_instrumented(
+                BenchmarkKind::TreeBarrier,
+                PolicyKind::Baseline,
+                build_policy(PolicyKind::Baseline),
+                scale,
+                ExperimentConfig::Oversubscribed,
+                None,
+                Instrumentation::profiled(),
+            )
+        }));
+    }
     let mut profile = CampaignProfile::default();
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     // Timings and stats absorb in job order (the same order the report
     // consumes), so the campaign profile is deterministic too.
     let mut next = move |profile: &mut CampaignProfile| {

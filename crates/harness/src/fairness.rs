@@ -16,7 +16,8 @@ use awg_core::{CheckOrder, SyncMonConfig};
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_with_policy, ExpResult, ExperimentConfig};
+use crate::run::{ExpResult, ExperimentConfig};
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 fn tiny_syncmon() -> SyncMonConfig {
@@ -40,8 +41,8 @@ fn waiting_spread(result: &ExpResult) -> (u64, f64) {
     (max, mean)
 }
 
-fn run_order(kind: BenchmarkKind, order: CheckOrder, scale: &Scale) -> ExpResult {
-    run_with_policy(
+fn run_order(kind: BenchmarkKind, order: CheckOrder, scale: &Scale, ctl: &JobCtl) -> ExpResult {
+    ctl.run_with_policy(
         kind,
         PolicyKind::Awg,
         Box::new(
@@ -66,12 +67,12 @@ pub fn benchmarks() -> [BenchmarkKind; 4] {
 
 /// Runs the fairness comparison.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the fairness comparison on `pool`: one job per (benchmark,
-/// check-order) cell, merged in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the fairness comparison under `sup`: one supervised job per
+/// (benchmark, check-order) cell, merged in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Fairness: CP check order with a spill-heavy (tiny) SyncMon",
         vec![
@@ -88,13 +89,14 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for (order, name) in ORDERS {
-            jobs.push(pool::job(
-                format!("fairness/{}/{name}", kind.abbreviation()),
-                move || run_order(kind, order, scale),
-            ));
+            let key = format!("fairness/{}/{name}", kind.abbreviation());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                run_order(kind, order, scale, ctl)
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         let mut cells = Vec::new();
         for _ in ORDERS {

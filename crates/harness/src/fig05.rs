@@ -3,17 +3,19 @@
 use awg_workloads::{context, BenchmarkKind};
 
 use crate::pool::{self, Pool};
+use crate::supervisor::{job_digest, sim_job, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// Renders the Fig 5 series.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Renders the Fig 5 series with one job per benchmark on `pool`. The rows
-/// are pure accounting, but routing them through the pool keeps the merge
-/// path under test on the cheapest campaign (the CI determinism smoke).
-pub fn run_pooled(_scale: &Scale, pool: &Pool) -> Report {
+/// Renders the Fig 5 series with one supervised job per benchmark. The rows
+/// are pure accounting, but routing them through the supervisor keeps the
+/// journal/merge path under test on the cheapest campaign (the CI
+/// kill-and-resume smoke resumes this one).
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Fig 5: Work-group context size",
         vec!["Context (KB)", "VGPR bytes", "LDS bytes", "Scalar bytes"],
@@ -21,7 +23,9 @@ pub fn run_pooled(_scale: &Scale, pool: &Pool) -> Report {
     let jobs = BenchmarkKind::all()
         .into_iter()
         .map(|kind| {
-            pool::job(format!("fig05/{}", kind.abbreviation()), move || {
+            let key = format!("fig05/{}", kind.abbreviation());
+            let digest = job_digest(&key, scale, &[]);
+            sim_job(key, digest, move |_ctl| {
                 let res = kind.resources();
                 let vgpr = res.wavefronts as u64 * res.vgprs_per_wavefront as u64 * 4 * 64;
                 let scalar = res.wavefronts as u64 * 128;
@@ -34,7 +38,7 @@ pub fn run_pooled(_scale: &Scale, pool: &Pool) -> Report {
             })
         })
         .collect();
-    for (kind, out) in BenchmarkKind::all().into_iter().zip(pool.run(jobs)) {
+    for (kind, out) in BenchmarkKind::all().into_iter().zip(sup.run(jobs)) {
         let cells = match out.result {
             Ok(cells) => cells,
             Err(e) => vec![pool::error_cell(&e); 4],

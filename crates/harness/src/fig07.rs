@@ -9,7 +9,8 @@ use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_experiment, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The swept maximum backoff intervals, in cycles.
@@ -19,12 +20,12 @@ pub const SLEEP_SWEEP: [u64; 9] = [
 
 /// Runs the Fig 7 sweep.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 7 sweep on `pool`: one job per (benchmark, interval) cell,
-/// merged back in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 7 sweep under `sup`: one supervised job per (benchmark,
+/// interval) cell, merged back in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut columns = vec!["Baseline".to_owned()];
     columns.extend(SLEEP_SWEEP.iter().map(|m| format!("Sleep-{}k", m / 1000)));
     let mut r = Report::new(
@@ -33,32 +34,30 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     );
     let mut jobs = Vec::new();
     for kind in BenchmarkKind::backoff_sweep_suite() {
-        jobs.push(pool::job(
-            format!("fig07/{}/Baseline", kind.abbreviation()),
-            move || {
-                run_experiment(
+        let key = format!("fig07/{}/Baseline", kind.abbreviation());
+        let digest = job_digest(&key, scale, &[]);
+        jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+            ctl.run_experiment(
+                kind,
+                PolicyKind::Baseline,
+                scale,
+                ExperimentConfig::NonOversubscribed,
+            )
+        }));
+        for max in SLEEP_SWEEP {
+            let key = format!("fig07/{}/Sleep-{}k", kind.abbreviation(), max / 1000);
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_experiment(
                     kind,
-                    PolicyKind::Baseline,
+                    PolicyKind::SleepMax(max),
                     scale,
                     ExperimentConfig::NonOversubscribed,
                 )
-            },
-        ));
-        for max in SLEEP_SWEEP {
-            jobs.push(pool::job(
-                format!("fig07/{}/Sleep-{}k", kind.abbreviation(), max / 1000),
-                move || {
-                    run_experiment(
-                        kind,
-                        PolicyKind::SleepMax(max),
-                        scale,
-                        ExperimentConfig::NonOversubscribed,
-                    )
-                },
-            ));
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in BenchmarkKind::backoff_sweep_suite() {
         let base = outputs.next().expect("one baseline job per benchmark");
         let swept: Vec<_> = SLEEP_SWEEP

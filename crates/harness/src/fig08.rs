@@ -8,7 +8,8 @@ use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_experiment, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The swept timeout intervals, in cycles (Fig 8's Timeout-10k…100k).
@@ -16,12 +17,12 @@ pub const TIMEOUT_SWEEP: [u64; 4] = [10_000, 20_000, 50_000, 100_000];
 
 /// Runs the Fig 8 sweep.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 8 sweep on `pool`: one job per (benchmark, interval) cell,
-/// merged back in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 8 sweep under `sup`: one supervised job per (benchmark,
+/// interval) cell, merged back in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut columns = vec!["Baseline".to_owned()];
     columns.extend(
         TIMEOUT_SWEEP
@@ -34,32 +35,30 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     );
     let mut jobs = Vec::new();
     for kind in BenchmarkKind::heterosync_suite() {
-        jobs.push(pool::job(
-            format!("fig08/{}/Baseline", kind.abbreviation()),
-            move || {
-                run_experiment(
+        let key = format!("fig08/{}/Baseline", kind.abbreviation());
+        let digest = job_digest(&key, scale, &[]);
+        jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+            ctl.run_experiment(
+                kind,
+                PolicyKind::Baseline,
+                scale,
+                ExperimentConfig::NonOversubscribed,
+            )
+        }));
+        for interval in TIMEOUT_SWEEP {
+            let key = format!("fig08/{}/Timeout-{}k", kind.abbreviation(), interval / 1000);
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_experiment(
                     kind,
-                    PolicyKind::Baseline,
+                    PolicyKind::TimeoutInterval(interval),
                     scale,
                     ExperimentConfig::NonOversubscribed,
                 )
-            },
-        ));
-        for interval in TIMEOUT_SWEEP {
-            jobs.push(pool::job(
-                format!("fig08/{}/Timeout-{}k", kind.abbreviation(), interval / 1000),
-                move || {
-                    run_experiment(
-                        kind,
-                        PolicyKind::TimeoutInterval(interval),
-                        scale,
-                        ExperimentConfig::NonOversubscribed,
-                    )
-                },
-            ));
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in BenchmarkKind::heterosync_suite() {
         let base = outputs.next().expect("one baseline job per benchmark");
         let swept: Vec<_> = TIMEOUT_SWEEP

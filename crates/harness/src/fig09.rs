@@ -10,7 +10,8 @@ use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_experiment, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The policies Fig 9 compares against the oracle.
@@ -22,37 +23,38 @@ pub const POLICIES: [PolicyKind; 3] = [
 
 /// Runs the Fig 9 comparison.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 9 comparison on `pool`: one job per (benchmark, policy)
-/// cell including the MinResume oracle, merged back in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 9 comparison under `sup`: one supervised job per
+/// (benchmark, policy) cell including the MinResume oracle, merged back in
+/// enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Fig 9: Wait efficiency (dynamic atomics normalized to MinResume)",
         vec!["MinResume", "MonRS-All", "MonR-All", "MonNR-All"],
     );
     let mut jobs = Vec::new();
     for kind in BenchmarkKind::heterosync_suite() {
-        jobs.push(pool::job(
-            format!("fig09/{}/MinResume", kind.abbreviation()),
-            move || {
-                run_experiment(
-                    kind,
-                    PolicyKind::MinResume,
-                    scale,
-                    ExperimentConfig::NonOversubscribed,
-                )
-            },
-        ));
+        let key = format!("fig09/{}/MinResume", kind.abbreviation());
+        let digest = job_digest(&key, scale, &[]);
+        jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+            ctl.run_experiment(
+                kind,
+                PolicyKind::MinResume,
+                scale,
+                ExperimentConfig::NonOversubscribed,
+            )
+        }));
         for policy in POLICIES {
-            jobs.push(pool::job(
-                format!("fig09/{}/{}", kind.abbreviation(), policy.label()),
-                move || run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed),
-            ));
+            let key = format!("fig09/{}/{}", kind.abbreviation(), policy.label());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed)
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in BenchmarkKind::heterosync_suite() {
         let oracle = outputs.next().expect("one oracle job per benchmark");
         let base = oracle

@@ -9,7 +9,8 @@ use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_experiment, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The ten benchmarks Fig 11 plots (the suite minus the backoff variants).
@@ -38,12 +39,12 @@ pub const POLICIES: [PolicyKind; 3] = [
 
 /// Runs the Fig 11 break-down.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 11 break-down on `pool`: one job per (benchmark, policy)
-/// cell, merged back in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 11 break-down under `sup`: one supervised job per
+/// (benchmark, policy) cell, merged back in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Fig 11: WG execution break-down (normalized to Timeout total)",
         vec![
@@ -58,13 +59,14 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for policy in POLICIES {
-            jobs.push(pool::job(
-                format!("fig11/{}/{}", kind.abbreviation(), policy.label()),
-                move || run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed),
-            ));
+            let key = format!("fig11/{}/{}", kind.abbreviation(), policy.label());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_experiment(kind, policy, scale, ExperimentConfig::NonOversubscribed)
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         let mut cells = Vec::with_capacity(6);
         let mut norm: Option<f64> = None;

@@ -9,6 +9,7 @@ use awg_core::cp::{ADDR_ENTRY_BYTES, COND_ENTRY_BYTES, TABLE_ENTRY_BYTES, WG_ENT
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
+use crate::supervisor::{job_digest, sim_job, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// Worst-case concurrent quantities for one benchmark.
@@ -41,12 +42,12 @@ pub fn demand(kind: BenchmarkKind, scale: &Scale) -> CpDemand {
 
 /// Renders the Fig 13 series (sizes in KB).
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Renders the Fig 13 series with one (cheap, pure-accounting) job per
-/// benchmark on `pool`.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Renders the Fig 13 series with one (cheap, pure-accounting) supervised
+/// job per benchmark.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = Report::new(
         "Fig 13: CP scheduling data structures (KB, worst case, no SyncMon cache)",
         vec![
@@ -60,7 +61,9 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let jobs = BenchmarkKind::all()
         .into_iter()
         .map(|kind| {
-            pool::job(format!("fig13/{}", kind.abbreviation()), move || {
+            let key = format!("fig13/{}", kind.abbreviation());
+            let digest = job_digest(&key, scale, &[]);
+            sim_job(key, digest, move |_ctl| {
                 let d = demand(kind, scale);
                 let conds_kb = (d.conditions * COND_ENTRY_BYTES) as f64 / 1024.0;
                 let addrs_kb = (d.addresses * ADDR_ENTRY_BYTES) as f64 / 1024.0;
@@ -76,7 +79,7 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
             })
         })
         .collect();
-    for (kind, out) in BenchmarkKind::all().into_iter().zip(pool.run(jobs)) {
+    for (kind, out) in BenchmarkKind::all().into_iter().zip(sup.run(jobs)) {
         let cells = match out.result {
             Ok(cells) => cells,
             Err(e) => vec![pool::error_cell(&e); 5],

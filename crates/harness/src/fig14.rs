@@ -5,7 +5,8 @@ use awg_core::policies::PolicyKind;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{geomean, run_experiment, ExperimentConfig};
+use crate::run::{geomean, ExperimentConfig};
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// The compared policies, in the paper's legend order.
@@ -20,52 +21,54 @@ pub const POLICIES: [PolicyKind; 6] = [
 
 /// Runs the Fig 14 comparison.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 14 comparison on `pool`.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 14 comparison under `sup`.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     run_speedups(
         scale,
         ExperimentConfig::NonOversubscribed,
         PolicyKind::Baseline,
         "Fig 14: Speedup normalized to Baseline (non-oversubscribed)",
-        pool,
+        sup,
     )
 }
 
 /// Shared implementation for Figs 14/15: speedups of every policy relative
-/// to `reference` under `config`, one pool job per (benchmark, policy)
-/// cell. The reference runs once per benchmark; its own cell is 1.0 by
-/// definition when it completes.
+/// to `reference` under `config`, one supervised job per (benchmark,
+/// policy) cell. The reference runs once per benchmark; its own cell is 1.0
+/// by definition when it completes.
 pub fn run_speedups(
     scale: &Scale,
     config: ExperimentConfig,
     reference: PolicyKind,
     title: &str,
-    pool: &Pool,
+    sup: &Supervisor,
 ) -> Report {
     let columns: Vec<String> = POLICIES.iter().map(|p| p.label()).collect();
     let mut r = Report::new(title, columns.iter().map(String::as_str).collect());
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
     let mut jobs = Vec::new();
     for kind in BenchmarkKind::heterosync_suite() {
-        jobs.push(pool::job(
-            format!(
-                "{title}/{}/{} (reference)",
-                kind.abbreviation(),
-                reference.label()
-            ),
-            move || run_experiment(kind, reference, scale, config),
-        ));
+        let key = format!(
+            "{title}/{}/{} (reference)",
+            kind.abbreviation(),
+            reference.label()
+        );
+        let digest = job_digest(&key, scale, &[]);
+        jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+            ctl.run_experiment(kind, reference, scale, config)
+        }));
         for &policy in POLICIES.iter().filter(|&&p| p != reference) {
-            jobs.push(pool::job(
-                format!("{title}/{}/{}", kind.abbreviation(), policy.label()),
-                move || run_experiment(kind, policy, scale, config),
-            ));
+            let key = format!("{title}/{}/{}", kind.abbreviation(), policy.label());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_experiment(kind, policy, scale, config)
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in BenchmarkKind::heterosync_suite() {
         let reference_out = outputs.next().expect("one reference job per benchmark");
         let reference_cycles = reference_out

@@ -10,21 +10,22 @@ use awg_core::policies::PolicyKind;
 use crate::fig14::run_speedups;
 use crate::pool::Pool;
 use crate::run::ExperimentConfig;
+use crate::supervisor::Supervisor;
 use crate::{Report, Scale};
 
 /// Runs the Fig 15 comparison.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the Fig 15 comparison on `pool`.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the Fig 15 comparison under `sup`.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let mut r = run_speedups(
         scale,
         ExperimentConfig::Oversubscribed,
         PolicyKind::Timeout,
         "Fig 15: Speedup normalized to Timeout (oversubscribed: one CU lost mid-run)",
-        pool,
+        sup,
     );
     r.note("Baseline and Sleep cannot reschedule preempted WGs and deadlock, as in the paper.");
     r

@@ -19,8 +19,10 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod artifact;
 pub mod bench;
 pub mod chaos;
+pub mod exit;
 pub mod fairness;
 pub mod fig05;
 pub mod fig07;
@@ -30,18 +32,22 @@ pub mod fig11;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod journal;
 pub mod pool;
 pub mod priority;
 pub mod report;
 pub mod run;
 pub mod scale;
 pub mod shrink;
+pub mod supervisor;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod timeline;
 pub mod tracefig;
 
+pub use artifact::Artifact;
+pub use journal::{JobStatus, Journal, JournalRecord, ResumeState};
 pub use pool::{job, CampaignProfile, Job, JobOutput, Pool};
 pub use report::{Cell, Report, Row};
 pub use run::{
@@ -50,3 +56,4 @@ pub use run::{
 };
 pub use scale::Scale;
 pub use shrink::{shrink, still_hangs, ShrinkResult};
+pub use supervisor::{job_digest, sim_job, JobCtl, JobLimits, SimJob, Supervisor};

@@ -8,12 +8,13 @@
 //! priority kernel must keep making progress between and across bursts.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::Gpu;
+use awg_gpu::{Gpu, Watchdog};
 use awg_sim::Cycle;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
 use crate::run::ExpResult;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// CUs taken per burst.
@@ -32,8 +33,14 @@ pub fn burst_duration(scale: &Scale) -> Cycle {
     (scale.resource_loss_at / 2).max(1_000)
 }
 
-/// Runs `kind` under `policy` with the periodic burst schedule.
-pub fn run_bursty(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> ExpResult {
+/// Runs `kind` under `policy` with the periodic burst schedule, optionally
+/// under a supervisor watchdog.
+pub fn run_bursty(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    watchdog: Option<Watchdog>,
+) -> ExpResult {
     let policy_box = build_policy(policy);
     let mut params = scale.params;
     params.iterations = params.iterations.saturating_mul(kind.episode_weight() * 4);
@@ -43,6 +50,9 @@ pub fn run_bursty(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> Exp
     let (period, duration) = (burst_period(scale), burst_duration(scale));
     for i in 0..BURSTS {
         gpu.schedule_priority_burst(cus, (i + 1) * period, duration);
+    }
+    if let Some(watchdog) = watchdog {
+        gpu.set_watchdog(watchdog);
     }
     let outcome = gpu.run();
     let validated = if outcome.is_completed() {
@@ -85,12 +95,12 @@ pub fn benchmarks() -> [BenchmarkKind; 4] {
 
 /// The priority-burst comparison across policies.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// The priority-burst comparison on `pool`: one job per (benchmark,
-/// policy) cell, merged in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// The priority-burst comparison under `sup`: one supervised job per
+/// (benchmark, policy) cell, merged in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let columns: Vec<String> = policies().iter().map(|p| p.label()).collect();
     let mut r = Report::new(
         format!(
@@ -103,13 +113,14 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for policy in policies() {
-            jobs.push(pool::job(
-                format!("priority/{}/{}", kind.abbreviation(), policy.label()),
-                move || run_bursty(kind, policy, scale),
-            ));
+            let key = format!("priority/{}/{}", kind.abbreviation(), policy.label());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                run_bursty(kind, policy, scale, Some(ctl.watchdog()))
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         let cells: Vec<Cell> = policies()
             .iter()
@@ -140,7 +151,7 @@ mod tests {
     #[test]
     fn awg_absorbs_repeated_bursts() {
         let scale = Scale::quick();
-        let r = run_bursty(BenchmarkKind::FaMutexGlobal, PolicyKind::Awg, &scale);
+        let r = run_bursty(BenchmarkKind::FaMutexGlobal, PolicyKind::Awg, &scale, None);
         assert!(r.outcome.is_completed(), "{:?}", r.outcome);
         r.validated.as_ref().expect("post-conditions across bursts");
         assert!(
@@ -152,7 +163,12 @@ mod tests {
     #[test]
     fn baseline_deadlocks_at_a_burst() {
         let scale = Scale::quick();
-        let r = run_bursty(BenchmarkKind::FaMutexGlobal, PolicyKind::Baseline, &scale);
+        let r = run_bursty(
+            BenchmarkKind::FaMutexGlobal,
+            PolicyKind::Baseline,
+            &scale,
+            None,
+        );
         assert!(r.deadlocked(), "{:?}", r.outcome);
     }
 }

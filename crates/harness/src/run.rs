@@ -1,7 +1,7 @@
 //! The experiment runner: one benchmark × one policy × one scenario.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{FaultPlan, Gpu, InvariantViolation, RunOutcome};
+use awg_gpu::{CancelCause, FaultPlan, Gpu, InvariantViolation, RunOutcome, Watchdog};
 use awg_sim::{Cycle, MetricSnapshot, ProfileReport, TelemetryConfig};
 use awg_workloads::BenchmarkKind;
 
@@ -135,6 +135,11 @@ impl ExpResult {
     pub fn is_valid_completion(&self) -> bool {
         self.outcome.is_completed() && self.validated.is_ok()
     }
+
+    /// The cancellation point and cause, if a watchdog cancelled the run.
+    pub fn cancelled(&self) -> Option<(Cycle, CancelCause)> {
+        self.outcome.cancelled()
+    }
 }
 
 /// Runs `kind` under `policy` at the given scale and scenario.
@@ -187,8 +192,7 @@ pub fn run_with_policy_under_plan(
     )
 }
 
-/// The fully-general runner: scenario, optional fault plan, and
-/// self-checking instrumentation.
+/// Like [`run_instrumented`], with no watchdog.
 pub fn run_instrumented(
     kind: BenchmarkKind,
     label: PolicyKind,
@@ -197,6 +201,23 @@ pub fn run_instrumented(
     config: ExperimentConfig,
     plan: Option<FaultPlan>,
     instr: Instrumentation,
+) -> ExpResult {
+    run_watched(kind, label, policy_box, scale, config, plan, instr, None)
+}
+
+/// The fully-general runner: scenario, optional fault plan, self-checking
+/// instrumentation, and an optional cooperative-cancellation watchdog (the
+/// supervisor arms one per job attempt).
+#[allow(clippy::too_many_arguments)]
+pub fn run_watched(
+    kind: BenchmarkKind,
+    label: PolicyKind,
+    policy_box: Box<dyn awg_gpu::SchedPolicy>,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+    instr: Instrumentation,
+    watchdog: Option<Watchdog>,
 ) -> ExpResult {
     let mut params = scale.params;
     params.iterations = params.iterations.saturating_mul(kind.episode_weight());
@@ -217,6 +238,9 @@ pub fn run_instrumented(
     }
     if let Some(config) = instr.telemetry {
         gpu.enable_telemetry(config);
+    }
+    if let Some(watchdog) = watchdog {
+        gpu.set_watchdog(watchdog);
     }
     let outcome = gpu.run();
     let validated = built.validate(gpu.backing());

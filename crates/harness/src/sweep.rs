@@ -13,7 +13,8 @@ use awg_core::SyncMonConfig;
 use awg_workloads::BenchmarkKind;
 
 use crate::pool::{self, Pool};
-use crate::run::{run_with_policy, ExperimentConfig};
+use crate::run::ExperimentConfig;
+use crate::supervisor::{job_digest, sim_job, JobCtl, Supervisor};
 use crate::{Cell, Report, Row, Scale};
 
 /// Swept condition capacities (sets × 4 ways).
@@ -40,13 +41,13 @@ pub fn benchmarks() -> [BenchmarkKind; 4] {
 
 /// Runs the capacity sweep.
 pub fn run(scale: &Scale) -> Report {
-    run_pooled(scale, &Pool::serial())
+    run_supervised(scale, &Supervisor::bare(Pool::serial()))
 }
 
-/// Runs the capacity sweep on `pool`: one job per (benchmark, capacity)
-/// cell. Each job constructs its own [`AwgPolicy`] (policies are not
-/// shared across threads), and results merge in enumeration order.
-pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
+/// Runs the capacity sweep under `sup`: one supervised job per (benchmark,
+/// capacity) cell. Each job constructs its own [`AwgPolicy`] (policies are
+/// not shared across threads), and results merge in enumeration order.
+pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> Report {
     let columns: Vec<String> = CAPACITIES.iter().map(|c| format!("{c} conds")).collect();
     let mut r = Report::new(
         "SyncMon capacity sweep (runtime normalized to the paper's 1024 conditions)",
@@ -55,21 +56,20 @@ pub fn run_pooled(scale: &Scale, pool: &Pool) -> Report {
     let mut jobs = Vec::new();
     for kind in benchmarks() {
         for &cap in CAPACITIES.iter() {
-            jobs.push(pool::job(
-                format!("sweep/{}/{cap}", kind.abbreviation()),
-                move || {
-                    run_with_policy(
-                        kind,
-                        PolicyKind::Awg,
-                        Box::new(AwgPolicy::new().with_monitor_config(config_for(cap), 4096)),
-                        scale,
-                        ExperimentConfig::NonOversubscribed,
-                    )
-                },
-            ));
+            let key = format!("sweep/{}/{cap}", kind.abbreviation());
+            let digest = job_digest(&key, scale, &[]);
+            jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
+                ctl.run_with_policy(
+                    kind,
+                    PolicyKind::Awg,
+                    Box::new(AwgPolicy::new().with_monitor_config(config_for(cap), 4096)),
+                    scale,
+                    ExperimentConfig::NonOversubscribed,
+                )
+            }));
         }
     }
-    let mut outputs = pool.run(jobs).into_iter();
+    let mut outputs = sup.run(jobs).into_iter();
     for kind in benchmarks() {
         let results: Vec<_> = CAPACITIES
             .iter()

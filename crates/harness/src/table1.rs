@@ -1,11 +1,11 @@
 //! Table 1: the baseline GPU model.
 
-use crate::pool::Pool;
+use crate::supervisor::Supervisor;
 use crate::{Cell, Report, Row, Scale};
 
 /// Runner-uniform entry: Table 1 is pure configuration rendering, so the
-/// pool is unused.
-pub fn run_pooled(scale: &Scale, _pool: &Pool) -> Report {
+/// supervisor is unused.
+pub fn run_supervised(scale: &Scale, _sup: &Supervisor) -> Report {
     run(scale)
 }
 

@@ -2,12 +2,12 @@
 
 use awg_workloads::BenchmarkKind;
 
-use crate::pool::Pool;
+use crate::supervisor::Supervisor;
 use crate::{Cell, Report, Row, Scale};
 
 /// Runner-uniform entry: Table 2 is pure characteristics rendering, so the
-/// pool is unused.
-pub fn run_pooled(scale: &Scale, _pool: &Pool) -> Report {
+/// supervisor is unused.
+pub fn run_supervised(scale: &Scale, _sup: &Supervisor) -> Report {
     run(scale)
 }
 

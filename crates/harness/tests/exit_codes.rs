@@ -1,0 +1,134 @@
+//! The front end's exit-code contract, asserted through the real binary:
+//! every code in `awg_harness::exit`'s table is reachable and means what
+//! the table says.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use awg_harness::exit::{EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
+
+fn awg_repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_awg-repro"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("awg-exit-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn bare_invocation_prints_help_with_the_exit_table_and_succeeds() {
+    let out = awg_repro(&[]);
+    assert!(out.status.success(), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("Exit codes:"), "{stderr}");
+    // The table documents the new partial-completion code.
+    assert!(stderr.contains("partial"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = awg_repro(&["no-such-figure"]);
+    assert_eq!(out.status.code(), Some(EXIT_USAGE as i32));
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    for args in [
+        &["--journal"][..],
+        &["--resume"][..],
+        &["--job-deadline"][..],
+        &["--retries", "-1", "fig5"][..],
+        &["--job-deadline", "0", "fig5"][..],
+    ] {
+        let out = awg_repro(args);
+        assert_eq!(out.status.code(), Some(EXIT_USAGE as i32), "{args:?}");
+    }
+}
+
+#[test]
+fn journal_and_resume_are_mutually_exclusive() {
+    let out = awg_repro(&["--journal", "a.jsonl", "--resume", "b.jsonl", "fig5"]);
+    assert_eq!(out.status.code(), Some(EXIT_USAGE as i32));
+}
+
+#[test]
+fn successful_campaign_exits_zero() {
+    let out = awg_repro(&["--quick", "fig5"]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Fig 5"));
+}
+
+#[test]
+fn malformed_fault_plan_exits_with_the_plan_code() {
+    let dir = temp_dir("plan");
+    let plan = dir.join("bad-plan.json");
+    std::fs::write(&plan, "{this is not a fault plan").unwrap();
+    let out = awg_repro(&["replay", plan.to_str().unwrap(), "TB_LG", "baseline"]);
+    assert_eq!(out.status.code(), Some(EXIT_PLAN as i32));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_jobs_emit_a_partial_report_and_the_partial_code() {
+    // A wall deadline no attempt can meet turns every simulated job into a
+    // typed timeout row; the campaign still emits its report but must
+    // signal partial completion. (`priority` renders per-cell typed
+    // errors, and its runs are long enough to hit the wall-clock poll.)
+    let out = awg_repro(&[
+        "--quick",
+        "--job-deadline",
+        "0.000000001",
+        "--retries",
+        "0",
+        "priority",
+    ]);
+    assert_eq!(out.status.code(), Some(EXIT_PARTIAL as i32), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ERROR"), "typed rows in report: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("INCOMPLETE"), "{stderr}");
+}
+
+#[test]
+fn cli_journal_then_resume_reproduces_the_csv_byte_for_byte() {
+    let dir = temp_dir("cli-resume");
+    let journal = dir.join("fig5.jsonl");
+    let clean_dir = dir.join("clean");
+    let resumed_dir = dir.join("resumed");
+
+    let first = awg_repro(&[
+        "--quick",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--out",
+        clean_dir.to_str().unwrap(),
+        "fig5",
+    ]);
+    assert_eq!(first.status.code(), Some(0), "{:?}", first);
+
+    let second = awg_repro(&[
+        "--quick",
+        "--resume",
+        journal.to_str().unwrap(),
+        "--out",
+        resumed_dir.to_str().unwrap(),
+        "fig5",
+    ]);
+    assert_eq!(second.status.code(), Some(0), "{:?}", second);
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("served from the resume journal"),
+        "{stderr}"
+    );
+
+    let clean = std::fs::read(clean_dir.join("fig5.csv")).unwrap();
+    let resumed = std::fs::read(resumed_dir.join("fig5.csv")).unwrap();
+    assert_eq!(clean, resumed, "resumed CSV must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}

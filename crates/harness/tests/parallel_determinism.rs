@@ -7,14 +7,15 @@ use awg_core::policies::{build_policy, PolicyKind};
 use awg_gpu::SimError;
 use awg_harness::pool::{self, Pool};
 use awg_harness::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use awg_harness::supervisor::Supervisor;
 use awg_harness::{chaos, fig05, Scale};
 use awg_workloads::BenchmarkKind;
 
 #[test]
 fn fig05_csv_is_byte_identical_across_jobs() {
     let scale = Scale::quick();
-    let serial = fig05::run_pooled(&scale, &Pool::new(1));
-    let parallel = fig05::run_pooled(&scale, &Pool::new(8));
+    let serial = fig05::run_supervised(&scale, &Supervisor::bare(Pool::new(1)));
+    let parallel = fig05::run_supervised(&scale, &Supervisor::bare(Pool::new(8)));
     assert_eq!(serial.to_csv(), parallel.to_csv());
     assert_eq!(serial.to_markdown(), parallel.to_markdown());
 }
@@ -22,8 +23,10 @@ fn fig05_csv_is_byte_identical_across_jobs() {
 #[test]
 fn chaos_matrix_is_byte_identical_across_jobs() {
     let scale = Scale::quick();
-    let (serial, v_serial, _) = chaos::run_checked_pooled(&scale, &[101], &Pool::serial());
-    let (parallel, v_parallel, _) = chaos::run_checked_pooled(&scale, &[101], &Pool::new(8));
+    let (serial, v_serial, _) =
+        chaos::run_checked_supervised(&scale, &[101], &Supervisor::bare(Pool::serial()));
+    let (parallel, v_parallel, _) =
+        chaos::run_checked_supervised(&scale, &[101], &Supervisor::bare(Pool::new(8)));
     assert_eq!(v_serial, v_parallel);
     // Cells *and* notes: the differential harness's forensic notes must
     // also merge in enumeration order.

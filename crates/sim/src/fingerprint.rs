@@ -39,6 +39,18 @@ impl Fingerprint64 {
         self.push(word as u64);
     }
 
+    /// Folds a length-prefixed byte string into the digest, so adjacent
+    /// strings keep their boundary (`"ab" ++ "c"` differs from
+    /// `"a" ++ "bc"`). This is what content-addressed job digests use to
+    /// hash keys and config dumps.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.push(bytes.len() as u64);
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
     /// Folds a length-prefixed sequence of words, so `[1, 2] ++ [3]`
     /// hashes differently from `[1] ++ [2, 3]`.
     pub fn push_seq(&mut self, words: impl ExactSizeIterator<Item = u64>) {
@@ -119,6 +131,20 @@ mod tests {
         let mut b = Fingerprint64::new();
         b.push(u64::MAX);
         assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_strings_keep_their_boundaries() {
+        let digest = |parts: &[&str]| {
+            let mut f = Fingerprint64::new();
+            for p in parts {
+                f.push_bytes(p.as_bytes());
+            }
+            f.finish()
+        };
+        assert_eq!(digest(&["ab", "c"]), digest(&["ab", "c"]));
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+        assert_ne!(digest(&["ab"]), digest(&["ba"]));
     }
 
     #[test]

@@ -65,6 +65,53 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serializes this value to compact JSON text that [`parse`] accepts.
+    ///
+    /// Numbers use Rust's shortest round-trip `f64` formatting, so any
+    /// value that came out of [`parse`] re-serializes to the same number.
+    /// Non-finite numbers (which JSON cannot represent) serialize as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Num(_) => out.push_str("null"),
+            Value::Str(s) => out.push_str(&escape(s)),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(key));
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Escapes `s` into a double-quoted JSON string literal.
@@ -338,6 +385,22 @@ mod tests {
         ] {
             assert!(parse(text).is_err(), "should reject {text:?}");
         }
+    }
+
+    #[test]
+    fn serializer_round_trips_through_parse() {
+        let text = r#"{"a":[1,{"b":true},null],"c":"x\ny","d":-1.5,"e":1234.5678}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_json(), text);
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn serializer_writes_integers_without_fraction() {
+        assert_eq!(Value::Num(42.0).to_json(), "42");
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Array(vec![]).to_json(), "[]");
+        assert_eq!(Value::Object(vec![]).to_json(), "{}");
     }
 
     #[test]

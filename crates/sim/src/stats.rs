@@ -293,6 +293,40 @@ impl Stats {
         }
     }
 
+    /// Restores a distribution's moments wholesale, merging with whatever
+    /// the slot already holds. The inverse of [`Stats::dist_summary`]:
+    /// journal resume decodes a serialized registry without access to the
+    /// original samples, so it cannot rebuild moments through
+    /// [`Stats::sample`].
+    pub fn restore_dist(&mut self, name: &str, summary: DistSummary) {
+        let id = self.dist(name);
+        let d = &mut self.dists[id.0];
+        d.count += summary.count;
+        d.sum += summary.sum;
+        if summary.count > 0 {
+            d.min = d.min.min(summary.min);
+            d.max = d.max.max(summary.max);
+        }
+    }
+
+    /// Restores `count` observations into the histogram bucket whose lower
+    /// bound is `lower_bound` — the inverse of [`Stats::hist_buckets`],
+    /// which reports bucket 0 as bound 0 and bucket *i* (*i* ≥ 1) as bound
+    /// 2^(i−1). `lower_bound` must be one of those bounds (0 or a power of
+    /// two); anything else restores into the bucket covering the value,
+    /// same as [`Stats::observe`] would.
+    pub fn restore_hist_bucket(&mut self, name: &str, lower_bound: u64, count: u64) {
+        let id = self.hist(name);
+        let bucket = if lower_bound == 0 {
+            0
+        } else {
+            64 - lower_bound.leading_zeros() as usize
+        };
+        let h = &mut self.hists[id.0];
+        h.buckets[bucket] += count;
+        h.count += count;
+    }
+
     /// Resets all counters, distributions and histograms to zero, keeping
     /// the registered names (so handles remain valid).
     pub fn reset(&mut self) {
@@ -494,6 +528,47 @@ mod tests {
             via_reverse.hists().map(|(n, _)| n).collect::<Vec<_>>(),
         );
         assert_eq!(via_forward.to_string(), via_reverse.to_string());
+    }
+
+    /// Serializing a registry via its iterators and restoring it through
+    /// the `restore_*` APIs must reproduce the same summaries — this is the
+    /// contract the harness journal codec builds on.
+    #[test]
+    fn restore_apis_invert_the_iterators() {
+        let mut original = Stats::new();
+        let c = original.counter("ops");
+        original.add(c, 11);
+        let d = original.dist("lat");
+        original.sample(d, 4);
+        original.sample(d, 40);
+        let h = original.hist("wake");
+        original.observe(h, 0);
+        original.observe(h, 3);
+        original.observe(h, 1024);
+        original.dist("empty");
+
+        let mut rebuilt = Stats::new();
+        for (name, value) in original.counters() {
+            let id = rebuilt.counter(name);
+            rebuilt.add(id, value);
+        }
+        for (name, summary) in original.dists() {
+            rebuilt.restore_dist(name, summary);
+        }
+        for (name, buckets) in original.hists() {
+            for (lo, count) in buckets {
+                rebuilt.restore_hist_bucket(name, lo, count);
+            }
+        }
+        assert_eq!(rebuilt.to_string(), original.to_string());
+        assert_eq!(
+            rebuilt.dist_summary_by_name("lat"),
+            original.dist_summary_by_name("lat")
+        );
+        assert_eq!(
+            rebuilt.hist_buckets_by_name("wake"),
+            original.hist_buckets_by_name("wake")
+        );
     }
 
     #[test]

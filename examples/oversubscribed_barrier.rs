@@ -41,6 +41,9 @@ fn main() {
             RunOutcome::CycleLimit { .. } => {
                 println!("  {:<10} hit the cycle cap", policy.label());
             }
+            RunOutcome::Cancelled { cause, .. } => {
+                println!("  {:<10} cancelled: {cause}", policy.label());
+            }
         }
     }
     println!("\nThis is Fig 15's left-most bars: IFP requires WG-granularity scheduling support.");
