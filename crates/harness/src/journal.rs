@@ -313,7 +313,7 @@ fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
 mod tests {
     use super::*;
 
-    fn record(key: &str, digest: u64) -> JournalRecord {
+    pub(super) fn record(key: &str, digest: u64) -> JournalRecord {
         JournalRecord {
             key: key.to_owned(),
             digest,
@@ -435,5 +435,44 @@ mod tests {
         std::fs::write(&path, "").unwrap();
         assert!(Journal::open_resume(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+
+    #[test]
+    fn append_after_torn_tail_resume_keeps_journal_parseable() {
+        let path = std::env::temp_dir().join(format!(
+            "awg-journal-reviewprobe-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut j = Journal::create(&path, "cmd").unwrap();
+            j.append(&tests::record("a", 1)).unwrap();
+            j.append(&tests::record("b", 2)).unwrap();
+        }
+        // Crash mid-write of record "b": torn tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - 17;
+        std::fs::write(&path, &text[..keep]).unwrap();
+        // Resume and append two new records (re-run of "b", then "c").
+        {
+            let (mut j, state) = Journal::open_resume(&path).unwrap();
+            assert!(state.torn_tail);
+            j.append(&tests::record("b", 2)).unwrap();
+            j.append(&tests::record("c", 3)).unwrap();
+        }
+        // A second resume must still parse the journal.
+        let result = Journal::open_resume(&path);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        match result {
+            Ok((_j, state)) => {
+                assert_eq!(state.records.len(), 3, "file was:\n{contents}");
+            }
+            Err(e) => panic!("second resume failed: {e}\nfile was:\n{contents}"),
+        }
     }
 }
