@@ -13,7 +13,7 @@ use awg_gpu::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
     WaitDirective, WaiterRecord, WaiterStructure, Wake, WgId,
 };
-use awg_sim::{Cycle, Stats};
+use awg_sim::{CodecError, Cycle, Dec, Enc, Stats};
 
 /// Interval between the oracle's staggered release steps.
 const STAGGER_TICK: Cycle = 500;
@@ -145,6 +145,53 @@ impl SchedPolicy for MinResumePolicy {
     fn report(&self, stats: &mut Stats) {
         let c = stats.counter("minresume_wakes");
         stats.add(c, self.wakes);
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        let mut conds: Vec<SyncCond> = self.waiters.keys().copied().collect();
+        conds.sort_by_key(|c| (c.addr, c.expected));
+        enc.usize(conds.len());
+        for cond in conds {
+            enc.u64(cond.addr);
+            enc.i64(cond.expected);
+            let q = &self.waiters[&cond];
+            enc.usize(q.len());
+            for &wg in q {
+                enc.u32(wg);
+            }
+        }
+        enc.u64(self.wakes);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        let n = dec.count(24)?;
+        let mut waiters: HashMap<SyncCond, VecDeque<WgId>> = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let cond = SyncCond {
+                addr: dec.u64()?,
+                expected: dec.i64()?,
+            };
+            let m = dec.count(4)?;
+            if m == 0 {
+                return Err(CodecError::Invalid(format!(
+                    "empty oracle waiter queue for {:#x}={}",
+                    cond.addr, cond.expected
+                )));
+            }
+            let mut q = VecDeque::with_capacity(m);
+            for _ in 0..m {
+                q.push_back(dec.u32()?);
+            }
+            if waiters.insert(cond, q).is_some() {
+                return Err(CodecError::Invalid(format!(
+                    "duplicate oracle condition {:#x}={}",
+                    cond.addr, cond.expected
+                )));
+            }
+        }
+        self.waiters = waiters;
+        self.wakes = dec.u64()?;
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@ use awg_gpu::{
     MonitorEntrySnapshot, PolicyCtx, PolicyFault, SyncCond, WaiterRecord, WaiterStructure, Wake,
     WgId,
 };
-use awg_sim::Stats;
+use awg_sim::{CodecError, Dec, Enc, Stats};
 
 use crate::cp::Cp;
 use crate::monitorlog::{LogEntry, MonitorLog};
@@ -231,6 +231,68 @@ impl MonitorCore {
                 waiters,
             })
             .collect()
+    }
+
+    /// Serializes the full monitor stack: SyncMon, Monitor Log, CP tables,
+    /// and the per-WG tracking map (sorted by WG for a canonical encoding).
+    pub fn save(&self, enc: &mut Enc) {
+        self.syncmon.save(enc);
+        self.log.save(enc);
+        self.cp.save(enc);
+        let mut tracked: Vec<(WgId, (SyncCond, TrackOutcome))> =
+            self.tracked.iter().map(|(&wg, &t)| (wg, t)).collect();
+        tracked.sort_unstable_by_key(|&(wg, _)| wg);
+        enc.usize(tracked.len());
+        for (wg, (cond, outcome)) in tracked {
+            enc.u32(wg);
+            enc.u64(cond.addr);
+            enc.i64(cond.expected);
+            enc.u8(match outcome {
+                TrackOutcome::Cached => 0,
+                TrackOutcome::Spilled => 1,
+                TrackOutcome::MesaRetry => 2,
+            });
+        }
+        enc.u64(self.mesa_retries);
+        enc.u64(self.wakes_issued);
+        enc.u64(self.chaos_evicted_waiters);
+        enc.u64(self.chaos_bloom_pollutions);
+    }
+
+    /// Restores state saved by [`MonitorCore::save`] onto a stack with
+    /// matching geometry.
+    pub fn load(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        self.syncmon.load(dec)?;
+        self.log.load(dec)?;
+        self.cp.load(dec)?;
+        let n = dec.count(21)?;
+        let mut tracked = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let wg = dec.u32()?;
+            let cond = SyncCond {
+                addr: dec.u64()?,
+                expected: dec.i64()?,
+            };
+            let outcome = match dec.u8()? {
+                0 => TrackOutcome::Cached,
+                1 => TrackOutcome::Spilled,
+                2 => TrackOutcome::MesaRetry,
+                t => {
+                    return Err(CodecError::Invalid(format!(
+                        "unknown track outcome tag {t}"
+                    )));
+                }
+            };
+            if tracked.insert(wg, (cond, outcome)).is_some() {
+                return Err(CodecError::Invalid(format!("WG {wg} tracked twice")));
+            }
+        }
+        self.tracked = tracked;
+        self.mesa_retries = dec.u64()?;
+        self.wakes_issued = dec.u64()?;
+        self.chaos_evicted_waiters = dec.u64()?;
+        self.chaos_bloom_pollutions = dec.u64()?;
+        Ok(())
     }
 
     /// Dumps monitor counters into the run statistics.

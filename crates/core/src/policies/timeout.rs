@@ -9,7 +9,7 @@ use awg_gpu::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, SyncStyle, TimeoutAction,
     WaitDirective, Wake, WgId,
 };
-use awg_sim::{Cycle, Stats};
+use awg_sim::{CodecError, Cycle, Dec, Enc, Stats};
 
 /// Fixed-interval waiting, context switching when oversubscribed.
 #[derive(Debug, Clone)]
@@ -92,6 +92,19 @@ impl SchedPolicy for TimeoutPolicy {
             let c = stats.counter(name);
             stats.add(c, value);
         }
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        enc.u64(self.stalls);
+        enc.u64(self.switches);
+        enc.u64(self.timeouts);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        self.stalls = dec.u64()?;
+        self.switches = dec.u64()?;
+        self.timeouts = dec.u64()?;
+        Ok(())
     }
 }
 

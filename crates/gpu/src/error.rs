@@ -50,6 +50,12 @@ pub enum SimError {
         /// Stable key of the abandoned job.
         job: String,
     },
+    /// A checkpoint snapshot could not be restored: the file is truncated,
+    /// corrupted (CRC mismatch), from an incompatible format version, from a
+    /// different run configuration, or decodes into an inconsistent machine.
+    /// Restore fails closed with this error rather than resuming a machine
+    /// that could silently diverge.
+    CorruptCheckpoint(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -66,6 +72,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::JobCancelled { job } => {
                 write!(f, "job '{job}' cancelled before completion")
+            }
+            SimError::CorruptCheckpoint(msg) => {
+                write!(f, "corrupt checkpoint: {msg}")
             }
         }
     }
@@ -120,5 +129,13 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("fig5/SPM_G"), "{text}");
         assert!(text.contains("cancelled"), "{text}");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_display_names_the_cause() {
+        let e = SimError::CorruptCheckpoint("section crc mismatch".into());
+        let text = e.to_string();
+        assert!(text.contains("corrupt checkpoint"), "{text}");
+        assert!(text.contains("crc mismatch"), "{text}");
     }
 }

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod cu;
 pub mod error;
@@ -57,6 +58,10 @@ pub mod trace;
 pub mod watchdog;
 pub mod wg;
 
+pub use checkpoint::{
+    read_checkpoint, restore_into, write_checkpoint, CheckpointImage, CheckpointSpec,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
 pub use cu::Cu;
 pub use error::SimError;

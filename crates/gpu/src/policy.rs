@@ -10,7 +10,7 @@
 //! `awg-core`); the machine only executes its directives.
 
 use awg_mem::{Addr, L2};
-use awg_sim::{Cycle, Stats};
+use awg_sim::{CodecError, Cycle, Dec, Enc, Stats};
 
 use crate::wg::WgId;
 
@@ -306,6 +306,20 @@ pub trait SchedPolicy {
 
     /// Dump policy-internal measurements into the run statistics.
     fn report(&self, _stats: &mut Stats) {}
+
+    /// Serializes every piece of mutable policy state (SyncMon tables,
+    /// Bloom filters, predictors, counters) for whole-machine checkpoints.
+    /// Configuration knobs are identity, not state: [`Self::load_state`]
+    /// overlays onto a policy constructed with the same configuration.
+    /// The default covers stateless policies.
+    fn save_state(&self, _enc: &mut Enc) {}
+
+    /// Overlays state written by [`Self::save_state`] onto this policy.
+    /// A restored policy must behave *exactly* as the original would have —
+    /// deterministic resume depends on it.
+    fn load_state(&mut self, _dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        Ok(())
+    }
 }
 
 /// The paper's **Baseline**: software busy-waiting, no hardware support.
@@ -352,6 +366,15 @@ impl SchedPolicy for BusyWaitPolicy {
     fn report(&self, stats: &mut Stats) {
         let c = stats.counter("policy_sync_fails");
         stats.add(c, self.fails);
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        enc.u64(self.fails);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        self.fails = dec.u64()?;
+        Ok(())
     }
 }
 

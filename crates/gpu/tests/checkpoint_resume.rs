@@ -1,0 +1,221 @@
+//! Mid-run checkpoint/restore determinism at the machine level: a run
+//! resumed from a snapshot must produce the same digest trail and summary
+//! as the same run left uninterrupted — with and without an active chaos
+//! fault plan.
+
+use std::path::{Path, PathBuf};
+
+use awg_gpu::{
+    read_checkpoint, restore_into, BusyWaitPolicy, CheckpointSpec, FaultPlan, FaultPlanConfig, Gpu,
+    GpuConfig, Kernel, RunOutcome, SimError, WgResources,
+};
+use awg_isa::{Cond, Operand, ProgramBuilder, Reg, Special};
+
+const DIGEST_WINDOW: u64 = 500;
+const IDENTITY: u64 = 0xA110_CA7E;
+
+/// 64 WGs hammering per-WG counters with a contended shared counter mixed
+/// in: enough atomic traffic, bank queueing, and retry churn to make a
+/// snapshot boundary land mid-flight.
+fn kernel() -> Kernel {
+    let mut b = ProgramBuilder::new("ckpt-mix");
+    b.special(Reg::R1, Special::WgId);
+    b.li(Reg::R2, 0);
+    let head = b.new_label();
+    b.bind(head);
+    b.raw(awg_isa::Inst::Atom {
+        op: awg_mem::AtomicOp::Add,
+        dst: Reg::R0,
+        mem: awg_isa::Mem::indexed(1 << 20, Reg::R1, 64),
+        operand: Operand::Imm(1),
+        expected: None,
+    });
+    b.atom_add(Reg::R0, 4096u64, 1i64);
+    b.add(Reg::R2, Reg::R2, 1i64);
+    b.br(Cond::Lt, Reg::R2, Operand::Imm(16), head);
+    b.halt();
+    Kernel::new(b.build().unwrap(), 64, WgResources::default())
+}
+
+fn fresh(chaos: bool) -> Gpu {
+    let mut gpu = Gpu::new(
+        GpuConfig::isca2020_baseline(),
+        kernel(),
+        Box::new(BusyWaitPolicy::new()),
+    );
+    gpu.enable_digest_trail(DIGEST_WINDOW);
+    gpu.enable_invariant_oracle();
+    if chaos {
+        let cfg = FaultPlanConfig::standard(8).resident_safe();
+        gpu.install_fault_plan(FaultPlan::generate(11, &cfg));
+    }
+    gpu
+}
+
+fn ckpt_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("awg_ckpt_resume_{}_{name}", std::process::id()));
+    p
+}
+
+fn spec(path: &Path, every: u64) -> CheckpointSpec {
+    CheckpointSpec {
+        path: path.to_path_buf(),
+        every,
+        identity: IDENTITY,
+        kill_after: None,
+    }
+}
+
+fn run_resumed(chaos: bool, every: u64, name: &str) -> (Vec<u64>, u64, Vec<u64>, u64) {
+    // Reference: uninterrupted.
+    let mut reference = fresh(chaos);
+    let ref_outcome = reference.run();
+    assert!(ref_outcome.is_completed(), "{ref_outcome:?}");
+    let ref_trail = reference.digest_trail().to_vec();
+    let ref_cycles = ref_outcome.summary().cycles;
+
+    // Checkpointed run: snapshots must not perturb the simulation.
+    let path = ckpt_path(name);
+    let mut writer = fresh(chaos);
+    writer.set_checkpoint(spec(&path, every));
+    let outcome = writer.run();
+    assert!(outcome.is_completed(), "{outcome:?}");
+    assert!(
+        writer.checkpoint_error().is_none(),
+        "{:?}",
+        writer.checkpoint_error()
+    );
+    assert!(
+        writer.checkpoints_written() >= 2,
+        "expected several snapshots, got {}",
+        writer.checkpoints_written()
+    );
+    assert_eq!(writer.digest_trail(), ref_trail.as_slice());
+    assert_eq!(outcome.summary().cycles, ref_cycles);
+
+    // Resume from the last snapshot left on disk and run to completion.
+    let image = read_checkpoint(&path).unwrap();
+    assert!(image.cycle > 0, "snapshot should be mid-run");
+    assert!(
+        image.cycle < ref_cycles,
+        "snapshot should predate completion"
+    );
+    let mut resumed = fresh(chaos);
+    resumed.set_checkpoint(spec(&path, every));
+    restore_into(&mut resumed, &image, IDENTITY).unwrap();
+    assert_eq!(resumed.now(), image.cycle);
+    let outcome = resumed.run();
+    assert!(outcome.is_completed(), "{outcome:?}");
+    std::fs::remove_file(&path).unwrap();
+    (
+        ref_trail,
+        ref_cycles,
+        resumed.digest_trail().to_vec(),
+        outcome.summary().cycles,
+    )
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted() {
+    let (ref_trail, ref_cycles, trail, cycles) = run_resumed(false, 1_000, "plain");
+    assert_eq!(trail, ref_trail, "digest trail diverged after restore");
+    assert_eq!(cycles, ref_cycles);
+}
+
+#[test]
+fn resumed_run_matches_under_active_chaos_plan() {
+    let (ref_trail, ref_cycles, trail, cycles) = run_resumed(true, 2_000, "chaos");
+    assert_eq!(
+        trail, ref_trail,
+        "digest trail diverged after chaotic restore"
+    );
+    assert_eq!(cycles, ref_cycles);
+}
+
+#[test]
+fn multiple_intervals_agree() {
+    for (every, name) in [(700, "i700"), (3_000, "i3000")] {
+        let (ref_trail, ref_cycles, trail, cycles) = run_resumed(false, every, name);
+        assert_eq!(trail, ref_trail, "interval {every} diverged");
+        assert_eq!(cycles, ref_cycles, "interval {every} cycles diverged");
+    }
+}
+
+#[test]
+fn snapshot_from_different_kernel_shape_is_rejected() {
+    let path = ckpt_path("shape");
+    let mut writer = fresh(false);
+    writer.set_checkpoint(spec(&path, 1_000));
+    assert!(writer.run().is_completed());
+    let image = read_checkpoint(&path).unwrap();
+
+    // Same identity claimed, but a machine with half the WGs: the decoder
+    // must reject the shape mismatch rather than resume nonsense.
+    let mut b = ProgramBuilder::new("small");
+    b.compute(50);
+    b.halt();
+    let kernel = Kernel::new(b.build().unwrap(), 32, WgResources::default());
+    let mut wrong = Gpu::new(
+        GpuConfig::isca2020_baseline(),
+        kernel,
+        Box::new(BusyWaitPolicy::new()),
+    );
+    let err = restore_into(&mut wrong, &image, IDENTITY).unwrap_err();
+    assert!(matches!(err, SimError::CorruptCheckpoint(_)), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn injected_cu_loss_after_restore_changes_the_future() {
+    let path = ckpt_path("whatif");
+    let mut reference = fresh(false);
+    let outcome = reference.run();
+    assert!(outcome.is_completed());
+    let ref_trail = reference.digest_trail().to_vec();
+    let ref_cycles = outcome.summary().cycles;
+    assert!(
+        ref_cycles > 4_000,
+        "workload too short for a mid-run snapshot"
+    );
+
+    // Stop a checkpointing twin early so the snapshot on disk is genuinely
+    // mid-run (the drop must land while work is still in flight).
+    let mut writer = fresh(false);
+    writer.set_checkpoint(spec(&path, 1_000));
+    writer.set_watchdog(awg_gpu::Watchdog::new(None, Some(ref_cycles / 2)));
+    let _ = writer.run();
+
+    let image = read_checkpoint(&path).unwrap();
+    let mut whatif = fresh(false);
+    restore_into(&mut whatif, &image, IDENTITY).unwrap();
+    let drop_at = image.cycle + 100;
+    whatif.inject_resource_loss(2, drop_at).unwrap();
+    let outcome = whatif.run();
+    // Losing a CU mid-run must show up. Under the busy-wait baseline the
+    // dominant effect is the paper's one: preempted WGs are stranded and
+    // the run deadlocks instead of completing.
+    let diverged = match &outcome {
+        RunOutcome::Completed(s) => {
+            s.cycles != ref_cycles || whatif.digest_trail() != ref_trail.as_slice()
+        }
+        _ => true,
+    };
+    assert!(
+        diverged,
+        "dropping CU 2 at cycle {drop_at} had no observable effect"
+    );
+
+    // Out-of-range CU and past cycle are typed config errors.
+    let mut whatif = fresh(false);
+    restore_into(&mut whatif, &image, IDENTITY).unwrap();
+    assert!(matches!(
+        whatif.inject_resource_loss(99, drop_at),
+        Err(SimError::Config(_))
+    ));
+    assert!(matches!(
+        whatif.inject_resource_loss(2, image.cycle.saturating_sub(1)),
+        Err(SimError::Config(_))
+    ));
+    std::fs::remove_file(&path).unwrap();
+}

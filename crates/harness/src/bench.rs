@@ -13,7 +13,7 @@
 
 use std::path::{Path, PathBuf};
 
-use awg_core::policies::{build_policy, PolicyKind};
+use awg_core::policies::PolicyKind;
 use awg_sim::json::Value;
 use awg_workloads::BenchmarkKind;
 
@@ -47,10 +47,9 @@ pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> (Report, CampaignProfi
             let key = format!("bench/{}/{}", kind.abbreviation(), policy.label());
             let digest = job_digest(&key, scale, &[]);
             jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
-                ctl.run_instrumented(
+                ctl.run_checkpointed(
                     kind,
                     policy,
-                    build_policy(policy),
                     scale,
                     ExperimentConfig::NonOversubscribed,
                     None,

@@ -29,6 +29,24 @@
 //!                     snapshots as JSONL and a host self-profile on stderr
 //!   asm <file.s> [--policy P] [--wgs N]
 //!                     assemble and run a custom kernel
+//!   checkpoint <bench> <policy> --snapshot FILE [--kill-after K]
+//!                     [--plan FILE]
+//!                     run one experiment with periodic whole-machine
+//!                     snapshots to FILE; if FILE already holds a snapshot
+//!                     (an earlier killed run), resume from it. --kill-after
+//!                     exits with code 137 after the K-th snapshot, for
+//!                     crash drills
+//!   restore <snapshot> <bench> <policy> [--verify]
+//!                     [--restore-drop-cu CU@CYCLE] [--corrupt MODE]
+//!                     [--plan FILE]
+//!                     resume a snapshot and run to completion. --verify
+//!                     replays an uninterrupted reference and proves the
+//!                     resumed digest trail and stats are identical
+//!                     (prints `first_divergence: none`). --restore-drop-cu
+//!                     injects a warm what-if CU loss into the restored
+//!                     machine. --corrupt truncate:N|bitflip:N|stale-version
+//!                     damages a copy of the snapshot first and expects the
+//!                     restore to fail closed (exit 7)
 //!   all               every table and figure, in order
 //!
 //! options:
@@ -56,6 +74,15 @@
 //!                     escalate it so a retry tells "slow" from "wedged"
 //!   --retries N       extra attempts for retryable failures (panics and
 //!                     timeouts); default 1
+//!   --checkpoint-dir DIR
+//!                     snapshot each campaign job's machine into DIR
+//!                     (keyed by job digest); a killed campaign's jobs
+//!                     resume from their snapshots, and a retry that made
+//!                     snapshot progress does not consume a --retries slot
+//!   --checkpoint-every N
+//!                     snapshot interval in simulated cycles (default
+//!                     50000); also sets the interval for the `checkpoint`
+//!                     subcommand
 //!
 //! Exit codes are listed by `awg-repro` with no arguments (see also the
 //! `awg_harness::exit` module); campaigns whose jobs exhausted their
@@ -68,19 +95,24 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{global_cancelled, FaultPlan};
+use awg_gpu::SimError;
+use awg_gpu::{global_cancelled, read_checkpoint, CheckpointSpec, FaultPlan};
 use awg_harness::{
     ablations, bench, chaos,
+    checkpointing::{
+        corrupt_snapshot, restore_run, result_fingerprint, run_checkpointed, run_identity,
+        SnapshotCorruption, DEFAULT_CHECKPOINT_EVERY,
+    },
     exit::{
-        exit_table_text, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED, EXIT_INVARIANT, EXIT_PARTIAL,
-        EXIT_PLAN, EXIT_USAGE,
+        exit_table_text, EXIT_CORRUPT, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED, EXIT_INVARIANT,
+        EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE,
     },
     fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
     pool::{CampaignProfile, Pool},
     priority,
     run::{run_instrumented, ExperimentConfig, Instrumentation},
     shrink,
-    supervisor::{JobLimits, Supervisor},
+    supervisor::{CheckpointPolicy, JobLimits, Supervisor},
     sweep, table1, table2, timeline, tracefig, Report, Scale,
 };
 use awg_workloads::BenchmarkKind;
@@ -113,11 +145,15 @@ fn print_usage() {
     eprintln!(
         "usage: awg-repro [--quick] [--jobs N] [--out DIR] [--journal FILE | --resume FILE] \
          [--job-deadline SECS] [--job-cycle-budget N] [--retries N] \
+         [--checkpoint-dir DIR] [--checkpoint-every N] \
          <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|bench\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
          |trace [policy]\
          |timeline --bench B --policy P --out FILE [--snapshots FILE] [--trace-cap N]\
+         |checkpoint <bench> <policy> --snapshot FILE [--kill-after K] [--plan FILE]\
+         |restore <snapshot> <bench> <policy> [--verify] [--restore-drop-cu CU@CYCLE] \
+         [--corrupt MODE] [--plan FILE]\
          |asm <file.s>|all>"
     );
     eprint!("{}", exit_table_text());
@@ -399,6 +435,242 @@ fn run_timeline_cmd(
     }
 }
 
+/// Loads a `--plan FILE` reproducer for the checkpoint/restore commands:
+/// the parsed plan plus its canonical serialization, which participates in
+/// the snapshot identity (a snapshot taken under one fault plan must not
+/// restore into a run with another).
+fn load_plan(path: &str) -> Result<(FaultPlan, String), ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read '{path}': {e}");
+        ExitCode::from(EXIT_FAIL)
+    })?;
+    let plan = FaultPlan::from_json(&text).map_err(|e| {
+        eprintln!("{path}: fault plan parse error: {e}");
+        ExitCode::from(EXIT_PLAN)
+    })?;
+    let json = plan.to_json();
+    Ok((plan, json))
+}
+
+/// Parses the `--restore-drop-cu CU@CYCLE` what-if operand.
+fn parse_drop_cu(text: &str) -> Result<(usize, u64), ExitCode> {
+    let parsed = text
+        .split_once('@')
+        .and_then(|(cu, cycle)| Some((cu.parse::<usize>().ok()?, cycle.parse::<u64>().ok()?)));
+    parsed.ok_or_else(|| {
+        eprintln!("--restore-drop-cu expects CU@CYCLE (e.g. 1@120000), got '{text}'");
+        usage()
+    })
+}
+
+/// The `checkpoint` subcommand: one instrumented run with periodic
+/// whole-machine snapshots. A snapshot already present at the path (from
+/// an earlier killed invocation) is resumed from; `--kill-after K` turns
+/// the run into a crash drill that exits 137 after the K-th snapshot.
+fn run_checkpoint_cmd(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    snapshot: PathBuf,
+    every: u64,
+    kill_after: Option<u64>,
+    plan: Option<(FaultPlan, String)>,
+    scale: &Scale,
+) -> ExitCode {
+    let config = ExperimentConfig::NonOversubscribed;
+    let instr = Instrumentation::checked();
+    let (plan, plan_json) = match plan {
+        Some((p, j)) => (Some(p), Some(j)),
+        None => (None, None),
+    };
+    let identity = run_identity(kind, policy, scale, config, instr, plan_json.as_deref());
+    let spec = CheckpointSpec {
+        path: snapshot,
+        every,
+        identity,
+        kill_after,
+    };
+    let run = run_checkpointed(kind, policy, scale, config, plan, instr, None, spec);
+    if let Some(cycle) = run.resumed_from {
+        eprintln!("resumed from snapshot at cycle {cycle}");
+    }
+    eprintln!("snapshots written: {}", run.snapshots_written);
+    if let Some(e) = &run.checkpoint_error {
+        eprintln!("checkpoint write error: {e}");
+        return ExitCode::from(EXIT_FAIL);
+    }
+    let r = &run.result;
+    if !r.violations.is_empty() {
+        eprintln!("{} invariant violation(s):", r.violations.len());
+        for v in &r.violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::from(EXIT_INVARIANT);
+    }
+    println!("run fingerprint: {:016x}", result_fingerprint(r));
+    if r.is_valid_completion() {
+        println!("completed and validated: {}", r.outcome);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} / {:?}", r.outcome, r.validated);
+        if let Some(hang) = r.outcome.hang_report() {
+            eprintln!("{hang}");
+        }
+        ExitCode::from(EXIT_HANG)
+    }
+}
+
+/// Options for the `restore` subcommand.
+struct RestoreOpts {
+    verify: bool,
+    drop_cu: Option<(usize, u64)>,
+    corrupt: Option<SnapshotCorruption>,
+    plan: Option<(FaultPlan, String)>,
+}
+
+/// The `restore` subcommand: overlay a snapshot and run to completion.
+/// `--verify` proves digest-trail and stats identity against an
+/// uninterrupted reference run; `--corrupt` damages a *copy* of the
+/// snapshot and demands the restore fail closed (exit 7); `--restore-drop-cu`
+/// asks a warm what-if question of the restored machine.
+fn run_restore_cmd(
+    snapshot: &Path,
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    opts: RestoreOpts,
+    scale: &Scale,
+) -> ExitCode {
+    let config = ExperimentConfig::NonOversubscribed;
+    let instr = Instrumentation::checked();
+    let (plan, plan_json) = match opts.plan {
+        Some((p, j)) => (Some(p), Some(j)),
+        None => (None, None),
+    };
+    let identity = run_identity(kind, policy, scale, config, instr, plan_json.as_deref());
+
+    if let Some(mode) = opts.corrupt {
+        // Work on a copy: the chaos drill must not destroy a real snapshot.
+        let copy = snapshot.with_extension("corrupt-drill.ckpt");
+        if let Err(e) = std::fs::copy(snapshot, &copy) {
+            eprintln!("cannot copy snapshot for corruption drill: {e}");
+            return ExitCode::from(EXIT_FAIL);
+        }
+        if let Err(e) = corrupt_snapshot(&copy, mode) {
+            eprintln!("cannot corrupt snapshot copy: {e}");
+            std::fs::remove_file(&copy).ok();
+            return ExitCode::from(EXIT_FAIL);
+        }
+        let outcome = read_checkpoint(&copy).and_then(|image| {
+            restore_run(
+                kind, policy, scale, config, plan, instr, &image, identity, None, None,
+            )
+            .map(|_| ())
+        });
+        std::fs::remove_file(&copy).ok();
+        return match outcome {
+            Err(SimError::CorruptCheckpoint(msg)) => {
+                eprintln!("restore failed closed as expected ({mode}): {msg}");
+                ExitCode::from(EXIT_CORRUPT)
+            }
+            Err(e) => {
+                eprintln!("corrupted snapshot ({mode}) failed with the wrong error class: {e}");
+                ExitCode::from(EXIT_FAIL)
+            }
+            Ok(()) => {
+                eprintln!("FAIL-OPEN: corrupted snapshot ({mode}) restored and ran successfully");
+                ExitCode::from(EXIT_FAIL)
+            }
+        };
+    }
+
+    let image = match read_checkpoint(snapshot) {
+        Ok(image) => image,
+        Err(e) => {
+            eprintln!("{}: {e}", snapshot.display());
+            return ExitCode::from(EXIT_CORRUPT);
+        }
+    };
+    eprintln!(
+        "snapshot {}: cycle {}, format v{}",
+        snapshot.display(),
+        image.cycle,
+        image.version
+    );
+
+    let resumed = match restore_run(
+        kind,
+        policy,
+        scale,
+        config,
+        plan.clone(),
+        instr,
+        &image,
+        identity,
+        None,
+        opts.drop_cu,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("restore: {e}");
+            let code = match e {
+                SimError::CorruptCheckpoint(_) => EXIT_CORRUPT,
+                _ => EXIT_FAIL,
+            };
+            return ExitCode::from(code);
+        }
+    };
+
+    if let Some((cu, at)) = opts.drop_cu {
+        // A what-if answer is an answer either way: print the outcome
+        // (deadlock reports included) and exit cleanly.
+        println!(
+            "what-if: CU {cu} unplugged at cycle {at} -> {}",
+            resumed.outcome
+        );
+        if let Some(hang) = resumed.outcome.hang_report() {
+            println!("{hang}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("run fingerprint: {:016x}", result_fingerprint(&resumed));
+
+    if opts.verify {
+        let reference = run_instrumented(
+            kind,
+            policy,
+            build_policy(policy),
+            scale,
+            config,
+            plan,
+            instr,
+        );
+        match awg_sim::first_divergence(&reference.digest_trail, &resumed.digest_trail) {
+            None if result_fingerprint(&reference) == result_fingerprint(&resumed) => {
+                println!("first_divergence: none");
+            }
+            None => {
+                eprintln!("digest trails agree but the stats fingerprints differ");
+                return ExitCode::from(EXIT_FAIL);
+            }
+            Some(window) => {
+                eprintln!("first_divergence: window {window}");
+                return ExitCode::from(EXIT_FAIL);
+            }
+        }
+    }
+
+    if resumed.is_valid_completion() {
+        println!("completed and validated: {}", resumed.outcome);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} / {:?}", resumed.outcome, resumed.validated);
+        if let Some(hang) = resumed.outcome.hang_report() {
+            eprintln!("{hang}");
+        }
+        ExitCode::from(EXIT_HANG)
+    }
+}
+
 fn emit(report: &Report, out: &Option<PathBuf>, slug: &str) -> Result<(), ExitCode> {
     println!("{}", report.to_markdown());
     if let Some(dir) = out {
@@ -491,6 +763,8 @@ fn main() -> ExitCode {
     let mut limits = JobLimits::default();
     let mut journal: Option<PathBuf> = None;
     let mut resume = false;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: u64 = DEFAULT_CHECKPOINT_EVERY;
     let mut command_seen: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -562,6 +836,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(take_value!()));
+            }
+            "--checkpoint-every" => {
+                let value = take_value!();
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => checkpoint_every = n,
+                    _ => {
+                        eprintln!("--checkpoint-every must be a positive integer, got '{value}'");
+                        return usage();
+                    }
+                }
+            }
             // `timeline` owns its `--out FILE`; the global flag is the
             // CSV directory for report commands.
             "--out" if command_seen.as_deref() != Some("timeline") => {
@@ -608,6 +895,19 @@ fn main() -> ExitCode {
             }
         }
         None => Supervisor::new(pool, limits),
+    };
+    let sup = match &checkpoint_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create checkpoint dir '{}': {e}", dir.display());
+                return ExitCode::from(EXIT_FAIL);
+            }
+            sup.with_checkpoints(CheckpointPolicy {
+                dir: dir.clone(),
+                every: checkpoint_every,
+            })
+        }
+        None => sup,
     };
 
     type Runner = fn(&Scale, &Supervisor) -> Report;
@@ -804,6 +1104,136 @@ fn main() -> ExitCode {
                 return usage();
             };
             run_timeline_cmd(bench, policy, &out_path, snapshots_path, trace_cap, &scale)
+        }
+        "checkpoint" => {
+            // awg-repro checkpoint <bench> <policy> --snapshot FILE
+            //                      [--kill-after K] [--plan FILE]
+            let (Some(bench), Some(policy)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let bench = match parse_benchmark(bench) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            let policy = match parse_policy(policy) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let mut snapshot = None;
+            let mut kill_after = None;
+            let mut plan = None;
+            let mut i = 3;
+            while i < args.len() {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--snapshot" => snapshot = Some(PathBuf::from(value)),
+                    "--kill-after" => {
+                        kill_after = match value.parse::<u64>() {
+                            Ok(n) if n >= 1 => Some(n),
+                            _ => {
+                                eprintln!("--kill-after must be a positive integer, got '{value}'");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--plan" => {
+                        plan = match load_plan(value) {
+                            Ok(p) => Some(p),
+                            Err(code) => return code,
+                        };
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let Some(snapshot) = snapshot else {
+                eprintln!("checkpoint requires --snapshot FILE");
+                return usage();
+            };
+            run_checkpoint_cmd(
+                bench,
+                policy,
+                snapshot,
+                checkpoint_every,
+                kill_after,
+                plan,
+                &scale,
+            )
+        }
+        "restore" => {
+            // awg-repro restore <snapshot> <bench> <policy> [--verify]
+            //           [--restore-drop-cu CU@CYCLE] [--corrupt MODE]
+            //           [--plan FILE]
+            let (Some(snapshot), Some(bench), Some(policy)) =
+                (args.get(1), args.get(2), args.get(3))
+            else {
+                return usage();
+            };
+            let snapshot = PathBuf::from(snapshot);
+            let bench = match parse_benchmark(bench) {
+                Ok(b) => b,
+                Err(code) => return code,
+            };
+            let policy = match parse_policy(policy) {
+                Ok(p) => p,
+                Err(code) => return code,
+            };
+            let mut opts = RestoreOpts {
+                verify: false,
+                drop_cu: None,
+                corrupt: None,
+                plan: None,
+            };
+            let mut i = 4;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--verify" => opts.verify = true,
+                    "--restore-drop-cu" => {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return usage();
+                        };
+                        opts.drop_cu = match parse_drop_cu(value) {
+                            Ok(d) => Some(d),
+                            Err(code) => return code,
+                        };
+                    }
+                    "--corrupt" => {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return usage();
+                        };
+                        opts.corrupt = match SnapshotCorruption::parse(value) {
+                            Ok(m) => Some(m),
+                            Err(e) => {
+                                eprintln!("{e}");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--plan" => {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return usage();
+                        };
+                        opts.plan = match load_plan(value) {
+                            Ok(p) => Some(p),
+                            Err(code) => return code,
+                        };
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            if opts.verify && opts.drop_cu.is_some() {
+                eprintln!("--verify and --restore-drop-cu are mutually exclusive");
+                return usage();
+            }
+            run_restore_cmd(&snapshot, bench, policy, opts, &scale)
         }
         "asm" => {
             // awg-repro asm <file.s> [--policy P] [--wgs N]

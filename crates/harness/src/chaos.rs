@@ -139,10 +139,9 @@ pub fn run_checked_supervised(
             let key = format!("{label}/clean");
             let digest = job_digest(&key, scale, &[]);
             jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
-                ctl.run_instrumented(
+                ctl.run_checkpointed(
                     kind,
                     policy,
-                    build_policy(policy),
                     scale,
                     ExperimentConfig::NonOversubscribed,
                     None,
@@ -155,10 +154,9 @@ pub fn run_checked_supervised(
                     let plan = plan_for(policy, scale, seed);
                     let digest = job_digest(&key, scale, &[plan.to_json().as_str()]);
                     jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
-                        ctl.run_instrumented(
+                        ctl.run_checkpointed(
                             kind,
                             policy,
-                            build_policy(policy),
                             scale,
                             ExperimentConfig::NonOversubscribed,
                             Some(plan.clone()),
@@ -173,10 +171,9 @@ pub fn run_checked_supervised(
         let key = "chaos/control/TB_LG/Baseline";
         let digest = job_digest(key, scale, &[]);
         jobs.push(sim_job(key, digest, move |ctl: &JobCtl| {
-            ctl.run_instrumented(
+            ctl.run_checkpointed(
                 BenchmarkKind::TreeBarrier,
                 PolicyKind::Baseline,
-                build_policy(PolicyKind::Baseline),
                 scale,
                 ExperimentConfig::Oversubscribed,
                 None,

@@ -1,0 +1,525 @@
+//! Harness-level checkpoint/restore: crash-survivable single runs.
+//!
+//! The `awg-gpu` crate owns the snapshot format and the machine overlay
+//! (`write_checkpoint`/`read_checkpoint`/`restore_into`); this module wires
+//! them into the experiment runner:
+//!
+//! * [`run_identity`] fingerprints a run's full configuration (benchmark,
+//!   policy, scale, scenario, instrumentation, fault plan) into the 64-bit
+//!   identity the snapshot header carries, so a restore into a *different*
+//!   configuration fails closed before any state is overlaid.
+//! * [`run_checkpointed`] is the crash-survivable runner: it arms the
+//!   cooperative `--checkpoint-every` poll, and — if a snapshot from an
+//!   earlier (killed) process is already on disk — resumes from it instead
+//!   of starting over. A corrupt leftover snapshot is reported and the run
+//!   starts fresh: a damaged snapshot may cost the saved work, never the
+//!   result.
+//! * [`restore_run`] is the explicit `restore` subcommand path: overlay a
+//!   parsed snapshot, optionally inject a warm `--restore-drop-cu` what-if,
+//!   and drive the machine to completion.
+//! * [`SnapshotCorruption`] + [`corrupt_snapshot`] are the chaos hooks that
+//!   prove restore fails closed: truncation, bit flips, and a stale format
+//!   version, applied to a real snapshot file.
+//!
+//! The acceptance property lives in the harness test suite: a run killed at
+//! *any* snapshot boundary and restored from disk must finish with the same
+//! digest trail, cycle count, and final stats as an uninterrupted same-seed
+//! run (`first_divergence == None` is the proof).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{
+    read_checkpoint, restore_into, CheckpointImage, CheckpointSpec, FaultPlan, SimError, Watchdog,
+    CHECKPOINT_VERSION,
+};
+use awg_sim::{Cycle, Fingerprint64};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{collect_result, prepare_machine, ExpResult, ExperimentConfig, Instrumentation};
+use crate::Scale;
+
+/// Default snapshot interval in simulated cycles: frequent enough that a
+/// killed paper-scale run loses little work, coarse enough that the write
+/// amortizes to under the 2% overhead budget (see `EXPERIMENTS.md`).
+pub const DEFAULT_CHECKPOINT_EVERY: Cycle = 50_000;
+
+/// Fingerprints everything a snapshot is *not allowed* to span: the
+/// benchmark, policy, full machine/workload scale, scenario,
+/// instrumentation, and the serialized fault plan (if any). Stable across
+/// processes, so a `checkpoint` run in one process and a `restore` in
+/// another agree; changing any configuration knob changes the identity and
+/// the restore fails closed with an identity mismatch.
+pub fn run_identity(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    config: ExperimentConfig,
+    instr: Instrumentation,
+    plan_json: Option<&str>,
+) -> u64 {
+    let mut f = Fingerprint64::new();
+    f.push_bytes(b"awg-checkpoint-run/v1");
+    f.push_bytes(kind.abbreviation().as_bytes());
+    f.push_bytes(policy.label().as_bytes());
+    f.push_bytes(format!("{scale:?}").as_bytes());
+    f.push_bytes(format!("{config:?}").as_bytes());
+    f.push_bytes(format!("{instr:?}").as_bytes());
+    f.push_bytes(plan_json.unwrap_or("-").as_bytes());
+    f.finish()
+}
+
+/// What [`run_checkpointed`] produced, beyond the experiment result itself.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// The experiment outcome (identical to an un-checkpointed run's).
+    pub result: ExpResult,
+    /// Snapshots this process wrote.
+    pub snapshots_written: u64,
+    /// The first snapshot-write failure, if the disk misbehaved
+    /// (checkpointing disarms itself; the run still completes).
+    pub checkpoint_error: Option<String>,
+    /// The snapshot cycle this run resumed from, if a snapshot from an
+    /// earlier process was found on disk.
+    pub resumed_from: Option<Cycle>,
+}
+
+/// Runs `kind` under `policy` with cooperative checkpointing armed. If
+/// `spec.path` already holds a snapshot — the signature of an earlier
+/// process killed mid-run — the run resumes from it; an unusable snapshot
+/// is reported on stderr and the run starts fresh.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+    instr: Instrumentation,
+    watchdog: Option<Watchdog>,
+    spec: CheckpointSpec,
+) -> CheckpointedRun {
+    let build = |spec: CheckpointSpec| {
+        let (built, mut gpu) = prepare_machine(
+            kind,
+            build_policy(policy),
+            scale,
+            config,
+            plan.clone(),
+            instr,
+            watchdog.clone(),
+        );
+        gpu.set_checkpoint(spec);
+        (built, gpu)
+    };
+    let (mut built, mut gpu) = build(spec.clone());
+    let mut resumed_from = None;
+    if spec.path.exists() {
+        let restored = read_checkpoint(&spec.path)
+            .and_then(|image| restore_into(&mut gpu, &image, spec.identity).map(|()| image.cycle));
+        match restored {
+            Ok(cycle) => resumed_from = Some(cycle),
+            Err(e) => {
+                eprintln!(
+                    "warning: snapshot {} is unusable ({e}); starting fresh",
+                    spec.path.display()
+                );
+                // A failed overlay may have half-mutated the machine;
+                // rebuild it from configuration.
+                (built, gpu) = build(spec);
+            }
+        }
+    }
+    let outcome = gpu.run();
+    CheckpointedRun {
+        snapshots_written: gpu.checkpoints_written(),
+        checkpoint_error: gpu.checkpoint_error().map(str::to_owned),
+        result: collect_result(kind, policy, &built, &gpu, outcome),
+        resumed_from,
+    }
+}
+
+/// Overlays `image` onto a freshly-built machine and drives it to
+/// completion: the `restore` subcommand path. `continue_spec` re-arms
+/// checkpointing on the resumed run (the boundary grid continues where the
+/// snapshot's left off); `drop_cu` injects the warm `--restore-drop-cu`
+/// what-if — a CU unplug scheduled into the restored machine's live event
+/// calendar.
+///
+/// # Errors
+///
+/// [`SimError::CorruptCheckpoint`] if the snapshot does not belong to this
+/// configuration or fails machine-level validation, and
+/// [`SimError::Config`] for an unschedulable `drop_cu`.
+#[allow(clippy::too_many_arguments)]
+pub fn restore_run(
+    kind: BenchmarkKind,
+    policy: PolicyKind,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+    instr: Instrumentation,
+    image: &CheckpointImage,
+    identity: u64,
+    continue_spec: Option<CheckpointSpec>,
+    drop_cu: Option<(usize, Cycle)>,
+) -> Result<ExpResult, SimError> {
+    let (built, mut gpu) =
+        prepare_machine(kind, build_policy(policy), scale, config, plan, instr, None);
+    if let Some(spec) = continue_spec {
+        gpu.set_checkpoint(spec);
+    }
+    restore_into(&mut gpu, image, identity)?;
+    if let Some((cu, at)) = drop_cu {
+        gpu.inject_resource_loss(cu, at)?;
+    }
+    let outcome = gpu.run();
+    Ok(collect_result(kind, policy, &built, &gpu, outcome))
+}
+
+/// A compact cross-process fingerprint of a finished run: the summary
+/// counters that must be bit-identical between an uninterrupted run and a
+/// kill-restore-resume chain, folded together with the full digest trail.
+pub fn result_fingerprint(r: &ExpResult) -> u64 {
+    let mut f = Fingerprint64::new();
+    for v in crate::chaos::fingerprint(r) {
+        f.push(v);
+    }
+    for &d in &r.digest_trail {
+        f.push(d);
+    }
+    f.finish()
+}
+
+/// The snapshot-corruption chaos modes: each proves a different layer of
+/// the fail-closed contract (framing, checksum, version gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotCorruption {
+    /// Keep only the first `n` bytes (clamped so the file really shrinks).
+    Truncate(usize),
+    /// Flip one bit of byte `n` (wrapped into the file).
+    BitFlip(usize),
+    /// Rewrite the header's format version to an unknown value.
+    StaleVersion,
+}
+
+impl SnapshotCorruption {
+    /// Parses the CLI spelling: `truncate:N`, `bitflip:N`, `stale-version`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted forms on any mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let bad =
+            || format!("unknown corruption mode '{text}' (truncate:N | bitflip:N | stale-version)");
+        if text == "stale-version" {
+            return Ok(SnapshotCorruption::StaleVersion);
+        }
+        let (mode, arg) = text.split_once(':').ok_or_else(bad)?;
+        let n: usize = arg.parse().map_err(|_| bad())?;
+        match mode {
+            "truncate" => Ok(SnapshotCorruption::Truncate(n)),
+            "bitflip" => Ok(SnapshotCorruption::BitFlip(n)),
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotCorruption::Truncate(n) => write!(f, "truncate:{n}"),
+            SnapshotCorruption::BitFlip(n) => write!(f, "bitflip:{n}"),
+            SnapshotCorruption::StaleVersion => write!(f, "stale-version"),
+        }
+    }
+}
+
+/// Applies `mode` to the snapshot file at `path` in place. The restore
+/// pipeline must subsequently refuse the file with
+/// [`SimError::CorruptCheckpoint`]; the corruption smoke tests assert
+/// exactly that.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an empty file cannot be corrupted further.
+pub fn corrupt_snapshot(path: &Path, mode: SnapshotCorruption) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::other("snapshot file is empty"));
+    }
+    match mode {
+        SnapshotCorruption::Truncate(n) => bytes.truncate(n.min(bytes.len() - 1)),
+        SnapshotCorruption::BitFlip(n) => {
+            let i = n % bytes.len();
+            bytes[i] ^= 1 << (n % 8);
+        }
+        SnapshotCorruption::StaleVersion => {
+            if bytes.len() < 12 {
+                return Err(io::Error::other("file too short to carry a version field"));
+            }
+            bytes[8..12].copy_from_slice(&(CHECKPOINT_VERSION + 999).to_le_bytes());
+        }
+    }
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("awg-ckpt-harness-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn identity_separates_every_knob() {
+        let quick = Scale::quick();
+        let paper = Scale::paper();
+        let id = |kind, policy, scale: &Scale, config, plan: Option<&str>| {
+            run_identity(
+                kind,
+                policy,
+                scale,
+                config,
+                Instrumentation::checked(),
+                plan,
+            )
+        };
+        let base = id(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &quick,
+            ExperimentConfig::NonOversubscribed,
+            None,
+        );
+        assert_eq!(
+            base,
+            id(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::Awg,
+                &quick,
+                ExperimentConfig::NonOversubscribed,
+                None,
+            ),
+            "identity must be stable"
+        );
+        for other in [
+            id(
+                BenchmarkKind::FaMutexGlobal,
+                PolicyKind::Awg,
+                &quick,
+                ExperimentConfig::NonOversubscribed,
+                None,
+            ),
+            id(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::Timeout,
+                &quick,
+                ExperimentConfig::NonOversubscribed,
+                None,
+            ),
+            id(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::Awg,
+                &paper,
+                ExperimentConfig::NonOversubscribed,
+                None,
+            ),
+            id(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::Awg,
+                &quick,
+                ExperimentConfig::Oversubscribed,
+                None,
+            ),
+            id(
+                BenchmarkKind::SpinMutexGlobal,
+                PolicyKind::Awg,
+                &quick,
+                ExperimentConfig::NonOversubscribed,
+                Some("{\"events\":[]}"),
+            ),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn corruption_modes_parse_and_roundtrip() {
+        for (text, mode) in [
+            ("truncate:40", SnapshotCorruption::Truncate(40)),
+            ("bitflip:7", SnapshotCorruption::BitFlip(7)),
+            ("stale-version", SnapshotCorruption::StaleVersion),
+        ] {
+            let parsed = SnapshotCorruption::parse(text).unwrap();
+            assert_eq!(parsed, mode);
+            assert_eq!(parsed.to_string(), text);
+        }
+        assert!(SnapshotCorruption::parse("nonsense").is_err());
+        assert!(SnapshotCorruption::parse("truncate:x").is_err());
+        assert!(SnapshotCorruption::parse("bitflip").is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_leftover_snapshot_resumes() {
+        let scale = Scale::quick();
+        let kind = BenchmarkKind::SpinMutexGlobal;
+        let policy = PolicyKind::Awg;
+        let config = ExperimentConfig::NonOversubscribed;
+        let instr = Instrumentation::checked();
+        let identity = run_identity(kind, policy, &scale, config, instr, None);
+
+        let reference = crate::run::run_instrumented(
+            kind,
+            policy,
+            build_policy(policy),
+            &scale,
+            config,
+            None,
+            instr,
+        );
+        assert!(reference.is_valid_completion());
+
+        let path = tmp("inline-resume.ckpt");
+        std::fs::remove_file(&path).ok();
+        let spec = CheckpointSpec {
+            path: path.clone(),
+            every: 2_000,
+            identity,
+            kill_after: None,
+        };
+        let first = run_checkpointed(
+            kind,
+            policy,
+            &scale,
+            config,
+            None,
+            instr,
+            None,
+            spec.clone(),
+        );
+        assert!(first.resumed_from.is_none());
+        assert!(
+            first.snapshots_written >= 1,
+            "{:?}",
+            first.snapshots_written
+        );
+        assert!(first.checkpoint_error.is_none());
+        assert_eq!(
+            result_fingerprint(&first.result),
+            result_fingerprint(&reference),
+            "checkpointing must not perturb the run"
+        );
+
+        // The final snapshot is still on disk: a re-run resumes from it
+        // (the killed-process restart path) and must converge on the same
+        // fingerprint.
+        let second = run_checkpointed(kind, policy, &scale, config, None, instr, None, spec);
+        assert!(second.resumed_from.is_some());
+        assert_eq!(
+            result_fingerprint(&second.result),
+            result_fingerprint(&reference)
+        );
+
+        // A corrupted leftover falls back to a fresh, still-correct run.
+        corrupt_snapshot(&path, SnapshotCorruption::BitFlip(64)).unwrap();
+        let third = run_checkpointed(
+            kind,
+            policy,
+            &scale,
+            config,
+            None,
+            instr,
+            None,
+            CheckpointSpec {
+                path: path.clone(),
+                every: 2_000,
+                identity,
+                kill_after: None,
+            },
+        );
+        assert!(
+            third.resumed_from.is_none(),
+            "corrupt snapshot must not resume"
+        );
+        assert_eq!(
+            result_fingerprint(&third.result),
+            result_fingerprint(&reference)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_refuses_foreign_identity_and_runs_drop_cu_what_if() {
+        let scale = Scale::quick();
+        let kind = BenchmarkKind::SpinMutexGlobal;
+        let config = ExperimentConfig::NonOversubscribed;
+        let instr = Instrumentation::checked();
+        let identity = run_identity(kind, PolicyKind::Awg, &scale, config, instr, None);
+
+        let path = tmp("restore.ckpt");
+        std::fs::remove_file(&path).ok();
+        let run = run_checkpointed(
+            kind,
+            PolicyKind::Awg,
+            &scale,
+            config,
+            None,
+            instr,
+            None,
+            CheckpointSpec {
+                path: path.clone(),
+                every: 2_000,
+                identity,
+                kill_after: None,
+            },
+        );
+        assert!(run.result.is_valid_completion());
+        let image = read_checkpoint(&path).unwrap();
+
+        // A Timeout machine computes a different identity; the overlay must
+        // refuse up front.
+        let wrong = run_identity(kind, PolicyKind::Timeout, &scale, config, instr, None);
+        let err = restore_run(
+            kind,
+            PolicyKind::Timeout,
+            &scale,
+            config,
+            None,
+            instr,
+            &image,
+            wrong,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::CorruptCheckpoint(_)), "{err}");
+
+        // Warm what-if: drop a CU shortly after the snapshot point. AWG
+        // must still complete and validate (the paper's §VI claim).
+        let what_if = restore_run(
+            kind,
+            PolicyKind::Awg,
+            &scale,
+            config,
+            None,
+            instr,
+            &image,
+            identity,
+            None,
+            Some((scale.lost_cu, image.cycle + 500)),
+        )
+        .unwrap();
+        assert!(
+            what_if.is_valid_completion(),
+            "{} / {:?}",
+            what_if.outcome,
+            what_if.validated
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

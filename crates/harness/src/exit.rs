@@ -30,6 +30,11 @@ pub const EXIT_PLAN: u8 = 5;
 /// markers rather than measurements.
 pub const EXIT_PARTIAL: u8 = 6;
 
+/// A machine snapshot failed validation on restore (truncated, bit-flipped,
+/// stale format version, or from a different run configuration). Restore
+/// fails closed: no partially-overlaid machine is ever run.
+pub const EXIT_CORRUPT: u8 = 7;
+
 /// The campaign was interrupted (SIGINT/SIGTERM); the journal was flushed
 /// and a resume command printed. 128 + SIGINT(2), the shell convention.
 pub const EXIT_INTERRUPTED: u8 = 130;
@@ -48,6 +53,10 @@ pub const EXIT_TABLE: &[(u8, &str)] = &[
     (
         EXIT_PARTIAL,
         "partial completion (some jobs exhausted retries; rows marked ERROR)",
+    ),
+    (
+        EXIT_CORRUPT,
+        "corrupt machine snapshot (restore refused; no state was overlaid)",
     ),
     (
         EXIT_INTERRUPTED,
@@ -81,6 +90,7 @@ mod tests {
                 EXIT_INVARIANT,
                 EXIT_PLAN,
                 EXIT_PARTIAL,
+                EXIT_CORRUPT,
                 EXIT_INTERRUPTED
             ]
         );

@@ -10,8 +10,10 @@
 //! an uninterrupted run.
 //!
 //! A torn tail — a partial last line from a crash mid-write — is discarded
-//! with a warning; corruption *before* the last line is a hard error, since
-//! it means the file is not an append-crashed journal but something else.
+//! with a warning and truncated from the file before appending resumes, so
+//! a re-run record never concatenates onto the torn bytes; corruption
+//! *before* the last line is a hard error, since it means the file is not
+//! an append-crashed journal but something else.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read as _, Write as _};
@@ -69,6 +71,10 @@ pub struct JournalRecord {
     pub value: Option<Value>,
     /// The terminal error's rendering (`status != Ok` only).
     pub error: Option<String>,
+    /// The machine-snapshot path the job ran under, when the campaign had
+    /// a checkpoint policy attached (absent otherwise; optional in the
+    /// on-disk format, so old journals resume unchanged).
+    pub checkpoint: Option<String>,
 }
 
 impl JournalRecord {
@@ -92,6 +98,9 @@ impl JournalRecord {
         }
         if let Some(error) = &self.error {
             fields.push(("error".to_owned(), Value::Str(error.clone())));
+        }
+        if let Some(checkpoint) = &self.checkpoint {
+            fields.push(("checkpoint".to_owned(), Value::Str(checkpoint.clone())));
         }
         Value::Object(fields)
     }
@@ -146,6 +155,10 @@ impl JournalRecord {
                 .get("error")
                 .and_then(Value::as_str)
                 .map(str::to_owned),
+            checkpoint: value
+                .get("checkpoint")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
         })
     }
 }
@@ -191,7 +204,9 @@ impl Journal {
 
     /// Reads an existing journal for resume, then reopens it for appending.
     ///
-    /// A torn (partial) last line is discarded with a warning on stderr.
+    /// A torn (partial) last line is discarded with a warning on stderr and
+    /// truncated off the file, so records appended by the resumed run start
+    /// on a clean line instead of concatenating onto the torn bytes.
     ///
     /// # Errors
     ///
@@ -200,12 +215,16 @@ impl Journal {
     pub fn open_resume(path: &Path) -> std::io::Result<(Journal, ResumeState)> {
         let mut text = String::new();
         File::open(path)?.read_to_string(&mut text)?;
-        let state = parse_journal_text(&text).map_err(std::io::Error::other)?;
+        let (state, retain) = parse_journal_text(&text).map_err(std::io::Error::other)?;
         if state.torn_tail {
             eprintln!(
                 "warning: journal {} has a torn last line (crash mid-write); discarding it",
                 path.display()
             );
+            OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(retain as u64)?;
         }
         let file = OpenOptions::new().append(true).open(path)?;
         Ok((
@@ -239,15 +258,21 @@ impl Journal {
     }
 }
 
-/// Parses journal text into its header and records, tolerating a torn tail.
-fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
+/// Parses journal text into its header and records, tolerating a torn
+/// tail. Also returns the byte length of the intact prefix (header plus
+/// every accepted record, newlines included), so the caller can truncate
+/// torn bytes off the file before appending to it.
+fn parse_journal_text(text: &str) -> Result<(ResumeState, usize), String> {
     // Lines are complete iff terminated by '\n'; split keeps the unfinished
-    // tail (if any) as the last fragment.
-    let mut complete: Vec<&str> = Vec::new();
+    // tail (if any) as the last fragment. Each complete line carries the
+    // byte offset just past its newline.
+    let mut complete: Vec<(&str, usize)> = Vec::new();
     let mut tail: Option<&str> = None;
+    let mut pos = 0usize;
     let mut rest = text;
     while let Some(nl) = rest.find('\n') {
-        complete.push(&rest[..nl]);
+        complete.push((&rest[..nl], pos + nl + 1));
+        pos += nl + 1;
         rest = &rest[nl + 1..];
     }
     if !rest.is_empty() {
@@ -264,7 +289,7 @@ fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
             // The final flush wrote a full record but the newline was lost;
             // accept it rather than re-running the job.
             if JournalRecord::from_json(&value).is_ok() {
-                complete.push(t);
+                complete.push((t, text.len()));
                 torn_tail = false;
             }
         }
@@ -272,10 +297,10 @@ fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
 
     let mut lines = complete
         .iter()
-        .map(|l| l.trim())
-        .filter(|l| !l.is_empty())
+        .map(|&(l, end)| (l.trim(), end))
+        .filter(|(l, _)| !l.is_empty())
         .peekable();
-    let header_line = lines.next().ok_or("journal is empty")?;
+    let (header_line, header_end) = lines.next().ok_or("journal is empty")?;
     let header =
         json::parse(header_line).map_err(|e| format!("journal header is not JSON: {e}"))?;
     if header.get("journal").and_then(Value::as_str) != Some("awg-jobs") {
@@ -287,11 +312,15 @@ fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
         .map(str::to_owned);
 
     let mut records = Vec::new();
-    while let Some(line) = lines.next() {
+    let mut retain = header_end;
+    while let Some((line, end)) = lines.next() {
         let is_last = lines.peek().is_none();
         let parsed = json::parse(line).and_then(|v| JournalRecord::from_json(&v));
         match parsed {
-            Ok(record) => records.push(record),
+            Ok(record) => {
+                records.push(record);
+                retain = end;
+            }
             Err(e) if is_last => {
                 // The final complete line can still be a torn write when the
                 // crash landed between the payload and its newline on a
@@ -302,11 +331,14 @@ fn parse_journal_text(text: &str) -> Result<ResumeState, String> {
             Err(e) => return Err(format!("corrupt journal record (not at tail): {e}")),
         }
     }
-    Ok(ResumeState {
-        command,
-        records,
-        torn_tail,
-    })
+    Ok((
+        ResumeState {
+            command,
+            records,
+            torn_tail,
+        },
+        retain,
+    ))
 }
 
 #[cfg(test)]
@@ -322,6 +354,7 @@ mod tests {
             status: JobStatus::Ok,
             value: Some(Value::Array(vec![Value::Num(1.0)])),
             error: None,
+            checkpoint: None,
         }
     }
 

@@ -22,6 +22,7 @@ pub mod ablations;
 pub mod artifact;
 pub mod bench;
 pub mod chaos;
+pub mod checkpointing;
 pub mod exit;
 pub mod fairness;
 pub mod fig05;
@@ -47,6 +48,10 @@ pub mod timeline;
 pub mod tracefig;
 
 pub use artifact::Artifact;
+pub use checkpointing::{
+    corrupt_snapshot, restore_run, result_fingerprint, run_checkpointed, run_identity,
+    CheckpointedRun, SnapshotCorruption, DEFAULT_CHECKPOINT_EVERY,
+};
 pub use journal::{JobStatus, Journal, JournalRecord, ResumeState};
 pub use pool::{job, CampaignProfile, Job, JobOutput, Pool};
 pub use report::{Cell, Report, Row};
@@ -56,4 +61,6 @@ pub use run::{
 };
 pub use scale::Scale;
 pub use shrink::{shrink, still_hangs, ShrinkResult};
-pub use supervisor::{job_digest, sim_job, JobCtl, JobLimits, SimJob, Supervisor};
+pub use supervisor::{
+    job_digest, sim_job, CheckpointPolicy, JobCtl, JobLimits, SimJob, Supervisor,
+};

@@ -3,7 +3,7 @@
 use awg_core::policies::{build_policy, PolicyKind};
 use awg_gpu::{CancelCause, FaultPlan, Gpu, InvariantViolation, RunOutcome, Watchdog};
 use awg_sim::{Cycle, MetricSnapshot, ProfileReport, TelemetryConfig};
-use awg_workloads::BenchmarkKind;
+use awg_workloads::{BenchmarkKind, BuiltWorkload};
 
 use crate::scale::Scale;
 
@@ -219,6 +219,25 @@ pub fn run_watched(
     instr: Instrumentation,
     watchdog: Option<Watchdog>,
 ) -> ExpResult {
+    let (built, mut gpu) = prepare_machine(kind, policy_box, scale, config, plan, instr, watchdog);
+    let outcome = gpu.run();
+    collect_result(kind, label, &built, &gpu, outcome)
+}
+
+/// Builds the benchmark and a fully-configured machine for it — scenario,
+/// fault plan, instrumentation, and watchdog installed but not yet run.
+/// [`run_watched`] drives this machine to completion directly; the
+/// checkpointing entry points overlay a snapshot onto it first.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_machine(
+    kind: BenchmarkKind,
+    policy_box: Box<dyn awg_gpu::SchedPolicy>,
+    scale: &Scale,
+    config: ExperimentConfig,
+    plan: Option<FaultPlan>,
+    instr: Instrumentation,
+    watchdog: Option<Watchdog>,
+) -> (BuiltWorkload, Gpu) {
     let mut params = scale.params;
     params.iterations = params.iterations.saturating_mul(kind.episode_weight());
     let built = kind.build(&params, policy_box.style());
@@ -242,7 +261,18 @@ pub fn run_watched(
     if let Some(watchdog) = watchdog {
         gpu.set_watchdog(watchdog);
     }
-    let outcome = gpu.run();
+    (built, gpu)
+}
+
+/// Packages a finished machine into an [`ExpResult`] — the common epilogue
+/// of [`run_watched`] and the checkpoint/restore entry points.
+pub fn collect_result(
+    kind: BenchmarkKind,
+    label: PolicyKind,
+    built: &BuiltWorkload,
+    gpu: &Gpu,
+    outcome: RunOutcome,
+) -> ExpResult {
     let validated = built.validate(gpu.backing());
     ExpResult {
         kind,

@@ -22,19 +22,30 @@
 //!    journal already holds everything that finished. Jobs that exhaust
 //!    retries are counted so the front end can exit with the
 //!    partial-completion code.
+//! 5. **Checkpoint-resume.** With a [`CheckpointPolicy`] attached, each
+//!    job's attempts write machine snapshots (keyed by the job digest) and
+//!    a retry resumes from the last snapshot instead of starting over.
+//!    A retry that made snapshot progress since the previous attempt does
+//!    *not* consume a `--retries` slot: resuming saved work is continuing
+//!    the same attempt, not a new gamble. Only attempts that fail without
+//!    advancing the snapshot — a deterministically wedged job — burn
+//!    through `max_attempts`, so the loop still terminates.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{global_cancelled, CancelCause, FaultPlan, SimError, Watchdog};
-use awg_sim::Fingerprint64;
+use awg_gpu::{
+    global_cancelled, read_checkpoint, CancelCause, CheckpointSpec, FaultPlan, SimError, Watchdog,
+};
+use awg_sim::{Cycle, Fingerprint64};
 use awg_workloads::BenchmarkKind;
 
+use crate::checkpointing;
 use crate::journal::{JobStatus, Journal, JournalRecord, ResumeState};
 use crate::pool::{self, JobOutput, Pool};
 use crate::run::{self, ExpResult, ExperimentConfig, Instrumentation};
@@ -88,6 +99,38 @@ pub fn job_digest(key: &str, scale: &Scale, extras: &[&str]) -> u64 {
     f.finish()
 }
 
+/// Where (and how often) supervised jobs snapshot their machines. Attached
+/// to a [`Supervisor`] via [`Supervisor::with_checkpoints`]; each job's
+/// snapshot lives in `dir` under a name derived from its content digest, so
+/// concurrent jobs never collide and a restarted campaign finds exactly its
+/// own snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory the per-job snapshot files live in (must exist).
+    pub dir: PathBuf,
+    /// Snapshot interval in simulated cycles.
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    /// The snapshot file for the job with the given content digest.
+    pub fn snapshot_path(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("job-{digest:016x}.ckpt"))
+    }
+
+    /// The [`CheckpointSpec`] a job with this digest runs under: the
+    /// digest doubles as the snapshot identity, so a snapshot can only be
+    /// restored by the exact same job.
+    pub fn spec_for(&self, digest: u64) -> CheckpointSpec {
+        CheckpointSpec {
+            path: self.snapshot_path(digest),
+            every: self.every,
+            identity: digest,
+            kill_after: None,
+        }
+    }
+}
+
 /// A supervised task: re-runnable (for retries), handed a [`JobCtl`] to
 /// thread the attempt's watchdog into its simulations.
 pub type SimTask<'scope, T> = Box<dyn Fn(&JobCtl) -> T + Send + 'scope>;
@@ -118,19 +161,29 @@ pub fn sim_job<'scope, T>(
 #[derive(Debug)]
 pub struct JobCtl {
     watchdog: Watchdog,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl JobCtl {
     /// A control block with the given watchdog (tests; campaigns get theirs
     /// from the supervisor).
     pub fn with_watchdog(watchdog: Watchdog) -> Self {
-        JobCtl { watchdog }
+        JobCtl {
+            watchdog,
+            checkpoint: None,
+        }
     }
 
     /// A fresh clone of this attempt's watchdog, for driving a
     /// [`Gpu`](awg_gpu::Gpu) directly.
     pub fn watchdog(&self) -> Watchdog {
         self.watchdog.clone()
+    }
+
+    /// The snapshot spec this job runs under, when the supervisor has a
+    /// [`CheckpointPolicy`] attached.
+    pub fn checkpoint_spec(&self) -> Option<&CheckpointSpec> {
+        self.checkpoint.as_ref()
     }
 
     /// [`run::run_experiment`] with this attempt's watchdog.
@@ -195,6 +248,46 @@ impl JobCtl {
             Some(self.watchdog()),
         )
     }
+
+    /// Like [`JobCtl::run_instrumented`], but crash-survivable: when the
+    /// supervisor carries a [`CheckpointPolicy`], the run snapshots
+    /// periodically and — on a retry after a kill, panic, or timeout —
+    /// resumes from the last snapshot instead of starting over. Without a
+    /// policy this is exactly `run_instrumented`.
+    pub fn run_checkpointed(
+        &self,
+        kind: BenchmarkKind,
+        policy: PolicyKind,
+        scale: &Scale,
+        config: ExperimentConfig,
+        plan: Option<FaultPlan>,
+        instr: Instrumentation,
+    ) -> ExpResult {
+        match &self.checkpoint {
+            Some(spec) => {
+                checkpointing::run_checkpointed(
+                    kind,
+                    policy,
+                    scale,
+                    config,
+                    plan,
+                    instr,
+                    Some(self.watchdog()),
+                    spec.clone(),
+                )
+                .result
+            }
+            None => self.run_instrumented(
+                kind,
+                policy,
+                build_policy(policy),
+                scale,
+                config,
+                plan,
+                instr,
+            ),
+        }
+    }
 }
 
 /// The resilience layer around the pool. See the module docs.
@@ -206,6 +299,8 @@ pub struct Supervisor {
     resume_command: Option<String>,
     incomplete: AtomicUsize,
     resumed_hits: AtomicUsize,
+    checkpoints: Option<CheckpointPolicy>,
+    checkpoint_resumes: AtomicUsize,
 }
 
 impl Supervisor {
@@ -225,7 +320,28 @@ impl Supervisor {
             resume_command: None,
             incomplete: AtomicUsize::new(0),
             resumed_hits: AtomicUsize::new(0),
+            checkpoints: None,
+            checkpoint_resumes: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a snapshot policy: jobs run through
+    /// [`JobCtl::run_checkpointed`] become crash-survivable, and a retry
+    /// that advanced its snapshot does not consume a retry slot.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some(policy);
+        self
+    }
+
+    /// The attached snapshot policy, if any.
+    pub fn checkpoints(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoints.as_ref()
+    }
+
+    /// Number of retries that resumed from an advanced snapshot (and were
+    /// therefore not charged against `max_attempts`).
+    pub fn checkpoint_resumes(&self) -> usize {
+        self.checkpoint_resumes.load(Ordering::Relaxed)
     }
 
     /// A supervisor journaling to `path`. With `resume` set, an existing
@@ -352,6 +468,17 @@ impl Supervisor {
             }
         }
 
+        let ckpt = self
+            .checkpoints
+            .as_ref()
+            .map(|policy| policy.spec_for(job.digest));
+        let ckpt_path = ckpt.as_ref().map(|spec| spec.path.display().to_string());
+        // The newest snapshot cycle seen so far: seeded from any snapshot a
+        // killed earlier process left behind, advanced after each failed
+        // attempt. A retry only counts against `max_attempts` when this did
+        // NOT move — strict progress is what guarantees termination.
+        let mut snapshot_cycle = ckpt.as_ref().and_then(|spec| peek_cycle(&spec.path));
+
         let started = Instant::now();
         let mut budget = self.limits.cycle_budget;
         let mut attempt = 0u32;
@@ -369,18 +496,34 @@ impl Supervisor {
             }
             let ctl = JobCtl {
                 watchdog: Watchdog::new(self.limits.deadline, budget),
+                checkpoint: ckpt.clone(),
             };
             match catch_unwind(AssertUnwindSafe(|| (job.task)(&ctl))) {
                 Ok(value) => match value.cancelled() {
                     None => {
                         let wall = started.elapsed();
-                        self.journal_append(&job, attempt, wall, JobStatus::Ok, &value, None);
+                        self.journal_append(
+                            &job,
+                            attempt,
+                            wall,
+                            JobStatus::Ok,
+                            &value,
+                            None,
+                            ckpt_path.clone(),
+                        );
+                        // The snapshot has served its purpose; a stale one
+                        // must not shadow a future same-digest campaign.
+                        if let Some(spec) = &ckpt {
+                            std::fs::remove_file(&spec.path).ok();
+                        }
                         return Verdict {
                             wall,
                             result: Ok(value),
                         };
                     }
                     Some((_, CancelCause::Interrupt)) => {
+                        // Snapshot intentionally left on disk: the resumed
+                        // campaign continues this job from it.
                         return Verdict {
                             wall: started.elapsed(),
                             result: Err(SimError::JobCancelled {
@@ -389,56 +532,91 @@ impl Supervisor {
                         };
                     }
                     Some((at, cause)) => {
-                        if attempt < self.limits.max_attempts {
-                            // A timeout retry escalates the cycle budget: a
-                            // merely slow job completes, a wedged one times
-                            // out again.
-                            budget = budget.map(|b| {
-                                b.saturating_mul(u64::from(self.limits.budget_escalation))
-                            });
-                            self.backoff(attempt);
-                            continue;
+                        if self.snapshot_advanced(&ckpt, &mut snapshot_cycle) {
+                            // The attempt timed out but banked new work; the
+                            // retry resumes from the snapshot and continues
+                            // the *same* attempt.
+                            attempt -= 1;
+                            self.checkpoint_resumes.fetch_add(1, Ordering::Relaxed);
+                        } else if attempt >= self.limits.max_attempts {
+                            let err = SimError::JobTimeout {
+                                job: job.key.clone(),
+                                at,
+                                cause,
+                            };
+                            let wall = started.elapsed();
+                            self.journal_error(
+                                &job,
+                                attempt,
+                                wall,
+                                JobStatus::Timeout,
+                                &err,
+                                ckpt_path.clone(),
+                            );
+                            self.incomplete.fetch_add(1, Ordering::Relaxed);
+                            return Verdict {
+                                wall,
+                                result: Err(err),
+                            };
                         }
-                        let err = SimError::JobTimeout {
+                        // A timeout retry escalates the cycle budget: a
+                        // merely slow job completes, a wedged one times
+                        // out again.
+                        budget = budget
+                            .map(|b| b.saturating_mul(u64::from(self.limits.budget_escalation)));
+                        self.backoff(attempt.max(1));
+                    }
+                },
+                Err(payload) => {
+                    if self.snapshot_advanced(&ckpt, &mut snapshot_cycle) {
+                        attempt -= 1;
+                        self.checkpoint_resumes.fetch_add(1, Ordering::Relaxed);
+                    } else if attempt >= self.limits.max_attempts {
+                        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_owned()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "non-string panic payload".to_owned()
+                        };
+                        let err = SimError::JobPanic {
                             job: job.key.clone(),
-                            at,
-                            cause,
+                            message,
                         };
                         let wall = started.elapsed();
-                        self.journal_error(&job, attempt, wall, JobStatus::Timeout, &err);
+                        self.journal_error(
+                            &job,
+                            attempt,
+                            wall,
+                            JobStatus::Panic,
+                            &err,
+                            ckpt_path.clone(),
+                        );
                         self.incomplete.fetch_add(1, Ordering::Relaxed);
                         return Verdict {
                             wall,
                             result: Err(err),
                         };
                     }
-                },
-                Err(payload) => {
-                    if attempt < self.limits.max_attempts {
-                        self.backoff(attempt);
-                        continue;
-                    }
-                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                        (*s).to_owned()
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "non-string panic payload".to_owned()
-                    };
-                    let err = SimError::JobPanic {
-                        job: job.key.clone(),
-                        message,
-                    };
-                    let wall = started.elapsed();
-                    self.journal_error(&job, attempt, wall, JobStatus::Panic, &err);
-                    self.incomplete.fetch_add(1, Ordering::Relaxed);
-                    return Verdict {
-                        wall,
-                        result: Err(err),
-                    };
+                    self.backoff(attempt.max(1));
                 }
             }
         }
+    }
+
+    /// Whether the job's snapshot advanced past the newest cycle seen so
+    /// far (strictly — an unreadable or unmoved snapshot is *not*
+    /// progress, so a deterministically wedged job still burns attempts).
+    fn snapshot_advanced(&self, spec: &Option<CheckpointSpec>, newest: &mut Option<Cycle>) -> bool {
+        let Some(spec) = spec else { return false };
+        let Some(cycle) = peek_cycle(&spec.path) else {
+            return false;
+        };
+        let advanced = newest.is_none_or(|seen| cycle > seen);
+        if advanced {
+            *newest = Some(cycle);
+        }
+        advanced
     }
 
     /// Deterministic exponential backoff before retry `attempt + 1`,
@@ -451,6 +629,7 @@ impl Supervisor {
         std::thread::sleep(self.limits.backoff_base * factor);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn journal_append<T: Artifact>(
         &self,
         job: &SimJob<'_, T>,
@@ -459,6 +638,7 @@ impl Supervisor {
         status: JobStatus,
         value: &T,
         error: Option<String>,
+        checkpoint: Option<String>,
     ) {
         let Some(journal) = &self.journal else { return };
         let record = JournalRecord {
@@ -469,6 +649,7 @@ impl Supervisor {
             status,
             value: (status == JobStatus::Ok).then(|| value.to_json()),
             error,
+            checkpoint,
         };
         let mut journal = journal.lock().expect("journal lock poisoned");
         if let Err(e) = journal.append(&record) {
@@ -487,6 +668,7 @@ impl Supervisor {
         wall: Duration,
         status: JobStatus,
         err: &SimError,
+        checkpoint: Option<String>,
     ) {
         let Some(journal) = &self.journal else { return };
         let record = JournalRecord {
@@ -497,6 +679,7 @@ impl Supervisor {
             status,
             value: None,
             error: Some(err.to_string()),
+            checkpoint,
         };
         let mut journal = journal.lock().expect("journal lock poisoned");
         if let Err(e) = journal.append(&record) {
@@ -518,6 +701,13 @@ impl std::fmt::Debug for Supervisor {
             .field("resumed", &self.resumed.len())
             .finish()
     }
+}
+
+/// The machine cycle a snapshot file holds, if the file parses. Cheap
+/// relative to an attempt (one read + CRC), and run only on the failure
+/// path.
+fn peek_cycle(path: &Path) -> Option<Cycle> {
+    read_checkpoint(path).ok().map(|image| image.cycle)
 }
 
 /// One job's flattened outcome inside the pool task.

@@ -1,0 +1,183 @@
+//! Snapshot codec properties, driven through the full restore pipeline
+//! (`read_checkpoint` *and* `restore_into`, since the header cycle field
+//! is only cross-checked against the decoded machine at restore time):
+//!
+//! * encode → decode → restore → encode is a byte-level fixed point;
+//! * a snapshot truncated at any sampled offset fails closed with
+//!   [`SimError::CorruptCheckpoint`];
+//! * a snapshot with any single bit flipped fails closed the same way.
+//!
+//! The snapshot is ~190 KiB, so the truncation scan is stratified rather
+//! than exhaustive: every offset in the header-and-early-section region,
+//! a prime stride across the body, and the final bytes where a torn tail
+//! is most likely in practice. The bit-flip property samples the rest of
+//! the space randomly, and a deterministic loop covers all 128 bits of
+//! the identity and cycle header fields — the only bytes outside the
+//! CRC-framed section.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{read_checkpoint, restore_into, write_checkpoint, SimError, Watchdog};
+use awg_harness::run::{prepare_machine, ExperimentConfig, Instrumentation};
+use awg_harness::Scale;
+use awg_workloads::BenchmarkKind;
+use proptest::prelude::*;
+
+/// Arbitrary but fixed run identity shared by writer and restorer.
+const IDENTITY: u64 = 0x1DEA_F00D_CAFE_0007;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("awg-ckpt-props-{name}-{}", std::process::id()))
+}
+
+fn build(scale: &Scale, watchdog: Option<Watchdog>) -> awg_gpu::Gpu {
+    let (_built, gpu) = prepare_machine(
+        BenchmarkKind::SpinMutexGlobal,
+        build_policy(PolicyKind::Awg),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        None,
+        Instrumentation::checked(),
+        watchdog,
+    );
+    gpu
+}
+
+/// A machine stopped mid-run by a cycle budget: rich with in-flight
+/// waiters, monitor state, and partially-run work-groups.
+fn mid_run_machine(scale: &Scale, budget: u64) -> awg_gpu::Gpu {
+    let mut gpu = build(scale, Some(Watchdog::new(None, Some(budget))));
+    let outcome = gpu.run();
+    assert!(
+        outcome.cancelled().is_some(),
+        "budget {budget} must stop the run mid-flight, got {outcome:?}"
+    );
+    gpu
+}
+
+/// One canonical mid-run snapshot, encoded once and shared by the
+/// corruption tests (building machines per proptest case is cheap;
+/// re-running the simulation per case is not).
+fn base_snapshot() -> &'static (Scale, Vec<u8>) {
+    static BASE: OnceLock<(Scale, Vec<u8>)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let scale = Scale::quick();
+        let gpu = mid_run_machine(&scale, 4_000);
+        let path = tmp("base");
+        write_checkpoint(&gpu, IDENTITY, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        (scale, bytes)
+    })
+}
+
+/// The full restore pipeline a real resume goes through.
+fn restore_pipeline(scale: &Scale, bytes: &[u8], tag: &str) -> Result<(), SimError> {
+    let path = tmp(tag);
+    std::fs::write(&path, bytes).unwrap();
+    let verdict = read_checkpoint(&path).and_then(|image| {
+        let mut fresh = build(scale, None);
+        restore_into(&mut fresh, &image, IDENTITY)
+    });
+    std::fs::remove_file(&path).ok();
+    verdict
+}
+
+#[test]
+fn encode_decode_restore_encode_is_a_fixed_point() {
+    let scale = Scale::quick();
+    // Several stop points, including a fresh (never-run) machine and one
+    // past several snapshot boundaries.
+    for (tag, gpu) in [
+        ("fp-fresh", build(&scale, None)),
+        ("fp-early", mid_run_machine(&scale, 1_500)),
+        ("fp-mid", mid_run_machine(&scale, 7_000)),
+        ("fp-late", mid_run_machine(&scale, 15_000)),
+    ] {
+        let first = tmp(&format!("{tag}-1"));
+        let second = tmp(&format!("{tag}-2"));
+        write_checkpoint(&gpu, IDENTITY, &first).unwrap();
+        let image = read_checkpoint(&first).unwrap();
+        let mut fresh = build(&scale, None);
+        restore_into(&mut fresh, &image, IDENTITY).unwrap();
+        write_checkpoint(&fresh, IDENTITY, &second).unwrap();
+        let a = std::fs::read(&first).unwrap();
+        let b = std::fs::read(&second).unwrap();
+        assert_eq!(
+            a, b,
+            "{tag}: restored machine must re-encode byte-identically"
+        );
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+}
+
+#[test]
+fn truncation_at_sampled_offsets_fails_closed() {
+    let (scale, bytes) = base_snapshot();
+    assert!(bytes.len() > 8_192, "snapshot unexpectedly small");
+    // Dense over the header and early section, prime stride across the
+    // body, dense over the tail.
+    let mut cuts: Vec<usize> = (0..4_096).collect();
+    cuts.extend((4_096..bytes.len()).step_by(509));
+    cuts.extend(bytes.len() - 64..bytes.len());
+    for cut in cuts {
+        let verdict = restore_pipeline(scale, &bytes[..cut], "trunc");
+        assert!(
+            matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+            "truncation at byte {cut}/{} must fail closed, got {verdict:?}",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_header_identity_and_cycle_bit_is_checked() {
+    let (scale, bytes) = base_snapshot();
+    // Identity lives at bytes 12..20 and the cycle at 20..28; neither is
+    // inside the CRC-framed section, so each depends on its own explicit
+    // cross-check at restore time.
+    for byte in 12..28 {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 1 << bit;
+            let verdict = restore_pipeline(scale, &flipped, "hdrflip");
+            assert!(
+                matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+                "flip of header byte {byte} bit {bit} must fail closed, got {verdict:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_single_bitflip_fails_closed(pos in 0u64..u64::MAX, bit in 0u32..8) {
+        let (scale, bytes) = base_snapshot();
+        let mut flipped = bytes.clone();
+        let byte = (pos % flipped.len() as u64) as usize;
+        flipped[byte] ^= 1 << bit;
+        let verdict = restore_pipeline(scale, &flipped, "bitflip");
+        prop_assert!(
+            matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+            "flip of byte {} bit {} must fail closed, got {:?}",
+            byte, bit, verdict
+        );
+    }
+
+    #[test]
+    fn random_truncation_fails_closed(pos in 0u64..u64::MAX) {
+        let (scale, bytes) = base_snapshot();
+        let cut = (pos % bytes.len() as u64) as usize;
+        let verdict = restore_pipeline(scale, &bytes[..cut], "randtrunc");
+        prop_assert!(
+            matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+            "truncation at byte {} must fail closed, got {:?}",
+            cut, verdict
+        );
+    }
+}

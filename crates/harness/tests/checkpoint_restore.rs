@@ -1,0 +1,273 @@
+//! Crash-survivability acceptance, through the real binary and the real
+//! supervisor:
+//!
+//! * a run killed (exit 137) at *every* snapshot boundary and restored
+//!   from disk finishes digest- and stats-identical to an uninterrupted
+//!   same-seed run (`first_divergence: none`), with and without an active
+//!   chaos fault plan;
+//! * the supervisor charges no `--retries` slot for a retry that resumed
+//!   from an advanced snapshot, and journals the snapshot path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::time::Duration;
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_harness::{
+    chaos,
+    checkpointing::result_fingerprint,
+    pool::Pool,
+    run::{run_instrumented, ExperimentConfig, Instrumentation},
+    supervisor::{job_digest, sim_job, CheckpointPolicy, JobCtl, JobLimits, Supervisor},
+    Journal, Scale,
+};
+use awg_workloads::BenchmarkKind;
+
+const EVERY: &str = "2000";
+
+fn awg_repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_awg-repro"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("awg-ckpt-restore-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The `run fingerprint: <hex>` line a completed run prints: the
+/// cross-process witness that two runs produced identical stats and
+/// digest trails.
+fn fingerprint_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with("run fingerprint:"))
+        .unwrap_or_else(|| {
+            panic!(
+                "no fingerprint line\nstdout: {}\nstderr: {}",
+                String::from_utf8_lossy(&out.stdout),
+                String::from_utf8_lossy(&out.stderr)
+            )
+        })
+        .to_owned()
+}
+
+#[test]
+fn killed_at_every_snapshot_boundary_restore_is_byte_identical() {
+    let dir = temp_dir("killgrid");
+    let snap = dir.join("run.ckpt");
+    let snap_s = snap.to_str().unwrap();
+
+    // Uninterrupted reference: establishes the fingerprint every restored
+    // run must reproduce.
+    let reference = awg_repro(&[
+        "--quick",
+        "--checkpoint-every",
+        EVERY,
+        "checkpoint",
+        "spm_g",
+        "awg",
+        "--snapshot",
+        snap_s,
+    ]);
+    assert_eq!(reference.status.code(), Some(0), "{reference:?}");
+    let ref_fp = fingerprint_line(&reference);
+
+    // Kill after the k-th snapshot for every k until the run finishes
+    // before writing k snapshots; each kill must restore to the exact
+    // reference fingerprint.
+    let mut drills = 0;
+    for k in 1..=50u64 {
+        std::fs::remove_file(&snap).ok();
+        let kill = awg_repro(&[
+            "--quick",
+            "--checkpoint-every",
+            EVERY,
+            "checkpoint",
+            "spm_g",
+            "awg",
+            "--snapshot",
+            snap_s,
+            "--kill-after",
+            &k.to_string(),
+        ]);
+        match kill.status.code() {
+            // The run completed before its k-th snapshot: the grid of
+            // boundaries is exhausted.
+            Some(0) => {
+                assert!(k > 1, "a run this size must write at least one snapshot");
+                break;
+            }
+            Some(137) => {}
+            other => panic!("kill-after {k}: unexpected exit {other:?}\n{kill:?}"),
+        }
+        let restore = awg_repro(&["--quick", "restore", snap_s, "spm_g", "awg", "--verify"]);
+        assert_eq!(restore.status.code(), Some(0), "k={k}: {restore:?}");
+        let stdout = String::from_utf8_lossy(&restore.stdout);
+        assert!(stdout.contains("first_divergence: none"), "k={k}: {stdout}");
+        assert_eq!(fingerprint_line(&restore), ref_fp, "k={k}");
+        drills += 1;
+    }
+    assert!(drills >= 2, "expected several boundaries, drilled {drills}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_restore_under_an_active_fault_plan_is_byte_identical() {
+    let dir = temp_dir("faulted");
+    let snap = dir.join("run.ckpt");
+    let snap_s = snap.to_str().unwrap();
+    let plan_path = dir.join("plan.json");
+    let scale = Scale::quick();
+    std::fs::write(
+        &plan_path,
+        chaos::plan_for(PolicyKind::Awg, &scale, 101).to_json(),
+    )
+    .unwrap();
+    let plan_s = plan_path.to_str().unwrap();
+
+    let kill = awg_repro(&[
+        "--quick",
+        "--checkpoint-every",
+        EVERY,
+        "checkpoint",
+        "spm_g",
+        "awg",
+        "--snapshot",
+        snap_s,
+        "--plan",
+        plan_s,
+        "--kill-after",
+        "2",
+    ]);
+    assert_eq!(kill.status.code(), Some(137), "{kill:?}");
+
+    let restore = awg_repro(&[
+        "--quick", "restore", snap_s, "spm_g", "awg", "--verify", "--plan", plan_s,
+    ]);
+    assert_eq!(restore.status.code(), Some(0), "{restore:?}");
+    assert!(
+        String::from_utf8_lossy(&restore.stdout).contains("first_divergence: none"),
+        "{restore:?}"
+    );
+
+    // The fault plan participates in the snapshot identity: restoring the
+    // same snapshot *without* the plan must fail closed, not silently run
+    // an un-faulted machine on faulted state.
+    let unplanned = awg_repro(&["--quick", "restore", snap_s, "spm_g", "awg"]);
+    assert_eq!(unplanned.status.code(), Some(7), "{unplanned:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supervisor_restore_resume_does_not_consume_attempts() {
+    awg_gpu::reset_global_cancel();
+    let scale = Scale::quick();
+    let dir = temp_dir("sup-resume");
+    // One attempt, and a cycle budget far short of the ~18k-cycle run:
+    // without snapshots this job cannot finish.
+    let limits = JobLimits {
+        cycle_budget: Some(3_000),
+        max_attempts: 1,
+        backoff_base: Duration::from_millis(1),
+        ..JobLimits::default()
+    };
+    let job = |ctl: &JobCtl| {
+        ctl.run_checkpointed(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+            None,
+            Instrumentation::checked(),
+        )
+    };
+    let digest = job_digest("capped", &scale, &[]);
+
+    // Control: no checkpoint policy. The single attempt times out and the
+    // job is incomplete.
+    let sup = Supervisor::new(Pool::serial(), limits);
+    let outputs = sup.run(vec![sim_job("capped", digest, job)]);
+    assert!(
+        matches!(outputs[0].result, Err(awg_gpu::SimError::JobTimeout { .. })),
+        "{:?}",
+        outputs[0].result
+    );
+    assert_eq!(sup.incomplete(), 1);
+
+    // With snapshots: every timed-out attempt banks progress, each retry
+    // resumes and is not charged, and the job completes on its single
+    // nominal attempt.
+    let sup = Supervisor::new(Pool::serial(), limits).with_checkpoints(CheckpointPolicy {
+        dir: dir.clone(),
+        every: 1_000,
+    });
+    let outputs = sup.run(vec![sim_job("capped", digest, job)]);
+    let result = outputs[0].result.as_ref().unwrap_or_else(|e| panic!("{e}"));
+    assert!(result.is_valid_completion(), "{:?}", result.outcome);
+    assert_eq!(sup.incomplete(), 0, "resume retries must not be charged");
+    assert!(
+        sup.checkpoint_resumes() >= 1,
+        "completion under this budget requires at least one resume"
+    );
+
+    // The stitched-together run is indistinguishable from an uninterrupted
+    // one.
+    let reference = run_instrumented(
+        BenchmarkKind::SpinMutexGlobal,
+        PolicyKind::Awg,
+        build_policy(PolicyKind::Awg),
+        &scale,
+        ExperimentConfig::NonOversubscribed,
+        None,
+        Instrumentation::checked(),
+    );
+    assert_eq!(result_fingerprint(result), result_fingerprint(&reference));
+
+    // The snapshot is cleaned up once its job lands.
+    assert!(!sup.checkpoints().unwrap().snapshot_path(digest).exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_records_the_snapshot_path() {
+    awg_gpu::reset_global_cancel();
+    let scale = Scale::quick();
+    let dir = temp_dir("sup-journal");
+    let journal_path = dir.join("jobs.jsonl");
+    let limits = JobLimits {
+        backoff_base: Duration::from_millis(1),
+        ..JobLimits::default()
+    };
+    let digest = job_digest("journaled", &scale, &[]);
+    let policy = CheckpointPolicy {
+        dir: dir.clone(),
+        every: 2_000,
+    };
+    let expected = policy.snapshot_path(digest).display().to_string();
+    let sup = Supervisor::with_journal(Pool::serial(), limits, &journal_path, false, "test-cmd")
+        .unwrap()
+        .with_checkpoints(policy);
+    let outputs = sup.run(vec![sim_job("journaled", digest, |ctl: &JobCtl| {
+        ctl.run_checkpointed(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+            None,
+            Instrumentation::checked(),
+        )
+    })]);
+    assert!(outputs[0].result.is_ok());
+
+    let (_j, state) = Journal::open_resume(&journal_path).unwrap();
+    assert_eq!(state.records.len(), 1);
+    assert_eq!(
+        state.records[0].checkpoint.as_deref(),
+        Some(expected.as_str())
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-use awg_harness::exit::{EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
+use awg_harness::exit::{EXIT_CORRUPT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
 
 fn awg_repro(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_awg-repro"))
@@ -93,6 +93,90 @@ fn exhausted_jobs_emit_a_partial_report_and_the_partial_code() {
     assert!(stdout.contains("ERROR"), "typed rows in report: {stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("INCOMPLETE"), "{stderr}");
+}
+
+/// Writes a completed quick run's snapshot (killed after its first
+/// checkpoint so the snapshot survives on disk) and returns its path.
+fn banked_snapshot(dir: &std::path::Path) -> PathBuf {
+    let snap = dir.join("run.ckpt");
+    let out = awg_repro(&[
+        "--quick",
+        "--checkpoint-every",
+        "2000",
+        "checkpoint",
+        "spm_g",
+        "awg",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--kill-after",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(137), "{out:?}");
+    snap
+}
+
+#[test]
+fn corrupted_snapshots_fail_closed_with_the_corrupt_code() {
+    let dir = temp_dir("corrupt");
+    let snap = banked_snapshot(&dir);
+    for mode in ["truncate:40", "bitflip:4096", "stale-version"] {
+        let out = awg_repro(&[
+            "--quick",
+            "restore",
+            snap.to_str().unwrap(),
+            "spm_g",
+            "awg",
+            "--corrupt",
+            mode,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(EXIT_CORRUPT as i32),
+            "{mode}: {out:?}"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("restore failed closed as expected"),
+            "{mode}: {out:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_identity_snapshot_is_refused_with_the_corrupt_code() {
+    let dir = temp_dir("foreign");
+    let snap = banked_snapshot(&dir);
+    // Same snapshot, different policy: a config mismatch, not a file
+    // defect, but restore must still fail closed.
+    let out = awg_repro(&[
+        "--quick",
+        "restore",
+        snap.to_str().unwrap(),
+        "spm_g",
+        "timeout",
+    ]);
+    assert_eq!(out.status.code(), Some(EXIT_CORRUPT as i32), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_restore_verifies_against_the_uninterrupted_run_and_exits_zero() {
+    let dir = temp_dir("clean-restore");
+    let snap = banked_snapshot(&dir);
+    let out = awg_repro(&[
+        "--quick",
+        "restore",
+        snap.to_str().unwrap(),
+        "spm_g",
+        "awg",
+        "--verify",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("first_divergence: none"),
+        "{out:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -6,6 +6,8 @@
 
 use std::collections::HashMap;
 
+use awg_sim::{CodecError, Dec, Enc};
+
 use crate::addr::{Addr, WORD_BYTES};
 
 /// Word-addressed global memory (values are `i64`, matching the sync-variable
@@ -71,6 +73,46 @@ impl Backing {
     /// order. Useful to validators that check workload post-conditions.
     pub fn nonzero_words(&self) -> impl Iterator<Item = (Addr, i64)> + '_ {
         self.words.iter().map(|(&a, &v)| (a, v))
+    }
+
+    /// Serializes the full functional memory image. Words are written in
+    /// ascending address order so identical memories always produce
+    /// byte-identical encodings regardless of `HashMap` iteration order.
+    pub fn save_image(&self, enc: &mut Enc) {
+        enc.u64(self.writes);
+        let mut words: Vec<(Addr, i64)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        words.sort_unstable_by_key(|&(a, _)| a);
+        enc.usize(words.len());
+        for (a, v) in words {
+            enc.u64(a);
+            enc.i64(v);
+        }
+    }
+
+    /// Replaces this memory's contents with state written by
+    /// [`Backing::save_image`]. Rejects zero-valued or unaligned words — the
+    /// store path never produces either, so their presence means corruption.
+    pub fn load_image(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        self.writes = dec.u64()?;
+        let n = dec.count(16)?;
+        let mut words = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let a = dec.u64()?;
+            let v = dec.i64()?;
+            if v == 0 {
+                return Err(CodecError::Invalid(format!(
+                    "zero word at {a:#x} in backing snapshot"
+                )));
+            }
+            if a != Self::word_addr(a) {
+                return Err(CodecError::Invalid(format!(
+                    "unaligned word address {a:#x} in backing snapshot"
+                )));
+            }
+            words.insert(a, v);
+        }
+        self.words = words;
+        Ok(())
     }
 }
 

@@ -4,6 +4,8 @@
 //! carry the two bits AWG adds (§V.B): a **monitored** bit marking lines the
 //! SyncMon watches, and a **pinned** bit so monitored lines "are not evicted".
 
+use awg_sim::{CodecError, Dec, Enc};
+
 use crate::addr::Addr;
 
 /// Geometry and latency of a cache.
@@ -286,6 +288,48 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
+    }
+
+    /// Serializes the mutable tag-array state (lines, LRU tick, counters).
+    /// Geometry is identity, not state: [`Cache::load`] overlays onto a cache
+    /// built from the same [`CacheConfig`].
+    pub fn save(&self, enc: &mut Enc) {
+        enc.u64(self.tick);
+        enc.u64(self.hits);
+        enc.u64(self.misses);
+        enc.u64(self.bypasses);
+        enc.usize(self.lines.len());
+        for l in &self.lines {
+            enc.u64(l.tag);
+            enc.bool(l.valid);
+            enc.bool(l.monitored);
+            enc.bool(l.pinned);
+            enc.u64(l.last_use);
+        }
+    }
+
+    /// Overlays state written by [`Cache::save`] onto this cache. Fails if
+    /// the saved geometry (line count) does not match this cache's.
+    pub fn load(&mut self, dec: &mut Dec<'_>) -> Result<(), CodecError> {
+        self.tick = dec.u64()?;
+        self.hits = dec.u64()?;
+        self.misses = dec.u64()?;
+        self.bypasses = dec.u64()?;
+        let n = dec.count(11)?;
+        if n != self.lines.len() {
+            return Err(CodecError::Invalid(format!(
+                "cache geometry mismatch: snapshot has {n} lines, config has {}",
+                self.lines.len()
+            )));
+        }
+        for l in &mut self.lines {
+            l.tag = dec.u64()?;
+            l.valid = dec.bool()?;
+            l.monitored = dec.bool()?;
+            l.pinned = dec.bool()?;
+            l.last_use = dec.u64()?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,392 @@
+//! Hand-rolled binary codec for whole-machine checkpoints.
+//!
+//! The PR 2 fault-plan codec (JSON) and the PR 5 journal codec (JSONL) are
+//! text formats for *small* artifacts; machine snapshots serialize megabytes
+//! of DRAM words and event-calendar entries, so they use a compact
+//! little-endian binary encoding instead — still serde-free and
+//! dependency-free, in the same hand-rolled spirit.
+//!
+//! The rules that make restore deterministic and fail-closed:
+//!
+//! * every multi-byte integer is little-endian,
+//! * collections are length-prefixed (`u64` count, then elements),
+//! * decoding never panics on malformed input: every read returns a
+//!   [`CodecError`] the caller converts into a typed corruption error,
+//! * encoding the decoded value re-produces the original bytes (the
+//!   round-trip fixed point the checkpoint tests assert).
+
+use std::fmt;
+
+/// Why a snapshot byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the value it promised (truncation).
+    Truncated,
+    /// The bytes decoded but their content is impossible (bad tag, count
+    /// beyond the section, non-UTF-8 string, CRC mismatch…).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "byte stream truncated"),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A little-endian binary encoder appending to an owned buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` (little-endian two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (platform-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends an optional `u64` (presence byte, then the value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Appends an optional `u16` (presence byte, then the value).
+    pub fn opt_u16(&mut self, v: Option<u16>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u16(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Appends a UTF-8 string (`u64` byte count, then the bytes).
+    pub fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends raw bytes verbatim (the caller frames them).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A little-endian binary decoder over a borrowed byte slice.
+///
+/// Every read checks bounds and returns [`CodecError::Truncated`] instead
+/// of panicking, so a damaged snapshot surfaces as a typed error.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors unless every byte was consumed (trailing garbage is
+    /// corruption, not padding).
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )))
+        }
+    }
+
+    /// Consumes exactly `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `usize` encoded as `u64`, rejecting values beyond the
+    /// platform's address space.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid(format!("count {v} overflows usize")))
+    }
+
+    /// Reads a length prefix that must be satisfiable by the remaining
+    /// bytes at `min_elem_bytes` per element — rejects absurd counts from
+    /// bit-flipped length fields before any allocation happens.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if min_elem_bytes > 0 && n > self.remaining() / min_elem_bytes {
+            return Err(CodecError::Invalid(format!(
+                "count {n} exceeds the bytes remaining in the section"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::Invalid(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads an optional `u16`.
+    pub fn opt_u16(&mut self) -> Result<Option<u16>, CodecError> {
+        Ok(if self.bool()? {
+            Some(self.u16()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Invalid("non-UTF-8 string".into()))
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), computed bitwise.
+///
+/// A table-free implementation keeps the codec dependency-free; snapshot
+/// sections are checksummed once per write, so throughput is irrelevant.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(0xAB);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 7);
+        e.i64(-42);
+        e.usize(123_456);
+        e.bool(true);
+        e.bool(false);
+        e.opt_u64(Some(99));
+        e.opt_u64(None);
+        e.opt_u16(Some(7));
+        e.str("checkpoint");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.usize().unwrap(), 123_456);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.opt_u64().unwrap(), Some(99));
+        assert_eq!(d.opt_u64().unwrap(), None);
+        assert_eq!(d.opt_u16().unwrap(), Some(7));
+        assert_eq!(d.str().unwrap(), "checkpoint");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed_never_a_panic() {
+        let mut e = Enc::new();
+        e.u64(12345);
+        e.str("tail");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            let r = d.u64().and_then(|_| d.str());
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_invalid() {
+        let mut d = Dec::new(&[2]);
+        assert!(matches!(d.bool(), Err(CodecError::Invalid(_))));
+        let mut e = Enc::new();
+        e.usize(2);
+        e.raw(&[0xFF, 0xFE]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.str(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn count_rejects_absurd_lengths() {
+        let mut e = Enc::new();
+        e.usize(usize::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.count(8), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_invalid() {
+        let d = Dec::new(&[0, 1, 2]);
+        assert!(matches!(d.finish(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"snapshot section payload".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod event;
 pub mod ewma;
 pub mod fingerprint;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
+pub use codec::{crc32, CodecError, Dec, Enc};
 pub use event::EventQueue;
 pub use ewma::Ewma;
 pub use fingerprint::{first_divergence, Fingerprint64};
