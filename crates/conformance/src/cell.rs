@@ -1,0 +1,184 @@
+//! Running one conformance cell: a (policy, model, litmus) triple under
+//! the model's adversary, with the invariant oracle and a schedule-filtered
+//! trace on.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_gpu::{CancelCause, FaultPlan, Gpu, Kernel, TraceFilter, Watchdog, WgResources};
+use awg_sim::Cycle;
+use awg_workloads::litmus::{lab_gpu_config, Litmus};
+
+use crate::model::{check_obligations, ProgressModel};
+
+/// The verdict-relevant observations from one cell run.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The kernel ran to completion.
+    pub completed: bool,
+    /// The quiescence detector declared deadlock.
+    pub deadlocked: bool,
+    /// A watchdog cancelled the run (retryable, not a verdict).
+    pub cancelled: Option<(Cycle, CancelCause)>,
+    /// Cycles simulated (to completion or abort).
+    pub cycles: Cycle,
+    /// Context switches out (the rescheduling the models obligate).
+    pub switches_out: u64,
+    /// Invariant-oracle violations observed.
+    pub oracle_violations: u64,
+    /// Post-condition cells whose final value was wrong.
+    pub post_failures: u64,
+    /// Whether the model's trace obligation held.
+    pub obligation_ok: bool,
+    /// Obligation violations and starvation diagnoses, human-readable.
+    pub notes: Vec<String>,
+}
+
+impl CellOutcome {
+    /// Whether this cell is satisfied: completed, post-state intact, zero
+    /// oracle violations, and the schedule obligation held.
+    pub fn sat(&self) -> bool {
+        self.completed
+            && self.oracle_violations == 0
+            && self.post_failures == 0
+            && self.obligation_ok
+    }
+
+    /// One-word verdict for matrices and reports.
+    pub fn verdict(&self) -> &'static str {
+        if self.sat() {
+            "sat"
+        } else if self.deadlocked {
+            "deadlock"
+        } else {
+            "unsat"
+        }
+    }
+}
+
+/// Runs one cell: `litmus` (already emitted in `policy`'s sync style)
+/// under `policy` on the 1-CU lab machine, with `model`'s adversary
+/// installed, the invariant oracle armed, and the schedule trace recorded
+/// for the obligation check. `num_wgs` must match the litmus' build.
+pub fn run_cell(
+    policy: PolicyKind,
+    model: ProgressModel,
+    litmus: &Litmus,
+    num_wgs: u64,
+    plan: FaultPlan,
+    watchdog: Option<Watchdog>,
+) -> CellOutcome {
+    let policy_box = build_policy(policy);
+    let kernel = Kernel::new(litmus.program.clone(), num_wgs, WgResources::default());
+    let mut gpu = Gpu::new(lab_gpu_config(), kernel, policy_box);
+    gpu.enable_invariant_oracle();
+    gpu.enable_trace();
+    gpu.set_trace_filter(TraceFilter::Schedule);
+    gpu.install_fault_plan(plan);
+    if let Some(w) = watchdog {
+        gpu.set_watchdog(w);
+    }
+    let outcome = gpu.run();
+
+    let completed = outcome.is_completed();
+    let summary = outcome.summary().clone();
+    let mut notes = Vec::new();
+    let mut post_failures = 0u64;
+    if completed {
+        for &(addr, expected) in &litmus.finals {
+            let got = gpu.backing().load(addr);
+            if got != expected {
+                post_failures += 1;
+                notes.push(format!(
+                    "post-state {addr:#x}: expected {expected}, got {got}"
+                ));
+            }
+        }
+    }
+    let obligation = if completed {
+        check_obligations(model, &gpu.trace_records(), num_wgs)
+    } else {
+        // An unfinished run already fails the cell; keep the starvation
+        // diagnosis for the report.
+        let mut r = check_obligations(ProgressModel::Fair, &gpu.trace_records(), num_wgs);
+        if let Some(hang) = outcome.hang_report() {
+            r.violations.push(format!(
+                "{} unfinished WG(s) at abort",
+                hang.unfinished.len()
+            ));
+        }
+        r
+    };
+    if !obligation.starved.is_empty() {
+        notes.push(format!("starved WGs: {:?}", obligation.starved));
+    }
+    notes.extend(obligation.violations.iter().cloned());
+
+    CellOutcome {
+        completed,
+        deadlocked: outcome.is_deadlocked(),
+        cancelled: outcome.cancelled(),
+        cycles: summary.cycles,
+        switches_out: summary.switches_out,
+        oracle_violations: gpu.violations().len() as u64,
+        post_failures,
+        obligation_ok: !completed || obligation.ok(),
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::adversary_plan;
+    use awg_gpu::SyncStyle;
+    use awg_workloads::litmus;
+
+    fn cell(policy: PolicyKind, model: ProgressModel, build: litmus::LitmusBuilder) -> CellOutcome {
+        let style = build_policy(policy).style();
+        let l = build(style);
+        run_cell(
+            policy,
+            model,
+            &l,
+            litmus::NUM_WGS,
+            adversary_plan(model, 0xc0ffee),
+            None,
+        )
+    }
+
+    #[test]
+    fn awg_satisfies_the_fair_barrier_cell() {
+        let out = cell(
+            PolicyKind::Awg,
+            ProgressModel::Fair,
+            litmus::centralized_barrier,
+        );
+        assert!(out.sat(), "{out:?}");
+        assert!(out.switches_out > 0);
+    }
+
+    #[test]
+    fn baseline_deadlocks_under_the_obe_adversary() {
+        // Even an independent-sync kernel strands its preempted WGs when
+        // occupancy is revoked and the policy cannot reschedule them.
+        let spec = crate::generator::LitmusSpec {
+            seed: 1,
+            pattern: crate::generator::LitmusPattern::CounterRace,
+            num_wgs: 12,
+            compute: 100,
+            payload: 5,
+            adds: 2,
+        };
+        let l = spec.build(SyncStyle::Busy);
+        let out = run_cell(
+            PolicyKind::Baseline,
+            ProgressModel::OccupancyBound,
+            &l,
+            spec.num_wgs,
+            adversary_plan(ProgressModel::OccupancyBound, 0xc0ffee),
+            None,
+        );
+        assert!(!out.sat(), "{out:?}");
+        assert!(out.deadlocked, "{out:?}");
+        assert_eq!(out.oracle_violations, 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! The seeded property-based litmus generator.
+//!
+//! A [`LitmusSpec`] is a small, serializable description of one generated
+//! litmus kernel: a synchronization *pattern* plus the knobs that vary
+//! between instances (WG count, compute grain, payloads). Specs are
+//! derived deterministically from a single `u64` seed, round-trip through
+//! JSON, and build into an [`awg_workloads::litmus::Litmus`] — a program
+//! in the target policy's sync style plus machine-checkable final-memory
+//! post-conditions — so one seed reproduces one cell exactly, forever.
+//!
+//! Each pattern carries a *demand*: the weakest progress model under which
+//! the kernel is guaranteed to terminate on the oversubscribed lab
+//! machine. Ascending-order dependencies (WG `i` waits only on `j < i`)
+//! demand LOBE; dependencies on WGs the full machine cannot co-schedule —
+//! descending chains, last-WG producers, all-to-all barriers — demand
+//! fairness; independent synchronization demands only occupancy-bound
+//! execution.
+
+use awg_gpu::SyncStyle;
+use awg_isa::{AluOp, Cond, Mem, Operand, ProgramBuilder, Reg, Special};
+use awg_mem::AddressSpace;
+use awg_sim::json::{self, Value};
+use awg_sim::SplitMix64;
+use awg_workloads::litmus::Litmus;
+use awg_workloads::sync_emit;
+
+use crate::model::ProgressModel;
+
+/// The synchronization patterns the generator composes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LitmusPattern {
+    /// Every WG acquires one shared test-and-set mutex, bumps a counter in
+    /// the critical section, releases. No cross-WG ordering.
+    IndependentMutex,
+    /// Every WG issues `adds` atomic increments with compute in between.
+    /// No waiting at all.
+    CounterRace,
+    /// Token mutex chain in ascending WG-id order: WG `i` waits for
+    /// `token == i`.
+    AscendingHandoff,
+    /// Token mutex chain in descending WG-id order: the chain starts at
+    /// the one WG the full machine cannot dispatch.
+    DescendingHandoff,
+    /// WG 0 produces a payload behind a flag; every other WG consumes.
+    ProducerFanoutFirst,
+    /// The *last* WG produces; on a full machine it is never dispatched
+    /// until a consumer yields its slot.
+    ProducerFanoutLast,
+    /// Single-episode oversubscribed centralized barrier: arrive at one
+    /// counter, wait for all arrivals.
+    CentralizedBarrier,
+    /// Per-WG cell pipeline in ascending order: WG `i` waits for cell
+    /// `i-1`, then publishes cell `i`.
+    PipelineForward,
+    /// Per-WG cell pipeline in descending order: WG `i` waits for cell
+    /// `i+1`; the last WG publishes first.
+    PipelineReverse,
+}
+
+/// All patterns, in the generator's selection order.
+pub const ALL_PATTERNS: [LitmusPattern; 9] = [
+    LitmusPattern::IndependentMutex,
+    LitmusPattern::CounterRace,
+    LitmusPattern::AscendingHandoff,
+    LitmusPattern::DescendingHandoff,
+    LitmusPattern::ProducerFanoutFirst,
+    LitmusPattern::ProducerFanoutLast,
+    LitmusPattern::CentralizedBarrier,
+    LitmusPattern::PipelineForward,
+    LitmusPattern::PipelineReverse,
+];
+
+impl LitmusPattern {
+    /// Short name used in spec names, job keys, and JSON.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LitmusPattern::IndependentMutex => "imutex",
+            LitmusPattern::CounterRace => "race",
+            LitmusPattern::AscendingHandoff => "handoff_asc",
+            LitmusPattern::DescendingHandoff => "handoff_desc",
+            LitmusPattern::ProducerFanoutFirst => "fanout_first",
+            LitmusPattern::ProducerFanoutLast => "fanout_last",
+            LitmusPattern::CentralizedBarrier => "cbarrier",
+            LitmusPattern::PipelineForward => "pipe_fwd",
+            LitmusPattern::PipelineReverse => "pipe_rev",
+        }
+    }
+
+    /// Parses a [`LitmusPattern::slug`].
+    pub fn from_slug(s: &str) -> Option<Self> {
+        ALL_PATTERNS.into_iter().find(|p| p.slug() == s)
+    }
+
+    /// The weakest progress model under which this pattern is guaranteed
+    /// to terminate on the oversubscribed lab machine.
+    pub fn demand(&self) -> ProgressModel {
+        match self {
+            LitmusPattern::IndependentMutex | LitmusPattern::CounterRace => {
+                ProgressModel::OccupancyBound
+            }
+            LitmusPattern::AscendingHandoff
+            | LitmusPattern::ProducerFanoutFirst
+            | LitmusPattern::PipelineForward => ProgressModel::LinearOccupancyBound,
+            LitmusPattern::DescendingHandoff
+            | LitmusPattern::ProducerFanoutLast
+            | LitmusPattern::CentralizedBarrier
+            | LitmusPattern::PipelineReverse => ProgressModel::Fair,
+        }
+    }
+}
+
+/// A generated litmus: the seed it came from plus every derived knob, so
+/// the spec is self-describing and replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LitmusSpec {
+    /// The generating seed.
+    pub seed: u64,
+    /// Which synchronization pattern.
+    pub pattern: LitmusPattern,
+    /// WGs launched; 11–14, always above the lab machine's 10-slot
+    /// capacity so the litmus stays oversubscribed.
+    pub num_wgs: u64,
+    /// Compute grain in cycles at each kernel's work site.
+    pub compute: u32,
+    /// Payload value for producer/consumer patterns.
+    pub payload: i64,
+    /// Atomic increments per WG for [`LitmusPattern::CounterRace`].
+    pub adds: u32,
+}
+
+impl LitmusSpec {
+    /// Derives the spec for `seed`. Same seed ⇒ identical spec, on every
+    /// platform.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let pattern = ALL_PATTERNS[(rng.next_u64() % ALL_PATTERNS.len() as u64) as usize];
+        let num_wgs = 11 + rng.next_u64() % 4;
+        let compute = (50 + rng.next_u64() % 200) as u32;
+        let payload = (3 + rng.next_u64() % 7) as i64;
+        let adds = (1 + rng.next_u64() % 4) as u32;
+        LitmusSpec {
+            seed,
+            pattern,
+            num_wgs,
+            compute,
+            payload,
+            adds,
+        }
+    }
+
+    /// The spec's display / job-key name, unique per distinct spec.
+    pub fn name(&self) -> String {
+        format!(
+            "g{:016x}_{}_w{}",
+            self.seed,
+            self.pattern.slug(),
+            self.num_wgs
+        )
+    }
+
+    /// The weakest model guaranteeing termination (see
+    /// [`LitmusPattern::demand`]).
+    pub fn demand(&self) -> ProgressModel {
+        self.pattern.demand()
+    }
+
+    /// Serializes the spec (the format [`LitmusSpec::from_json`] parses).
+    /// The seed is a hex string because JSON numbers are f64s with 53
+    /// mantissa bits.
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            ("seed".into(), Value::Str(format!("{:#x}", self.seed))),
+            ("pattern".into(), Value::Str(self.pattern.slug().into())),
+            ("num_wgs".into(), Value::Num(self.num_wgs as f64)),
+            ("compute".into(), Value::Num(self.compute as f64)),
+            ("payload".into(), Value::Num(self.payload as f64)),
+            ("adds".into(), Value::Num(self.adds as f64)),
+        ])
+        .to_json()
+    }
+
+    /// Parses [`LitmusSpec::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let seed_str = v
+            .get("seed")
+            .and_then(Value::as_str)
+            .ok_or("spec missing seed")?;
+        let seed = u64::from_str_radix(seed_str.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("bad seed {seed_str:?}: {e}"))?;
+        let pattern_str = v
+            .get("pattern")
+            .and_then(Value::as_str)
+            .ok_or("spec missing pattern")?;
+        let pattern = LitmusPattern::from_slug(pattern_str)
+            .ok_or_else(|| format!("unknown pattern {pattern_str:?}"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("spec missing {key}"))
+        };
+        Ok(LitmusSpec {
+            seed,
+            pattern,
+            num_wgs: num("num_wgs")? as u64,
+            compute: num("compute")? as u32,
+            payload: num("payload")? as i64,
+            adds: num("adds")? as u32,
+        })
+    }
+
+    /// Builds the litmus kernel in `style`, with post-conditions.
+    pub fn build(&self, style: SyncStyle) -> Litmus {
+        match self.pattern {
+            LitmusPattern::IndependentMutex => self.build_independent_mutex(style),
+            LitmusPattern::CounterRace => self.build_counter_race(style),
+            LitmusPattern::AscendingHandoff => self.build_handoff(style, false),
+            LitmusPattern::DescendingHandoff => self.build_handoff(style, true),
+            LitmusPattern::ProducerFanoutFirst => self.build_fanout(style, false),
+            LitmusPattern::ProducerFanoutLast => self.build_fanout(style, true),
+            LitmusPattern::CentralizedBarrier => self.build_centralized_barrier(style),
+            LitmusPattern::PipelineForward => self.build_pipeline(style, false),
+            LitmusPattern::PipelineReverse => self.build_pipeline(style, true),
+        }
+    }
+
+    fn builder(&self) -> ProgramBuilder {
+        ProgramBuilder::new(&self.name())
+    }
+
+    fn build_independent_mutex(&self, style: SyncStyle) -> Litmus {
+        let mut space = AddressSpace::new();
+        let lock = space.alloc_sync_var("lock");
+        let counter = space.alloc_sync_var("counter");
+        let mut b = self.builder();
+        sync_emit::acquire_test_and_set(&mut b, style, Mem::direct(lock), Reg::R2, None);
+        sync_emit::critical_section(&mut b, Mem::direct(counter), 1, self.compute, Reg::R3);
+        sync_emit::release_test_and_set(&mut b, Mem::direct(lock), Reg::R2);
+        b.halt();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals: vec![(counter, self.num_wgs as i64), (lock, 0)],
+        }
+    }
+
+    fn build_counter_race(&self, style: SyncStyle) -> Litmus {
+        let _ = style; // no sync point: the race is style-invariant
+        let mut space = AddressSpace::new();
+        let counter = space.alloc_sync_var("counter");
+        let mut b = self.builder();
+        for _ in 0..self.adds {
+            b.compute(self.compute);
+            b.atom_add(Reg::R0, counter, 1i64);
+        }
+        b.halt();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals: vec![(counter, (self.num_wgs * self.adds as u64) as i64)],
+        }
+    }
+
+    fn build_handoff(&self, style: SyncStyle, descending: bool) -> Litmus {
+        let mut space = AddressSpace::new();
+        let token = space.alloc_sync_var("token");
+        let counter = space.alloc_sync_var("counter");
+        let mut b = self.builder();
+        b.special(Reg::R1, Special::WgId);
+        if descending {
+            // My turn is token == (num_wgs-1) - wg_id.
+            b.li(Reg::R2, self.num_wgs as i64 - 1);
+            b.alu(AluOp::Sub, Reg::R2, Reg::R2, Reg::R1);
+        } else {
+            // My turn is token == wg_id.
+            b.alu(AluOp::Add, Reg::R2, Reg::R1, 0i64);
+        }
+        sync_emit::wait_until_equals(&mut b, style, Mem::direct(token), Reg::R2, Reg::R3, None);
+        sync_emit::critical_section(&mut b, Mem::direct(counter), 1, self.compute, Reg::R4);
+        b.atom_add(Reg::R0, token, 1i64);
+        b.halt();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals: vec![(counter, self.num_wgs as i64), (token, self.num_wgs as i64)],
+        }
+    }
+
+    fn build_fanout(&self, style: SyncStyle, last_produces: bool) -> Litmus {
+        let mut space = AddressSpace::new();
+        let flag = space.alloc_sync_var("flag");
+        let payload = space.alloc_sync_var("payload");
+        let acks = space.alloc_sync_var("acks");
+        let producer_id = if last_produces {
+            self.num_wgs as i64 - 1
+        } else {
+            0
+        };
+        let mut b = self.builder();
+        b.special(Reg::R1, Special::WgId);
+        let produce = b.new_label();
+        let done = b.new_label();
+        b.br(Cond::Eq, Reg::R1, Operand::Imm(producer_id), produce);
+        // --- consumer ---
+        sync_emit::wait_until_equals(&mut b, style, Mem::direct(flag), 1i64, Reg::R2, None);
+        b.ld(Reg::R3, payload);
+        b.atom_add(Reg::R0, acks, Reg::R3);
+        b.jmp(done);
+        // --- producer ---
+        b.bind(produce);
+        b.compute(self.compute * 10);
+        b.st(payload, self.payload);
+        b.atom_exch(Reg::R0, flag, 1i64);
+        b.bind(done);
+        b.halt();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals: vec![(flag, 1), (acks, self.payload * (self.num_wgs as i64 - 1))],
+        }
+    }
+
+    fn build_centralized_barrier(&self, style: SyncStyle) -> Litmus {
+        let mut space = AddressSpace::new();
+        let count = space.alloc_sync_var("count");
+        let after = space.alloc_sync_var("after");
+        let mut b = self.builder();
+        b.compute(self.compute);
+        // Single episode only: the counter is monotonic and the wait is an
+        // equality, so multiplexing episodes would need parity
+        // double-buffering (see awg_workloads::barrier::tree_barrier).
+        sync_emit::counter_arrive_and_wait(
+            &mut b,
+            style,
+            Mem::direct(count),
+            self.num_wgs as i64,
+            Reg::R0,
+            Reg::R2,
+            None,
+        );
+        b.atom_add(Reg::R0, after, 1i64);
+        b.halt();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals: vec![(count, self.num_wgs as i64), (after, self.num_wgs as i64)],
+        }
+    }
+
+    fn build_pipeline(&self, style: SyncStyle, reverse: bool) -> Litmus {
+        let mut space = AddressSpace::new();
+        let cells = space.alloc_sync_array("cells", self.num_wgs, true);
+        let mut b = self.builder();
+        b.special(Reg::R1, Special::WgId);
+        b.compute(self.compute);
+        let publish = b.new_label();
+        let head_id = if reverse { self.num_wgs as i64 - 1 } else { 0 };
+        b.br(Cond::Eq, Reg::R1, Operand::Imm(head_id), publish);
+        // Wait for the upstream neighbor's cell.
+        if reverse {
+            b.alu(AluOp::Add, Reg::R4, Reg::R1, 1i64);
+        } else {
+            b.alu(AluOp::Sub, Reg::R4, Reg::R1, 1i64);
+        }
+        sync_emit::wait_until_equals(
+            &mut b,
+            style,
+            Mem::indexed(cells.base(), Reg::R4, cells.stride_bytes()),
+            1i64,
+            Reg::R5,
+            None,
+        );
+        b.bind(publish);
+        b.atom_exch(
+            Reg::R0,
+            Mem::indexed(cells.base(), Reg::R1, cells.stride_bytes()),
+            1i64,
+        );
+        b.halt();
+        let finals = (0..self.num_wgs)
+            .map(|i| (cells.base() + i * cells.stride_bytes(), 1))
+            .collect();
+        Litmus {
+            program: b.build().expect("verifies"),
+            finals,
+        }
+    }
+}
+
+/// Generates `count` specs from a master seed: spec `i` uses the `i`-th
+/// output of a [`SplitMix64`] stream, so any prefix of a longer batch is
+/// identical to a shorter one.
+pub fn generate_batch(master_seed: u64, count: usize) -> Vec<LitmusSpec> {
+    let mut stream = SplitMix64::new(master_seed);
+    (0..count)
+        .map(|_| LitmusSpec::generate(stream.next_u64()))
+        .collect()
+}
+
+/// One fixed spec per pattern, with mid-range knobs.
+///
+/// The conformance campaign always runs the anchors in addition to the
+/// random batch, so every model's test set is non-empty at any `--count`
+/// (a small random batch can miss entire patterns) and the committed
+/// matrix never rests on random draws alone.
+pub fn anchor_specs() -> Vec<LitmusSpec> {
+    ALL_PATTERNS
+        .iter()
+        .enumerate()
+        .map(|(i, &pattern)| LitmusSpec {
+            seed: 0xa0c4_0000 + i as u64,
+            pattern,
+            num_wgs: 12,
+            compute: 120,
+            payload: 7,
+            adds: 2,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_isa::Machine;
+
+    #[test]
+    fn every_pattern_generates_and_builds() {
+        let mut seen = std::collections::HashSet::new();
+        let mut seed = 0u64;
+        while seen.len() < ALL_PATTERNS.len() {
+            let spec = LitmusSpec::generate(seed);
+            let litmus = spec.build(SyncStyle::WaitingAtomic);
+            assert!(litmus.program.len() > 2, "{}", spec.name());
+            assert!(!litmus.finals.is_empty(), "{}", spec.name());
+            seen.insert(spec.pattern);
+            seed += 1;
+            assert!(seed < 10_000, "pattern coverage stalled: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for seed in 0..32u64 {
+            let spec = LitmusSpec::generate(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let back = LitmusSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn post_conditions_hold_on_the_fair_reference_interpreter() {
+        // The functional interpreter schedules WGs round-robin (fair), so
+        // every generated program must terminate on it with its declared
+        // final memory — the internal-consistency check for generated
+        // post-conditions.
+        for seed in 0..24 {
+            let spec = LitmusSpec::generate(seed);
+            for style in [SyncStyle::Busy, SyncStyle::WaitingAtomic] {
+                let litmus = spec.build(style);
+                let mut m = Machine::new(litmus.program.clone(), spec.num_wgs, spec.num_wgs);
+                m.run(50_000_000)
+                    .unwrap_or_else(|e| panic!("{} {style:?}: {e}", spec.name()));
+                for &(addr, expected) in &litmus.finals {
+                    assert_eq!(
+                        m.mem().load(addr),
+                        expected,
+                        "{} {style:?} @ {addr:#x}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prefixes_are_stable() {
+        let long = generate_batch(99, 16);
+        let short = generate_batch(99, 4);
+        assert_eq!(&long[..4], &short[..]);
+    }
+
+    #[test]
+    fn demand_covers_all_three_models() {
+        use crate::model::ALL_MODELS;
+        let batch = generate_batch(1, 64);
+        for model in ALL_MODELS {
+            assert!(
+                batch.iter().any(|s| s.demand() == model),
+                "no generated litmus demands {model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_cover_every_pattern_with_unique_names() {
+        let anchors = anchor_specs();
+        assert_eq!(anchors.len(), ALL_PATTERNS.len());
+        let patterns: std::collections::HashSet<_> = anchors.iter().map(|s| s.pattern).collect();
+        assert_eq!(patterns.len(), ALL_PATTERNS.len());
+        let names: std::collections::HashSet<_> = anchors.iter().map(LitmusSpec::name).collect();
+        assert_eq!(names.len(), anchors.len());
+        for spec in &anchors {
+            let litmus = spec.build(SyncStyle::WaitingAtomic);
+            assert!(!litmus.finals.is_empty(), "{}", spec.name());
+        }
+    }
+}

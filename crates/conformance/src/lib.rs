@@ -1,0 +1,42 @@
+//! Progress-model conformance lab for the AWG scheduler family.
+//!
+//! The paper's central claim is a *progress model*: which work-groups a
+//! scheduling policy guarantees will eventually run. This crate turns the
+//! three standard GPU progress models into executable contracts and
+//! classifies every policy against them:
+//!
+//! * **OBE** (occupancy-bound execution): work-groups that have become
+//!   resident keep making progress; nothing is promised to the rest.
+//! * **LOBE** (linear OBE): OBE, plus work-groups become resident for the
+//!   first time in id order.
+//! * **Fair**: every work-group eventually makes progress, resident or
+//!   not — the guarantee independent forward progress needs.
+//!
+//! A conformance *cell* is one `(policy, model, litmus)` triple. The
+//! litmus comes from the seeded generator ([`generator`]), which composes
+//! synchronization patterns whose termination *demands* a given model.
+//! The model contributes an adversary ([`model::adversary_plan`]) — a
+//! seeded fault schedule of occupancy revocation, eviction pressure, and
+//! (for Fair) dropped wakes — and a trace obligation
+//! ([`model::check_obligations`]) over the observed schedule. The cell
+//! runner ([`cell::run_cell`]) executes the triple on an oversubscribed
+//! 1-CU machine with the invariant oracle armed; [`matrix`] aggregates
+//! verdicts into the policy × model matrix and diffs it against a
+//! committed golden copy.
+//!
+//! The harness drives whole campaigns (resumable, deterministic at any
+//! parallelism) through `awg-harness`'s `conformance` module and CLI
+//! subcommand; this crate holds everything policy-independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod generator;
+pub mod matrix;
+pub mod model;
+
+pub use cell::{run_cell, CellOutcome};
+pub use generator::{anchor_specs, generate_batch, LitmusPattern, LitmusSpec, ALL_PATTERNS};
+pub use matrix::{ConformanceMatrix, ModelVerdict, PolicyRow};
+pub use model::{adversary_plan, check_obligations, ProgressModel, ALL_MODELS};

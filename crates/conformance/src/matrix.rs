@@ -1,0 +1,265 @@
+//! The policy × model conformance matrix.
+//!
+//! Each row is one scheduling policy; each column is one progress model.
+//! A cell aggregates every litmus verdict for that (policy, model) pair —
+//! the cell is satisfied only when *every* litmus in the model's test set
+//! is. The row's classification walks the ladder from the weakest model
+//! up: a policy classified `Fair` satisfies all three models, `LOBE`
+//! satisfies OBE and LOBE, `OBE` satisfies only OBE, and `none` fails
+//! even the occupancy-bound obligation.
+//!
+//! [`ConformanceMatrix::to_csv`] is the regression surface: its output is
+//! byte-stable for a fixed policy list and cell verdicts, and
+//! [`ConformanceMatrix::diff_against`] compares it to a committed golden
+//! copy cell by cell.
+
+use awg_core::policies::PolicyKind;
+
+use crate::model::{ProgressModel, ALL_MODELS};
+
+/// Aggregated verdict for one (policy, model) matrix cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelVerdict {
+    /// Litmus cells run for this (policy, model) pair.
+    pub total: u32,
+    /// Cells whose verdict was satisfied.
+    pub sat: u32,
+    /// Cells that ended in declared deadlock.
+    pub deadlocks: u32,
+}
+
+impl ModelVerdict {
+    /// Folds one cell outcome into the aggregate.
+    pub fn record(&mut self, sat: bool, deadlocked: bool) {
+        self.total += 1;
+        if sat {
+            self.sat += 1;
+        }
+        if deadlocked {
+            self.deadlocks += 1;
+        }
+    }
+
+    /// Whether the whole cell is satisfied: a non-empty test set with
+    /// every litmus satisfied.
+    pub fn is_sat(&self) -> bool {
+        self.total > 0 && self.sat == self.total
+    }
+
+    /// One-word cell verdict: `sat`, `deadlock` (at least one litmus
+    /// deadlocked), or `unsat`.
+    pub fn word(&self) -> &'static str {
+        if self.is_sat() {
+            "sat"
+        } else if self.deadlocks > 0 {
+            "deadlock"
+        } else {
+            "unsat"
+        }
+    }
+}
+
+/// One policy's row: a verdict per model plus the derived classification.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The policy under test.
+    pub policy: PolicyKind,
+    /// Aggregated verdicts, indexed in [`ALL_MODELS`] order (OBE, LOBE,
+    /// Fair).
+    pub verdicts: [ModelVerdict; 3],
+}
+
+fn model_index(model: ProgressModel) -> usize {
+    ALL_MODELS
+        .iter()
+        .position(|&m| m == model)
+        .expect("every model is in ALL_MODELS")
+}
+
+impl PolicyRow {
+    /// An empty row for `policy`.
+    pub fn new(policy: PolicyKind) -> Self {
+        PolicyRow {
+            policy,
+            verdicts: [ModelVerdict::default(); 3],
+        }
+    }
+
+    /// The aggregate for `model`.
+    pub fn verdict(&self, model: ProgressModel) -> &ModelVerdict {
+        &self.verdicts[model_index(model)]
+    }
+
+    /// Mutable access for folding in cell outcomes.
+    pub fn verdict_mut(&mut self, model: ProgressModel) -> &mut ModelVerdict {
+        &mut self.verdicts[model_index(model)]
+    }
+
+    /// The strongest model whose entire prefix of the ladder is
+    /// satisfied, or `None` when even OBE fails.
+    pub fn classified(&self) -> Option<ProgressModel> {
+        let mut strongest = None;
+        for &model in &ALL_MODELS {
+            if self.verdict(model).is_sat() {
+                strongest = Some(model);
+            } else {
+                break;
+            }
+        }
+        strongest
+    }
+
+    /// The classification as a matrix label (`"none"` when unclassified).
+    pub fn classified_label(&self) -> &'static str {
+        self.classified().map_or("none", |m| m.label())
+    }
+}
+
+/// The full conformance matrix: one row per policy, in run order.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceMatrix {
+    /// Rows in the campaign's policy order.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl ConformanceMatrix {
+    /// An empty matrix with one row per policy, preserving order.
+    pub fn new(policies: &[PolicyKind]) -> Self {
+        ConformanceMatrix {
+            rows: policies.iter().map(|&p| PolicyRow::new(p)).collect(),
+        }
+    }
+
+    /// The row for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy` is not in the matrix — campaign enumeration
+    /// and matrix construction share one policy list.
+    pub fn row_mut(&mut self, policy: PolicyKind) -> &mut PolicyRow {
+        self.rows
+            .iter_mut()
+            .find(|r| r.policy == policy)
+            .expect("policy list mismatch between campaign and matrix")
+    }
+
+    /// Renders the matrix as stable CSV — the golden regression surface.
+    ///
+    /// Columns: `policy,claimed,obe,lobe,fair,classified`. Cell words
+    /// only (no counts), so the golden stays comparable when the litmus
+    /// count per model shifts between equally-passing runs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("policy,claimed,obe,lobe,fair,classified\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                row.policy.label(),
+                row.policy.progress_claim().label(),
+                row.verdicts[0].word(),
+                row.verdicts[1].word(),
+                row.verdicts[2].word(),
+                row.classified_label(),
+            ));
+        }
+        out
+    }
+
+    /// Compares this matrix's CSV against a committed expected copy.
+    ///
+    /// Returns one human-readable line per difference; empty means the
+    /// matrices agree. Trailing whitespace and trailing blank lines are
+    /// ignored so a text editor's final newline cannot fail CI.
+    pub fn diff_against(&self, expected_csv: &str) -> Vec<String> {
+        let normalize = |text: &str| -> Vec<String> {
+            let mut lines: Vec<String> = text.lines().map(|l| l.trim_end().to_owned()).collect();
+            while lines.last().is_some_and(String::is_empty) {
+                lines.pop();
+            }
+            lines
+        };
+        let got = normalize(&self.to_csv());
+        let want = normalize(expected_csv);
+        let mut diffs = Vec::new();
+        for i in 0..got.len().max(want.len()) {
+            match (got.get(i), want.get(i)) {
+                (Some(g), Some(w)) if g == w => {}
+                (Some(g), Some(w)) => {
+                    diffs.push(format!("line {}: expected `{w}`, got `{g}`", i + 1));
+                }
+                (Some(g), None) => diffs.push(format!("line {}: unexpected `{g}`", i + 1)),
+                (None, Some(w)) => diffs.push(format!("line {}: missing `{w}`", i + 1)),
+                (None, None) => unreachable!(),
+            }
+        }
+        diffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat() -> ModelVerdict {
+        ModelVerdict {
+            total: 3,
+            sat: 3,
+            deadlocks: 0,
+        }
+    }
+
+    fn unsat(deadlocks: u32) -> ModelVerdict {
+        ModelVerdict {
+            total: 3,
+            sat: 1,
+            deadlocks,
+        }
+    }
+
+    #[test]
+    fn classification_walks_the_ladder() {
+        let mut row = PolicyRow::new(PolicyKind::Awg);
+        row.verdicts = [sat(), sat(), sat()];
+        assert_eq!(row.classified(), Some(ProgressModel::Fair));
+        row.verdicts = [sat(), sat(), unsat(0)];
+        assert_eq!(row.classified(), Some(ProgressModel::LinearOccupancyBound));
+        row.verdicts = [sat(), unsat(1), sat()];
+        // A gap in the ladder stops the walk even when Fair passes.
+        assert_eq!(row.classified(), Some(ProgressModel::OccupancyBound));
+        row.verdicts = [unsat(2), sat(), sat()];
+        assert_eq!(row.classified(), None);
+        assert_eq!(row.classified_label(), "none");
+    }
+
+    #[test]
+    fn empty_test_sets_never_classify() {
+        let row = PolicyRow::new(PolicyKind::Awg);
+        assert_eq!(row.classified(), None);
+        assert_eq!(row.verdict(ProgressModel::OccupancyBound).word(), "unsat");
+    }
+
+    #[test]
+    fn csv_is_stable_and_diff_detects_regressions() {
+        let mut m = ConformanceMatrix::new(&[PolicyKind::Baseline, PolicyKind::Awg]);
+        m.row_mut(PolicyKind::Baseline).verdicts = [unsat(3), unsat(3), unsat(3)];
+        m.row_mut(PolicyKind::Awg).verdicts = [sat(), sat(), sat()];
+        let csv = m.to_csv();
+        assert_eq!(m.to_csv(), csv, "rendering is deterministic");
+        assert!(csv.starts_with("policy,claimed,obe,lobe,fair,classified\n"));
+        assert!(csv.contains("Baseline,OBE,deadlock,deadlock,deadlock,none\n"));
+        assert!(csv.contains("AWG,Fair,sat,sat,sat,Fair\n"));
+
+        // Self-diff is clean, including with a trailing-newline variant.
+        assert!(m.diff_against(&csv).is_empty());
+        assert!(m.diff_against(&format!("{csv}\n")).is_empty());
+
+        // A flipped cell is one precise diff line.
+        let broken = csv.replace("AWG,Fair,sat,sat,sat,Fair", "AWG,Fair,sat,sat,unsat,LOBE");
+        let diffs = m.diff_against(&broken);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("AWG"), "{diffs:?}");
+
+        // A missing row is reported too.
+        let truncated: String = csv.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(!m.diff_against(&truncated).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Executable progress-model contracts.
+//!
+//! A progress model is tested as three coupled pieces:
+//!
+//! 1. **The adversary** ([`adversary_plan`]): a seeded [`FaultPlan`] the
+//!    chaos engine injects while the litmus runs on the oversubscribed
+//!    1-CU lab machine. Every model's adversary revokes occupancy once (a
+//!    CU flap — the paper's §VI resource-loss scenario) and perturbs
+//!    context-switch timing; stronger models add monitor evictions
+//!    (LOBE) and dropped wakes plus Bloom pollution (Fair).
+//! 2. **The litmus demand** ([`crate::generator::LitmusPattern::demand`]):
+//!    which model must hold for the kernel to terminate at all.
+//! 3. **The trace obligation** ([`check_obligations`]): a predicate over
+//!    the observed schedule trace — dispatch/eviction/resume events —
+//!    that the completed run's schedule must satisfy.
+//!
+//! A policy satisfies model `M` when every `M`-demand litmus, run under
+//! `M`'s adversary, completes with intact post-state, zero invariant
+//! violations, and a trace meeting `M`'s obligation.
+
+use awg_gpu::{FaultEvent, FaultKind, FaultPlan, TraceEvent, TraceRecord, WakeChaosMode};
+use awg_gpu::{PolicyFault, WgId};
+use awg_sim::Xoshiro256StarStar;
+
+pub use awg_core::policies::ProgressClaim as ProgressModel;
+
+/// The three models, weakest first (the classification ladder walks this).
+pub const ALL_MODELS: [ProgressModel; 3] = [
+    ProgressModel::OccupancyBound,
+    ProgressModel::LinearOccupancyBound,
+    ProgressModel::Fair,
+];
+
+fn model_salt(model: ProgressModel) -> u64 {
+    match model {
+        ProgressModel::OccupancyBound => 0x0be0_0be0_0be0_0be0,
+        ProgressModel::LinearOccupancyBound => 0x10be_10be_10be_10be,
+        ProgressModel::Fair => 0xfa1f_fa1f_fa1f_fa1f,
+    }
+}
+
+/// Generates model `M`'s adversarial schedule for the 1-CU lab machine.
+///
+/// Deterministic in `(model, seed)`. All models revoke occupancy once
+/// (unplug the only CU for 1k–5k cycles — far under the 600k quiescence
+/// window) and stall one context-switch window; LOBE adds two SyncMon
+/// condition evictions; Fair additionally drops wakes in two windows and
+/// pollutes the AWG Bloom predictor. Every fault is recoverable for a
+/// policy that can reschedule swapped-out WGs, so surviving the adversary
+/// is exactly the rescheduling obligation the paper's designs claim.
+///
+/// Fault times are tuned to the lab litmuses, which complete within a few
+/// thousand cycles on the 1-CU machine when unmolested: the CU flap lands
+/// inside the first 2k cycles so it strikes while work-groups are still
+/// in flight.
+pub fn adversary_plan(model: ProgressModel, seed: u64) -> FaultPlan {
+    let mut rng = Xoshiro256StarStar::new(seed ^ model_salt(model));
+    let mut events = Vec::new();
+    // Occupancy revocation: flap the machine's only CU.
+    let t = rng.next_range(300, 2_000);
+    let outage = rng.next_range(1_000, 5_000);
+    events.push(FaultEvent {
+        at: t,
+        kind: FaultKind::CuLoss { cu: 0 },
+    });
+    events.push(FaultEvent {
+        at: t + outage,
+        kind: FaultKind::CuRestore { cu: 0 },
+    });
+    // Context-switch turbulence.
+    events.push(FaultEvent {
+        at: rng.next_range(200, 4_000),
+        kind: FaultKind::CtxStall {
+            extra: rng.next_range(100, 800),
+            window: rng.next_range(1_000, 8_000),
+        },
+    });
+    if model >= ProgressModel::LinearOccupancyBound {
+        for _ in 0..2 {
+            events.push(FaultEvent {
+                at: rng.next_range(500, 10_000),
+                kind: FaultKind::Policy(PolicyFault::EvictConditions {
+                    count: rng.next_range(1, 4) as usize,
+                }),
+            });
+        }
+    }
+    if model >= ProgressModel::Fair {
+        for _ in 0..2 {
+            events.push(FaultEvent {
+                at: rng.next_range(500, 8_000),
+                kind: FaultKind::WakeChaos {
+                    mode: WakeChaosMode::Drop,
+                    window: rng.next_range(500, 4_000),
+                },
+            });
+        }
+        events.push(FaultEvent {
+            at: rng.next_range(500, 8_000),
+            kind: FaultKind::Policy(PolicyFault::BloomStorm {
+                unique_values: rng.next_range(3, 8) as usize,
+            }),
+        });
+    }
+    events.sort_by_key(|e| e.at);
+    FaultPlan { seed, events }
+}
+
+/// The outcome of checking a model's trace obligation.
+#[derive(Debug, Clone, Default)]
+pub struct ObligationReport {
+    /// Human-readable violations; empty means the obligation holds.
+    pub violations: Vec<String>,
+    /// WGs that were swapped out and never resumed (Fair diagnosis).
+    pub starved: Vec<WgId>,
+}
+
+impl ObligationReport {
+    /// Whether the obligation holds.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Per-WG schedule bookkeeping distilled from the trace.
+#[derive(Debug, Clone, Copy, Default)]
+struct WgSchedule {
+    first_dispatch: Option<u64>,
+    swap_outs: u32,
+    resumes: u32,
+    finished: bool,
+    resumed_after_last_swap_out: bool,
+}
+
+fn distill(records: &[TraceRecord], num_wgs: u64) -> Vec<WgSchedule> {
+    let mut wgs = vec![WgSchedule::default(); num_wgs as usize];
+    for r in records {
+        let Some(s) = wgs.get_mut(r.wg as usize) else {
+            continue;
+        };
+        match r.event {
+            TraceEvent::Dispatch { .. } if s.first_dispatch.is_none() => {
+                s.first_dispatch = Some(r.cycle);
+            }
+            TraceEvent::SwapOutDone => {
+                s.swap_outs += 1;
+                s.resumed_after_last_swap_out = false;
+            }
+            TraceEvent::Resume => {
+                s.resumes += 1;
+                s.resumed_after_last_swap_out = true;
+            }
+            TraceEvent::Finish => s.finished = true,
+            _ => {}
+        }
+    }
+    wgs
+}
+
+/// Checks model `M`'s obligation over the observed schedule trace.
+///
+/// All models demand a well-formed schedule: every WG dispatched at least
+/// once and finished (the run-completion precondition is checked by the
+/// caller; an unfinished run fails its cell before obligations are
+/// consulted). On top of that:
+///
+/// * **LOBE** demands id-linear first dispatch: WG `i`'s first dispatch
+///   never precedes WG `j`'s for `j < i`, the "linear" in linear
+///   occupancy-bound execution.
+/// * **Fair** demands eventual resume: no WG is left swapped out without a
+///   later resume — the starved set is reported for diagnosis.
+pub fn check_obligations(
+    model: ProgressModel,
+    records: &[TraceRecord],
+    num_wgs: u64,
+) -> ObligationReport {
+    let mut report = ObligationReport::default();
+    let wgs = distill(records, num_wgs);
+    for (id, s) in wgs.iter().enumerate() {
+        if s.first_dispatch.is_none() {
+            report.violations.push(format!("wg {id} never dispatched"));
+        }
+        // Multiple fresh dispatches are legal: occupancy revocation can
+        // catch a WG mid-dispatch, cancel it, and re-issue later.
+        if !s.finished {
+            report.violations.push(format!("wg {id} never finished"));
+        }
+        if s.swap_outs > 0 && !s.resumed_after_last_swap_out && !s.finished {
+            report.starved.push(id as WgId);
+        }
+    }
+    if model >= ProgressModel::LinearOccupancyBound {
+        let mut last = None;
+        for (id, s) in wgs.iter().enumerate() {
+            let Some(at) = s.first_dispatch else { continue };
+            if let Some((prev_id, prev_at)) = last {
+                if at < prev_at {
+                    report.violations.push(format!(
+                        "first dispatch not id-linear: wg {id} @ {at} before wg {prev_id} @ {prev_at}"
+                    ));
+                }
+            }
+            last = Some((id, at));
+        }
+    }
+    if model >= ProgressModel::Fair {
+        for (id, s) in wgs.iter().enumerate() {
+            if s.swap_outs > 0 && !s.resumed_after_last_swap_out && !s.finished {
+                report.violations.push(format!(
+                    "wg {id} starved: swapped out {} time(s), never resumed",
+                    s.swap_outs
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_is_deterministic_and_ordered() {
+        for model in ALL_MODELS {
+            let a = adversary_plan(model, 42);
+            let b = adversary_plan(model, 42);
+            assert_eq!(a, b);
+            assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+            assert!(!a.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn adversaries_strengthen_up_the_ladder() {
+        let obe = adversary_plan(ProgressModel::OccupancyBound, 7);
+        let lobe = adversary_plan(ProgressModel::LinearOccupancyBound, 7);
+        let fair = adversary_plan(ProgressModel::Fair, 7);
+        assert!(obe.events.len() < lobe.events.len());
+        assert!(lobe.events.len() < fair.events.len());
+        // Every adversary revokes occupancy at least once.
+        for plan in [&obe, &lobe, &fair] {
+            assert!(plan
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::CuLoss { .. })));
+        }
+        // Only Fair drops wakes.
+        assert!(fair.events.iter().any(|e| matches!(
+            e.kind,
+            FaultKind::WakeChaos {
+                mode: WakeChaosMode::Drop,
+                ..
+            }
+        )));
+        assert!(!obe
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WakeChaos { .. } | FaultKind::Policy(_))));
+    }
+
+    fn rec(cycle: u64, wg: WgId, event: TraceEvent) -> TraceRecord {
+        TraceRecord { cycle, wg, event }
+    }
+
+    #[test]
+    fn clean_trace_satisfies_every_model() {
+        let mut records = Vec::new();
+        for wg in 0..3u32 {
+            records.push(rec(10 + wg as u64, wg, TraceEvent::Dispatch { cu: 0 }));
+        }
+        // wg 2 round-trips through a context switch.
+        records.push(rec(50, 2, TraceEvent::SwapOutStart));
+        records.push(rec(60, 2, TraceEvent::SwapOutDone));
+        records.push(rec(90, 2, TraceEvent::Resume));
+        for wg in 0..3u32 {
+            records.push(rec(100 + wg as u64, wg, TraceEvent::Finish));
+        }
+        for model in ALL_MODELS {
+            let r = check_obligations(model, &records, 3);
+            assert!(r.ok(), "{model:?}: {:?}", r.violations);
+            assert!(r.starved.is_empty());
+        }
+    }
+
+    #[test]
+    fn lobe_rejects_out_of_order_first_dispatch() {
+        let records = vec![
+            rec(10, 1, TraceEvent::Dispatch { cu: 0 }),
+            rec(20, 0, TraceEvent::Dispatch { cu: 0 }),
+            rec(30, 0, TraceEvent::Finish),
+            rec(40, 1, TraceEvent::Finish),
+        ];
+        assert!(check_obligations(ProgressModel::OccupancyBound, &records, 2).ok());
+        let r = check_obligations(ProgressModel::LinearOccupancyBound, &records, 2);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("id-linear"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn fair_reports_starved_wgs() {
+        let records = vec![
+            rec(10, 0, TraceEvent::Dispatch { cu: 0 }),
+            rec(11, 1, TraceEvent::Dispatch { cu: 0 }),
+            rec(20, 1, TraceEvent::SwapOutStart),
+            rec(30, 1, TraceEvent::SwapOutDone),
+            rec(40, 0, TraceEvent::Finish),
+        ];
+        let r = check_obligations(ProgressModel::Fair, &records, 2);
+        assert!(!r.ok());
+        assert_eq!(r.starved, vec![1]);
+    }
+}

@@ -42,6 +42,40 @@ pub const DEFAULT_FALLBACK_TIMEOUT: u64 = 50_000;
 /// checks).
 pub const DEFAULT_CP_TICK: u64 = 10_000;
 
+/// The progress guarantee a policy *claims*, in the vocabulary of
+/// Sorensen et al., "Specifying and Testing GPU Workgroup Progress Models"
+/// (arXiv 2109.06132).
+///
+/// This is the policy's contract surface: what its design promises, which
+/// the conformance lab then tests against the observed behaviour under an
+/// adversarial scheduler. The ladder is `Fair ⊐ LOBE ⊐ OBE`: fair progress
+/// implies linear occupancy-bound execution, which implies plain
+/// occupancy-bound execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProgressClaim {
+    /// HSA occupancy-bound execution only: WGs that become resident keep
+    /// making progress, but nothing forces a blocked resident WG to yield —
+    /// oversubscribed cross-WG waits may deadlock.
+    OccupancyBound,
+    /// Linear occupancy-bound execution: additionally, WG `i` may rely on
+    /// every WG `j < i` making progress (dispatch order is id-linear).
+    LinearOccupancyBound,
+    /// Fair: every WG eventually makes progress regardless of residency —
+    /// the paper's independent-forward-progress guarantee.
+    Fair,
+}
+
+impl ProgressClaim {
+    /// Short display name used in the conformance matrix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgressClaim::OccupancyBound => "OBE",
+            ProgressClaim::LinearOccupancyBound => "LOBE",
+            ProgressClaim::Fair => "Fair",
+        }
+    }
+}
+
 /// The members of the policy family, for harness sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
@@ -86,6 +120,28 @@ impl PolicyKind {
             PolicyKind::MinResume => "MinResume".into(),
         }
     }
+
+    /// The progress model this policy's design claims to satisfy.
+    ///
+    /// Busy-waiting and sleep-backoff never yield a blocked WG's slot, so
+    /// they claim only occupancy-bound execution; every design with
+    /// WG-granularity rescheduling (a fallback timer guarantees eventual
+    /// eviction even when notifications race or drop) claims fairness.
+    pub fn progress_claim(&self) -> ProgressClaim {
+        match self {
+            PolicyKind::Baseline | PolicyKind::Sleep | PolicyKind::SleepMax(_) => {
+                ProgressClaim::OccupancyBound
+            }
+            PolicyKind::Timeout
+            | PolicyKind::TimeoutInterval(_)
+            | PolicyKind::MonRsAll
+            | PolicyKind::MonRAll
+            | PolicyKind::MonNrAll
+            | PolicyKind::MonNrOne
+            | PolicyKind::Awg
+            | PolicyKind::MinResume => ProgressClaim::Fair,
+        }
+    }
 }
 
 /// Builds a fresh policy instance.
@@ -116,6 +172,30 @@ mod tests {
         assert_eq!(PolicyKind::TimeoutInterval(50_000).label(), "Timeout-50k");
         assert_eq!(PolicyKind::Awg.label(), "AWG");
         assert_eq!(PolicyKind::MonRsAll.label(), "MonRS-All");
+    }
+
+    #[test]
+    fn claims_follow_the_rescheduling_divide() {
+        assert_eq!(
+            PolicyKind::Baseline.progress_claim(),
+            ProgressClaim::OccupancyBound
+        );
+        assert_eq!(
+            PolicyKind::SleepMax(4_000).progress_claim(),
+            ProgressClaim::OccupancyBound
+        );
+        for kind in [
+            PolicyKind::Timeout,
+            PolicyKind::MonRsAll,
+            PolicyKind::MonNrOne,
+            PolicyKind::Awg,
+            PolicyKind::MinResume,
+        ] {
+            assert_eq!(kind.progress_claim(), ProgressClaim::Fair, "{kind:?}");
+        }
+        // The ladder is ordered: Fair ⊐ LOBE ⊐ OBE.
+        assert!(ProgressClaim::Fair > ProgressClaim::LinearOccupancyBound);
+        assert!(ProgressClaim::LinearOccupancyBound > ProgressClaim::OccupancyBound);
     }
 
     #[test]

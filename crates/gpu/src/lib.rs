@@ -75,7 +75,7 @@ pub use policy::{
 };
 pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
 pub use timeline::{chrome_trace, expected_counts, TimelineCounts};
-pub use trace::{Trace, TraceEvent, TraceRecord};
+pub use trace::{Trace, TraceEvent, TraceFilter, TraceRecord};
 pub use watchdog::{
     global_cancelled, request_global_cancel, reset_global_cancel, CancelCause, Watchdog,
 };

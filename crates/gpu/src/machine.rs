@@ -871,6 +871,14 @@ impl Gpu {
         self
     }
 
+    /// Selects which events the trace retains from now on. The conformance
+    /// lab records [`crate::trace::TraceFilter::Schedule`] so deadlocked
+    /// busy-wait adversary runs keep hundreds of records, not millions.
+    pub fn set_trace_filter(&mut self, filter: crate::trace::TraceFilter) -> &mut Self {
+        self.trace.set_filter(filter);
+        self
+    }
+
     /// Number of trace records evicted by the ring bound so far.
     pub fn trace_dropped(&self) -> u64 {
         self.trace.dropped()

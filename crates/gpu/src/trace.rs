@@ -56,6 +56,42 @@ pub enum TraceEvent {
     Finish,
 }
 
+impl TraceEvent {
+    /// Whether this event is a *schedule* event — a dispatch, context
+    /// switch, resume, timeout, or finish — as opposed to per-instruction
+    /// noise (atomics, sync polls, stalls, sleeps).
+    pub fn is_schedule(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Dispatch { .. }
+                | TraceEvent::SwapOutStart
+                | TraceEvent::SwapOutDone
+                | TraceEvent::SwapInStart { .. }
+                | TraceEvent::Resume
+                | TraceEvent::Timeout
+                | TraceEvent::Finish
+        )
+    }
+}
+
+/// What a [`Trace`] retains.
+///
+/// The conformance lab's progress-model predicates only consume scheduling
+/// events, but a deadlocked busy-wait run emits millions of per-instruction
+/// atomic records before the quiescence detector fires — [`Schedule`]
+/// filters those at record time, keeping adversary runs at a few hundred
+/// records without a lossy ring bound.
+///
+/// [`Schedule`]: TraceFilter::Schedule
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFilter {
+    /// Keep every event (the timeline exporter needs the full stream).
+    #[default]
+    All,
+    /// Keep only events for which [`TraceEvent::is_schedule`] holds.
+    Schedule,
+}
+
 /// One trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -77,6 +113,7 @@ pub struct Trace {
     records: VecDeque<TraceRecord>,
     enabled: bool,
     capacity: Option<usize>,
+    filter: TraceFilter,
     dropped: u64,
 }
 
@@ -109,6 +146,17 @@ impl Trace {
         self.capacity
     }
 
+    /// Selects which events [`Trace::record`] retains. Already-recorded
+    /// records are kept; the filter applies from now on.
+    pub fn set_filter(&mut self, filter: TraceFilter) {
+        self.filter = filter;
+    }
+
+    /// The active record filter.
+    pub fn filter(&self) -> TraceFilter {
+        self.filter
+    }
+
     /// Number of records evicted by the ring bound so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -127,6 +175,9 @@ impl Trace {
     #[inline]
     pub fn record(&mut self, cycle: Cycle, wg: WgId, event: TraceEvent) {
         if self.enabled {
+            if self.filter == TraceFilter::Schedule && !event.is_schedule() {
+                return;
+            }
             self.records.push_back(TraceRecord { cycle, wg, event });
             if let Some(cap) = self.capacity {
                 if self.records.len() > cap {
@@ -238,6 +289,33 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn schedule_filter_drops_instruction_noise() {
+        let mut t = Trace::new();
+        t.enable();
+        t.set_filter(TraceFilter::Schedule);
+        t.record(1, 0, TraceEvent::AtomicIssue { addr: 64 });
+        t.record(
+            2,
+            0,
+            TraceEvent::SyncFail {
+                addr: 64,
+                expected: 1,
+            },
+        );
+        t.record(3, 0, TraceEvent::Stall);
+        t.record(4, 0, TraceEvent::Sleep { cycles: 100 });
+        t.record(5, 0, TraceEvent::SwapOutStart);
+        t.record(6, 0, TraceEvent::SwapOutDone);
+        t.record(7, 0, TraceEvent::Dispatch { cu: 0 });
+        t.record(8, 0, TraceEvent::Resume);
+        t.record(9, 0, TraceEvent::Finish);
+        let kept: Vec<_> = t.iter().map(|r| r.cycle).collect();
+        assert_eq!(kept, vec![5, 6, 7, 8, 9]);
+        // Filtered events are not "dropped" — that counter is the ring's.
+        assert_eq!(t.dropped(), 0);
+    }
 
     #[test]
     fn disabled_trace_records_nothing() {

@@ -56,32 +56,32 @@ pub trait Artifact: Sized {
 // ---------------------------------------------------------------------------
 // Small building blocks.
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
-fn num(n: u64) -> Value {
+pub(crate) fn num(n: u64) -> Value {
     debug_assert!(n < (1 << 53), "{n} does not fit an f64 mantissa; use hex()");
     Value::Num(n as f64)
 }
 
-fn hex(word: u64) -> Value {
+pub(crate) fn hex(word: u64) -> Value {
     Value::Str(format!("{word:#018x}"))
 }
 
-fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, String> {
+pub(crate) fn field<'v>(value: &'v Value, key: &str) -> Result<&'v Value, String> {
     value
         .get(key)
         .ok_or_else(|| format!("missing field {key:?}"))
 }
 
-fn get_f64(value: &Value, key: &str) -> Result<f64, String> {
+pub(crate) fn get_f64(value: &Value, key: &str) -> Result<f64, String> {
     field(value, key)?
         .as_f64()
         .ok_or_else(|| format!("field {key:?} is not a number"))
 }
 
-fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
+pub(crate) fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
     let n = get_f64(value, key)?;
     if n < 0.0 || n.fract() != 0.0 {
         return Err(format!("field {key:?} is not an unsigned integer: {n}"));
@@ -89,26 +89,26 @@ fn get_u64(value: &Value, key: &str) -> Result<u64, String> {
     Ok(n as u64)
 }
 
-fn get_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
+pub(crate) fn get_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
     field(value, key)?
         .as_str()
         .ok_or_else(|| format!("field {key:?} is not a string"))
 }
 
-fn get_arr<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], String> {
+pub(crate) fn get_arr<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], String> {
     field(value, key)?
         .as_array()
         .ok_or_else(|| format!("field {key:?} is not an array"))
 }
 
-fn parse_hex(text: &str) -> Result<u64, String> {
+pub(crate) fn parse_hex(text: &str) -> Result<u64, String> {
     let digits = text
         .strip_prefix("0x")
         .ok_or_else(|| format!("expected 0x-prefixed hex word, got {text:?}"))?;
     u64::from_str_radix(digits, 16).map_err(|e| format!("bad hex word {text:?}: {e}"))
 }
 
-fn as_u64(value: &Value, what: &str) -> Result<u64, String> {
+pub(crate) fn as_u64(value: &Value, what: &str) -> Result<u64, String> {
     let n = value
         .as_f64()
         .ok_or_else(|| format!("{what} is not a number"))?;
@@ -257,7 +257,7 @@ fn violation_from_json(value: &Value) -> Result<InvariantViolation, String> {
     })
 }
 
-fn cause_to_json(cause: CancelCause) -> Value {
+pub(crate) fn cause_to_json(cause: CancelCause) -> Value {
     match cause {
         CancelCause::Interrupt => obj(vec![("cause", Value::Str("interrupt".into()))]),
         CancelCause::WallDeadline(limit) => obj(vec![
@@ -271,7 +271,7 @@ fn cause_to_json(cause: CancelCause) -> Value {
     }
 }
 
-fn cause_from_json(value: &Value) -> Result<CancelCause, String> {
+pub(crate) fn cause_from_json(value: &Value) -> Result<CancelCause, String> {
     Ok(match get_str(value, "cause")? {
         "interrupt" => CancelCause::Interrupt,
         "wall-deadline" => {

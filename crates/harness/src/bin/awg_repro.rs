@@ -15,6 +15,15 @@
 //!                     wall-clock and aggregate cycles/s from the
 //!                     telemetry self-profile; also writes a
 //!                     machine-readable BENCH_<timestamp>.json snapshot
+//!   conformance [--count N] [--gen-seed S] [--expected FILE]
+//!                     classify every policy against the OBE/LOBE/Fair
+//!                     progress models: fixed anchor litmuses plus N
+//!                     generated ones (default 8) per model, each run
+//!                     under the model's seeded adversary with the
+//!                     invariant oracle on. Writes the matrix CSV (via
+//!                     --out) and diffs it against FILE (default
+//!                     results/conformance_expected.csv): exit 8 on
+//!                     regression. BLESS=1 rewrites FILE instead
 //!   shrink <bench> <policy> <seed> [--plan FILE]
 //!                     delta-debug the seeded chaos plan of a hanging
 //!                     triple down to a minimal JSON reproducer
@@ -103,9 +112,10 @@ use awg_harness::{
         corrupt_snapshot, restore_run, result_fingerprint, run_checkpointed, run_identity,
         SnapshotCorruption, DEFAULT_CHECKPOINT_EVERY,
     },
+    conformance,
     exit::{
-        exit_table_text, EXIT_CORRUPT, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED, EXIT_INVARIANT,
-        EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE,
+        exit_table_text, EXIT_CONFORMANCE, EXIT_CORRUPT, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED,
+        EXIT_INVARIANT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE,
     },
     fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
     pool::{CampaignProfile, Pool},
@@ -147,6 +157,7 @@ fn print_usage() {
          [--job-deadline SECS] [--job-cycle-budget N] [--retries N] \
          [--checkpoint-dir DIR] [--checkpoint-every N] \
          <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|bench\
+         |conformance [--count N] [--gen-seed S] [--expected FILE]\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
          |trace [policy]\
@@ -996,6 +1007,113 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_PARTIAL);
             }
             ExitCode::SUCCESS
+        }
+        "conformance" => {
+            // awg-repro conformance [--count N] [--gen-seed S]
+            //                       [--expected FILE]
+            let mut cfg = conformance::ConformanceConfig::default();
+            let mut expected_path = PathBuf::from("results/conformance_expected.csv");
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--count" => {
+                        cfg.count = match value.parse::<usize>() {
+                            Ok(n) => n,
+                            Err(_) => {
+                                eprintln!("--count must be an unsigned integer, got '{value}'");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--gen-seed" => {
+                        let parsed = match value.strip_prefix("0x") {
+                            Some(hex) => u64::from_str_radix(hex, 16),
+                            None => value.parse::<u64>(),
+                        };
+                        cfg.gen_seed = match parsed {
+                            Ok(s) => s,
+                            Err(_) => {
+                                eprintln!(
+                                    "--gen-seed must be an unsigned integer \
+                                     (decimal or 0x-hex), got '{value}'"
+                                );
+                                return usage();
+                            }
+                        };
+                    }
+                    "--expected" => expected_path = PathBuf::from(value),
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let t0 = std::time::Instant::now();
+            let run = conformance::run_supervised(&scale, &cfg, &sup);
+            if global_cancelled() {
+                return interrupted(&resume_hint);
+            }
+            if let Err(code) = emit(&run.report, &out, "conformance") {
+                return code;
+            }
+            eprintln!("[conformance] {:.2?}", t0.elapsed());
+            report_supervised_epilogue("conformance", &sup);
+            let csv = run.matrix.to_csv();
+            if let Some(dir) = &out {
+                let path = dir.join("conformance_matrix.csv");
+                if let Err(e) = std::fs::write(&path, &csv) {
+                    eprintln!("cannot write '{}': {e}", path.display());
+                    return ExitCode::from(EXIT_FAIL);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            if run.failures > 0 {
+                eprintln!("conformance: {} campaign failure(s)", run.failures);
+                return ExitCode::from(EXIT_FAIL);
+            }
+            if sup.incomplete() > 0 {
+                return ExitCode::from(EXIT_PARTIAL);
+            }
+            if std::env::var("BLESS").ok().as_deref() == Some("1") {
+                if let Some(parent) = expected_path.parent() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("cannot create '{}': {e}", parent.display());
+                        return ExitCode::from(EXIT_FAIL);
+                    }
+                }
+                if let Err(e) = std::fs::write(&expected_path, &csv) {
+                    eprintln!("cannot write '{}': {e}", expected_path.display());
+                    return ExitCode::from(EXIT_FAIL);
+                }
+                eprintln!("blessed {}", expected_path.display());
+                return ExitCode::SUCCESS;
+            }
+            let expected = match std::fs::read_to_string(&expected_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "cannot read expected matrix '{}': {e}\n\
+                         (bless a golden with: BLESS=1 awg-repro conformance ...)",
+                        expected_path.display()
+                    );
+                    return ExitCode::from(EXIT_CONFORMANCE);
+                }
+            };
+            let diffs = run.matrix.diff_against(&expected);
+            if diffs.is_empty() {
+                eprintln!("conformance: matrix matches {}", expected_path.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("conformance REGRESSION vs {}:", expected_path.display());
+                for d in &diffs {
+                    eprintln!("  {d}");
+                }
+                eprint!("observed matrix:\n{csv}");
+                ExitCode::from(EXIT_CONFORMANCE)
+            }
         }
         "shrink" => {
             // awg-repro shrink <bench> <policy> <seed> [--plan FILE]

@@ -2,8 +2,8 @@
 //!
 //! Every front end (the `awg-repro` CLI, CI scripts, the future campaign
 //! server) maps failure classes to these codes; tests assert them over the
-//! real binary. Keep this table in sync with the "Exit codes" section of
-//! `EXPERIMENTS.md`.
+//! real binary. Keep this table in sync with the exit-code table in
+//! `README.md` ("Trust but verify").
 
 /// Success: the command ran to completion and every job produced a result.
 pub const EXIT_OK: u8 = 0;
@@ -35,6 +35,12 @@ pub const EXIT_PARTIAL: u8 = 6;
 /// fails closed: no partially-overlaid machine is ever run.
 pub const EXIT_CORRUPT: u8 = 7;
 
+/// The conformance matrix regressed: the observed policy × progress-model
+/// classification differs from the committed expected matrix
+/// (`results/conformance_expected.csv`). Re-bless deliberate changes with
+/// `BLESS=1`.
+pub const EXIT_CONFORMANCE: u8 = 8;
+
 /// The campaign was interrupted (SIGINT/SIGTERM); the journal was flushed
 /// and a resume command printed. 128 + SIGINT(2), the shell convention.
 pub const EXIT_INTERRUPTED: u8 = 130;
@@ -57,6 +63,10 @@ pub const EXIT_TABLE: &[(u8, &str)] = &[
     (
         EXIT_CORRUPT,
         "corrupt machine snapshot (restore refused; no state was overlaid)",
+    ),
+    (
+        EXIT_CONFORMANCE,
+        "conformance matrix regression (observed matrix differs from the committed expected CSV)",
     ),
     (
         EXIT_INTERRUPTED,
@@ -91,6 +101,7 @@ mod tests {
                 EXIT_PLAN,
                 EXIT_PARTIAL,
                 EXIT_CORRUPT,
+                EXIT_CONFORMANCE,
                 EXIT_INTERRUPTED
             ]
         );

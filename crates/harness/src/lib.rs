@@ -23,6 +23,7 @@ pub mod artifact;
 pub mod bench;
 pub mod chaos;
 pub mod checkpointing;
+pub mod conformance;
 pub mod exit;
 pub mod fairness;
 pub mod fig05;

@@ -1,0 +1,92 @@
+//! The conformance matrix's determinism contract, in process: the CSV is
+//! byte-identical at any pool width and across a killed-and-resumed
+//! journaled campaign.
+
+use std::path::PathBuf;
+
+use awg_harness::conformance::{run_supervised, ConformanceConfig, DEFAULT_GEN_SEED};
+use awg_harness::pool::Pool;
+use awg_harness::supervisor::{JobLimits, Supervisor};
+use awg_harness::Scale;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "awg-conf-determinism-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn small() -> ConformanceConfig {
+    ConformanceConfig {
+        count: 2,
+        gen_seed: DEFAULT_GEN_SEED,
+    }
+}
+
+#[test]
+fn matrix_is_byte_identical_across_pool_widths() {
+    let scale = Scale::quick();
+    let serial = run_supervised(&scale, &small(), &Supervisor::bare(Pool::serial()));
+    assert_eq!(serial.failures, 0, "{:?}", serial.matrix.to_csv());
+    let wide = run_supervised(&scale, &small(), &Supervisor::bare(Pool::new(8)));
+    assert_eq!(wide.failures, 0);
+    assert_eq!(
+        serial.matrix.to_csv(),
+        wide.matrix.to_csv(),
+        "matrix must not depend on worker count"
+    );
+    assert_eq!(serial.report.to_csv(), wide.report.to_csv());
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_same_matrix() {
+    let scale = Scale::quick();
+    let uninterrupted = run_supervised(&scale, &small(), &Supervisor::bare(Pool::serial()));
+    let expected = uninterrupted.matrix.to_csv();
+
+    // One full journaled run stands in for the campaign we "kill": a
+    // prefix of its journal is exactly the state a real kill leaves.
+    let full = temp_path("full");
+    let sup = Supervisor::with_journal(
+        Pool::serial(),
+        JobLimits::default(),
+        &full,
+        false,
+        "awg-repro --quick --resume J conformance",
+    )
+    .unwrap();
+    let journaled = run_supervised(&scale, &small(), &sup);
+    drop(sup);
+    assert_eq!(journaled.matrix.to_csv(), expected);
+
+    let text = std::fs::read_to_string(&full).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().expect("journal has a header").to_owned();
+    let records: Vec<String> = lines.map(str::to_owned).collect();
+    assert!(records.len() > 10, "one record per matrix cell");
+
+    let part = temp_path("part");
+    for keep in [1, records.len() / 2, records.len() - 1] {
+        let mut prefix = format!("{header}\n");
+        for record in &records[..keep] {
+            prefix.push_str(record);
+            prefix.push('\n');
+        }
+        std::fs::write(&part, prefix).unwrap();
+
+        let sup = Supervisor::with_journal(
+            Pool::new(4),
+            JobLimits::default(),
+            &part,
+            true,
+            "awg-repro --quick --resume J conformance",
+        )
+        .unwrap();
+        let resumed = run_supervised(&scale, &small(), &sup);
+        assert_eq!(resumed.matrix.to_csv(), expected, "kill point {keep}");
+        assert_eq!(resumed.failures, 0, "kill point {keep}");
+        assert_eq!(sup.resumed_jobs(), keep, "kill point {keep}");
+    }
+    std::fs::remove_file(&full).ok();
+    std::fs::remove_file(&part).ok();
+}

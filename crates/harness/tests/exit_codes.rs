@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-use awg_harness::exit::{EXIT_CORRUPT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
+use awg_harness::exit::{EXIT_CONFORMANCE, EXIT_CORRUPT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
 
 fn awg_repro(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_awg-repro"))
@@ -93,6 +93,85 @@ fn exhausted_jobs_emit_a_partial_report_and_the_partial_code() {
     assert!(stdout.contains("ERROR"), "typed rows in report: {stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("INCOMPLETE"), "{stderr}");
+}
+
+#[test]
+fn conformance_regression_exits_with_the_conformance_code() {
+    let dir = temp_dir("conformance");
+    let golden = dir.join("expected.csv");
+
+    // No committed golden at the given path: the matrix cannot be checked,
+    // which is itself a conformance failure (CI must not silently pass).
+    let missing = awg_repro(&[
+        "--quick",
+        "conformance",
+        "--count",
+        "0",
+        "--expected",
+        golden.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        missing.status.code(),
+        Some(EXIT_CONFORMANCE as i32),
+        "{missing:?}"
+    );
+    assert!(
+        String::from_utf8_lossy(&missing.stderr).contains("BLESS=1"),
+        "the failure must say how to bless: {missing:?}"
+    );
+
+    // A golden that disagrees in one cell is a regression with a precise
+    // diff; a blessed golden matches and exits zero.
+    let bless = Command::new(env!("CARGO_BIN_EXE_awg-repro"))
+        .args([
+            "--quick",
+            "conformance",
+            "--count",
+            "0",
+            "--expected",
+            golden.to_str().unwrap(),
+        ])
+        .env("BLESS", "1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(bless.status.code(), Some(0), "{bless:?}");
+
+    let text = std::fs::read_to_string(&golden).unwrap();
+    assert!(text.contains("Baseline,OBE,deadlock"), "{text}");
+    std::fs::write(
+        &golden,
+        text.replace("AWG,Fair,sat,sat,sat,Fair", "AWG,Fair,sat,sat,sat,LOBE"),
+    )
+    .unwrap();
+    let regressed = awg_repro(&[
+        "--quick",
+        "conformance",
+        "--count",
+        "0",
+        "--expected",
+        golden.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        regressed.status.code(),
+        Some(EXIT_CONFORMANCE as i32),
+        "{regressed:?}"
+    );
+    assert!(
+        String::from_utf8_lossy(&regressed.stderr).contains("REGRESSION"),
+        "{regressed:?}"
+    );
+
+    std::fs::write(&golden, text).unwrap();
+    let matching = awg_repro(&[
+        "--quick",
+        "conformance",
+        "--count",
+        "0",
+        "--expected",
+        golden.to_str().unwrap(),
+    ]);
+    assert_eq!(matching.status.code(), Some(0), "{matching:?}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Writes a completed quick run's snapshot (killed after its first

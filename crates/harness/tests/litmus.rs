@@ -1,129 +1,19 @@
 //! Sorensen-style IFP litmus suite (cf. "Portable inter-workgroup barrier
-//! synchronisation", OOPSLA 2016).
+//! synchronisation", OOPSLA 2016) — a thin wrapper over the shared
+//! [`awg_workloads::litmus`] kernels, which the conformance lab and its
+//! generator also consume.
 //!
-//! Each litmus kernel is written directly against the ISA and launched on a
-//! deliberately tiny machine — one CU, so only 10 of the 12 WGs can be
-//! resident — making forward progress for *non-resident* WGs the only way
-//! to terminate. The busy-waiting Baseline must deadlock (occupancy-bound
-//! scheduling gives no IFP guarantee); every design with WG-granularity
-//! rescheduling — Timeout, the non-resident monitors, AWG — must complete
-//! with the invariant oracle enabled and the post-state intact.
+//! Each litmus kernel runs on a deliberately tiny machine — one CU, so only
+//! 10 of the 12 WGs can be resident — making forward progress for
+//! *non-resident* WGs the only way to terminate. The busy-waiting Baseline
+//! must deadlock (occupancy-bound scheduling gives no IFP guarantee); every
+//! design with WG-granularity rescheduling — Timeout, the non-resident
+//! monitors, AWG — must complete with the invariant oracle enabled and the
+//! post-state intact.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{Gpu, GpuConfig, Kernel, RunOutcome, SyncStyle, WgResources};
-use awg_isa::{AluOp, Cond, Mem, Operand, Program, ProgramBuilder, Reg, Special};
-use awg_mem::{Addr, AddressSpace};
-use awg_workloads::sync_emit;
-
-/// Two more WGs than the 1-CU machine can hold (40 wavefront slots / 4
-/// wavefronts per WG = 10 resident).
-const NUM_WGS: u64 = 12;
-const PAYLOAD: i64 = 7;
-
-fn one_cu() -> GpuConfig {
-    let mut c = GpuConfig::isca2020_baseline();
-    c.num_cus = 1;
-    // Short quiescence window so the Baseline deadlocks are detected fast.
-    c.quiescence_cycles = 600_000;
-    c
-}
-
-/// A litmus kernel plus its expected final memory (address, value) pairs.
-struct Litmus {
-    program: Program,
-    finals: Vec<(Addr, i64)>,
-}
-
-/// Producer/consumer spin: the *last* WG is the producer, so on a full
-/// machine it is never dispatched until some consumer is context-switched
-/// out. Consumers spin on the flag, then read the payload it guards.
-fn producer_consumer(style: SyncStyle) -> Litmus {
-    let mut space = AddressSpace::new();
-    let flag = space.alloc_sync_var("flag");
-    let payload = space.alloc_sync_var("payload");
-    let acks = space.alloc_sync_var("acks");
-    let mut b = ProgramBuilder::new("litmus_pc");
-    b.special(Reg::R1, Special::WgId);
-    let produce = b.new_label();
-    let done = b.new_label();
-    b.br(Cond::Eq, Reg::R1, Operand::Imm(NUM_WGS as i64 - 1), produce);
-    // --- consumer ---
-    sync_emit::wait_until_equals(&mut b, style, Mem::direct(flag), 1i64, Reg::R2, None);
-    b.ld(Reg::R3, payload);
-    b.atom_add(Reg::R0, acks, Reg::R3);
-    b.jmp(done);
-    // --- producer ---
-    b.bind(produce);
-    b.compute(5_000);
-    b.st(payload, PAYLOAD);
-    b.atom_exch(Reg::R0, flag, 1i64);
-    b.bind(done);
-    b.halt();
-    Litmus {
-        program: b.build().expect("verifies"),
-        finals: vec![(flag, 1), (acks, PAYLOAD * (NUM_WGS as i64 - 1))],
-    }
-}
-
-/// Cross-WG mutex handoff in *descending* WG-id order: WG `i`'s turn comes
-/// when `token == (NUM_WGS-1) - i`, so the chain starts at the one WG the
-/// full machine cannot dispatch.
-fn mutex_handoff(style: SyncStyle) -> Litmus {
-    let mut space = AddressSpace::new();
-    let token = space.alloc_sync_var("token");
-    let counter = space.alloc_sync_var("counter");
-    let mut b = ProgramBuilder::new("litmus_handoff");
-    b.special(Reg::R1, Special::WgId);
-    b.li(Reg::R2, NUM_WGS as i64 - 1);
-    b.alu(AluOp::Sub, Reg::R2, Reg::R2, Reg::R1);
-    sync_emit::wait_until_equals(&mut b, style, Mem::direct(token), Reg::R2, Reg::R3, None);
-    // Critical section: a non-atomic read-modify-write only mutual
-    // exclusion keeps consistent.
-    sync_emit::critical_section(&mut b, Mem::direct(counter), 1, 50, Reg::R4);
-    b.atom_add(Reg::R0, token, 1i64);
-    b.halt();
-    Litmus {
-        program: b.build().expect("verifies"),
-        finals: vec![(counter, NUM_WGS as i64), (token, NUM_WGS as i64)],
-    }
-}
-
-/// Oversubscribed centralized barrier: every WG arrives at one counter and
-/// waits for all `NUM_WGS` arrivals — two of which can only happen after
-/// resident waiters yield their slots.
-fn centralized_barrier(style: SyncStyle) -> Litmus {
-    let mut space = AddressSpace::new();
-    let count = space.alloc_sync_var("count");
-    let after = space.alloc_sync_var("after");
-    let mut b = ProgramBuilder::new("litmus_barrier");
-    b.compute(100);
-    b.atom_add(Reg::R0, count, 1i64);
-    sync_emit::wait_until_equals(
-        &mut b,
-        style,
-        Mem::direct(count),
-        NUM_WGS as i64,
-        Reg::R2,
-        None,
-    );
-    b.atom_add(Reg::R0, after, 1i64);
-    b.halt();
-    Litmus {
-        program: b.build().expect("verifies"),
-        finals: vec![(count, NUM_WGS as i64), (after, NUM_WGS as i64)],
-    }
-}
-
-/// A named litmus kernel builder, parametric in the policy's sync style.
-type LitmusBuilder = fn(SyncStyle) -> Litmus;
-
-fn litmuses() -> [(&'static str, LitmusBuilder); 3] {
-    [
-        ("producer_consumer", producer_consumer),
-        ("mutex_handoff", mutex_handoff),
-        ("centralized_barrier", centralized_barrier),
-    ]
-}
+use awg_gpu::{Gpu, Kernel, RunOutcome, SyncStyle, WgResources};
+use awg_workloads::litmus::{self, Litmus, NUM_WGS};
 
 /// Builds the kernel in the policy's sync style and runs it on the 1-CU
 /// machine with the invariant oracle on.
@@ -131,7 +21,7 @@ fn run_litmus(build: fn(SyncStyle) -> Litmus, policy: PolicyKind) -> (RunOutcome
     let policy_box = build_policy(policy);
     let litmus = build(policy_box.style());
     let kernel = Kernel::new(litmus.program.clone(), NUM_WGS, WgResources::default());
-    let mut gpu = Gpu::new(one_cu(), kernel, policy_box);
+    let mut gpu = Gpu::new(litmus::lab_gpu_config(), kernel, policy_box);
     gpu.enable_invariant_oracle();
     let outcome = gpu.run();
     (outcome, gpu, litmus)
@@ -139,7 +29,7 @@ fn run_litmus(build: fn(SyncStyle) -> Litmus, policy: PolicyKind) -> (RunOutcome
 
 #[test]
 fn baseline_deadlocks_on_every_litmus() {
-    for (name, build) in litmuses() {
+    for (name, build) in litmus::all() {
         let (outcome, gpu, _) = run_litmus(build, PolicyKind::Baseline);
         assert!(
             outcome.is_deadlocked(),
@@ -155,7 +45,7 @@ fn baseline_deadlocks_on_every_litmus() {
 
 #[test]
 fn ifp_policies_complete_every_litmus() {
-    for (name, build) in litmuses() {
+    for (name, build) in litmus::all() {
         for policy in [
             PolicyKind::Timeout,
             PolicyKind::MonNrAll,
@@ -189,7 +79,7 @@ fn ifp_policies_complete_every_litmus() {
 #[test]
 fn ifp_completions_actually_context_switch() {
     // The 1-CU machine can only terminate by swapping blocked WGs out.
-    for (name, build) in litmuses() {
+    for (name, build) in litmus::all() {
         let (outcome, _, _) = run_litmus(build, PolicyKind::Awg);
         let s = outcome.summary();
         assert!(
@@ -201,8 +91,8 @@ fn ifp_completions_actually_context_switch() {
 
 #[test]
 fn litmus_runs_are_deterministic() {
-    let (a, _, _) = run_litmus(mutex_handoff, PolicyKind::Awg);
-    let (b, _, _) = run_litmus(mutex_handoff, PolicyKind::Awg);
+    let (a, _, _) = run_litmus(litmus::mutex_handoff, PolicyKind::Awg);
+    let (b, _, _) = run_litmus(litmus::mutex_handoff, PolicyKind::Awg);
     assert_eq!(a.summary().cycles, b.summary().cycles);
     assert_eq!(a.summary().atomics, b.summary().atomics);
 }

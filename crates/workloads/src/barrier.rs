@@ -16,7 +16,7 @@ use awg_isa::{AluOp, Cond, Label, Mem, Operand, ProgramBuilder, Special};
 use crate::bench::ProgramPieces;
 use crate::checks::Check;
 use crate::params::WorkloadParams;
-use crate::sync_emit::wait_until_equals;
+use crate::sync_emit::{self, wait_until_equals};
 
 mod regs {
     use awg_isa::Reg;
@@ -211,48 +211,21 @@ pub fn tree_barrier(params: &WorkloadParams, style: SyncStyle, exchange: bool) -
     );
     let lcount_mem = Mem::indexed(lcount.base(), regs::IDX, lcount.stride_bytes());
 
-    // Local arrival.
-    b.atom_add(regs::ARRIVE, lcount_mem, 1i64);
-    // Leader test: my add was the L-th of this episode on this counter
-    // (old value == epoch·(L+1) + L - 1).
-    b.alu(AluOp::Mul, regs::CMP, regs::EPOCH, l + 1);
-    b.alu(AluOp::Add, regs::CMP, regs::CMP, l - 1);
-    let not_leader = b.new_label();
-    let after_wait = b.new_label();
-    b.br(Cond::Ne, regs::ARRIVE, Operand::Reg(regs::CMP), not_leader);
-
-    // === Cluster leader: join the global counter barrier ===
-    let gcount_mem = Mem::indexed(gcount.base(), regs::PARITY, gcount.stride_bytes());
-    b.atom_add(regs::GARRIVE, gcount_mem, 1i64);
-    b.alu(AluOp::Mul, regs::CMP, regs::EPOCH, c + 1);
-    b.alu(AluOp::Add, regs::CMP, regs::CMP, c - 1);
-    let not_global_leader = b.new_label();
-    let global_done = b.new_label();
-    b.br(
-        Cond::Ne,
-        regs::GARRIVE,
-        Operand::Reg(regs::CMP),
-        not_global_leader,
-    );
-    // Global leader: release bump on the global counter.
-    b.atom_add(regs::SCRATCH, gcount_mem, 1i64);
-    b.jmp(global_done);
-    b.bind(not_global_leader);
-    // Other leaders wait for gcount == (epoch+1)·(C+1).
-    b.alu(AluOp::Add, regs::CMP, regs::EPOCH, 1i64);
-    b.alu(AluOp::Mul, regs::CMP, regs::CMP, c + 1);
-    wait_until_equals(&mut b, style, gcount_mem, regs::CMP, regs::WAITVAL, None);
-    b.bind(global_done);
-    // Every leader releases its local waiters with the bump.
-    b.atom_add(regs::SCRATCH, lcount_mem, 1i64);
-    b.jmp(after_wait);
-
-    // === Non-leaders wait for lcount == (epoch+1)·(L+1) ===
-    b.bind(not_leader);
-    b.alu(AluOp::Add, regs::CMP, regs::EPOCH, 1i64);
-    b.alu(AluOp::Mul, regs::CMP, regs::CMP, l + 1);
-    wait_until_equals(&mut b, style, lcount_mem, regs::CMP, regs::WAITVAL, None);
-    b.bind(after_wait);
+    // Both tree levels are the same leader-elected episode barrier: the
+    // cluster leader's body is the identical shape on the global counter
+    // (whose own leader body is empty — its release bump frees the other
+    // cluster leaders).
+    let ebr = |arrive| sync_emit::EpisodeBarrierRegs {
+        epoch: regs::EPOCH,
+        arrive,
+        cmp: regs::CMP,
+        waitval: regs::WAITVAL,
+        release: regs::SCRATCH,
+    };
+    sync_emit::episode_counter_barrier(&mut b, style, lcount_mem, l, ebr(regs::ARRIVE), |b| {
+        let gcount_mem = Mem::indexed(gcount.base(), regs::PARITY, gcount.stride_bytes());
+        sync_emit::episode_counter_barrier(b, style, gcount_mem, c, ebr(regs::GARRIVE), |_| {});
+    });
 
     emit_post_barrier(&mut b, params, &layout);
     emit_epilogue(&mut b, head, params.iterations);

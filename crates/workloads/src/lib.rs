@@ -34,6 +34,7 @@ pub mod bench;
 pub mod characteristics;
 pub mod checks;
 pub mod context;
+pub mod litmus;
 pub mod mutex;
 pub mod params;
 pub mod rw;

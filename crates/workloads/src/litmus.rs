@@ -1,0 +1,166 @@
+//! Sorensen-style IFP litmus kernels (cf. "Portable inter-workgroup
+//! barrier synchronisation", OOPSLA 2016), shared by the harness litmus
+//! test, the conformance lab, and its generator.
+//!
+//! Each litmus kernel is written directly against the ISA and launched on
+//! a deliberately tiny machine — one CU, so only 10 of the 12 WGs can be
+//! resident — making forward progress for *non-resident* WGs the only way
+//! to terminate. The busy-waiting Baseline must deadlock (occupancy-bound
+//! scheduling gives no IFP guarantee); every design with WG-granularity
+//! rescheduling — Timeout, the non-resident monitors, AWG — must complete
+//! with the invariant oracle enabled and the post-state intact.
+
+use awg_gpu::{GpuConfig, SyncStyle};
+use awg_isa::{AluOp, Cond, Mem, Operand, Program, ProgramBuilder, Reg, Special};
+use awg_mem::{Addr, AddressSpace};
+
+use crate::sync_emit;
+
+/// Two more WGs than the 1-CU lab machine can hold (40 wavefront slots / 4
+/// wavefronts per WG = 10 resident).
+pub const NUM_WGS: u64 = 12;
+
+/// The value the producer publishes behind the flag.
+pub const PAYLOAD: i64 = 7;
+
+/// The conformance-lab machine: the paper's baseline GPU cut down to one
+/// CU, with a short quiescence window so deadlocks are detected fast.
+pub fn lab_gpu_config() -> GpuConfig {
+    let mut c = GpuConfig::isca2020_baseline();
+    c.num_cus = 1;
+    c.quiescence_cycles = 600_000;
+    c
+}
+
+/// A litmus kernel plus its expected final memory (address, value) pairs.
+#[derive(Debug, Clone)]
+pub struct Litmus {
+    /// Kernel program, emitted in one policy's sync style.
+    pub program: Program,
+    /// Post-conditions: `(address, expected final value)` pairs.
+    pub finals: Vec<(Addr, i64)>,
+}
+
+/// Producer/consumer spin: the *last* WG is the producer, so on a full
+/// machine it is never dispatched until some consumer is context-switched
+/// out. Consumers spin on the flag, then read the payload it guards.
+pub fn producer_consumer(style: SyncStyle) -> Litmus {
+    let mut space = AddressSpace::new();
+    let flag = space.alloc_sync_var("flag");
+    let payload = space.alloc_sync_var("payload");
+    let acks = space.alloc_sync_var("acks");
+    let mut b = ProgramBuilder::new("litmus_pc");
+    b.special(Reg::R1, Special::WgId);
+    let produce = b.new_label();
+    let done = b.new_label();
+    b.br(Cond::Eq, Reg::R1, Operand::Imm(NUM_WGS as i64 - 1), produce);
+    // --- consumer ---
+    sync_emit::wait_until_equals(&mut b, style, Mem::direct(flag), 1i64, Reg::R2, None);
+    b.ld(Reg::R3, payload);
+    b.atom_add(Reg::R0, acks, Reg::R3);
+    b.jmp(done);
+    // --- producer ---
+    b.bind(produce);
+    b.compute(5_000);
+    b.st(payload, PAYLOAD);
+    b.atom_exch(Reg::R0, flag, 1i64);
+    b.bind(done);
+    b.halt();
+    Litmus {
+        program: b.build().expect("verifies"),
+        finals: vec![(flag, 1), (acks, PAYLOAD * (NUM_WGS as i64 - 1))],
+    }
+}
+
+/// Cross-WG mutex handoff in *descending* WG-id order: WG `i`'s turn comes
+/// when `token == (NUM_WGS-1) - i`, so the chain starts at the one WG the
+/// full machine cannot dispatch.
+pub fn mutex_handoff(style: SyncStyle) -> Litmus {
+    let mut space = AddressSpace::new();
+    let token = space.alloc_sync_var("token");
+    let counter = space.alloc_sync_var("counter");
+    let mut b = ProgramBuilder::new("litmus_handoff");
+    b.special(Reg::R1, Special::WgId);
+    b.li(Reg::R2, NUM_WGS as i64 - 1);
+    b.alu(AluOp::Sub, Reg::R2, Reg::R2, Reg::R1);
+    sync_emit::wait_until_equals(&mut b, style, Mem::direct(token), Reg::R2, Reg::R3, None);
+    // Critical section: a non-atomic read-modify-write only mutual
+    // exclusion keeps consistent.
+    sync_emit::critical_section(&mut b, Mem::direct(counter), 1, 50, Reg::R4);
+    b.atom_add(Reg::R0, token, 1i64);
+    b.halt();
+    Litmus {
+        program: b.build().expect("verifies"),
+        finals: vec![(counter, NUM_WGS as i64), (token, NUM_WGS as i64)],
+    }
+}
+
+/// Oversubscribed centralized barrier: every WG arrives at one counter and
+/// waits for all `NUM_WGS` arrivals — two of which can only happen after
+/// resident waiters yield their slots.
+pub fn centralized_barrier(style: SyncStyle) -> Litmus {
+    let mut space = AddressSpace::new();
+    let count = space.alloc_sync_var("count");
+    let after = space.alloc_sync_var("after");
+    let mut b = ProgramBuilder::new("litmus_barrier");
+    b.compute(100);
+    sync_emit::counter_arrive_and_wait(
+        &mut b,
+        style,
+        Mem::direct(count),
+        NUM_WGS as i64,
+        Reg::R0,
+        Reg::R2,
+        None,
+    );
+    b.atom_add(Reg::R0, after, 1i64);
+    b.halt();
+    Litmus {
+        program: b.build().expect("verifies"),
+        finals: vec![(count, NUM_WGS as i64), (after, NUM_WGS as i64)],
+    }
+}
+
+/// A named litmus kernel builder, parametric in the policy's sync style.
+pub type LitmusBuilder = fn(SyncStyle) -> Litmus;
+
+/// The three hand-written litmus kernels, by name.
+pub fn all() -> [(&'static str, LitmusBuilder); 3] {
+    [
+        ("producer_consumer", producer_consumer),
+        ("mutex_handoff", mutex_handoff),
+        ("centralized_barrier", centralized_barrier),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_litmuses_build_in_every_style() {
+        for (name, build) in all() {
+            for style in [
+                SyncStyle::Busy,
+                SyncStyle::Backoff,
+                SyncStyle::WaitInst,
+                SyncStyle::WaitingAtomic,
+            ] {
+                let litmus = build(style);
+                assert!(litmus.program.len() > 3, "{name} under {style:?}");
+                assert!(!litmus.finals.is_empty(), "{name} under {style:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lab_machine_is_oversubscribed() {
+        let c = lab_gpu_config();
+        assert_eq!(c.num_cus, 1);
+        let resident = (c.simds_per_cu * c.wavefronts_per_simd) as u64 / 4;
+        assert!(
+            resident < NUM_WGS,
+            "lab machine must not hold all {NUM_WGS} WGs (capacity {resident})"
+        );
+    }
+}

@@ -79,6 +79,82 @@ pub fn wait_until_equals(
     b.bind(done);
 }
 
+/// Emits a flat arrive-and-wait on one monotonic counter: atomically add 1,
+/// then block until the counter reads `target`.
+///
+/// This is the oversubscribed centralized barrier both the litmus suite and
+/// the conformance generator use. It is safe for exactly **one** episode:
+/// the counter is monotonic and the wait is an equality, so a second
+/// episode on the same counter could advance the count past a slow
+/// rechecker (the deadlock [`crate::barrier::tree_barrier`] avoids with
+/// parity double-buffering). `scratch` receives the fetch-add result;
+/// `result` the observed counter value.
+pub fn counter_arrive_and_wait(
+    b: &mut ProgramBuilder,
+    style: SyncStyle,
+    counter: Mem,
+    target: impl Into<Operand>,
+    scratch: Reg,
+    result: Reg,
+    backoff: Option<Backoff>,
+) {
+    b.atom_add(scratch, counter, 1i64);
+    wait_until_equals(b, style, counter, target, result, backoff);
+}
+
+/// Register assignments for [`episode_counter_barrier`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeBarrierRegs {
+    /// Holds the per-parity episode index `k` (an input, preserved).
+    pub epoch: Reg,
+    /// Receives the fetch-add old value (the arrival ticket).
+    pub arrive: Reg,
+    /// Comparison scratch (clobbered).
+    pub cmp: Reg,
+    /// Wait-result scratch (clobbered).
+    pub waitval: Reg,
+    /// Release fetch-add scratch (clobbered on the leader path).
+    pub release: Reg,
+}
+
+/// Emits one episode of a counter barrier with leader election, the shape
+/// HeteroSync's AtomicTreeBarr uses at both tree levels.
+///
+/// `count` participants each fetch-add the counter; the arrival that
+/// observes old value `epoch·(count+1) + count-1` is the leader, runs
+/// `leader_body`, then bumps the counter once more to release the others,
+/// who wait for `(epoch+1)·(count+1)`. The counter therefore advances by
+/// `count+1` per episode. Callers multiplexing episodes onto one counter
+/// must parity-double-buffer it (see [`crate::barrier::tree_barrier`]) so
+/// the equality wait cannot be overtaken.
+pub fn episode_counter_barrier(
+    b: &mut ProgramBuilder,
+    style: SyncStyle,
+    counter: Mem,
+    count: i64,
+    regs: EpisodeBarrierRegs,
+    leader_body: impl FnOnce(&mut ProgramBuilder),
+) {
+    b.atom_add(regs.arrive, counter, 1i64);
+    // Leader test: my add was the count-th of this episode on this counter
+    // (old value == epoch·(count+1) + count - 1).
+    b.alu(AluOp::Mul, regs.cmp, regs.epoch, count + 1);
+    b.alu(AluOp::Add, regs.cmp, regs.cmp, count - 1);
+    let not_leader = b.new_label();
+    let after_wait = b.new_label();
+    b.br(Cond::Ne, regs.arrive, Operand::Reg(regs.cmp), not_leader);
+    leader_body(b);
+    // The leader releases the waiters with the bump.
+    b.atom_add(regs.release, counter, 1i64);
+    b.jmp(after_wait);
+    // Non-leaders wait for counter == (epoch+1)·(count+1).
+    b.bind(not_leader);
+    b.alu(AluOp::Add, regs.cmp, regs.epoch, 1i64);
+    b.alu(AluOp::Mul, regs.cmp, regs.cmp, count + 1);
+    wait_until_equals(b, style, counter, regs.cmp, regs.waitval, None);
+    b.bind(after_wait);
+}
+
 /// Emits a test-and-set acquire of `lock` (0 = free, 1 = held), blocking
 /// until acquired. `result` is clobbered.
 pub fn acquire_test_and_set(
