@@ -36,8 +36,10 @@ use crate::machine::Gpu;
 
 /// File magic for checkpoint snapshots.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"AWGCKPT\0";
-/// Current snapshot format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current snapshot format version. Bumped to 2 when the attribution
+/// ledger (per-WG cause accounting in the telemetry hub, `fault_evicted`
+/// on the WG context) extended the serialized machine state.
+pub const CHECKPOINT_VERSION: u32 = 2;
 /// Section tag for the machine-state payload.
 const SECTION_MACHINE: u8 = 1;
 /// Header size: magic + version + identity + cycle.

@@ -49,6 +49,7 @@ pub mod config;
 pub mod cu;
 pub mod error;
 pub mod fault;
+pub mod hotprof;
 pub mod machine;
 pub mod oracle;
 pub mod policy;
@@ -66,6 +67,7 @@ pub use config::{GpuConfig, Kernel, WgResources, CONTEXT_BASE};
 pub use cu::Cu;
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, WakeChaosMode};
+pub use hotprof::{HotLane, HotProfile, HotReport, EVENT_LANES, LANE_NAMES};
 pub use machine::Gpu;
 pub use oracle::{InvariantKind, InvariantViolation};
 pub use policy::{
@@ -74,7 +76,7 @@ pub use policy::{
     Wake,
 };
 pub use result::{HangReport, RunOutcome, RunSummary, WgWaitInfo};
-pub use timeline::{chrome_trace, expected_counts, TimelineCounts};
+pub use timeline::{chrome_trace, chrome_trace_builder, expected_counts, TimelineCounts};
 pub use trace::{Trace, TraceEvent, TraceFilter, TraceRecord};
 pub use watchdog::{
     global_cancelled, request_global_cancel, reset_global_cancel, CancelCause, Watchdog,

@@ -13,7 +13,9 @@ use std::time::{Duration, Instant};
 
 use awg_isa::{Inst, Mem, Operand, Special};
 use awg_mem::{Addr, AtomicRequest, Backing, L2};
-use awg_sim::telemetry::{SnapshotSample, Subsystem, SwapDir, PROGRESS_STATES};
+use awg_sim::telemetry::{
+    AttributionCause, SnapshotSample, Subsystem, SwapDir, ATTRIBUTION_CAUSES, PROGRESS_STATES,
+};
 use awg_sim::{
     CodecError, Cycle, Dec, Enc, EventQueue, Fingerprint64, ProfileReport, Stats, TelemetryConfig,
     TelemetryHub,
@@ -24,6 +26,7 @@ use crate::config::{GpuConfig, Kernel, CONTEXT_BASE};
 use crate::cu::Cu;
 use crate::error::SimError;
 use crate::fault::{FaultKind, FaultPlan, WakeChaosMode};
+use crate::hotprof::{HotProfile, HotReport};
 use crate::oracle::{InvariantKind, InvariantViolation};
 use crate::policy::{
     MonitoredUpdate, PolicyCtx, SchedPolicy, SyncCond, SyncFail, TimeoutAction, WaitDirective, Wake,
@@ -70,6 +73,27 @@ pub(crate) enum Event {
     ProgressCheck,
     /// The installed fault plan's event at this index fires.
     Fault(usize),
+}
+
+impl Event {
+    /// Hot-profile lane index: the event's stable save tag, matching
+    /// [`crate::hotprof::LANE_NAMES`].
+    fn lane(&self) -> usize {
+        match self {
+            Event::Continue(..) => 0,
+            Event::Response(..) => 1,
+            Event::WakeDeliver(..) => 2,
+            Event::WaitTimeout(..) => 3,
+            Event::SwapOutDone(..) => 4,
+            Event::SwapInDone(..) => 5,
+            Event::DispatchDone(..) => 6,
+            Event::CpTick => 7,
+            Event::ResourceLoss(_) => 8,
+            Event::ResourceRestore(_) => 9,
+            Event::ProgressCheck => 10,
+            Event::Fault(_) => 11,
+        }
+    }
 }
 
 /// Running tallies of the chaos the fault plan actually inflicted.
@@ -218,6 +242,9 @@ pub struct Gpu {
     digest_next: Cycle,
     digest_trail: Vec<u64>,
     telemetry: Option<TelemetryHub>,
+    /// Host hot-path profiler. Like the hub's `SelfProfile`, this is
+    /// host-only state: never serialized, never fed back into simulation.
+    hotprof: Option<Box<HotProfile>>,
     watchdog: Option<Watchdog>,
     run_started: Option<Instant>,
     run_wall: Duration,
@@ -309,6 +336,7 @@ impl Gpu {
             digest_next: 0,
             digest_trail: Vec::new(),
             telemetry: None,
+            hotprof: None,
             watchdog: None,
             run_started: None,
             run_wall: Duration::ZERO,
@@ -915,6 +943,46 @@ impl Gpu {
             .map(|h| h.profile_report(self.run_wall, self.now))
     }
 
+    /// Enables the host hot-path profiler: event-loop pop/push counts,
+    /// calendar depth high-water, per-event-type dispatch counts and
+    /// wall-time, and wake/dispatch scan tallies.
+    ///
+    /// Off by default and zero-cost when off. Host-only — never serialized
+    /// into checkpoints and never visible to the digest trail.
+    pub fn enable_hot_profile(&mut self) -> &mut Self {
+        self.hotprof = Some(Box::new(HotProfile {
+            sched_base: self.events.scheduled_total(),
+            ..HotProfile::default()
+        }));
+        self
+    }
+
+    /// The end-of-run hot-path report, when the profiler was enabled.
+    /// Call after [`Gpu::run`]: the report folds in the policy's monitor
+    /// probe counters, which land in the stats registry at summary time.
+    pub fn hot_report(&self) -> Option<HotReport> {
+        self.hotprof.as_ref().map(|p| {
+            let sync_probes: u64 = self
+                .stats
+                .counters()
+                .filter(|(name, _)| {
+                    name.ends_with("cp_condition_checks") || name.ends_with("monitor_log_appends")
+                })
+                .map(|(_, v)| v)
+                .sum();
+            HotReport::assemble(
+                p,
+                self.now,
+                self.run_wall,
+                self.events.scheduled_total(),
+                self.l2.op_counts(),
+                self.l2.monitored_lines(),
+                sync_probes,
+                self.trace.len(),
+            )
+        })
+    }
+
     /// The functional memory (workload validation after a run).
     pub fn backing(&self) -> &Backing {
         self.l2.backing()
@@ -999,6 +1067,10 @@ impl Gpu {
     }
 
     fn apply_wakes(&mut self, mut wakes: Vec<Wake>) {
+        if let Some(hot) = self.hotprof.as_mut() {
+            hot.wake_scans += 1;
+            hot.wakes_applied += wakes.len() as u64;
+        }
         self.perturb_wakes(&mut wakes);
         for wake in wakes {
             let wg = wake.wg as usize;
@@ -1073,6 +1145,9 @@ impl Gpu {
     }
 
     fn try_dispatch(&mut self) {
+        if let Some(hot) = self.hotprof.as_mut() {
+            hot.dispatch_scans += 1;
+        }
         loop {
             // Architectures without WG-granularity rescheduling (Baseline,
             // Sleep) cannot swap preempted WGs back in: their ready queue
@@ -1092,6 +1167,9 @@ impl Gpu {
             }
             let req = self.kernel.resources;
             self.cus[cu].admit(wg, &req);
+            if let Some(hot) = self.hotprof.as_mut() {
+                hot.dispatch_admissions += 1;
+            }
             self.wgs[wg as usize].cu = Some(cu);
             let token = self.wgs[wg as usize].bump_token();
             if from_ready {
@@ -1169,12 +1247,61 @@ impl Gpu {
         }
     }
 
+    /// Classifies *why* a WG in `state` is spending its cycles there, for
+    /// the attribution ledger. The split the paper cares about: a swap
+    /// episode the scheduler chose is `Preempted`; the same episode forced
+    /// by an injected CU loss is `FaultStall`; off-CU residence with a
+    /// declared sync condition is `SyncWait` (the WG would not run even if
+    /// resident).
+    fn cause_for(&self, wg: usize, state: WgState) -> AttributionCause {
+        let w = &self.wgs[wg];
+        match state {
+            WgState::Running => AttributionCause::Executing,
+            WgState::Sleeping => AttributionCause::SleepWait,
+            WgState::Stalled => AttributionCause::SyncWait,
+            WgState::Finished => AttributionCause::Retired,
+            WgState::Pending | WgState::Dispatching => {
+                if w.fault_evicted {
+                    AttributionCause::FaultStall
+                } else {
+                    AttributionCause::Queued
+                }
+            }
+            WgState::SwappingOut | WgState::SwappingIn | WgState::ReadySwapped => {
+                if w.fault_evicted {
+                    AttributionCause::FaultStall
+                } else {
+                    AttributionCause::Preempted
+                }
+            }
+            WgState::SwappedWaiting => {
+                if w.fault_evicted {
+                    AttributionCause::FaultStall
+                } else if w.cond.is_some() {
+                    AttributionCause::SyncWait
+                } else {
+                    AttributionCause::Preempted
+                }
+            }
+        }
+    }
+
     /// Transitions a WG's scheduling state, keeping the telemetry hub's
-    /// time-in-state accounting in step with the machine's own.
+    /// time-in-state accounting and cycle-attribution ledger in step with
+    /// the machine's own.
     fn set_wg_state(&mut self, wg: WgId, state: WgState, at: Cycle) {
-        self.wgs[wg as usize].set_state(state, at);
-        if let Some(hub) = self.telemetry.as_mut() {
-            hub.transition(wg as usize, state.progress_class(), at);
+        let wgu = wg as usize;
+        self.wgs[wgu].set_state(state, at);
+        if state == WgState::Running {
+            // The fault's eviction episode ends when the WG runs again.
+            self.wgs[wgu].fault_evicted = false;
+        }
+        if self.telemetry.is_some() {
+            let cause = self.cause_for(wgu, state);
+            if let Some(hub) = self.telemetry.as_mut() {
+                hub.transition(wgu, state.progress_class(), at);
+                hub.attribute(wgu, cause, at);
+            }
         }
     }
 
@@ -1682,20 +1809,24 @@ impl Gpu {
                 WgState::Running | WgState::Sleeping => {
                     // Preempt at the next event boundary.
                     self.wgs[wgu].force_out = true;
+                    self.wgs[wgu].fault_evicted = true;
                 }
                 WgState::Stalled => {
                     // Still waiting: save now; it stays a waiting WG.
+                    self.wgs[wgu].fault_evicted = true;
                     self.begin_swap_out(wg);
                 }
                 WgState::Dispatching => {
                     // Cancel the dispatch and requeue at the front.
                     self.wgs[wgu].bump_token();
                     self.release_cu(wg);
+                    self.wgs[wgu].fault_evicted = true;
                     self.set_wg_state(wg, WgState::Pending, self.now);
                     self.pending.push_front(wg);
                 }
                 WgState::SwappingIn => {
                     self.wgs[wgu].force_out = true;
+                    self.wgs[wgu].fault_evicted = true;
                 }
                 _ => {}
             }
@@ -1893,14 +2024,17 @@ impl Gpu {
     /// Absolute telemetry totals at `cycle` (the snapshot window boundary).
     fn snapshot_sample(&self, cycle: Cycle) -> SnapshotSample {
         let mut state_counts = [0u64; PROGRESS_STATES];
+        let mut cause_counts = [0u64; ATTRIBUTION_CAUSES];
         for wg in &self.wgs {
             state_counts[wg.state.progress_class().index()] += 1;
+            cause_counts[self.cause_for(wg.id as usize, wg.state).index()] += 1;
         }
         let (atomics, _, _) = self.l2.op_counts();
         SnapshotSample {
             cycle,
             occupancy: self.cus.iter().map(|c| c.occupancy()).collect(),
             state_counts,
+            cause_counts,
             atomics_total: atomics,
             swap_outs_total: self.switches_out,
             swap_ins_total: self.switches_in,
@@ -2097,13 +2231,22 @@ impl Gpu {
             }
             self.now = cycle;
             let profiling = self.telemetry.as_ref().is_some_and(|h| h.profiling());
-            if profiling {
+            if profiling || self.hotprof.is_some() {
                 let subsystem = Self::event_subsystem(&event);
+                let lane = event.lane();
                 let t0 = Instant::now();
                 self.handle(event);
                 let wall = t0.elapsed();
-                if let Some(hub) = self.telemetry.as_mut() {
-                    hub.profile_note(subsystem, wall);
+                if profiling {
+                    if let Some(hub) = self.telemetry.as_mut() {
+                        hub.profile_note(subsystem, wall);
+                    }
+                }
+                let depth = self.events.len();
+                if let Some(hot) = self.hotprof.as_mut() {
+                    hot.events_popped += 1;
+                    hot.note_event(lane, wall);
+                    hot.heap_high_water = hot.heap_high_water.max(depth);
                 }
             } else {
                 self.handle(event);

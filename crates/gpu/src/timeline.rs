@@ -36,6 +36,14 @@ fn cu_pid(cu: usize) -> u64 {
 /// the last recorded cycle. The export is deterministic for a given record
 /// stream: records are ordered by cycle with ties kept in recording order.
 pub fn chrome_trace(records: &[TraceRecord], num_cus: usize) -> String {
+    chrome_trace_builder(records, num_cus).finish()
+}
+
+/// Like [`chrome_trace`], but returns the open [`TraceBuilder`] so callers
+/// can append extra tracks (e.g. the harness's cycle-attribution counter
+/// track) before serializing. [`expected_counts`] accounts only for the
+/// events this function emits; callers owe the delta for what they append.
+pub fn chrome_trace_builder(records: &[TraceRecord], num_cus: usize) -> TraceBuilder {
     let mut records: Vec<TraceRecord> = records.to_vec();
     records.sort_by_key(|r| r.cycle);
     let end = records.last().map_or(0, |r| r.cycle);
@@ -147,7 +155,7 @@ pub fn chrome_trace(records: &[TraceRecord], num_cus: usize) -> String {
         name_thread(&mut b, cu_pid(cu), wg);
         close_residency(&mut b, &mut occupancy, wg, start, cu, end);
     }
-    b.finish()
+    b
 }
 
 fn instant_details(event: TraceEvent) -> (&'static str, Vec<(&'static str, String)>) {

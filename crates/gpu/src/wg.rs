@@ -163,6 +163,11 @@ pub struct Wg {
     pub last_atomic: Option<Addr>,
     /// Consecutive atomics issued to `last_atomic`.
     pub atomic_streak: u64,
+    /// The WG's current off-CU episode was forced by an injected fault
+    /// (CU loss) rather than chosen by the scheduler. Cleared on the next
+    /// return to `Running`; drives the telemetry attribution ledger's
+    /// fault-stall vs. preempted split.
+    pub fault_evicted: bool,
 }
 
 impl Wg {
@@ -191,6 +196,7 @@ impl Wg {
             wake_pending_check: false,
             last_atomic: None,
             atomic_streak: 0,
+            fault_evicted: false,
         }
     }
 
@@ -282,6 +288,7 @@ impl Wg {
         enc.bool(self.wake_pending_check);
         enc.opt_u64(self.last_atomic);
         enc.u64(self.atomic_streak);
+        enc.bool(self.fault_evicted);
     }
 
     /// Overlays state written by [`Wg::save`] onto this WG (id untouched).
@@ -341,6 +348,7 @@ impl Wg {
         self.wake_pending_check = dec.bool()?;
         self.last_atomic = dec.opt_u64()?;
         self.atomic_streak = dec.u64()?;
+        self.fault_evicted = dec.bool()?;
         Ok(())
     }
 }

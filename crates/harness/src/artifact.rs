@@ -777,6 +777,8 @@ impl Artifact for ExpResult {
             digest_trail,
             snapshots: Vec::new(),
             profile,
+            hot: None,
+            attribution: Vec::new(),
         })
     }
 

@@ -94,9 +94,73 @@ pub fn run_supervised(scale: &Scale, sup: &Supervisor) -> (Report, CampaignProfi
     (r, profile)
 }
 
+/// Host provenance recorded in a bench snapshot, so a trajectory of
+/// `BENCH_*.json` files can be read without guessing what machine and
+/// build produced each point. Absent from snapshots written before the
+/// field existed (they still parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMeta {
+    /// Logical cores available to the host process.
+    pub host_cores: usize,
+    /// Short git revision of the working tree (`"unknown"` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// `"release"` or `"debug"` — comparing across profiles is
+    /// meaningless, and the trajectory table makes that visible.
+    pub cargo_profile: String,
+    /// Number of jobs in the campaign matrix.
+    pub jobs: usize,
+}
+
+impl BenchMeta {
+    /// Captures the current host/build environment for a `jobs`-cell
+    /// campaign.
+    pub fn capture(jobs: usize) -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned());
+        BenchMeta {
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            git_rev,
+            cargo_profile: if cfg!(debug_assertions) {
+                "debug".to_owned()
+            } else {
+                "release".to_owned()
+            },
+            jobs,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("host_cores".to_owned(), Value::Num(self.host_cores as f64)),
+            ("git_rev".to_owned(), Value::Str(self.git_rev.clone())),
+            (
+                "cargo_profile".to_owned(),
+                Value::Str(self.cargo_profile.clone()),
+            ),
+            ("jobs".to_owned(), Value::Num(self.jobs as f64)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(BenchMeta {
+            host_cores: v.get("host_cores")?.as_f64()? as usize,
+            git_rev: v.get("git_rev")?.as_str()?.to_owned(),
+            cargo_profile: v.get("cargo_profile")?.as_str()?.to_owned(),
+            jobs: v.get("jobs")?.as_f64()? as usize,
+        })
+    }
+}
+
 /// Serializes a bench campaign's aggregate as a machine-readable snapshot:
-/// the job list with per-job wall-clocks, the campaign totals, and the
-/// aggregate simulation rate.
+/// the job list with per-job wall-clocks, the campaign totals, the
+/// aggregate simulation rate, and the host provenance [`BenchMeta`].
 pub fn profile_to_json(profile: &CampaignProfile, workers: usize) -> Value {
     let jobs: Vec<Value> = profile
         .timings
@@ -111,6 +175,10 @@ pub fn profile_to_json(profile: &CampaignProfile, workers: usize) -> Value {
     Value::Object(vec![
         ("bench".to_owned(), Value::Str("awg-sim".to_owned())),
         ("workers".to_owned(), Value::Num(workers as f64)),
+        (
+            "meta".to_owned(),
+            BenchMeta::capture(profile.timings.len()).to_json(),
+        ),
         ("jobs".to_owned(), Value::Array(jobs)),
         (
             "total_wall_ns".to_owned(),
@@ -153,6 +221,190 @@ pub fn write_bench_json(
     text.push('\n');
     std::fs::write(&path, text)?;
     Ok(path)
+}
+
+/// A parsed `BENCH_*.json` snapshot — the subset of the document the
+/// trajectory tools need. Snapshots written before [`BenchMeta`] existed
+/// parse with `meta: None`.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Worker-thread count of the campaign pool.
+    pub workers: usize,
+    /// Per-job `(key, wall_ns)` timings.
+    pub jobs: Vec<(String, f64)>,
+    /// Campaign wall-clock, nanoseconds.
+    pub total_wall_ns: f64,
+    /// Total simulated cycles across jobs.
+    pub sim_cycles: f64,
+    /// Total scheduled events across jobs.
+    pub events: f64,
+    /// The headline aggregate: simulated megacycles per host second.
+    pub mcycles_per_sec: f64,
+    /// Host provenance, when the snapshot recorded it.
+    pub meta: Option<BenchMeta>,
+}
+
+impl BenchSnapshot {
+    /// Parses a snapshot document produced by [`profile_to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        if v.get("bench").and_then(Value::as_str) != Some("awg-sim") {
+            return Err("not an awg-sim bench snapshot (missing bench:\"awg-sim\")".into());
+        }
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("snapshot field {key:?} missing or non-numeric"))
+        };
+        let jobs = v
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or("snapshot field \"jobs\" missing")?
+            .iter()
+            .map(|j| {
+                let key = j
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let wall = j.get("wall_ns").and_then(Value::as_f64).unwrap_or(0.0);
+                (key, wall)
+            })
+            .collect();
+        Ok(BenchSnapshot {
+            workers: num("workers")? as usize,
+            jobs,
+            total_wall_ns: num("total_wall_ns")?,
+            sim_cycles: num("sim_cycles")?,
+            events: num("events")?,
+            mcycles_per_sec: num("mcycles_per_sec")?,
+            meta: v.get("meta").and_then(BenchMeta::from_json),
+        })
+    }
+
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Reports unreadable files, invalid JSON, and schema mismatches, each
+    /// prefixed with the path.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let v = awg_sim::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// The verdict of `bench --compare`: the current aggregate rate against a
+/// baseline snapshot under a regression budget.
+#[derive(Debug, Clone)]
+pub struct CompareVerdict {
+    /// Aggregate Mcycles/s of the run being judged.
+    pub current_mcps: f64,
+    /// Aggregate Mcycles/s of the baseline snapshot.
+    pub baseline_mcps: f64,
+    /// Relative delta in percent (positive = faster than baseline).
+    pub delta_pct: f64,
+    /// The regression budget the comparison ran under, in percent.
+    pub max_regress_pct: f64,
+    /// Whether the current rate fell below
+    /// `baseline * (1 - max_regress_pct/100)`.
+    pub regressed: bool,
+}
+
+impl CompareVerdict {
+    /// One-line human rendering (the CLI prints this verbatim).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "compare: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:+.1}%, budget -{:.1}%): {}",
+            self.current_mcps,
+            self.baseline_mcps,
+            self.delta_pct,
+            self.max_regress_pct,
+            if self.regressed { "REGRESSION" } else { "ok" }
+        )
+    }
+}
+
+/// Judges `current_mcps` against `baseline` with a `max_regress_pct`
+/// budget. A run is a regression iff it is more than `max_regress_pct`
+/// percent slower than the baseline aggregate; being faster never trips.
+pub fn compare(
+    current_mcps: f64,
+    baseline: &BenchSnapshot,
+    max_regress_pct: f64,
+) -> CompareVerdict {
+    let baseline_mcps = baseline.mcycles_per_sec;
+    let delta_pct = if baseline_mcps > 0.0 {
+        (current_mcps - baseline_mcps) / baseline_mcps * 100.0
+    } else {
+        0.0
+    };
+    CompareVerdict {
+        current_mcps,
+        baseline_mcps,
+        delta_pct,
+        max_regress_pct,
+        regressed: current_mcps < baseline_mcps * (1.0 - max_regress_pct / 100.0),
+    }
+}
+
+/// Lists `BENCH_*.json` files under `dir`, sorted by filename — the epoch
+/// timestamp in the name makes that chronological order.
+pub fn snapshot_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Renders the host-performance trajectory under `dir` as a markdown
+/// table, one row per `BENCH_*.json` snapshot in chronological order.
+/// Unparseable snapshots become a row noting the error rather than
+/// aborting the whole table.
+///
+/// # Errors
+///
+/// Reports an unreadable directory or an empty trajectory.
+pub fn history_table(dir: &Path) -> Result<String, String> {
+    let paths = snapshot_paths(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if paths.is_empty() {
+        return Err(format!("{}: no BENCH_*.json snapshots", dir.display()));
+    }
+    let mut out = String::from(
+        "| snapshot | Mcycles/s | sim Mcycles | wall ms | workers | jobs | rev | profile |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for path in &paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match BenchSnapshot::read(path) {
+            Ok(s) => {
+                let (rev, profile) = match &s.meta {
+                    Some(m) => (m.git_rev.clone(), m.cargo_profile.clone()),
+                    None => ("-".to_owned(), "-".to_owned()),
+                };
+                out.push_str(&format!(
+                    "| {name} | {:.2} | {:.2} | {:.1} | {} | {} | {rev} | {profile} |\n",
+                    s.mcycles_per_sec,
+                    s.sim_cycles / 1e6,
+                    s.total_wall_ns / 1e6,
+                    s.workers,
+                    s.jobs.len(),
+                ));
+            }
+            Err(e) => out.push_str(&format!("| {name} | unparseable: {e} | | | | | | |\n")),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -208,6 +460,72 @@ mod tests {
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert!(on_disk.ends_with('\n'));
         awg_sim::json::parse(&on_disk).expect("written snapshot parses");
+
+        let snap = BenchSnapshot::read(&path).expect("snapshot round-trips");
+        assert_eq!(snap.workers, 4);
+        assert_eq!(snap.jobs.len(), 1);
+        assert_eq!(snap.sim_cycles, 1_000_000.0);
+        let meta = snap.meta.expect("fresh snapshots carry host meta");
+        assert!(meta.host_cores >= 1);
+        assert_eq!(meta.jobs, 1);
+        assert!(meta.cargo_profile == "debug" || meta.cargo_profile == "release");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_meta_snapshots_still_parse() {
+        // The schema before this PR: no "meta" object.
+        let text = r#"{"bench":"awg-sim","workers":2,"jobs":[{"key":"bench/SPM_G/AWG","wall_ns":3000000}],"total_wall_ns":3000000,"sim_cycles":1000000,"events":500,"mcycles_per_sec":333.3,"events_per_sec":166666.0}"#;
+        let v = awg_sim::json::parse(text).unwrap();
+        let snap = BenchSnapshot::from_json(&v).expect("old snapshots stay parseable");
+        assert!(snap.meta.is_none());
+        assert_eq!(snap.workers, 2);
+        assert!((snap.mcycles_per_sec - 333.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_trips_only_past_the_budget() {
+        let baseline = BenchSnapshot {
+            workers: 2,
+            jobs: Vec::new(),
+            total_wall_ns: 1e9,
+            sim_cycles: 1e9,
+            events: 1e6,
+            mcycles_per_sec: 100.0,
+            meta: None,
+        };
+        // 5% slower under a 10% budget: fine.
+        let v = compare(95.0, &baseline, 10.0);
+        assert!(!v.regressed, "{}", v.summary_line());
+        assert!((v.delta_pct + 5.0).abs() < 1e-9);
+        // 20% slower under a 10% budget: regression.
+        let v = compare(80.0, &baseline, 10.0);
+        assert!(v.regressed, "{}", v.summary_line());
+        assert!(v.summary_line().contains("REGRESSION"));
+        // Faster never trips, even with a zero budget.
+        assert!(!compare(150.0, &baseline, 0.0).regressed);
+    }
+
+    #[test]
+    fn history_table_orders_snapshots_and_tolerates_junk() {
+        let dir = std::env::temp_dir().join(format!("awg-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (stamp, rate) in [(100u64, 10.0), (200, 20.0)] {
+            let text = format!(
+                r#"{{"bench":"awg-sim","workers":1,"jobs":[],"total_wall_ns":1.0,"sim_cycles":1.0,"events":1.0,"mcycles_per_sec":{rate},"events_per_sec":1.0}}"#
+            );
+            std::fs::write(dir.join(format!("BENCH_{stamp}.json")), text).unwrap();
+        }
+        std::fs::write(dir.join("BENCH_150.json"), "not json at all").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), "ignored").unwrap();
+        let table = history_table(&dir).unwrap();
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 2 + 3, "header + separator + three snapshots");
+        assert!(rows[2].contains("BENCH_100.json") && rows[2].contains("10.00"));
+        assert!(rows[3].contains("BENCH_150.json") && rows[3].contains("unparseable"));
+        assert!(rows[4].contains("BENCH_200.json") && rows[4].contains("20.00"));
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(history_table(Path::new("/nonexistent-awg")).is_err());
     }
 }

@@ -11,10 +11,22 @@
 //!                     invariant oracle on (exits 1 on any violation);
 //!                     reports per-job wall-clock and the aggregate
 //!                     simulation rate on stderr
-//!   bench             simulator host-performance matrix: per-job
+//!   bench [--compare FILE [--max-regress PCT]] [--history]
+//!                     simulator host-performance matrix: per-job
 //!                     wall-clock and aggregate cycles/s from the
 //!                     telemetry self-profile; also writes a
-//!                     machine-readable BENCH_<timestamp>.json snapshot
+//!                     machine-readable BENCH_<timestamp>.json snapshot.
+//!                     --compare judges the aggregate Mcycles/s against a
+//!                     baseline snapshot and exits 9 if it fell more than
+//!                     PCT percent below it (default 10). --history skips
+//!                     the campaign and prints the BENCH_*.json trajectory
+//!                     under the snapshot directory as a markdown table
+//!   profile --bench B --policy P [--out FILE]
+//!                     one run under the full performance observatory:
+//!                     ranked event-loop hotspot table (per-event-type
+//!                     wall-time shares summing to 100%) plus the per-WG
+//!                     cycle-attribution ledger; --out writes the
+//!                     machine-readable JSON document
 //!   conformance [--count N] [--gen-seed S] [--expected FILE]
 //!                     classify every policy against the OBE/LOBE/Fair
 //!                     progress models: fixed anchor litmuses plus N
@@ -115,11 +127,11 @@ use awg_harness::{
     conformance,
     exit::{
         exit_table_text, EXIT_CONFORMANCE, EXIT_CORRUPT, EXIT_FAIL, EXIT_HANG, EXIT_INTERRUPTED,
-        EXIT_INVARIANT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE,
+        EXIT_INVARIANT, EXIT_PARTIAL, EXIT_PLAN, EXIT_REGRESSION, EXIT_USAGE,
     },
     fairness, fig05, fig07, fig08, fig09, fig11, fig13, fig14, fig15,
     pool::{CampaignProfile, Pool},
-    priority,
+    priority, profile,
     run::{run_instrumented, ExperimentConfig, Instrumentation},
     shrink,
     supervisor::{CheckpointPolicy, JobLimits, Supervisor},
@@ -156,7 +168,9 @@ fn print_usage() {
         "usage: awg-repro [--quick] [--jobs N] [--out DIR] [--journal FILE | --resume FILE] \
          [--job-deadline SECS] [--job-cycle-budget N] [--retries N] \
          [--checkpoint-dir DIR] [--checkpoint-every N] \
-         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos|bench\
+         <table1|table2|fig5|fig7|fig8|fig9|fig11|fig13|fig14|fig15|ablations|fairness|sweep|priority|chaos\
+         |bench [--compare FILE [--max-regress PCT]] [--history]\
+         |profile --bench B --policy P [--out FILE]\
          |conformance [--count N] [--gen-seed S] [--expected FILE]\
          |shrink <bench> <policy> <seed> [--plan FILE]\
          |replay <plan.json> <bench> <policy>\
@@ -860,9 +874,12 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            // `timeline` owns its `--out FILE`; the global flag is the
-            // CSV directory for report commands.
-            "--out" if command_seen.as_deref() != Some("timeline") => {
+            // `timeline` and `profile` own their `--out FILE`; the global
+            // flag is the CSV directory for report commands.
+            "--out"
+                if command_seen.as_deref() != Some("timeline")
+                    && command_seen.as_deref() != Some("profile") =>
+            {
                 out = Some(PathBuf::from(take_value!()));
             }
             other => {
@@ -981,6 +998,56 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "bench" => {
+            // awg-repro bench [--compare FILE [--max-regress PCT]]
+            //                 [--history]
+            let mut compare_path: Option<PathBuf> = None;
+            let mut max_regress: f64 = 10.0;
+            let mut history = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--history" => history = true,
+                    "--compare" => {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return usage();
+                        };
+                        compare_path = Some(PathBuf::from(value));
+                    }
+                    "--max-regress" => {
+                        i += 1;
+                        let Some(value) = args.get(i) else {
+                            return usage();
+                        };
+                        max_regress = match value.parse::<f64>() {
+                            Ok(p) if p >= 0.0 && p.is_finite() => p,
+                            _ => {
+                                eprintln!(
+                                    "--max-regress must be a non-negative percentage, \
+                                     got '{value}'"
+                                );
+                                return usage();
+                            }
+                        };
+                    }
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let snapshot_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
+            if history {
+                // Trajectory only: no campaign, just the snapshots on disk.
+                return match bench::history_table(&snapshot_dir) {
+                    Ok(table) => {
+                        print!("{table}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("bench --history: {e}");
+                        ExitCode::from(EXIT_FAIL)
+                    }
+                };
+            }
             let t0 = std::time::Instant::now();
             let (report, profile) = bench::run_supervised(&scale, &sup);
             let elapsed = t0.elapsed();
@@ -991,7 +1058,6 @@ fn main() -> ExitCode {
                 return code;
             }
             report_campaign_profile("bench", &profile, sup.pool().jobs(), elapsed);
-            let snapshot_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
             match bench::write_bench_json(&profile, sup.pool().jobs(), &snapshot_dir) {
                 Ok(path) => eprintln!("wrote {}", path.display()),
                 Err(e) => {
@@ -1006,7 +1072,74 @@ fn main() -> ExitCode {
             if sup.incomplete() > 0 {
                 return ExitCode::from(EXIT_PARTIAL);
             }
+            if let Some(path) = compare_path {
+                let baseline = match bench::BenchSnapshot::read(&path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("bench --compare: {e}");
+                        return ExitCode::from(EXIT_FAIL);
+                    }
+                };
+                let verdict =
+                    bench::compare(profile.cycles_per_sec() / 1e6, &baseline, max_regress);
+                eprintln!("[bench] {}", verdict.summary_line());
+                if verdict.regressed {
+                    return ExitCode::from(EXIT_REGRESSION);
+                }
+            }
             ExitCode::SUCCESS
+        }
+        "profile" => {
+            // awg-repro profile --bench B --policy P [--out FILE]
+            let mut bench_kind = None;
+            let mut policy = PolicyKind::Awg;
+            let mut out_path = None;
+            let mut i = 1;
+            while i < args.len() {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return usage();
+                };
+                match flag.as_str() {
+                    "--bench" => {
+                        bench_kind = Some(match parse_benchmark(value) {
+                            Ok(b) => b,
+                            Err(code) => return code,
+                        });
+                    }
+                    "--policy" => {
+                        policy = match parse_policy(value) {
+                            Ok(p) => p,
+                            Err(code) => return code,
+                        };
+                    }
+                    "--out" => out_path = Some(PathBuf::from(value)),
+                    _ => return usage(),
+                }
+                i += 1;
+            }
+            let Some(bench_kind) = bench_kind else {
+                eprintln!("profile requires --bench");
+                return usage();
+            };
+            let p = profile::run_profile(bench_kind, policy, &scale);
+            print!("{}", p.text);
+            if let Some(path) = out_path {
+                let mut text = p.json.to_json();
+                text.push('\n');
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cannot write '{}': {e}", path.display());
+                    return ExitCode::from(EXIT_FAIL);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            if p.result.is_valid_completion() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{} / {:?}", p.result.outcome, p.result.validated);
+                ExitCode::from(EXIT_HANG)
+            }
         }
         "conformance" => {
             // awg-repro conformance [--count N] [--gen-seed S]

@@ -41,6 +41,12 @@ pub const EXIT_CORRUPT: u8 = 7;
 /// `BLESS=1`.
 pub const EXIT_CONFORMANCE: u8 = 8;
 
+/// The bench campaign regressed: aggregate Mcycles/s fell below the
+/// committed baseline snapshot by more than `--max-regress` percent
+/// (`bench --compare <BENCH_*.json>`). Re-bless deliberate slowdowns by
+/// committing a fresh snapshot.
+pub const EXIT_REGRESSION: u8 = 9;
+
 /// The campaign was interrupted (SIGINT/SIGTERM); the journal was flushed
 /// and a resume command printed. 128 + SIGINT(2), the shell convention.
 pub const EXIT_INTERRUPTED: u8 = 130;
@@ -67,6 +73,10 @@ pub const EXIT_TABLE: &[(u8, &str)] = &[
     (
         EXIT_CONFORMANCE,
         "conformance matrix regression (observed matrix differs from the committed expected CSV)",
+    ),
+    (
+        EXIT_REGRESSION,
+        "perf regression (bench aggregate fell below the baseline snapshot by more than --max-regress)",
     ),
     (
         EXIT_INTERRUPTED,
@@ -102,6 +112,7 @@ mod tests {
                 EXIT_PARTIAL,
                 EXIT_CORRUPT,
                 EXIT_CONFORMANCE,
+                EXIT_REGRESSION,
                 EXIT_INTERRUPTED
             ]
         );

@@ -37,6 +37,7 @@ pub mod fig15;
 pub mod journal;
 pub mod pool;
 pub mod priority;
+pub mod profile;
 pub mod report;
 pub mod run;
 pub mod scale;

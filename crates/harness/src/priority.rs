@@ -70,6 +70,8 @@ pub fn run_bursty(
         digest_trail: gpu.digest_trail().to_vec(),
         snapshots: Vec::new(),
         profile: None,
+        hot: None,
+        attribution: Vec::new(),
     }
 }
 

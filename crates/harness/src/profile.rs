@@ -1,0 +1,185 @@
+//! The `profile` workflow: one benchmark × policy run under the full
+//! performance observatory ([`Instrumentation::hotspot`]) — the event-loop
+//! hot profile on the host side and the per-WG cycle-attribution ledger on
+//! the simulated side — rendered as one human-readable report and one
+//! machine-readable JSON document.
+//!
+//! This is the measurement the ROADMAP's event-core rewrite is gated on:
+//! the ranked hotspot table says where the host's time goes, and the
+//! attribution ledger says where the *simulated* cycles go, so a rewrite
+//! (or a policy change) can be judged on both sides from a single run.
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_sim::json::Value;
+use awg_sim::{AttributionCause, Cycle};
+use awg_workloads::BenchmarkKind;
+
+use crate::run::{run_instrumented, ExpResult, ExperimentConfig, Instrumentation};
+use crate::scale::Scale;
+
+/// Everything a profile run produces.
+#[derive(Debug)]
+pub struct ProfileRun {
+    /// The underlying experiment result (hot report and ledger attached).
+    pub result: ExpResult,
+    /// Human-readable report: the ranked hotspot table followed by the
+    /// cycle-attribution ledger.
+    pub text: String,
+    /// Machine-readable document (hand-rolled codec, deterministic key
+    /// order).
+    pub json: Value,
+}
+
+/// Runs `kind` under `policy` with the observatory on and assembles both
+/// renderings.
+pub fn run_profile(kind: BenchmarkKind, policy: PolicyKind, scale: &Scale) -> ProfileRun {
+    let result = run_instrumented(
+        kind,
+        policy,
+        build_policy(policy),
+        scale,
+        ExperimentConfig::NonOversubscribed,
+        None,
+        Instrumentation::hotspot(),
+    );
+    let text = render_text(kind, policy, &result);
+    let json = to_json(kind, policy, &result);
+    ProfileRun { result, text, json }
+}
+
+/// The ledger's elapsed cycles: every WG row sums to this (the hub closes
+/// at the retirement of the last instruction). Zero when telemetry was
+/// off.
+fn ledger_elapsed(result: &ExpResult) -> Cycle {
+    result.attribution.first().map_or(0, |row| row.iter().sum())
+}
+
+fn render_text(kind: BenchmarkKind, policy: PolicyKind, result: &ExpResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} under {} — {}",
+        kind.abbreviation(),
+        policy.label(),
+        result.outcome
+    );
+    match &result.hot {
+        Some(hot) => {
+            let _ = write!(out, "{hot}");
+        }
+        None => {
+            let _ = writeln!(out, "  (hot profile unavailable)");
+        }
+    }
+    let elapsed = ledger_elapsed(result);
+    let wgs = result.attribution.len();
+    let grand = elapsed.saturating_mul(wgs as Cycle);
+    let totals = result.attribution_totals();
+    let _ = writeln!(
+        out,
+        "cycle attribution: {wgs} WGs x {elapsed} cycles (ledger sums to elapsed per WG)"
+    );
+    let _ = writeln!(out, "  {:<12} {:>16} {:>7}", "cause", "cycles", "share");
+    for cause in AttributionCause::ALL {
+        let cycles = totals[cause.index()];
+        let share = if grand > 0 {
+            cycles as f64 / grand as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {:<12} {cycles:>16} {share:>6.1}%", cause.name());
+    }
+    out
+}
+
+fn to_json(kind: BenchmarkKind, policy: PolicyKind, result: &ExpResult) -> Value {
+    let totals = result.attribution_totals();
+    let attribution = Value::Object(vec![
+        (
+            "elapsed_cycles".to_owned(),
+            Value::Num(ledger_elapsed(result) as f64),
+        ),
+        (
+            "wgs".to_owned(),
+            Value::Num(result.attribution.len() as f64),
+        ),
+        (
+            "totals".to_owned(),
+            Value::Object(
+                AttributionCause::ALL
+                    .iter()
+                    .map(|c| (c.name().to_owned(), Value::Num(totals[c.index()] as f64)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Value::Object(vec![
+        ("profile".to_owned(), Value::Str("awg-profile".to_owned())),
+        (
+            "bench".to_owned(),
+            Value::Str(kind.abbreviation().to_owned()),
+        ),
+        ("policy".to_owned(), Value::Str(policy.label())),
+        (
+            "hotspot".to_owned(),
+            result
+                .hot
+                .as_ref()
+                .map(|h| h.to_json())
+                .unwrap_or(Value::Null),
+        ),
+        ("attribution".to_owned(), attribution),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awg_sim::json;
+
+    #[test]
+    fn profile_run_renders_and_serializes() {
+        let p = run_profile(
+            BenchmarkKind::SpinMutexGlobal,
+            PolicyKind::Awg,
+            &Scale::quick(),
+        );
+        assert!(p.result.is_valid_completion(), "{:?}", p.result.outcome);
+        assert!(p.text.contains("hot-profile:"), "{}", p.text);
+        assert!(p.text.contains("cycle attribution:"), "{}", p.text);
+        // Lane shares are normalized, so the rendered table covers 100%.
+        let hot = p.result.hot.as_ref().expect("hot profile on");
+        let share: f64 = hot.lanes.iter().map(|l| l.fraction).sum();
+        assert!((share - 1.0).abs() < 1e-9);
+
+        let text = p.json.to_json();
+        let parsed = json::parse(&text).expect("profile document parses");
+        assert_eq!(
+            parsed.get("profile").and_then(Value::as_str),
+            Some("awg-profile")
+        );
+        let elapsed = parsed
+            .get("attribution")
+            .and_then(|a| a.get("elapsed_cycles"))
+            .and_then(Value::as_f64)
+            .expect("elapsed present");
+        assert!(elapsed > 0.0);
+        let totals = parsed
+            .get("attribution")
+            .and_then(|a| a.get("totals"))
+            .expect("totals present");
+        let wgs = parsed
+            .get("attribution")
+            .and_then(|a| a.get("wgs"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        let sum: f64 = AttributionCause::ALL
+            .iter()
+            .filter_map(|c| totals.get(c.name()).and_then(Value::as_f64))
+            .sum();
+        assert_eq!(sum, elapsed * wgs, "ledger grand total is exact");
+        // Serialization is deterministic.
+        assert_eq!(text, p.json.to_json());
+    }
+}

@@ -1,8 +1,8 @@
 //! The experiment runner: one benchmark × one policy × one scenario.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{CancelCause, FaultPlan, Gpu, InvariantViolation, RunOutcome, Watchdog};
-use awg_sim::{Cycle, MetricSnapshot, ProfileReport, TelemetryConfig};
+use awg_gpu::{CancelCause, FaultPlan, Gpu, HotReport, InvariantViolation, RunOutcome, Watchdog};
+use awg_sim::{Cycle, MetricSnapshot, ProfileReport, TelemetryConfig, ATTRIBUTION_CAUSES};
 use awg_workloads::{BenchmarkKind, BuiltWorkload};
 
 use crate::scale::Scale;
@@ -21,6 +21,11 @@ pub struct Instrumentation {
     /// Enable the telemetry hub (per-WG progress accounting, windowed
     /// metric snapshots, host self-profiling).
     pub telemetry: Option<TelemetryConfig>,
+    /// Enable the event-loop hot profile (per-lane dispatch counts and
+    /// wall time, heap high-water, wake/dispatch scan counts). Like the
+    /// telemetry hub it is a pure observer: digest trails and outcomes
+    /// are unchanged.
+    pub hot_profile: bool,
 }
 
 /// The digest window the chaos harness records at: fine enough to pin a
@@ -39,6 +44,7 @@ impl Instrumentation {
             oracle: true,
             digest_window: Some(DIGEST_WINDOW),
             telemetry: None,
+            hot_profile: false,
         }
     }
 
@@ -55,6 +61,7 @@ impl Instrumentation {
                 snapshot_window: None,
                 profiling: true,
             }),
+            hot_profile: false,
         }
     }
 
@@ -68,6 +75,19 @@ impl Instrumentation {
                 snapshot_window: Some(DIGEST_WINDOW),
                 profiling: true,
             }),
+            hot_profile: false,
+        }
+    }
+
+    /// The performance-observatory configuration: everything
+    /// [`observed`](Self::observed) records plus the event-loop hot
+    /// profile. `awg-repro profile` runs under this so a single run
+    /// yields both the ranked host hotspot table and the per-WG
+    /// cycle-attribution ledger.
+    pub fn hotspot() -> Self {
+        Instrumentation {
+            hot_profile: true,
+            ..Self::observed()
         }
     }
 }
@@ -107,6 +127,13 @@ pub struct ExpResult {
     /// Host self-profiling summary (present only when telemetry profiling
     /// was on).
     pub profile: Option<ProfileReport>,
+    /// Event-loop hot profile (present only when
+    /// [`Instrumentation::hot_profile`] was set).
+    pub hot: Option<HotReport>,
+    /// Per-WG cycle-attribution ledger, indexed by WG id then
+    /// [`AttributionCause`](awg_sim::AttributionCause) index (empty unless
+    /// telemetry was on). Each row sums to the run's elapsed cycles.
+    pub attribution: Vec<[Cycle; ATTRIBUTION_CAUSES]>,
 }
 
 impl ExpResult {
@@ -139,6 +166,18 @@ impl ExpResult {
     /// The cancellation point and cause, if a watchdog cancelled the run.
     pub fn cancelled(&self) -> Option<(Cycle, CancelCause)> {
         self.outcome.cancelled()
+    }
+
+    /// Column sums of the attribution ledger: total cycles spent in each
+    /// [`AttributionCause`](awg_sim::AttributionCause) across all WGs.
+    pub fn attribution_totals(&self) -> [Cycle; ATTRIBUTION_CAUSES] {
+        let mut totals = [0; ATTRIBUTION_CAUSES];
+        for row in &self.attribution {
+            for (t, c) in totals.iter_mut().zip(row) {
+                *t += c;
+            }
+        }
+        totals
     }
 }
 
@@ -258,6 +297,9 @@ pub fn prepare_machine(
     if let Some(config) = instr.telemetry {
         gpu.enable_telemetry(config);
     }
+    if instr.hot_profile {
+        gpu.enable_hot_profile();
+    }
     if let Some(watchdog) = watchdog {
         gpu.set_watchdog(watchdog);
     }
@@ -274,12 +316,21 @@ pub fn collect_result(
     outcome: RunOutcome,
 ) -> ExpResult {
     let validated = built.validate(gpu.backing());
+    let wg_breakdown = gpu.wg_breakdown();
+    let attribution = gpu
+        .telemetry()
+        .map(|h| {
+            (0..wg_breakdown.len())
+                .map(|wg| h.wg_cause_times(wg).unwrap_or([0; ATTRIBUTION_CAUSES]))
+                .collect()
+        })
+        .unwrap_or_default();
     ExpResult {
         kind,
         policy: label,
         outcome,
         validated,
-        wg_breakdown: gpu.wg_breakdown(),
+        wg_breakdown,
         violations: gpu.violations().to_vec(),
         digest_trail: gpu.digest_trail().to_vec(),
         snapshots: gpu
@@ -287,6 +338,8 @@ pub fn collect_result(
             .map(|h| h.snapshots().to_vec())
             .unwrap_or_default(),
         profile: gpu.profile_report(),
+        hot: gpu.hot_report(),
+        attribution,
     }
 }
 

@@ -3,10 +3,17 @@
 //! Chrome-Trace-Format document plus its companion artifacts (windowed
 //! metric snapshots as JSONL, the host self-profile, and the run's stats
 //! with the telemetry distributions absorbed).
+//!
+//! On top of the machine's own export the harness appends one
+//! `wg_attribution` counter track on the global process: at every metric
+//! snapshot boundary, the number of WGs currently in each
+//! [`AttributionCause`] — executing, waiting on sync, preempted, fault
+//! stalled, … — so the cycle-attribution ledger is visible directly in
+//! ui.perfetto.dev alongside occupancy and outstanding atomics.
 
 use awg_core::policies::{build_policy, PolicyKind};
-use awg_gpu::{chrome_trace, expected_counts, Gpu, RunOutcome, TimelineCounts};
-use awg_sim::{ProfileReport, Stats, TelemetryConfig};
+use awg_gpu::{chrome_trace_builder, expected_counts, Gpu, RunOutcome, TimelineCounts};
+use awg_sim::{cycles_to_us, AttributionCause, ProfileReport, Stats, TelemetryConfig};
 use awg_workloads::BenchmarkKind;
 
 use crate::run::DIGEST_WINDOW;
@@ -59,8 +66,21 @@ pub fn run_timeline(
     let outcome = gpu.run();
 
     let records = gpu.trace_records();
-    let json = chrome_trace(&records, scale.gpu.num_cus);
-    let counts = expected_counts(&records);
+    let mut builder = chrome_trace_builder(&records, scale.gpu.num_cus);
+    let mut counts = expected_counts(&records);
+    // Appended counter events are on top of what `expected_counts`
+    // accounts for: one multi-series sample per snapshot boundary.
+    if let Some(hub) = gpu.telemetry() {
+        for s in hub.snapshots() {
+            let series: Vec<(&str, f64)> = AttributionCause::ALL
+                .iter()
+                .map(|c| (c.name(), s.cause_counts[c.index()] as f64))
+                .collect();
+            builder.counter(0, "wg_attribution", cycles_to_us(s.cycle), &series);
+            counts.counters += 1;
+        }
+    }
+    let json = builder.finish();
     let snapshots_jsonl = gpu
         .telemetry()
         .map(|hub| {

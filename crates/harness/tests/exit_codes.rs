@@ -5,7 +5,9 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-use awg_harness::exit::{EXIT_CONFORMANCE, EXIT_CORRUPT, EXIT_PARTIAL, EXIT_PLAN, EXIT_USAGE};
+use awg_harness::exit::{
+    EXIT_CONFORMANCE, EXIT_CORRUPT, EXIT_PARTIAL, EXIT_PLAN, EXIT_REGRESSION, EXIT_USAGE,
+};
 
 fn awg_repro(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_awg-repro"))
@@ -255,6 +257,158 @@ fn clean_restore_verifies_against_the_uninterrupted_run_and_exits_zero() {
         String::from_utf8_lossy(&out.stdout).contains("first_divergence: none"),
         "{out:?}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A hand-written baseline snapshot claiming `mcycles_per_sec`, in the
+/// pre-meta schema (the compare path must accept old snapshots).
+fn synthetic_baseline(dir: &std::path::Path, name: &str, mcycles_per_sec: f64) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        format!(
+            r#"{{"bench":"awg-sim","workers":1,"jobs":[],"total_wall_ns":1.0,"sim_cycles":1.0,"events":1.0,"mcycles_per_sec":{mcycles_per_sec},"events_per_sec":1.0}}"#
+        ),
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn bench_compare_exits_nine_on_regression_and_zero_within_budget() {
+    let dir = temp_dir("bench-compare");
+    // A baseline no container can fail to beat: compare passes, exit 0.
+    let slow = synthetic_baseline(&dir, "slow.json", 1e-6);
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "bench",
+        "--compare",
+        slow.to_str().unwrap(),
+        "--max-regress",
+        "95",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("compare:") && stderr.contains(": ok"),
+        "{stderr}"
+    );
+
+    // A baseline no machine can reach: the same campaign is a regression.
+    let fast = synthetic_baseline(&dir, "fast.json", 1e12);
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "bench",
+        "--compare",
+        fast.to_str().unwrap(),
+        "--max-regress",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(EXIT_REGRESSION as i32), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("REGRESSION"),
+        "{out:?}"
+    );
+
+    // An unreadable baseline is a plain failure, not a regression verdict.
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "bench",
+        "--compare",
+        dir.join("absent.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_history_renders_the_trajectory_without_running_a_campaign() {
+    let dir = temp_dir("bench-history");
+    synthetic_baseline(&dir, "BENCH_100.json", 10.0);
+    synthetic_baseline(&dir, "BENCH_200.json", 20.0);
+    let out = awg_repro(&["bench", "--out", dir.to_str().unwrap(), "--history"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| snapshot |"), "{stdout}");
+    let i100 = stdout.find("BENCH_100.json").expect("first snapshot row");
+    let i200 = stdout.find("BENCH_200.json").expect("second snapshot row");
+    assert!(i100 < i200, "chronological order: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // An empty trajectory is an error, not an empty table.
+    let empty = temp_dir("bench-history-empty");
+    let out = awg_repro(&["bench", "--out", empty.to_str().unwrap(), "--history"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+#[test]
+fn profile_writes_a_parseable_observatory_document() {
+    let dir = temp_dir("profile-json");
+    let json_path = dir.join("observatory.json");
+    let out = awg_repro(&[
+        "--quick",
+        "profile",
+        "--bench",
+        "SPM_G",
+        "--policy",
+        "awg",
+        "--out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hot-profile:"), "{stdout}");
+    assert!(stdout.contains("cycle attribution:"), "{stdout}");
+
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let doc = awg_sim::json::parse(&text).expect("profile document parses");
+    assert_eq!(
+        doc.get("profile").and_then(|v| v.as_str()),
+        Some("awg-profile")
+    );
+    // The ranked hotspot shares sum to ~100%.
+    let lanes = doc
+        .get("hotspot")
+        .and_then(|h| h.get("lanes"))
+        .and_then(|l| l.as_array())
+        .expect("hotspot lanes");
+    let share: f64 = lanes
+        .iter()
+        .filter_map(|l| l.get("fraction").and_then(|f| f.as_f64()))
+        .sum();
+    assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
+    // The attribution ledger's grand total is exactly wgs * elapsed.
+    let attr = doc.get("attribution").expect("attribution object");
+    let elapsed = attr.get("elapsed_cycles").and_then(|v| v.as_f64()).unwrap();
+    let wgs = attr.get("wgs").and_then(|v| v.as_f64()).unwrap();
+    let totals = attr.get("totals").expect("totals object");
+    let sum: f64 = [
+        "queued",
+        "executing",
+        "sync_wait",
+        "sleep_wait",
+        "preempted",
+        "fault_stall",
+        "retired",
+    ]
+    .iter()
+    .filter_map(|c| totals.get(c).and_then(|v| v.as_f64()))
+    .sum();
+    assert!(elapsed > 0.0 && wgs > 0.0);
+    assert_eq!(sum, elapsed * wgs, "sum-to-elapsed through the binary");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -56,11 +56,13 @@ fn telemetry_does_not_perturb_digest_trail() {
         oracle: false,
         digest_window: Some(DIGEST_WINDOW),
         telemetry: None,
+        hot_profile: false,
     };
     let digests_and_telemetry = Instrumentation {
         oracle: false,
         digest_window: Some(DIGEST_WINDOW),
         telemetry: Some(telemetry_on()),
+        hot_profile: true,
     };
     let run = |instr: Instrumentation| {
         run_instrumented(
@@ -80,10 +82,62 @@ fn telemetry_does_not_perturb_digest_trail() {
     assert!(!plain.digest_trail.is_empty());
     assert_eq!(
         plain.digest_trail, observed.digest_trail,
-        "the hub must never feed back into the simulation"
+        "neither the hub nor the hot profile may feed back into the simulation"
     );
     assert!(plain.snapshots.is_empty());
     assert!(!observed.snapshots.is_empty());
+    assert!(plain.hot.is_none());
+    let hot = observed.hot.as_ref().expect("hot profile was enabled");
+    assert!(hot.events_popped > 0);
+    assert!(hot.heap_high_water > 0);
+    // The ranked table is normalized: lane shares must sum to ~100%.
+    let share: f64 = hot.lanes.iter().map(|l| l.fraction).sum();
+    assert!((share - 1.0).abs() < 1e-9, "lane shares sum to {share}");
+}
+
+/// Acceptance: the cycle-attribution ledger sums to elapsed cycles for
+/// every WG, under every policy, with and without injected faults.
+#[test]
+fn attribution_sums_to_elapsed_across_policies_and_chaos() {
+    let scale = Scale::quick();
+    for policy in awg_harness::conformance::policies() {
+        for plan in [None, Some(awg_harness::chaos::plan_for(policy, &scale, 11))] {
+            let chaotic = plan.is_some();
+            let r = run_instrumented(
+                BenchmarkKind::SpinMutexGlobal,
+                policy,
+                build_policy(policy),
+                &scale,
+                ExperimentConfig::NonOversubscribed,
+                plan,
+                Instrumentation::hotspot(),
+            );
+            // Baseline-family policies may legitimately hang under chaos;
+            // the ledger identity must still hold at the abort cycle, so
+            // elapsed comes from the ledger and is cross-checked against
+            // the outcome (the hub closes at the retirement of the last
+            // instruction, at or past the final scheduled event).
+            let elapsed: Cycle = r.attribution[0].iter().sum();
+            assert!(
+                elapsed >= r.outcome.summary().cycles,
+                "{policy:?} chaos={chaotic}: ledger closes at {elapsed}, before {}",
+                r.outcome.summary().cycles
+            );
+            assert!(!r.attribution.is_empty(), "{policy:?} chaos={chaotic}");
+            for (wg, row) in r.attribution.iter().enumerate() {
+                let total: Cycle = row.iter().sum();
+                assert_eq!(
+                    total, elapsed,
+                    "{policy:?} chaos={chaotic} wg {wg}: causes {row:?} must sum to {elapsed}"
+                );
+            }
+            let totals = r.attribution_totals();
+            assert_eq!(
+                totals.iter().sum::<Cycle>(),
+                elapsed * r.attribution.len() as Cycle
+            );
+        }
+    }
 }
 
 /// The wake-to-resume histogram lands in the run report's stats whenever a

@@ -52,7 +52,7 @@ pub use fingerprint::{first_divergence, Fingerprint64};
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{CounterId, DistId, DistSummary, HistId, Stats};
 pub use telemetry::{
-    MetricSnapshot, ProfileReport, ProgressState, SnapshotSample, Subsystem, TelemetryConfig,
-    TelemetryHub,
+    AttributionCause, MetricSnapshot, ProfileReport, ProgressState, SnapshotSample, Subsystem,
+    TelemetryConfig, TelemetryHub, ATTRIBUTION_CAUSES,
 };
 pub use time::{cycles_to_ns, cycles_to_us, us_to_cycles, Cycle, BASELINE_CLOCK_GHZ};

@@ -98,6 +98,82 @@ impl ProgressState {
     }
 }
 
+/// Number of [`AttributionCause`] classes.
+pub const ATTRIBUTION_CAUSES: usize = 7;
+
+/// *Why* a work-group's cycles went where they went.
+///
+/// [`ProgressState`] answers "what was the WG doing"; the attribution
+/// ledger answers "whose fault was it". The machine layer classifies each
+/// state transition into one of these causes (e.g. a swap-out forced by a
+/// CU loss is [`FaultStall`](Self::FaultStall), the same swap-out chosen
+/// by the scheduler under oversubscription is
+/// [`Preempted`](Self::Preempted)). Per WG, the per-cause cycle totals sum
+/// to the run's elapsed cycles — the same invariant the state accounting
+/// satisfies. A WG that never executed a single cycle spent its whole run
+/// in [`Queued`](Self::Queued): that is the "never dispatched" signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributionCause {
+    /// Waiting for first (or repeat) dispatch; no blame assignable yet.
+    Queued,
+    /// Resident and retiring instructions — the only productive cause.
+    Executing,
+    /// Blocked on a synchronization dependency (lock holder, barrier
+    /// peers, monitored line).
+    SyncWait,
+    /// Voluntarily descheduled (S_SLEEP backoff).
+    SleepWait,
+    /// Scheduler-induced preemption: swap traffic and off-CU residence
+    /// chosen by the policy, not forced by a fault.
+    Preempted,
+    /// Stall caused by an injected fault (CU loss eviction and the swap
+    /// traffic it forces).
+    FaultStall,
+    /// Retired; cycles after the WG finished.
+    Retired,
+}
+
+impl AttributionCause {
+    /// All causes in a fixed order (matches each cause's
+    /// [`index`](Self::index)).
+    pub const ALL: [AttributionCause; ATTRIBUTION_CAUSES] = [
+        AttributionCause::Queued,
+        AttributionCause::Executing,
+        AttributionCause::SyncWait,
+        AttributionCause::SleepWait,
+        AttributionCause::Preempted,
+        AttributionCause::FaultStall,
+        AttributionCause::Retired,
+    ];
+
+    /// Stable index of this cause in `[0, ATTRIBUTION_CAUSES)`.
+    pub fn index(self) -> usize {
+        match self {
+            AttributionCause::Queued => 0,
+            AttributionCause::Executing => 1,
+            AttributionCause::SyncWait => 2,
+            AttributionCause::SleepWait => 3,
+            AttributionCause::Preempted => 4,
+            AttributionCause::FaultStall => 5,
+            AttributionCause::Retired => 6,
+        }
+    }
+
+    /// Lower-case identifier used in stat names, JSONL keys, and counter
+    /// track series.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributionCause::Queued => "queued",
+            AttributionCause::Executing => "executing",
+            AttributionCause::SyncWait => "sync_wait",
+            AttributionCause::SleepWait => "sleep_wait",
+            AttributionCause::Preempted => "preempted",
+            AttributionCause::FaultStall => "fault_stall",
+            AttributionCause::Retired => "retired",
+        }
+    }
+}
+
 /// Direction of a context switch, for overhead attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwapDir {
@@ -135,6 +211,9 @@ struct WgAccount {
     state: ProgressState,
     since: Cycle,
     time: [Cycle; PROGRESS_STATES],
+    cause: AttributionCause,
+    cause_since: Cycle,
+    cause_time: [Cycle; ATTRIBUTION_CAUSES],
     /// Cycle of the earliest wake notification not yet consumed by a
     /// transition back to `Running`.
     wake_pending: Option<Cycle>,
@@ -146,6 +225,9 @@ impl WgAccount {
             state: ProgressState::Queued,
             since: 0,
             time: [0; PROGRESS_STATES],
+            cause: AttributionCause::Queued,
+            cause_since: 0,
+            cause_time: [0; ATTRIBUTION_CAUSES],
             wake_pending: None,
         }
     }
@@ -165,6 +247,9 @@ pub struct SnapshotSample {
     /// Number of WGs currently in each [`ProgressState`] (indexed by
     /// [`ProgressState::index`]).
     pub state_counts: [u64; PROGRESS_STATES],
+    /// Number of WGs currently attributed to each [`AttributionCause`]
+    /// (indexed by [`AttributionCause::index`]).
+    pub cause_counts: [u64; ATTRIBUTION_CAUSES],
     /// Cumulative atomic operations executed since the start of the run.
     pub atomics_total: u64,
     /// Cumulative swap-outs initiated since the start of the run.
@@ -186,6 +271,9 @@ pub struct MetricSnapshot {
     /// WGs in each [`ProgressState`] at the window boundary (indexed by
     /// [`ProgressState::index`]).
     pub state_counts: [u64; PROGRESS_STATES],
+    /// WGs attributed to each [`AttributionCause`] at the window boundary
+    /// (indexed by [`AttributionCause::index`]).
+    pub cause_counts: [u64; ATTRIBUTION_CAUSES],
     /// Atomic operations executed during the window.
     pub atomics: u64,
     /// Swap-outs initiated during the window.
@@ -198,7 +286,9 @@ impl MetricSnapshot {
     /// Renders this snapshot as a single JSONL line (no trailing newline).
     ///
     /// Schema: `{"cycle":C,"window":W,"occupancy":[..],"states":{"queued":N,
-    /// ...},"atomics":A,"swap_outs":O,"swap_ins":I}`.
+    /// ...},"attribution":{"executing":N,...},"atomics":A,"swap_outs":O,
+    /// "swap_ins":I}` (the `attribution` object is additive over the PR 3
+    /// schema, so old consumers keep parsing).
     pub fn to_jsonl(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -219,6 +309,13 @@ impl MetricSnapshot {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{}", state.name(), self.state_counts[i]);
+        }
+        out.push_str("},\"attribution\":{");
+        for (i, cause) in AttributionCause::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", cause.name(), self.cause_counts[i]);
         }
         let _ = write!(
             out,
@@ -447,6 +544,21 @@ impl TelemetryHub {
         }
     }
 
+    /// Attributes work-group `wg`'s cycles to `cause` from cycle `at`
+    /// onward, closing the previously open cause interval.
+    ///
+    /// Like [`transition`](Self::transition), the first call implicitly
+    /// opens an [`AttributionCause::Queued`] interval at cycle 0, so the
+    /// per-WG cause times always sum to the run's elapsed cycles.
+    pub fn attribute(&mut self, wg: usize, cause: AttributionCause, at: Cycle) {
+        self.latest = self.latest.max(at);
+        let a = self.account(wg);
+        let idx = a.cause.index();
+        a.cause_time[idx] += at.saturating_sub(a.cause_since);
+        a.cause = cause;
+        a.cause_since = at;
+    }
+
     /// Records that a wake notification for `wg` fired at cycle `at`.
     ///
     /// Only the earliest un-consumed wake is kept; the latency is observed
@@ -494,6 +606,7 @@ impl TelemetryHub {
             window,
             occupancy: sample.occupancy,
             state_counts: sample.state_counts,
+            cause_counts: sample.cause_counts,
             atomics: sample.atomics_total.saturating_sub(self.prev_atomics),
             swap_outs: sample.swap_outs_total.saturating_sub(self.prev_swap_outs),
             swap_ins: sample.swap_ins_total.saturating_sub(self.prev_swap_ins),
@@ -552,6 +665,9 @@ impl TelemetryHub {
             let idx = a.state.index();
             a.time[idx] += end.saturating_sub(a.since);
             a.since = end;
+            let idx = a.cause.index();
+            a.cause_time[idx] += end.saturating_sub(a.cause_since);
+            a.cause_since = end;
         }
         for state in ProgressState::ALL {
             let d = self
@@ -559,6 +675,15 @@ impl TelemetryHub {
                 .dist(&format!("telemetry_wg_cycles_{}", state.name()));
             for wg in 0..self.wgs.len() {
                 let t = self.wgs[wg].time[state.index()];
+                self.stats.sample(d, t);
+            }
+        }
+        for cause in AttributionCause::ALL {
+            let d = self
+                .stats
+                .dist(&format!("telemetry_wg_attr_{}", cause.name()));
+            for wg in 0..self.wgs.len() {
+                let t = self.wgs[wg].cause_time[cause.index()];
                 self.stats.sample(d, t);
             }
         }
@@ -575,6 +700,25 @@ impl TelemetryHub {
     /// if the hub has seen that WG.
     pub fn wg_state_times(&self, wg: usize) -> Option<[Cycle; PROGRESS_STATES]> {
         self.wgs.get(wg).map(|a| a.time)
+    }
+
+    /// Per-WG cycle-attribution totals (indexed by
+    /// [`AttributionCause::index`]), if the hub has seen that WG.
+    pub fn wg_cause_times(&self, wg: usize) -> Option<[Cycle; ATTRIBUTION_CAUSES]> {
+        self.wgs.get(wg).map(|a| a.cause_time)
+    }
+
+    /// Machine-wide cycle-attribution totals: the per-cause sums across
+    /// every accounted WG. After [`finalize`](Self::finalize) the grand
+    /// total equals `wg_count() * end_cycle`.
+    pub fn cause_totals(&self) -> [Cycle; ATTRIBUTION_CAUSES] {
+        let mut totals = [0; ATTRIBUTION_CAUSES];
+        for a in &self.wgs {
+            for (t, &c) in totals.iter_mut().zip(a.cause_time.iter()) {
+                *t += c;
+            }
+        }
+        totals
     }
 
     /// Number of WGs the hub has accounted.
@@ -606,6 +750,11 @@ impl TelemetryHub {
             for &t in &a.time {
                 enc.u64(t);
             }
+            enc.u8(a.cause.index() as u8);
+            enc.u64(a.cause_since);
+            for &t in &a.cause_time {
+                enc.u64(t);
+            }
             enc.opt_u64(a.wake_pending);
         }
         enc.opt_u64(self.snapshot_next);
@@ -621,6 +770,9 @@ impl TelemetryHub {
                 enc.u32(o);
             }
             for &c in &s.state_counts {
+                enc.u64(c);
+            }
+            for &c in &s.cause_counts {
                 enc.u64(c);
             }
             enc.u64(s.atomics);
@@ -642,7 +794,7 @@ impl TelemetryHub {
         let mut stats_dec = Dec::new(stats_bytes);
         self.stats = Stats::load(&mut stats_dec)?;
         stats_dec.finish()?;
-        let n = dec.count(1 + 8 + 8 * PROGRESS_STATES + 1)?;
+        let n = dec.count(1 + 8 + 8 * PROGRESS_STATES + 1 + 8 + 8 * ATTRIBUTION_CAUSES + 1)?;
         self.wgs.clear();
         for _ in 0..n {
             let idx = dec.u8()? as usize;
@@ -654,11 +806,23 @@ impl TelemetryHub {
             for t in time.iter_mut() {
                 *t = dec.u64()?;
             }
+            let idx = dec.u8()? as usize;
+            let cause = *AttributionCause::ALL
+                .get(idx)
+                .ok_or_else(|| CodecError::Invalid(format!("attribution cause {idx}")))?;
+            let cause_since = dec.u64()?;
+            let mut cause_time = [0; ATTRIBUTION_CAUSES];
+            for t in cause_time.iter_mut() {
+                *t = dec.u64()?;
+            }
             let wake_pending = dec.opt_u64()?;
             self.wgs.push(WgAccount {
                 state,
                 since,
                 time,
+                cause,
+                cause_since,
+                cause_time,
                 wake_pending,
             });
         }
@@ -666,7 +830,7 @@ impl TelemetryHub {
         self.prev_atomics = dec.u64()?;
         self.prev_swap_outs = dec.u64()?;
         self.prev_swap_ins = dec.u64()?;
-        let n = dec.count(8 * (2 + PROGRESS_STATES + 3) + 8)?;
+        let n = dec.count(8 * (2 + PROGRESS_STATES + ATTRIBUTION_CAUSES + 3) + 8)?;
         self.snapshots.clear();
         for _ in 0..n {
             let cycle = dec.u64()?;
@@ -680,11 +844,16 @@ impl TelemetryHub {
             for c in state_counts.iter_mut() {
                 *c = dec.u64()?;
             }
+            let mut cause_counts = [0; ATTRIBUTION_CAUSES];
+            for c in cause_counts.iter_mut() {
+                *c = dec.u64()?;
+            }
             self.snapshots.push(MetricSnapshot {
                 cycle,
                 window,
                 occupancy,
                 state_counts,
+                cause_counts,
                 atomics: dec.u64()?,
                 swap_outs: dec.u64()?,
                 swap_ins: dec.u64()?,
@@ -891,20 +1060,21 @@ mod tests {
         hub.push_snapshot(SnapshotSample {
             cycle: 100,
             occupancy: vec![2, 1],
-            state_counts: [0; PROGRESS_STATES],
             atomics_total: 40,
             swap_outs_total: 1,
             swap_ins_total: 0,
+            ..SnapshotSample::default()
         });
         assert_eq!(hub.due_snapshot(150), None);
         assert_eq!(hub.due_snapshot(230), Some(200));
         hub.push_snapshot(SnapshotSample {
             cycle: 200,
             occupancy: vec![2, 2],
-            state_counts: [0; PROGRESS_STATES],
+            cause_counts: [1, 2, 0, 0, 0, 0, 1],
             atomics_total: 90,
             swap_outs_total: 3,
             swap_ins_total: 2,
+            ..SnapshotSample::default()
         });
         let snaps = hub.snapshots();
         assert_eq!(snaps.len(), 2);
@@ -918,6 +1088,49 @@ mod tests {
         assert_eq!(parsed.get("atomics").unwrap().as_f64(), Some(50.0));
         let states = parsed.get("states").unwrap();
         assert_eq!(states.get("running").unwrap().as_f64(), Some(0.0));
+        let attr = parsed.get("attribution").unwrap();
+        assert_eq!(attr.get("executing").unwrap().as_f64(), Some(2.0));
+        assert_eq!(attr.get("retired").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn cause_times_sum_to_elapsed() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        hub.ensure_wgs(3);
+        hub.attribute(0, AttributionCause::Executing, 100);
+        hub.attribute(0, AttributionCause::SyncWait, 250);
+        hub.attribute(0, AttributionCause::Executing, 400);
+        hub.attribute(0, AttributionCause::Retired, 900);
+        hub.attribute(1, AttributionCause::Executing, 50);
+        hub.attribute(1, AttributionCause::FaultStall, 300);
+        // WG 2 never dispatches: all cycles stay Queued.
+        hub.finalize(1000);
+        for wg in 0..hub.wg_count() {
+            let times = hub.wg_cause_times(wg).unwrap();
+            let total: Cycle = times.iter().sum();
+            assert_eq!(total, 1000, "wg {wg} cause times must sum to elapsed");
+        }
+        let t0 = hub.wg_cause_times(0).unwrap();
+        assert_eq!(t0[AttributionCause::Queued.index()], 100);
+        assert_eq!(t0[AttributionCause::Executing.index()], 150 + 500);
+        assert_eq!(t0[AttributionCause::SyncWait.index()], 150);
+        assert_eq!(t0[AttributionCause::Retired.index()], 100);
+        let t1 = hub.wg_cause_times(1).unwrap();
+        assert_eq!(t1[AttributionCause::FaultStall.index()], 700);
+        let t2 = hub.wg_cause_times(2).unwrap();
+        assert_eq!(t2[AttributionCause::Queued.index()], 1000);
+        assert_eq!(
+            t2[AttributionCause::Executing.index()],
+            0,
+            "never dispatched"
+        );
+        let totals = hub.cause_totals();
+        assert_eq!(totals.iter().sum::<Cycle>(), 3 * 1000);
+        // finalize publishes per-cause distributions.
+        assert!(hub
+            .stats()
+            .dist_summary_by_name("telemetry_wg_attr_executing")
+            .is_some());
     }
 
     #[test]
@@ -975,12 +1188,14 @@ mod tests {
         let mut hub = TelemetryHub::new(config);
         hub.ensure_wgs(3);
         hub.transition(0, ProgressState::Running, 10);
+        hub.attribute(0, AttributionCause::Executing, 10);
         hub.note_wake(1, 40);
         hub.note_ctx_switch(SwapDir::Out, 120, 30, 5);
         hub.push_snapshot(SnapshotSample {
             cycle: 100,
             occupancy: vec![2, 1],
             state_counts: [1, 1, 0, 0, 0, 0, 0, 1],
+            cause_counts: [2, 1, 0, 0, 0, 0, 0],
             atomics_total: 40,
             swap_outs_total: 1,
             swap_ins_total: 0,
@@ -997,10 +1212,12 @@ mod tests {
         // Continue both identically; outcomes must match exactly.
         for h in [&mut hub, &mut restored] {
             h.transition(1, ProgressState::Running, 130);
+            h.attribute(1, AttributionCause::Executing, 130);
             h.push_snapshot(SnapshotSample {
                 cycle: 200,
                 occupancy: vec![2, 2],
                 state_counts: [0, 2, 0, 0, 0, 0, 0, 1],
+                cause_counts: [1, 2, 0, 0, 0, 0, 0],
                 atomics_total: 90,
                 swap_outs_total: 3,
                 swap_ins_total: 2,
@@ -1012,6 +1229,7 @@ mod tests {
         assert_eq!(restored.stats().to_string(), hub.stats().to_string());
         for wg in 0..hub.wg_count() {
             assert_eq!(restored.wg_state_times(wg), hub.wg_state_times(wg));
+            assert_eq!(restored.wg_cause_times(wg), hub.wg_cause_times(wg));
         }
         // And the re-encoding is a fixed point.
         let mut e1 = Enc::new();
