@@ -261,7 +261,7 @@ impl std::fmt::Display for HotReport {
         )?;
         writeln!(
             f,
-            "  event loop: {} popped, {} pushed, heap high-water {}",
+            "  event loop: {} popped, {} pushed, calendar high-water {}",
             self.events_popped, self.events_pushed, self.heap_high_water
         )?;
         writeln!(
@@ -378,7 +378,7 @@ mod tests {
         for name in LANE_NAMES {
             assert!(text.contains(name), "{text}");
         }
-        assert!(text.contains("heap high-water"), "{text}");
+        assert!(text.contains("calendar high-water"), "{text}");
         assert!(text.contains("share"), "{text}");
     }
 }

@@ -222,6 +222,17 @@ pub struct Gpu {
     pub(crate) pending: VecDeque<WgId>,
     pub(crate) ready: VecDeque<WgId>,
     pub(crate) finished: usize,
+    /// Struct-of-arrays census of WG scheduling states, indexed by
+    /// [`WgState::census_index`]. Maintained incrementally by
+    /// [`Gpu::set_wg_state`] so hot policy-context assembly (every store
+    /// and atomic) reads a counter instead of scanning every WG; the
+    /// invariant oracle cross-checks it against the per-WG ground truth.
+    /// Derived state: never serialized, rebuilt on restore.
+    pub(crate) state_census: [usize; WgState::ALL.len()],
+    /// Reusable oracle sweep buffers (generation-marked scratch arrays).
+    /// Host-only, like `hotprof`: never serialized, never read by the
+    /// simulation itself.
+    pub(crate) oracle_scratch: std::cell::RefCell<crate::oracle::OracleScratch>,
     last_progress: Cycle,
     resumes: u64,
     unnecessary_resumes: u64,
@@ -303,19 +314,27 @@ impl Gpu {
             l2.backing_mut().store(addr, value);
         }
         let pending = (0..kernel.num_wgs as WgId).collect();
+        // Pre-size the event arena from the machine's shape: steady state
+        // holds a few in-flight events per work-group (response, wake,
+        // timeout) plus token-stale timeout residue, well under 8 per WG.
+        let event_capacity = (kernel.num_wgs as usize).saturating_mul(8) + 64;
+        let mut state_census = [0usize; WgState::ALL.len()];
+        state_census[WgState::Pending.census_index()] = kernel.num_wgs as usize;
         Ok(Gpu {
             config,
             kernel,
             l2,
             cus,
             wgs,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(event_capacity),
             now: 0,
             policy,
             stats: Stats::new(),
             pending,
             ready: VecDeque::new(),
             finished: 0,
+            state_census,
+            oracle_scratch: std::cell::RefCell::new(Default::default()),
             last_progress: 0,
             resumes: 0,
             unnecessary_resumes: 0,
@@ -560,6 +579,11 @@ impl Gpu {
         for wg in &mut self.wgs {
             wg.load(dec)?;
         }
+        // The census is derived state: rebuild it from the restored WGs.
+        self.state_census = [0; WgState::ALL.len()];
+        for wg in &self.wgs {
+            self.state_census[wg.state.census_index()] += 1;
+        }
         let n_events = dec.count(10)?;
         let mut entries = Vec::with_capacity(n_events);
         for _ in 0..n_events {
@@ -776,6 +800,15 @@ impl Gpu {
     /// The per-window digest trail recorded so far.
     pub fn digest_trail(&self) -> &[u64] {
         &self.digest_trail
+    }
+
+    /// Calendar-queue observability: `(pending events, overflow-tier
+    /// events, free-list holes)`. Checkpoint tests use this to prove their
+    /// snapshots exercise the far-future overflow tier and a fragmented
+    /// arena, not just the near-future wheel.
+    pub fn calendar_stats(&self) -> (usize, usize, usize) {
+        let (_slots, holes) = self.events.arena_stats();
+        (self.events.len(), self.events.overflow_len(), holes)
     }
 
     /// Order-sensitive digest of the machine's architectural state: queues,
@@ -998,10 +1031,10 @@ impl Gpu {
     // ---------------------------------------------------------------------
 
     fn swapped_waiting_count(&self) -> usize {
-        self.wgs
-            .iter()
-            .filter(|w| w.state == WgState::SwappedWaiting)
-            .count()
+        // O(1) via the SoA census — this runs on every store and atomic
+        // (policy-context assembly), where the old per-WG scan dominated
+        // the wake lane at fig15 grid sizes.
+        self.state_census[WgState::SwappedWaiting.census_index()]
     }
 
     /// Runs `f` with a freshly assembled [`PolicyCtx`].
@@ -1291,6 +1324,8 @@ impl Gpu {
     /// the machine's own.
     fn set_wg_state(&mut self, wg: WgId, state: WgState, at: Cycle) {
         let wgu = wg as usize;
+        self.state_census[self.wgs[wgu].state.census_index()] -= 1;
+        self.state_census[state.census_index()] += 1;
         self.wgs[wgu].set_state(state, at);
         if state == WgState::Running {
             // The fault's eviction episode ends when the WG runs again.

@@ -26,13 +26,50 @@
 //! CI, where catching a corrupted schedule at the first bad event is worth
 //! the slowdown.
 
-use std::collections::{HashMap, HashSet};
-
 use awg_sim::Cycle;
 
 use crate::machine::{Event, Gpu};
 use crate::policy::WaiterStructure;
-use crate::wg::{WgId, WgState};
+use crate::wg::WgState;
+
+/// Reusable generation-marked scratch buffers for the invariant sweep.
+///
+/// The sweep runs after *every* scheduling event when the oracle is on, so
+/// per-sweep `HashMap`/`HashSet` allocations were the dominant cost of
+/// every checked campaign. Each sweep bumps `gen` once; a per-WG cell
+/// "contains" its mark iff it equals the current generation, which resets
+/// every array in O(1) without touching memory.
+#[derive(Debug, Default)]
+pub(crate) struct OracleScratch {
+    gen: u64,
+    /// Queue-membership marks (`gen * 2 + queue_index`), so the pending
+    /// and ready queues get independent duplicate detection per sweep.
+    queue_mark: Vec<u64>,
+    /// CU-placement marks plus the placing CU, for duplicate residency.
+    placed_mark: Vec<u64>,
+    placed_cu: Vec<u32>,
+    /// Waiter-registration marks (duplicate registration detection).
+    registered_mark: Vec<u64>,
+    /// Waiters with no wake path *yet*: set while scanning WGs, cleared by
+    /// the event-calendar scan when a pending token-valid rescue is found.
+    rescue_mark: Vec<u64>,
+}
+
+impl OracleScratch {
+    /// Starts a sweep over `n` WGs: bumps the generation and (once per
+    /// machine size) grows the mark arrays.
+    fn begin(&mut self, n: usize) -> u64 {
+        self.gen += 1;
+        if self.queue_mark.len() < n {
+            self.queue_mark.resize(n, 0);
+            self.placed_mark.resize(n, 0);
+            self.placed_cu.resize(n, 0);
+            self.registered_mark.resize(n, 0);
+            self.rescue_mark.resize(n, 0);
+        }
+        self.gen
+    }
+}
 
 /// Which machine-wide invariant was violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +136,20 @@ impl Gpu {
     /// machine runs it after every scheduling event and accumulates the
     /// findings in [`violations`](Gpu::violations).
     pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut scratch = self.oracle_scratch.borrow_mut();
+        self.check_invariants_with(&mut scratch)
+    }
+
+    /// The sweep body, working out of caller-owned scratch buffers. One
+    /// fused pass over the WGs feeds every census-style count; membership
+    /// sets are generation marks; the event-calendar scan for waiter
+    /// reachability only runs when some waiter actually lacks a
+    /// registration and a landed wake. The checks, their order, and their
+    /// reported details are exactly the original allocating sweep's.
+    pub(crate) fn check_invariants_with(
+        &self,
+        scratch: &mut OracleScratch,
+    ) -> Vec<InvariantViolation> {
         let mut out = Vec::new();
         let mut report = |kind: InvariantKind, detail: String| {
             out.push(InvariantViolation {
@@ -107,9 +158,17 @@ impl Gpu {
                 detail,
             });
         };
+        let gen = scratch.begin(self.wgs.len());
 
         // -- WG conservation: queues agree with states ---------------------
-        let count_state = |s: WgState| self.wgs.iter().filter(|w| w.state == s).count();
+        // One scan computes the ground-truth census every later check reads
+        // (deliberately *not* the machine's incremental `state_census`,
+        // which is itself under test below).
+        let mut counts = [0usize; WgState::ALL.len()];
+        for w in &self.wgs {
+            counts[w.state.census_index()] += 1;
+        }
+        let count_state = |s: WgState| counts[s.census_index()];
         let finished_states = count_state(WgState::Finished);
         if finished_states != self.finished {
             report(
@@ -120,17 +179,26 @@ impl Gpu {
                 ),
             );
         }
-        for (queue, name, state) in [
+        for (qi, (queue, name, state)) in [
             (&self.pending, "pending", WgState::Pending),
             (&self.ready, "ready", WgState::ReadySwapped),
-        ] {
-            let mut seen = HashSet::new();
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // Marks are `gen * 2 + qi`, so each queue gets its own
+            // duplicate-detection set without a second generation bump.
+            let mark = gen * 2 + qi as u64;
+            let mut distinct = 0usize;
             for &wg in queue {
-                if !seen.insert(wg) {
+                if scratch.queue_mark[wg as usize] == mark {
                     report(
                         InvariantKind::WgAccounting,
                         format!("WG {wg} queued twice in the {name} queue"),
                     );
+                } else {
+                    scratch.queue_mark[wg as usize] = mark;
+                    distinct += 1;
                 }
                 let actual = self.wgs[wg as usize].state;
                 if actual != state {
@@ -141,13 +209,12 @@ impl Gpu {
                 }
             }
             let in_state = count_state(state);
-            if in_state != seen.len() {
+            if in_state != distinct {
                 report(
                     InvariantKind::WgAccounting,
                     format!(
                         "{} WGs in state {state:?} but {} in the {name} queue",
-                        in_state,
-                        seen.len()
+                        in_state, distinct
                     ),
                 );
             }
@@ -155,15 +222,21 @@ impl Gpu {
 
         // -- CU residency and occupancy ------------------------------------
         let req = &self.kernel.resources;
-        let mut placed: HashMap<WgId, usize> = HashMap::new();
+        let mut placed_count = 0usize;
         for cu in &self.cus {
             for &wg in cu.resident() {
-                if let Some(prev) = placed.insert(wg, cu.id()) {
+                let wgu = wg as usize;
+                if scratch.placed_mark[wgu] == gen {
+                    let prev = scratch.placed_cu[wgu] as usize;
                     report(
                         InvariantKind::CuResidency,
                         format!("WG {wg} resident on CU {prev} and CU {}", cu.id()),
                     );
+                } else {
+                    scratch.placed_mark[wgu] = gen;
+                    placed_count += 1;
                 }
+                scratch.placed_cu[wgu] = cu.id() as u32;
                 let w = &self.wgs[wg as usize];
                 if w.cu != Some(cu.id()) {
                     report(
@@ -219,7 +292,7 @@ impl Gpu {
             }
         }
         for w in &self.wgs {
-            if holds_cu(w.state) && !placed.contains_key(&w.id) {
+            if holds_cu(w.state) && scratch.placed_mark[w.id as usize] != gen {
                 report(
                     InvariantKind::CuResidency,
                     format!("WG {} in state {:?} but resident on no CU", w.id, w.state),
@@ -231,7 +304,7 @@ impl Gpu {
         let swapped_waiting = count_state(WgState::SwappedWaiting);
         let homes = self.pending.len()
             + self.ready.len()
-            + placed.len()
+            + placed_count
             + swapped_waiting
             + finished_states;
         if homes as u64 != self.kernel.num_wgs {
@@ -242,7 +315,7 @@ impl Gpu {
                      {finished_states} finished != {} WGs",
                     self.pending.len(),
                     self.ready.len(),
-                    placed.len(),
+                    placed_count,
                     self.kernel.num_wgs
                 ),
             );
@@ -250,15 +323,15 @@ impl Gpu {
 
         // -- Waiter registrations ------------------------------------------
         let registry = self.policy.waiter_registry();
-        let mut registered: HashSet<WgId> = HashSet::new();
         for (wg, rec) in &registry {
-            if !registered.insert(*wg) {
+            if scratch.registered_mark[*wg as usize] == gen {
                 report(
                     InvariantKind::DuplicateRegistration,
                     format!("WG {wg} registered in more than one wait structure"),
                 );
                 continue;
             }
+            scratch.registered_mark[*wg as usize] = gen;
             let state = self.wgs[*wg as usize].state;
             if matches!(
                 state,
@@ -284,25 +357,54 @@ impl Gpu {
         }
 
         // -- Reachability: every waiter has some wake path -----------------
-        let mut pending_rescue: HashSet<(WgId, u64)> = HashSet::new();
-        for (_, ev) in self.events.iter() {
-            if let Event::WakeDeliver(wg, token) | Event::WaitTimeout(wg, token) = *ev {
-                pending_rescue.insert((wg, token));
+        // Collect the waiters with no registration and no landed wake; the
+        // event-calendar scan (the only O(events) step left) runs only when
+        // such a waiter exists, which on a sound machine is the rare case.
+        let mut needy = 0usize;
+        for w in &self.wgs {
+            if matches!(w.state, WgState::Stalled | WgState::SwappedWaiting)
+                && !w.woke
+                && scratch.registered_mark[w.id as usize] != gen
+            {
+                scratch.rescue_mark[w.id as usize] = gen;
+                needy += 1;
             }
         }
-        for w in &self.wgs {
-            if !matches!(w.state, WgState::Stalled | WgState::SwappedWaiting) {
-                continue;
+        if needy > 0 {
+            for (_, ev) in self.events.iter() {
+                if let Event::WakeDeliver(wg, token) | Event::WaitTimeout(wg, token) = *ev {
+                    let wgu = wg as usize;
+                    if scratch.rescue_mark[wgu] == gen && self.wgs[wgu].token == token {
+                        scratch.rescue_mark[wgu] = 0;
+                    }
+                }
             }
-            if w.woke || registered.contains(&w.id) || pending_rescue.contains(&(w.id, w.token)) {
-                continue;
+            for w in &self.wgs {
+                if scratch.rescue_mark[w.id as usize] != gen {
+                    continue;
+                }
+                report(
+                    InvariantKind::UnreachableWaiter,
+                    format!(
+                        "WG {} waiting in state {:?} on {:?} with no registration, no pending \
+                         wake or timeout, and no landed wake",
+                        w.id, w.state, w.cond
+                    ),
+                );
             }
+        }
+
+        // -- SoA census cross-check ----------------------------------------
+        // The machine maintains `state_census` incrementally so hot paths
+        // can count states in O(1); verify it against the ground-truth scan
+        // above. Appended last so sound machines emit the original checks'
+        // output byte-for-byte.
+        if self.state_census != counts {
             report(
-                InvariantKind::UnreachableWaiter,
+                InvariantKind::WgAccounting,
                 format!(
-                    "WG {} waiting in state {:?} on {:?} with no registration, no pending wake \
-                     or timeout, and no landed wake",
-                    w.id, w.state, w.cond
+                    "incremental state census {:?} disagrees with per-WG scan {:?}",
+                    self.state_census, counts
                 ),
             );
         }

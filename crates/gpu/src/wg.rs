@@ -53,7 +53,26 @@ impl WgState {
     ];
 
     fn encode_index(self) -> u8 {
-        WgState::ALL.iter().position(|&s| s == self).unwrap() as u8
+        self.census_index() as u8
+    }
+
+    /// This state's position in [`ALL`](Self::ALL) — the row index used by
+    /// the machine's struct-of-arrays state census and the checkpoint
+    /// encoding. A direct match, not a linear search: the census is
+    /// updated on every WG transition, squarely on the wake/dispatch path.
+    pub(crate) fn census_index(self) -> usize {
+        match self {
+            WgState::Pending => 0,
+            WgState::Dispatching => 1,
+            WgState::Running => 2,
+            WgState::Sleeping => 3,
+            WgState::Stalled => 4,
+            WgState::SwappingOut => 5,
+            WgState::SwappedWaiting => 6,
+            WgState::ReadySwapped => 7,
+            WgState::SwappingIn => 8,
+            WgState::Finished => 9,
+        }
     }
 
     /// Whether the WG currently holds CU resources.

@@ -314,20 +314,37 @@ pub struct CompareVerdict {
 impl CompareVerdict {
     /// One-line human rendering (the CLI prints this verbatim).
     pub fn summary_line(&self) -> String {
-        format!(
-            "compare: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:+.1}%, budget -{:.1}%): {}",
-            self.current_mcps,
-            self.baseline_mcps,
-            self.delta_pct,
-            self.max_regress_pct,
-            if self.regressed { "REGRESSION" } else { "ok" }
-        )
+        let verdict = if self.regressed { "REGRESSION" } else { "ok" };
+        if self.max_regress_pct < 0.0 {
+            // A negative budget is an inverted gate: the run must *beat*
+            // the baseline by at least |budget| percent.
+            format!(
+                "compare: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:+.1}%, required \
+                 speedup {:.2}x): {verdict}",
+                self.current_mcps,
+                self.baseline_mcps,
+                self.delta_pct,
+                1.0 - self.max_regress_pct / 100.0,
+            )
+        } else {
+            format!(
+                "compare: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:+.1}%, budget \
+                 -{:.1}%): {verdict}",
+                self.current_mcps, self.baseline_mcps, self.delta_pct, self.max_regress_pct,
+            )
+        }
     }
 }
 
 /// Judges `current_mcps` against `baseline` with a `max_regress_pct`
 /// budget. A run is a regression iff it is more than `max_regress_pct`
 /// percent slower than the baseline aggregate; being faster never trips.
+///
+/// A *negative* budget inverts the gate into a required speedup: with
+/// `max_regress_pct = -200` the run must reach at least
+/// `baseline * 3.0` (that is, `1 - (-200)/100`) to pass. CI uses this to
+/// pin a deliberate optimisation so it cannot silently erode back to the
+/// old engine's rate.
 pub fn compare(
     current_mcps: f64,
     baseline: &BenchSnapshot,
@@ -504,6 +521,36 @@ mod tests {
         assert!(v.summary_line().contains("REGRESSION"));
         // Faster never trips, even with a zero budget.
         assert!(!compare(150.0, &baseline, 0.0).regressed);
+    }
+
+    #[test]
+    fn negative_budget_is_a_required_speedup_gate() {
+        let baseline = BenchSnapshot {
+            workers: 1,
+            jobs: Vec::new(),
+            total_wall_ns: 1e9,
+            sim_cycles: 1e9,
+            events: 1e6,
+            mcycles_per_sec: 100.0,
+            meta: None,
+        };
+        // -200% budget demands current >= 3x baseline.
+        let v = compare(299.0, &baseline, -200.0);
+        assert!(
+            v.regressed,
+            "2.99x must fail the 3x gate: {}",
+            v.summary_line()
+        );
+        assert!(v.summary_line().contains("required speedup 3.00x"));
+        let v = compare(301.0, &baseline, -200.0);
+        assert!(
+            !v.regressed,
+            "3.01x must pass the 3x gate: {}",
+            v.summary_line()
+        );
+        // Merely matching the baseline is a regression under any
+        // negative budget.
+        assert!(compare(100.0, &baseline, -0.5).regressed);
     }
 
     #[test]

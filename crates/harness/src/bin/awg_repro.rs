@@ -1019,11 +1019,16 @@ fn main() -> ExitCode {
                         let Some(value) = args.get(i) else {
                             return usage();
                         };
+                        // Negative budgets are an inverted gate: the run
+                        // must beat the baseline by |PCT| percent (e.g.
+                        // -200 demands a 3x speedup). Above 100% the
+                        // threshold goes negative and nothing could ever
+                        // regress, so that is rejected as a config error.
                         max_regress = match value.parse::<f64>() {
-                            Ok(p) if p >= 0.0 && p.is_finite() => p,
+                            Ok(p) if p.is_finite() && p <= 100.0 => p,
                             _ => {
                                 eprintln!(
-                                    "--max-regress must be a non-negative percentage, \
+                                    "--max-regress must be a finite percentage at most 100, \
                                      got '{value}'"
                                 );
                                 return usage();

@@ -22,7 +22,7 @@ pub struct Instrumentation {
     /// metric snapshots, host self-profiling).
     pub telemetry: Option<TelemetryConfig>,
     /// Enable the event-loop hot profile (per-lane dispatch counts and
-    /// wall time, heap high-water, wake/dispatch scan counts). Like the
+    /// wall time, calendar high-water, wake/dispatch scan counts). Like the
     /// telemetry hub it is a pure observer: digest trails and outcomes
     /// are unchanged.
     pub hot_profile: bool,

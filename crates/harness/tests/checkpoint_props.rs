@@ -152,6 +152,74 @@ fn every_header_identity_and_cycle_bit_is_checked() {
     }
 }
 
+/// The calendar-queue regimes the other properties must actually cover:
+/// a mid-run machine carries far-future events in the overflow tier
+/// (quiescence checks and wait timeouts land well beyond the 4096-cycle
+/// wheel horizon) and free-list holes in the event arena (slots recycled
+/// by normal pop churn). Asserting both here guarantees the fixed-point
+/// and corruption scans above are exercising snapshots of that shape —
+/// not just a tidy all-on-the-wheel calendar.
+#[test]
+fn snapshots_cover_overflow_tier_and_arena_holes() {
+    let scale = Scale::quick();
+    let gpu = mid_run_machine(&scale, 4_000);
+    let (pending, overflow, holes) = gpu.calendar_stats();
+    assert!(pending > 0, "mid-run machine must have events in flight");
+    assert!(
+        overflow > 0,
+        "mid-run machine must hold far-future events in the overflow tier \
+         ({pending} pending, {overflow} overflow)"
+    );
+    assert!(
+        holes > 0,
+        "pop churn must leave recycled slots on the arena free list"
+    );
+
+    // The snapshot of exactly this machine round-trips to a byte-level
+    // fixed point: the wire format is the sorted (cycle, seq, event) list,
+    // independent of wheel/overflow placement or arena layout.
+    let first = tmp("overflow-1");
+    let second = tmp("overflow-2");
+    write_checkpoint(&gpu, IDENTITY, &first).unwrap();
+    let image = read_checkpoint(&first).unwrap();
+    let mut fresh = build(&scale, None);
+    restore_into(&mut fresh, &image, IDENTITY).unwrap();
+
+    // Restore rebases the wheel horizon on the earliest pending event, so
+    // arena layout may legally differ — but the set of pending events and
+    // the architectural digest must not.
+    let (r_pending, _r_overflow, _r_holes) = fresh.calendar_stats();
+    assert_eq!(pending, r_pending, "restore must preserve the event count");
+    assert_eq!(gpu.digest(), fresh.digest(), "restore changed the state");
+
+    write_checkpoint(&fresh, IDENTITY, &second).unwrap();
+    let a = std::fs::read(&first).unwrap();
+    let b = std::fs::read(&second).unwrap();
+    assert_eq!(a, b, "overflow-rich snapshot must re-encode identically");
+
+    // And corruption of this snapshot fails closed like any other: sample
+    // a stride of truncations plus a stride of bit flips.
+    for cut in (0..a.len()).step_by(4099) {
+        let verdict = restore_pipeline(&scale, &a[..cut], "ovf-trunc");
+        assert!(
+            matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+            "truncation at byte {cut}/{} must fail closed, got {verdict:?}",
+            a.len()
+        );
+    }
+    for byte in (0..a.len()).step_by(2053) {
+        let mut flipped = a.clone();
+        flipped[byte] ^= 0x10;
+        let verdict = restore_pipeline(&scale, &flipped, "ovf-flip");
+        assert!(
+            matches!(verdict, Err(SimError::CorruptCheckpoint(_))),
+            "flip of byte {byte} must fail closed, got {verdict:?}"
+        );
+    }
+    std::fs::remove_file(&first).ok();
+    std::fs::remove_file(&second).ok();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

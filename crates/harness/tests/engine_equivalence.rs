@@ -1,0 +1,235 @@
+//! Engine-equivalence differential battery for the event-core rewrite.
+//!
+//! The calendar-queue scheduler replaced the original `BinaryHeap` event
+//! queue wholesale; these tests pin the observable behaviour of the whole
+//! stack to goldens captured from the heap engine *before* it was deleted
+//! (commit 30689b4). Three layers of evidence:
+//!
+//! * **Digest trails** — same-seed checked runs (oracle on, 5000-cycle
+//!   digest window) across a benchmark × policy matrix must reproduce the
+//!   heap engine's per-window state digests exactly
+//!   (`first_divergence == None`, equal length, equal completion cycles).
+//! * **Campaign CSVs** — `fig5` and the chaos matrix, run through the real
+//!   binary at quick scale, must be byte-identical to the heap engine's
+//!   CSVs.
+//! * **Conformance matrix** — the `conformance` subcommand compares its
+//!   own output against the committed golden
+//!   (`results/conformance_expected.csv`) and exits non-zero on any cell
+//!   mismatch; a zero exit here is a byte-identity proof across all nine
+//!   policies × progress models.
+//!
+//! Regenerating the goldens (`BLESS_ENGINE=1 cargo test -p awg-harness
+//! --test engine_equivalence`) is only legitimate when simulated behaviour
+//! deliberately changes; a pure scheduler swap must never need it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use awg_core::policies::{build_policy, PolicyKind};
+use awg_harness::run::{run_instrumented, ExperimentConfig, Instrumentation};
+use awg_harness::Scale;
+use awg_sim::first_divergence;
+use awg_workloads::BenchmarkKind;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("BLESS_ENGINE").is_some()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("awg-engine-eq-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The benchmark × policy matrix the digest goldens cover: the three
+/// chaos/bench workloads under the paper's main completing designs, plus
+/// busy-wait Baseline on the mutex (Baseline hangs on the barrier only
+/// when oversubscribed, which this matrix is not).
+fn matrix() -> Vec<(BenchmarkKind, PolicyKind)> {
+    let mut out = Vec::new();
+    for kind in [
+        BenchmarkKind::SpinMutexGlobal,
+        BenchmarkKind::FaMutexGlobal,
+        BenchmarkKind::TreeBarrier,
+    ] {
+        for policy in [
+            PolicyKind::Awg,
+            PolicyKind::MonNrOne,
+            PolicyKind::Sleep,
+            PolicyKind::Timeout,
+        ] {
+            out.push((kind, policy));
+        }
+    }
+    out.push((BenchmarkKind::SpinMutexGlobal, PolicyKind::Baseline));
+    out
+}
+
+/// One golden line per run: `kind policy cycles trail-hex,trail-hex,...`.
+fn render_line(kind: BenchmarkKind, policy: PolicyKind, cycles: u64, trail: &[u64]) -> String {
+    let hexes: Vec<String> = trail.iter().map(|d| format!("{d:016x}")).collect();
+    format!("{kind:?} {policy:?} {cycles} {}", hexes.join(","))
+}
+
+#[test]
+fn digest_trails_match_the_heap_engine_goldens() {
+    let path = golden_dir().join("digest_trails.txt");
+    let scale = Scale::quick();
+    let mut lines = Vec::new();
+    for (kind, policy) in matrix() {
+        let r = run_instrumented(
+            kind,
+            policy,
+            build_policy(policy),
+            &scale,
+            ExperimentConfig::NonOversubscribed,
+            None,
+            Instrumentation::checked(),
+        );
+        assert!(
+            r.violations.is_empty(),
+            "{kind:?}/{policy:?}: oracle violations {:?}",
+            r.violations
+        );
+        let cycles = r
+            .cycles()
+            .unwrap_or_else(|| panic!("{kind:?}/{policy:?} must complete, got {:?}", r.outcome));
+        assert!(
+            !r.digest_trail.is_empty(),
+            "{kind:?}/{policy:?}: checked runs must record digests"
+        );
+        lines.push((kind, policy, cycles, r.digest_trail));
+    }
+
+    if blessing() {
+        let body: String = lines
+            .iter()
+            .map(|(k, p, c, t)| render_line(*k, *p, *c, t) + "\n")
+            .collect();
+        std::fs::write(&path, body).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    let mut golden_lines = golden.lines();
+    for (kind, policy, cycles, trail) in &lines {
+        let line = golden_lines
+            .next()
+            .unwrap_or_else(|| panic!("golden ends before {kind:?}/{policy:?}"));
+        let mut fields = line.split(' ');
+        let (gk, gp, gc, gt) = (
+            fields.next().unwrap(),
+            fields.next().unwrap(),
+            fields.next().unwrap(),
+            fields.next().unwrap_or(""),
+        );
+        assert_eq!(gk, format!("{kind:?}"), "golden row order changed");
+        assert_eq!(gp, format!("{policy:?}"), "golden row order changed");
+        let old_trail: Vec<u64> = gt
+            .split(',')
+            .map(|h| u64::from_str_radix(h, 16).unwrap())
+            .collect();
+        assert_eq!(
+            first_divergence(&old_trail, trail),
+            None,
+            "{kind:?}/{policy:?}: digest trail diverged from the heap engine"
+        );
+        assert_eq!(
+            old_trail.len(),
+            trail.len(),
+            "{kind:?}/{policy:?}: trail length changed (prefix divergence)"
+        );
+        assert_eq!(
+            gc.parse::<u64>().unwrap(),
+            *cycles,
+            "{kind:?}/{policy:?}: completion cycle changed"
+        );
+    }
+    assert!(golden_lines.next().is_none(), "golden has extra rows");
+}
+
+fn awg_repro(args: &[&str]) -> std::process::Output {
+    // Run from the workspace root: `conformance` resolves its committed
+    // golden (results/conformance_expected.csv) relative to the cwd.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    Command::new(env!("CARGO_BIN_EXE_awg-repro"))
+        .args(args)
+        .current_dir(root)
+        .output()
+        .expect("binary runs")
+}
+
+/// Runs a campaign subcommand at quick scale and compares (or blesses) the
+/// CSV it writes against a committed golden.
+fn campaign_csv_matches(subcommand: &str, csv_name: &str, golden_name: &str) {
+    let out_dir = temp_dir(subcommand);
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "1",
+        subcommand,
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{subcommand}: {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let produced = std::fs::read(out_dir.join(csv_name)).unwrap();
+    let golden_path = golden_dir().join(golden_name);
+    if blessing() {
+        std::fs::write(&golden_path, &produced).unwrap();
+    } else {
+        let golden = std::fs::read(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        assert_eq!(
+            produced, golden,
+            "{subcommand}: {csv_name} is no longer byte-identical to the heap engine's output"
+        );
+    }
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn fig5_csv_is_byte_identical_to_the_heap_engine() {
+    campaign_csv_matches("fig5", "fig5.csv", "fig5_quick.csv");
+}
+
+#[test]
+fn chaos_matrix_csv_is_byte_identical_to_the_heap_engine() {
+    campaign_csv_matches("chaos", "chaos.csv", "chaos_quick.csv");
+}
+
+#[test]
+fn conformance_matrix_matches_the_committed_golden() {
+    let out_dir = temp_dir("conformance");
+    let out = awg_repro(&[
+        "conformance",
+        "--count",
+        "8",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "conformance matrix diverged from results/conformance_expected.csv:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&out_dir).ok();
+}

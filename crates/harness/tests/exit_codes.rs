@@ -334,6 +334,60 @@ fn bench_compare_exits_nine_on_regression_and_zero_within_budget() {
 }
 
 #[test]
+fn bench_compare_negative_budget_is_a_speedup_floor() {
+    let dir = temp_dir("bench-speedup");
+    // A tiny baseline: any container clears the 3x floor, exit 0.
+    let slow = synthetic_baseline(&dir, "slow.json", 1e-6);
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "bench",
+        "--compare",
+        slow.to_str().unwrap(),
+        "--max-regress",
+        "-200",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("required speedup 3.00x"),
+        "{out:?}"
+    );
+
+    // An unreachable 3x floor: merely matching the baseline is a
+    // regression under an inverted gate.
+    let fast = synthetic_baseline(&dir, "fast.json", 1e12);
+    let out = awg_repro(&[
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+        "bench",
+        "--compare",
+        fast.to_str().unwrap(),
+        "--max-regress",
+        "-200",
+    ]);
+    assert_eq!(out.status.code(), Some(EXIT_REGRESSION as i32), "{out:?}");
+
+    // Budgets past 100% would make the threshold negative (nothing
+    // could ever regress): rejected as a usage error.
+    let out = awg_repro(&[
+        "--quick",
+        "bench",
+        "--compare",
+        slow.to_str().unwrap(),
+        "--max-regress",
+        "150",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_history_renders_the_trajectory_without_running_a_campaign() {
     let dir = temp_dir("bench-history");
     synthetic_baseline(&dir, "BENCH_100.json", 10.0);

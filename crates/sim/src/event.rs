@@ -4,11 +4,88 @@
 //! (FIFO tie-break via a monotonically increasing sequence number), which
 //! makes the whole simulation reproducible: the same inputs always produce
 //! the same interleaving of micro-architectural events.
+//!
+//! # Implementation
+//!
+//! The queue is a single-level calendar (timer wheel), not a binary heap.
+//! GPU timing events overwhelmingly land a few dozen to a few thousand
+//! cycles ahead of the current cycle, so a wheel of [`WHEEL_CYCLES`] flat
+//! buckets — one per cycle, addressed by `cycle % WHEEL_CYCLES` — turns
+//! both `schedule` and `pop` into O(1) array operations with an occupancy
+//! bitmap scan instead of O(log n) sift operations over a pointer-cold
+//! heap:
+//!
+//! * **Wheel** — every pending event whose cycle lies inside the horizon
+//!   `[cursor, cursor + WHEEL_CYCLES)` sits in the bucket for its cycle.
+//!   Because the horizon is exactly one wheel revolution, a bucket never
+//!   mixes cycles; appending to a bucket therefore preserves the FIFO
+//!   tie-break for free, with no per-entry comparisons at all.
+//! * **Overflow** — events beyond the horizon, and retro events scheduled
+//!   behind the cursor (the machine does this when re-arming timeouts at
+//!   `max(deadline, now)` boundaries and after restores), go to a sorted
+//!   `BTreeMap<Cycle, …>` tier. No migration pass is ever needed: `pop`
+//!   compares the wheel's next cycle against the overflow's first key and
+//!   drains the earlier one. When both tiers hold the same cycle, the
+//!   overflow entries are always older (their seq is smaller — an event
+//!   can only reach the overflow while the cycle is outside the horizon,
+//!   i.e. strictly before any wheel entry for it could exist), so
+//!   overflow-before-wheel preserves FIFO order exactly.
+//! * **Arena** — event payloads live in generation-tagged slots with a
+//!   free list; buckets and overflow rings store 8-byte slot references,
+//!   not boxed events. Popping frees the slot for reuse, so a steady-state
+//!   run allocates nothing after warmup, and
+//!   [`with_capacity`](EventQueue::with_capacity) pre-sizes the arena from
+//!   machine configuration.
+//!
+//! The public contract — FIFO tie-break, `snapshot`/`restore` wire
+//! behaviour, `scheduled_total` monotonicity — is identical to the
+//! original `BinaryHeap` implementation; `tests/queue_model.rs` drives
+//! both against each other with seeded interleavings to prove it.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::time::Cycle;
+
+/// Width of the calendar wheel in cycles (one bucket per cycle). Must be a
+/// power of two so bucket addressing is a mask. 4096 cycles comfortably
+/// covers the paper machine's event latencies (issue 4, dispatch 200,
+/// context switch 500, memory ~100s); only quiescence watchdogs, long
+/// sleep backoffs, and far-future fault injections take the overflow path.
+const WHEEL_CYCLES: usize = 4096;
+const WHEEL_MASK: u64 = (WHEEL_CYCLES as u64) - 1;
+
+/// A generation-tagged reference into the slot arena.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    /// Bumped every time the slot is freed; a stale [`SlotRef`] can then be
+    /// detected instead of silently resolving to a recycled event.
+    gen: u32,
+    cycle: Cycle,
+    seq: u64,
+    /// `None` while the slot sits on the free list.
+    event: Option<E>,
+}
+
+/// One wheel bucket: slot refs in scheduling (= seq) order. `front` marks
+/// the consumed prefix while the bucket's cycle is being drained, so a
+/// same-cycle burst pops as a pointer walk, not repeated `remove(0)`.
+#[derive(Debug, Default)]
+struct Bucket {
+    items: Vec<SlotRef>,
+    front: usize,
+}
+
+impl Bucket {
+    fn is_empty(&self) -> bool {
+        self.front == self.items.len()
+    }
+}
 
 /// A deterministic priority queue of `(cycle, event)` pairs.
 ///
@@ -28,48 +105,139 @@ use crate::time::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    wheel: Vec<Bucket>,
+    /// One bit per bucket: set iff the bucket holds unpopped entries.
+    occupancy: [u64; WHEEL_CYCLES / 64],
+    /// Lower edge of the wheel horizon. Monotone while events pop; every
+    /// wheel entry's cycle lies in `[cursor, cursor + WHEEL_CYCLES)`.
+    cursor: Cycle,
+    /// Events outside the horizon (far future) or behind the cursor
+    /// (retro), in FIFO order per cycle.
+    overflow: BTreeMap<Cycle, VecDeque<SlotRef>>,
+    /// Pending entries on the wheel (`len` minus the overflow population);
+    /// lets `pop`/`peek` skip the bitmap scan in overflow-only phases.
+    wheel_len: usize,
+    len: usize,
     seq: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    key: Reverse<(Cycle, u64)>,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with `capacity` arena slots pre-allocated.
+    ///
+    /// The machine sizes this from its kernel (a few in-flight events per
+    /// work-group plus stale-timeout residue) so steady-state runs never
+    /// grow the arena mid-flight.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut wheel = Vec::with_capacity(WHEEL_CYCLES);
+        wheel.resize_with(WHEEL_CYCLES, Bucket::default);
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            wheel,
+            occupancy: [0; WHEEL_CYCLES / 64],
+            cursor: 0,
+            overflow: BTreeMap::new(),
+            wheel_len: 0,
+            len: 0,
             seq: 0,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            seq: 0,
+    fn alloc_slot(&mut self, cycle: Cycle, seq: u64, event: E) -> SlotRef {
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.event.is_none(), "free list points at a live slot");
+            slot.cycle = cycle;
+            slot.seq = seq;
+            slot.event = Some(event);
+            SlotRef { idx, gen: slot.gen }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                cycle,
+                seq,
+                event: Some(event),
+            });
+            SlotRef { idx, gen: 0 }
         }
+    }
+
+    fn free_slot(&mut self, r: SlotRef) -> (Cycle, E) {
+        let slot = &mut self.slots[r.idx as usize];
+        debug_assert_eq!(slot.gen, r.gen, "stale slot reference");
+        let event = slot.event.take().expect("popping an empty slot");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(r.idx);
+        (slot.cycle, event)
+    }
+
+    fn bucket_index(&self, at: Cycle) -> usize {
+        (at & WHEEL_MASK) as usize
+    }
+
+    fn set_bit(&mut self, bucket: usize) {
+        self.occupancy[bucket / 64] |= 1 << (bucket % 64);
+    }
+
+    fn clear_bit(&mut self, bucket: usize) {
+        self.occupancy[bucket / 64] &= !(1 << (bucket % 64));
+    }
+
+    /// The earliest cycle with a pending wheel entry, found by a circular
+    /// occupancy-bitmap scan starting at the cursor's bucket.
+    fn next_wheel_cycle(&self) -> Option<Cycle> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = self.bucket_index(self.cursor);
+        let mut word_idx = start / 64;
+        // First word: mask off bits below the cursor's position.
+        let mut word = self.occupancy[word_idx] & (!0u64 << (start % 64));
+        for step in 0..=self.occupancy.len() {
+            if word != 0 {
+                let bucket = word_idx * 64 + word.trailing_zeros() as usize;
+                let distance = (bucket as u64).wrapping_sub(start as u64) & WHEEL_MASK;
+                return Some(self.cursor + distance);
+            }
+            if step == self.occupancy.len() {
+                break;
+            }
+            word_idx = (word_idx + 1) % self.occupancy.len();
+            word = self.occupancy[word_idx];
+            if word_idx == start / 64 {
+                // Wrapped to the start word: only the bits below the cursor
+                // remain unexamined (cycles near the top of the horizon).
+                word &= !(!0u64 << (start % 64));
+            }
+        }
+        None
+    }
+
+    fn insert_ref(&mut self, at: Cycle, r: SlotRef) {
+        if at >= self.cursor && at - self.cursor < WHEEL_CYCLES as u64 {
+            let bucket = self.bucket_index(at);
+            debug_assert!(
+                self.wheel[bucket].is_empty()
+                    || self.slots[self.wheel[bucket].items[self.wheel[bucket].front].idx as usize]
+                        .cycle
+                        == at,
+                "wheel bucket mixes cycles"
+            );
+            self.wheel[bucket].items.push(r);
+            self.set_bit(bucket);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.entry(at).or_default().push_back(r);
+        }
+        self.len += 1;
     }
 
     /// Schedules `event` to fire at absolute cycle `at`.
@@ -78,36 +246,102 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: Cycle, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
-            key: Reverse((at, seq)),
-            event,
-        });
+        let r = self.alloc_slot(at, seq, event);
+        self.insert_ref(at, r);
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+        let wheel_next = self.next_wheel_cycle();
+        let overflow_next = self.overflow.keys().next().copied();
+        let (cycle, from_overflow) = match (wheel_next, overflow_next) {
+            (None, None) => return None,
+            (Some(w), None) => (w, false),
+            (None, Some(o)) => (o, true),
+            // Tie: overflow entries at a cycle are always older than wheel
+            // entries at the same cycle (see module docs), so FIFO order
+            // demands the overflow drains first.
+            (Some(w), Some(o)) => (w.min(o), o <= w),
+        };
+        let r = if from_overflow {
+            let ring = self.overflow.get_mut(&cycle).expect("overflow key");
+            let r = ring.pop_front().expect("empty overflow ring");
+            if ring.is_empty() {
+                self.overflow.remove(&cycle);
+            }
+            r
+        } else {
+            let bucket = self.bucket_index(cycle);
+            let b = &mut self.wheel[bucket];
+            let r = b.items[b.front];
+            b.front += 1;
+            if b.is_empty() {
+                b.items.clear();
+                b.front = 0;
+                self.clear_bit(bucket);
+            }
+            self.wheel_len -= 1;
+            r
+        };
+        self.len -= 1;
+        self.cursor = self.cursor.max(cycle);
+        let (cycle, event) = self.free_slot(r);
+        Some((cycle, event))
     }
 
     /// Returns the cycle of the earliest pending event without removing it.
     pub fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        match (
+            self.next_wheel_cycle(),
+            self.overflow.keys().next().copied(),
+        ) {
+            (None, None) => None,
+            (Some(w), None) => Some(w),
+            (None, Some(o)) => Some(o),
+            (Some(w), Some(o)) => Some(w.min(o)),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Number of pending events in the far-future/retro overflow tier
+    /// (observability for checkpoint tests and calendar diagnostics).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.values().map(|ring| ring.len()).sum()
+    }
+
+    /// `(arena slots, free-list holes)` — observability for checkpoint
+    /// tests and calendar diagnostics.
+    pub fn arena_stats(&self) -> (usize, usize) {
+        (self.slots.len(), self.free.len())
     }
 
     /// Discards all pending events (the sequence counter keeps advancing so
     /// determinism is preserved across clears).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for slot in &mut self.slots {
+            if slot.event.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+            }
+        }
+        self.free.clear();
+        self.free.extend((0..self.slots.len() as u32).rev());
+        for b in &mut self.wheel {
+            b.items.clear();
+            b.front = 0;
+        }
+        self.occupancy = [0; WHEEL_CYCLES / 64];
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.len = 0;
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -115,12 +349,14 @@ impl<E> EventQueue<E> {
         self.seq
     }
 
-    /// Visits every pending event in unspecified order (heap order).
+    /// Visits every pending event in unspecified order (arena order).
     ///
     /// This is an inspection aid for invariant checkers that need to answer
     /// "is any event still scheduled for X?" without draining the queue.
     pub fn iter(&self) -> impl Iterator<Item = (Cycle, &E)> {
-        self.heap.iter().map(|e| (e.key.0 .0, &e.event))
+        self.slots
+            .iter()
+            .filter_map(|s| s.event.as_ref().map(|e| (s.cycle, e)))
     }
 
     /// Exports every pending event as `(cycle, seq, event)`, sorted by the
@@ -135,9 +371,9 @@ impl<E> EventQueue<E> {
         E: Clone,
     {
         let mut out: Vec<(Cycle, u64, E)> = self
-            .heap
+            .slots
             .iter()
-            .map(|e| (e.key.0 .0, e.key.0 .1, e.event.clone()))
+            .filter_map(|s| s.event.clone().map(|e| (s.cycle, s.seq, e)))
             .collect();
         out.sort_unstable_by_key(|&(cycle, seq, _)| (cycle, seq));
         out
@@ -152,18 +388,19 @@ impl<E> EventQueue<E> {
     /// keep losing FIFO ties against the restored ones, exactly as they
     /// would have in the uninterrupted run.
     pub fn restore(entries: Vec<(Cycle, u64, E)>, next_seq: u64) -> Self {
-        let mut heap = BinaryHeap::with_capacity(entries.len());
+        let mut q = Self::with_capacity(entries.len());
+        // Rebase the horizon on the earliest restored event so the bulk of
+        // the restored calendar lands on the wheel, not in the overflow.
+        // The entries arrive sorted by (cycle, seq) — append order along a
+        // bucket or overflow ring is therefore seq order, as required.
+        q.cursor = entries.first().map_or(0, |&(cycle, _, _)| cycle);
         for (cycle, seq, event) in entries {
             debug_assert!(seq < next_seq, "restored seq beyond the counter");
-            heap.push(Entry {
-                key: Reverse((cycle, seq)),
-                event,
-            });
+            let r = q.alloc_slot(cycle, seq, event);
+            q.insert_ref(cycle, r);
         }
-        EventQueue {
-            heap,
-            seq: next_seq,
-        }
+        q.seq = next_seq;
+        q
     }
 }
 
@@ -271,5 +508,89 @@ mod tests {
         q.schedule(15, "z");
         assert_eq!(q.pop(), Some((5, "y")));
         assert_eq!(q.pop(), Some((15, "z")));
+    }
+
+    #[test]
+    fn far_future_overflow_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1_000_000, 'q'); // quiescence-style far event
+        q.schedule(3, 'a');
+        q.schedule(2_000_000, 'r');
+        q.schedule(1_000_000, 's'); // same far cycle: FIFO
+        assert!(q.overflow_len() >= 3, "far events must take the overflow");
+        assert_eq!(q.pop(), Some((3, 'a')));
+        assert_eq!(q.pop(), Some((1_000_000, 'q')));
+        assert_eq!(q.pop(), Some((1_000_000, 's')));
+        assert_eq!(q.pop(), Some((2_000_000, 'r')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_cycle_entering_the_horizon_keeps_fifo_against_new_ties() {
+        let mut q = EventQueue::new();
+        // 5000 is beyond the fresh horizon [0, 4096): overflow.
+        q.schedule(5_000, "overflow-first");
+        // Advance the cursor into [905, 5001): 5000 is now wheel-reachable.
+        q.schedule(950, "advance");
+        assert_eq!(q.pop(), Some((950, "advance")));
+        q.schedule(5_000, "wheel-second");
+        assert_eq!(q.pop(), Some((5_000, "overflow-first")));
+        assert_eq!(q.pop(), Some((5_000, "wheel-second")));
+    }
+
+    #[test]
+    fn retro_schedule_behind_the_cursor_pops_first() {
+        let mut q = EventQueue::new();
+        q.schedule(10_000, "late");
+        assert_eq!(q.pop(), Some((10_000, "late")));
+        // The cursor now sits at 10_000; a retro event must still pop
+        // before anything later, exactly as the heap behaved.
+        q.schedule(400, "retro");
+        q.schedule(10_001, "after");
+        assert_eq!(q.peek_cycle(), Some(400));
+        assert_eq!(q.pop(), Some((400, "retro")));
+        assert_eq!(q.pop(), Some((10_001, "after")));
+    }
+
+    #[test]
+    fn horizon_edge_cycles_land_correctly() {
+        let mut q = EventQueue::new();
+        q.schedule(WHEEL_CYCLES as u64 - 1, 'e'); // last wheel bucket
+        q.schedule(WHEEL_CYCLES as u64, 'o'); // first overflow cycle
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.pop(), Some((WHEEL_CYCLES as u64 - 1, 'e')));
+        assert_eq!(q.pop(), Some((WHEEL_CYCLES as u64, 'o')));
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut q = EventQueue::with_capacity(4);
+        for round in 0..10u64 {
+            for i in 0..4u64 {
+                q.schedule(round * 100 + i, i);
+            }
+            for _ in 0..4 {
+                q.pop().unwrap();
+            }
+        }
+        let (slots, holes) = q.arena_stats();
+        assert_eq!(slots, 4, "steady-state churn must reuse freed slots");
+        assert_eq!(holes, 4);
+    }
+
+    #[test]
+    fn wraparound_keeps_order_across_many_revolutions() {
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for rev in 0..12u64 {
+            let cycle = rev * (WHEEL_CYCLES as u64) + (rev * 37) % 1000;
+            q.schedule(cycle, rev);
+            expect.push((cycle, rev));
+        }
+        expect.sort_unstable();
+        for (cycle, rev) in expect {
+            assert_eq!(q.pop(), Some((cycle, rev)));
+        }
+        assert!(q.is_empty());
     }
 }
